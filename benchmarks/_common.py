@@ -1,0 +1,22 @@
+"""Shared benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+emits it both to stdout and to ``benchmarks/results/<name>.txt`` so the
+harness output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
+    print(banner)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

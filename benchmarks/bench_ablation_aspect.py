@@ -1,0 +1,82 @@
+"""Ablation C — die aspect ratio and the estimator stack.
+
+The paper's derivation never assumes a square die (eqs. 17, 20 and the
+angular kernel of eq. 24 all carry W and H separately). This ablation
+sweeps the aspect ratio at fixed area and gate count, confirming that
+
+* linear, 2-D and polar estimators agree at every aspect ratio, and
+* at fixed area, elongating the die trims the within-die correlation
+  mass through the boundary term ``-(W+H)r`` of the angular kernel, so
+  the WID-driven spread shrinks (mildly) with aspect.
+
+Run with WID-only variation so the boundary effect is not drowned by
+the aspect-independent D2D floor.
+"""
+
+import math
+
+from benchmarks._common import emit
+from repro.analysis import format_table
+from repro.core import CellUsage, FullChipModel, RandomGate, RGCorrelation, \
+    expand_mixture
+from repro.core.estimators import (
+    integral2d_variance,
+    linear_variance,
+    polar_variance,
+)
+from repro.process import LinearCorrelation
+
+USAGE = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
+AREA = 9e-6  # 3 mm x 3 mm equivalent
+#: (aspect, rows, cols) with rows*cols fixed at 90 000 exactly, so grid
+#: rounding cannot masquerade as an aspect effect.
+GRIDS = ((1.0, 300, 300), (2.25, 200, 450), (4.0, 150, 600),
+         (9.0, 100, 900))
+CORRELATION = LinearCorrelation(0.35e-3)  # WID-only, compact support
+
+
+def test_ablation_aspect(benchmark, characterization):
+    tech = characterization.technology
+    rg = RandomGate(expand_mixture(characterization, USAGE, 0.5))
+    rgc = RGCorrelation(rg, tech.length.nominal, tech.length.sigma)
+
+    def run():
+        rows = []
+        for aspect, grid_rows, grid_cols in GRIDS:
+            height = math.sqrt(AREA / aspect)
+            width = aspect * height
+            n = grid_rows * grid_cols
+            linear = math.sqrt(linear_variance(
+                grid_rows, grid_cols, width / grid_cols,
+                height / grid_rows, CORRELATION, rgc))
+            # Diagonal correction isolates the W/H handling from the
+            # eq.-20 granularity error already covered by Fig. 7.
+            integral = math.sqrt(integral2d_variance(
+                n, width, height, CORRELATION, rgc,
+                diagonal_correction=True))
+            polar = math.sqrt(polar_variance(
+                n, width, height, CORRELATION, rgc,
+                diagonal_correction=True))
+            err_i = abs(integral - linear) / linear * 100
+            err_p = abs(polar - linear) / linear * 100
+            rows.append([f"{aspect:g}:1", f"{linear:.5e}",
+                         f"{err_i:.4f}", f"{err_p:.4f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["aspect", "std O(n) [A]", "2D int err %", "polar err %"], rows,
+        title=f"Ablation — die aspect ratio at fixed area "
+              f"(90000 gates, {AREA * 1e6:.0f} mm^2, WID only)")
+    emit("ablation_aspect",
+         table + "\n(estimators agree at all aspects; the boundary term "
+         "-(W+H)r of eq. 24 trims\nthe correlation mass as the perimeter "
+         "grows, shrinking the WID spread)")
+
+    stds = [float(row[1]) for row in rows]
+    assert all(stds[k + 1] < stds[k] for k in range(len(stds) - 1)), stds
+    assert stds[0] / stds[-1] > 1.01, "aspect effect should be visible"
+    for row in rows:
+        assert float(row[2]) < 0.1
+        assert float(row[3]) < 0.1

@@ -1,0 +1,76 @@
+"""Ablation B — sensitivity to the WID correlation model.
+
+The estimator consumes whatever correlation function the foundry
+extraction provides. This ablation sweeps (a) the correlation family at
+matched effective range and (b) the correlation length, reporting the
+chip-level leakage CV. It quantifies how strongly the variance estimate
+depends on getting the correlation model right — the motivation for the
+robust-extraction substrate (ref. [5] of the paper).
+"""
+
+import math
+
+from benchmarks._common import emit
+from repro import FullChipLeakageEstimator
+from repro.analysis import format_table
+from repro.core import CellUsage
+from repro.process import (
+    ExponentialCorrelation,
+    GaussianCorrelation,
+    LinearCorrelation,
+    SphericalCorrelation,
+    TotalCorrelation,
+)
+
+USAGE = CellUsage({"INV_X1": 0.3, "NAND2_X1": 0.3, "NOR2_X1": 0.2,
+                   "DFF_X1": 0.2})
+N_CELLS = 250_000
+DIE = 2e-3
+
+
+def test_ablation_correlation(benchmark, characterization):
+    tech = characterization.technology
+    param = tech.length
+
+    def cv_for(wid):
+        estimator = FullChipLeakageEstimator(
+            characterization, USAGE, N_CELLS, DIE, DIE,
+            correlation=TotalCorrelation(wid, param))
+        return estimator.estimate("integral2d").cv
+
+    def run():
+        family_rows = []
+        # Families matched at effective range ~1 mm.
+        for label, wid in (
+                ("exponential", ExponentialCorrelation(1e-3 / 3.0)),
+                ("gaussian", GaussianCorrelation(1e-3 / 1.7)),
+                ("linear", LinearCorrelation(1e-3)),
+                ("spherical", SphericalCorrelation(1e-3))):
+            family_rows.append([label, f"{cv_for(wid):.4f}"])
+        length_rows = []
+        for scale in (0.1e-3, 0.3e-3, 1e-3, 3e-3):
+            cv = cv_for(ExponentialCorrelation(scale))
+            length_rows.append([f"{scale * 1e3:.1f} mm",
+                                f"{cv:.4f}"])
+        return family_rows, length_rows
+
+    family_rows, length_rows = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+
+    text = format_table(["family (range ~1mm)", "chip leakage CV"],
+                        family_rows,
+                        title="Ablation — correlation family "
+                              f"({N_CELLS} gates, {DIE * 1e3:.0f} mm die)")
+    text += "\n\n" + format_table(
+        ["exp. correlation length", "chip leakage CV"], length_rows,
+        title="Ablation — correlation length (exponential family)")
+    emit("ablation_correlation", text)
+
+    cvs = [float(row[1]) for row in family_rows]
+    spread = (max(cvs) - min(cvs)) / min(cvs)
+    assert spread < 0.6, "matched-range families should broadly agree"
+
+    length_cvs = [float(row[1]) for row in length_rows]
+    assert all(length_cvs[k + 1] > length_cvs[k]
+               for k in range(len(length_cvs) - 1)), \
+        "longer correlation -> larger chip-level spread"

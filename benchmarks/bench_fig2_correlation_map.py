@@ -1,0 +1,67 @@
+"""Figure 2 — leakage correlation vs. channel-length correlation.
+
+The paper plots, for a pair of gates, the leakage correlation implied by
+a given length correlation: the Monte-Carlo estimate and the analytical
+mapping ``f_mn`` both hug the ``y = x`` line. This bench regenerates the
+series for a representative gate pair, reports the MC/analytical match,
+and sweeps all pairs of a library sample to confirm the
+"all mappings are close to identity" claim.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.analysis import format_table
+from repro.characterization import leakage_correlation
+from repro.characterization.montecarlo import mc_pair_correlation
+
+PAIR = ("INV_X1", "NAND3_X1")
+SAMPLE = ("INV_X1", "NAND2_X1", "NAND4_X1", "NOR4_X1", "XOR2_X1",
+          "DFF_X1", "SRAM6T_X1")
+RHO_GRID = np.linspace(0.1, 1.0, 10)
+
+
+def test_fig2_correlation_map(benchmark, library, characterization,
+                              device_model, technology, rng):
+    tech = technology
+    mu_l, sigma_l = tech.length.nominal, tech.length.sigma
+
+    fit_m = characterization[PAIR[0]].states[0].fit
+    fit_n = characterization[PAIR[1]].states[2].fit
+
+    def analytical_series():
+        return leakage_correlation(fit_m, fit_n, mu_l, sigma_l, RHO_GRID)
+
+    analytical = benchmark(analytical_series)
+
+    cell_m, cell_n = library[PAIR[0]], library[PAIR[1]]
+    mc = np.array([
+        mc_pair_correlation(cell_m, cell_m.states[0], cell_n,
+                            cell_n.states[2], device_model, float(rho),
+                            n_samples=8000, rng=rng)
+        for rho in RHO_GRID
+    ])
+
+    rows = [[f"{rho:.1f}", f"{a:.4f}", f"{m:.4f}", f"{a - rho:+.4f}"]
+            for rho, a, m in zip(RHO_GRID, analytical, mc)]
+    table = format_table(
+        ["rho_L", "rho_leak (analytical)", "rho_leak (MC)",
+         "dev from y=x"],
+        rows,
+        title=f"Fig. 2 — leakage vs length correlation, {PAIR[0]}/{PAIR[1]}")
+
+    # All-pairs identity-deviation summary over a library sample.
+    fits = [characterization[name].states[0].fit for name in SAMPLE]
+    deviations = []
+    for fm in fits:
+        for fn in fits:
+            series = leakage_correlation(fm, fn, mu_l, sigma_l, RHO_GRID)
+            deviations.append(float(np.max(np.abs(series - RHO_GRID))))
+    summary = (f"\nAll {len(SAMPLE)}x{len(SAMPLE)} sample-pair mappings: "
+               f"max |f_mn(rho) - rho| = {max(deviations):.4f} "
+               f"(paper: all mappings close to y = x)")
+    emit("fig2_correlation_map", table + summary)
+
+    mc_gap = float(np.max(np.abs(analytical - mc)))
+    assert mc_gap < 0.08, "analytical mapping should match MC (Fig. 2)"
+    assert max(deviations) < 0.12, "mappings should hug the y = x line"

@@ -1,0 +1,82 @@
+"""Figure 3 — effect of signal probability on chip mean leakage.
+
+The paper sweeps the primary signal probability from 0 to 1 and shows
+that (a) the chip-level effect is modest (unlike the ~10x spread of a
+single gate) and (b) the curve's shape depends on the cell mix. The
+maximizing p gives the conservative estimate the paper adopts.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.analysis import format_table
+from repro.core import CellUsage
+from repro.core import RandomGate, expand_mixture
+from repro.signalprob import maximize_mean_leakage, sweep_mean_leakage
+
+MIXES = {
+    "NAND-heavy": {"NAND2_X1": 0.5, "NAND3_X1": 0.2, "INV_X1": 0.2,
+                   "DFF_X1": 0.1},
+    "NOR-heavy": {"NOR2_X1": 0.5, "NOR3_X1": 0.2, "INV_X1": 0.2,
+                  "DFF_X1": 0.1},
+    "balanced": {"NAND2_X1": 0.25, "NOR2_X1": 0.25, "INV_X1": 0.2,
+                 "XOR2_X1": 0.15, "DFF_X1": 0.15},
+}
+
+P_GRID = np.linspace(0.0, 1.0, 11)
+
+
+def test_fig3_signal_probability(benchmark, characterization):
+    def sweep_all():
+        curves = {}
+        for label, mix in MIXES.items():
+            usage = CellUsage(mix)
+            _, means = sweep_mean_leakage(characterization, usage, P_GRID)
+            curves[label] = means
+        return curves
+
+    curves = benchmark(sweep_all)
+
+    rows = []
+    for k, p in enumerate(P_GRID):
+        row = [f"{p:.1f}"]
+        for label in MIXES:
+            normalized = curves[label][k] / curves[label].mean()
+            row.append(f"{normalized:.4f}")
+        rows.append(row)
+    table = format_table(
+        ["p", *[f"{label} (norm.)" for label in MIXES]],
+        rows,
+        title="Fig. 3 — normalized chip mean leakage vs signal probability")
+
+    lines = [table, ""]
+    std_alignment = []
+    for label, mix in MIXES.items():
+        usage = CellUsage(mix)
+        p_star, mean_star = maximize_mean_leakage(characterization, usage)
+        swing = curves[label].max() / curves[label].min()
+        # Paper: "similar behavior has been found for the leakage
+        # variance", and the mean-maximizing p is "very good" for the
+        # maximum variance too. The chip-level sigma scales with the
+        # *correlatable* per-gate sigma (sum alpha_i sigma_i, the RG's
+        # mean_of_stds), so that is the quantity to align.
+        corr_sigma = np.array([
+            RandomGate(expand_mixture(characterization, usage,
+                                      float(p))).mean_of_stds
+            for p in P_GRID])
+        sigma_at_p_star = float(np.interp(p_star, P_GRID, corr_sigma))
+        std_ratio = sigma_at_p_star / float(corr_sigma.max())
+        std_alignment.append(std_ratio)
+        lines.append(f"{label:>11}: p* = {p_star:.3f}, "
+                     f"mean max/min swing = {swing:.3f}x, "
+                     f"chip-sigma(p*)/max = {std_ratio:.3f}")
+    emit("fig3_signal_probability", "\n".join(lines))
+
+    # Paper's claims: the chip-level effect is not pronounced (bounded
+    # swing) and depends on the mix (different maximizers); the
+    # mean-maximizing p is also (near-)optimal for the chip variance.
+    swings = [curves[label].max() / curves[label].min() for label in MIXES]
+    assert max(swings) < 5.0
+    maximizers = [float(P_GRID[np.argmax(curves[label])]) for label in MIXES]
+    assert max(maximizers) - min(maximizers) > 0.2
+    assert min(std_alignment) > 0.97

@@ -1,0 +1,74 @@
+"""Figure 6 — convergence of specific designs to the RG prediction.
+
+The paper generates many random circuits matching an a-priori usage
+histogram, computes each one's true leakage statistics (the O(n^2)
+pairwise sum), and plots the maximum positive/negative deviation from
+the RG model's prediction against circuit size: the error envelope
+shrinks toward zero (max 2.2% at 11,236 gates).
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro import FullChipLeakageEstimator
+from repro.analysis import format_table, realize_design
+from repro.circuits import grid_placement, random_circuit
+from repro.core import CellUsage
+from repro.core.estimators import exact_moments
+
+USAGE = CellUsage({"INV_X1": 0.20, "NAND2_X1": 0.25, "NOR2_X1": 0.15,
+                   "AOI21_X1": 0.10, "XOR2_X1": 0.10, "AND2_X1": 0.10,
+                   "DFF_X1": 0.10})
+SIZES = (100, 400, 1600, 4900, 11236)
+CIRCUITS_PER_SIZE = 6
+DENSITY = 3.5e-12  # site area [m^2] per gate, constant across sizes
+
+
+def test_fig6_convergence(benchmark, library, characterization):
+    tech = characterization.technology
+    correlation = tech.total_correlation
+
+    def run():
+        rows = []
+        for n in SIZES:
+            side = math.sqrt(n * DENSITY)
+            estimate = FullChipLeakageEstimator(
+                characterization, USAGE, n, side, side,
+                simplified_correlation=True).estimate("linear")
+            dev_mean, dev_std = [], []
+            for seed in range(CIRCUITS_PER_SIZE):
+                rng = np.random.default_rng(1000 * n + seed)
+                net = random_circuit(library, USAGE, n, rng=rng,
+                                     exact_histogram=True)
+                grid_placement(net, side, side, rng=rng)
+                real = realize_design(net, characterization, rng=rng)
+                true_mean, true_std = exact_moments(
+                    real.positions, real.means, real.stds, correlation)
+                dev_mean.append((true_mean - estimate.mean)
+                                / estimate.mean * 100)
+                dev_std.append((true_std - estimate.std)
+                               / estimate.std * 100)
+            rows.append([n,
+                         f"{max(dev_mean):+.2f}", f"{min(dev_mean):+.2f}",
+                         f"{max(dev_std):+.2f}", f"{min(dev_std):+.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["gates", "mean dev+ %", "mean dev- %", "std dev+ %", "std dev- %"],
+        rows,
+        title="Fig. 6 — max +/- deviation of random circuits from the RG "
+              f"estimate ({CIRCUITS_PER_SIZE} circuits per size)")
+    emit("fig6_convergence", table + "\n(paper: envelope -> 0 with size; "
+         "max 2.2% at 11,236 gates)")
+
+    def envelope(row):
+        return max(abs(float(row[1])), abs(float(row[2])),
+                   abs(float(row[3])), abs(float(row[4])))
+
+    first, last = envelope(rows[0]), envelope(rows[-1])
+    assert last < first, "deviation envelope must shrink with size"
+    assert last < 4.0, "large designs should sit within a few % of the RG"

@@ -1,0 +1,82 @@
+"""Complexity claims — O(n^2) vs O(n) vs O(1) runtime.
+
+The paper's central efficiency claim: the pairwise "true leakage" costs
+O(n^2) and is impractical at full-chip scale; the distance-multiplicity
+transform is O(n); and the integral estimators cost a constant
+independent of n. This bench times all three across sizes and checks
+the scaling exponents. pytest-benchmark additionally reports the O(1)
+integral kernel's wall time.
+"""
+
+import math
+import time
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.analysis import format_table
+from repro.core import CellUsage, FullChipModel, RandomGate, RGCorrelation, \
+    expand_mixture
+from repro.core.estimators import (
+    exact_moments,
+    integral2d_variance,
+    linear_variance,
+    polar_variance,
+)
+
+USAGE = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
+SITE_AREA = 3.5e-12
+
+
+def test_scaling(benchmark, characterization, rng):
+    tech = characterization.technology
+    correlation = tech.total_correlation
+    rg = RandomGate(expand_mixture(characterization, USAGE, 0.5))
+    rgc = RGCorrelation(rg, tech.length.nominal, tech.length.sigma)
+
+    def time_once(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    rows = []
+    exact_times = {}
+    linear_times = {}
+    for side in (32, 64, 128, 1000):
+        n = side * side
+        die = side * math.sqrt(SITE_AREA)
+        chip = FullChipModel(n_cells=n, width=die, height=die, rows=side,
+                             cols=side)
+        t_linear = time_once(lambda: linear_variance(
+            side, side, chip.pitch_x, chip.pitch_y, correlation, rgc))
+        linear_times[n] = t_linear
+        if n <= 16384:
+            positions = chip.site_positions()
+            stds = np.full(n, rg.mean_of_stds)
+            means = np.full(n, rg.mean)
+            t_exact = time_once(lambda: exact_moments(
+                positions, means, stds, correlation))
+            exact_times[n] = t_exact
+            exact_text = f"{t_exact:.3f}"
+        else:
+            exact_text = "(skipped)"
+        t_int = time_once(lambda: integral2d_variance(
+            n, die, die, correlation, rgc))
+        rows.append([n, exact_text, f"{t_linear:.4f}", f"{t_int:.3f}"])
+
+    table = format_table(
+        ["gates", "O(n^2) exact [s]", "O(n) linear [s]", "O(1) 2D int [s]"],
+        rows,
+        title="Complexity scaling of the variance estimators")
+    emit("scaling", table)
+
+    # pytest-benchmark measures the constant-time kernel.
+    die = 1000 * math.sqrt(SITE_AREA)
+    benchmark(lambda: integral2d_variance(1_000_000, die, die,
+                                          correlation, rgc))
+
+    # Exact estimator should scale ~quadratically (x16 work for x4 n).
+    ratio_exact = exact_times[128 * 128] / max(exact_times[32 * 32], 1e-9)
+    assert ratio_exact > 4.0, "O(n^2) growth visible"
+    # Linear-time at n = 1e6 stays in interactive territory.
+    assert linear_times[1_000_000] < 5.0

@@ -1,0 +1,84 @@
+"""Table 1 — late-mode RG estimation error on the ISCAS85 suite.
+
+The paper extracts the high-level characteristics (gate count, cell
+histogram, layout dimensions) from each placed ISCAS85 circuit, runs
+the RG estimator, and reports the % error of the full-chip leakage
+standard deviation against the O(n^2) true leakage: 0.23%-1.38% across
+the suite, with mean errors "truly negligible".
+"""
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro import FullChipLeakageEstimator
+from repro.analysis import expected_design, format_table
+from repro.circuits import (
+    extract_characteristics,
+    extract_state_weights,
+    grid_placement,
+    iscas85_circuit,
+    iscas85_names,
+)
+from repro.circuits.placement import die_dimensions
+from repro.core.estimators import exact_moments
+from repro.signalprob import propagate_probabilities
+
+
+def test_table1_iscas85(benchmark, library, characterization):
+    tech = characterization.technology
+    correlation = tech.total_correlation
+
+    def run():
+        rows = []
+        for name in iscas85_names():
+            rng = np.random.default_rng(abs(hash(name)) % (2 ** 31))
+            net = iscas85_circuit(name, library, rng=rng)
+            width, height = die_dimensions(net, library)
+            grid_placement(net, width, height, rng=rng)
+
+            # "True leakage": O(n^2) pairwise sum over the placed gates
+            # with per-gate signal probabilities propagated through the
+            # actual netlist.
+            net_probs = propagate_probabilities(net, library, 0.5)
+            design = expected_design(net, characterization,
+                                     net_probabilities=net_probs)
+            true_mean, true_std = exact_moments(
+                design.positions, design.means, design.stds, correlation,
+                corr_stds=design.corr_stds)
+
+            # RG estimate from the extracted high-level characteristics:
+            # histogram, count, dimensions, and the per-cell-type state
+            # distributions implied by the propagated signal
+            # probabilities (all constant-size summaries of the design).
+            chars = extract_characteristics(net, library)
+            state_weights = extract_state_weights(net, library, net_probs)
+            estimate = FullChipLeakageEstimator(
+                characterization, chars.usage, chars.n_cells,
+                chars.width, chars.height, state_weights=state_weights,
+                simplified_correlation=True).estimate("linear")
+
+            std_err = abs(estimate.std - true_std) / true_std * 100
+            mean_err = abs(estimate.mean - true_mean) / true_mean * 100
+            rows.append([name, net.n_gates, f"{std_err:.2f}",
+                         f"{mean_err:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["circuit", "gates", "std err %", "mean err %"], rows,
+        title="Table 1 — RG estimate vs true leakage, ISCAS85 suite")
+    emit("table1_iscas85",
+         table + "\n(paper: std errors 0.23%-1.38%, mean errors negligible)")
+
+    std_errors = [float(row[2]) for row in rows]
+    mean_errors = [float(row[3]) for row in rows]
+    # Same order as the paper's 0.23-1.38% band; c432 (tiny and
+    # XOR-heavy, so dominated by state-selection variance) is our worst
+    # case — see EXPERIMENTS.md.
+    assert max(std_errors) < 8.0
+    assert np.mean(std_errors) < 2.5
+    assert max(mean_errors) < 1.0, "mean errors must be negligible"
+    # Large circuits sit well inside the paper's band.
+    big = [err for row, err in zip(rows, std_errors) if row[1] >= 1000]
+    assert max(big) < 1.5

@@ -1,0 +1,43 @@
+"""Session fixtures for the benchmark harness.
+
+The benchmarks mirror the paper's experimental setup: the synthetic
+90 nm technology, the 62-cell library, and its analytical
+characterization are built once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import build_library
+from repro.characterization import characterize_library
+from repro.devices import DeviceModel
+from repro.process import synthetic_90nm
+
+
+@pytest.fixture(scope="session")
+def technology():
+    # Correlation length of half a millimetre on dies up to a few mm:
+    # strong short-range WID correlation, an even D2D split.
+    return synthetic_90nm(correlation_length=0.5e-3, d2d_fraction=0.5)
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_library()
+
+
+@pytest.fixture(scope="session")
+def device_model(technology):
+    return DeviceModel(technology)
+
+
+@pytest.fixture(scope="session")
+def characterization(library, technology):
+    return characterize_library(library, technology)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1985)  # ISCAS'85

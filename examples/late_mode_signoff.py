@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Late-mode sign-off on ISCAS85-class netlists.
+
+The late-mode flow of the paper's Table 1: take a placed design, extract
+its high-level characteristics (cell histogram, gate count, layout
+dimensions, propagated signal statistics), run the constant-size RG
+estimator, and compare against the O(n^2) true-leakage reference that a
+sign-off tool would otherwise have to compute.
+
+Run:  python examples/late_mode_signoff.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    FullChipLeakageEstimator,
+    build_library,
+    characterize_library,
+    synthetic_90nm,
+)
+from repro.analysis import expected_design, format_table
+from repro.circuits import (
+    extract_characteristics,
+    extract_state_weights,
+    grid_placement,
+    iscas85_circuit,
+    iscas85_names,
+)
+from repro.circuits.placement import die_dimensions
+from repro.core.estimators import exact_moments
+from repro.signalprob import propagate_probabilities
+
+
+def main() -> None:
+    technology = synthetic_90nm(correlation_length=0.5e-3)
+    library = build_library()
+    characterization = characterize_library(library, technology)
+    correlation = technology.total_correlation
+
+    rows = []
+    for name in iscas85_names():
+        rng = np.random.default_rng(abs(hash(name)) % (2 ** 31))
+        netlist = iscas85_circuit(name, library, rng=rng)
+        width, height = die_dimensions(netlist, library)
+        grid_placement(netlist, width, height, rng=rng)
+
+        # Reference: the O(n^2) pairwise "true leakage".
+        start = time.perf_counter()
+        net_probs = propagate_probabilities(netlist, library, 0.5)
+        design = expected_design(netlist, characterization,
+                                 net_probabilities=net_probs)
+        true_mean, true_std = exact_moments(
+            design.positions, design.means, design.stds, correlation,
+            corr_stds=design.corr_stds)
+        t_exact = time.perf_counter() - start
+
+        # RG estimator from extracted characteristics.
+        start = time.perf_counter()
+        chars = extract_characteristics(netlist, library)
+        state_weights = extract_state_weights(netlist, library, net_probs)
+        estimate = FullChipLeakageEstimator(
+            characterization, chars.usage, chars.n_cells, chars.width,
+            chars.height, state_weights=state_weights,
+            simplified_correlation=True).estimate("linear")
+        t_rg = time.perf_counter() - start
+
+        rows.append([
+            name, netlist.n_gates,
+            f"{true_mean * 1e6:.2f}", f"{estimate.mean * 1e6:.2f}",
+            f"{true_std * 1e9:.1f}", f"{estimate.std * 1e9:.1f}",
+            f"{abs(estimate.std - true_std) / true_std * 100:.2f}",
+            f"{t_exact / max(t_rg, 1e-9):.0f}x",
+        ])
+
+    print(format_table(
+        ["circuit", "gates", "true mean [uA]", "RG mean [uA]",
+         "true std [nA]", "RG std [nA]", "std err %", "speedup"],
+        rows,
+        title="Late-mode sign-off — RG estimator vs O(n^2) true leakage"))
+    print("\nThe RG estimate needs only constant-size extracted "
+          "characteristics, so its\ncost is independent of design size — "
+          "the speedup column grows with the circuit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A complete statistical power sign-off session.
+
+Chains the library's higher-level capabilities on one candidate design:
+
+1. estimate the leakage distribution and parametric yield at a budget,
+2. attribute the mean and spread to cell types,
+3. recover leakage with dual-Vt swapping to meet the budget,
+4. map leakage across die regions for power-grid planning,
+5. sweep junction temperature for the datasheet table.
+
+Run:  python examples/power_signoff_suite.py
+"""
+
+import numpy as np
+
+from repro import (
+    CellUsage,
+    FullChipLeakageEstimator,
+    build_library,
+    characterize_library,
+    synthetic_90nm,
+)
+from repro.analysis import (
+    LeakageDistribution,
+    format_table,
+    parametric_yield,
+    region_leakage_map,
+    temperature_sweep,
+)
+from repro.core.sensitivity import leakage_attribution, usage_gradient
+from repro.opt import build_dual_vt, dual_vt_usage, optimize_hvt_fraction
+
+N_CELLS = 360_000
+DIE = 1.8e-3  # 1.8 mm x 1.8 mm
+
+USAGE = CellUsage({
+    "INV_X1": 0.16, "BUF_X2": 0.06, "NAND2_X1": 0.20, "NOR2_X1": 0.12,
+    "AOI21_X1": 0.08, "XOR2_X1": 0.06, "MUX2_X1": 0.05, "DFF_X1": 0.19,
+    "SRAM6T_X1": 0.08,
+})
+
+
+def main() -> None:
+    technology = synthetic_90nm(correlation_length=0.5e-3)
+    library = build_library()
+    characterization = characterize_library(library, technology)
+
+    # -- 1. distribution and yield -----------------------------------------
+    estimator = FullChipLeakageEstimator(
+        characterization, USAGE, N_CELLS, DIE, DIE)
+    estimate = estimator.estimate("auto")
+    distribution = LeakageDistribution.from_estimate(estimate,
+                                                     include_vt=True)
+    budget = 0.98 * float(distribution.quantile(0.90))
+    print(f"estimate: mean {estimate.mean_with_vt*1e3:.2f} mA, "
+          f"std {estimate.std*1e3:.2f} mA (method={estimate.method})")
+    print(f"budget  : {budget*1e3:.2f} mA -> parametric yield "
+          f"{parametric_yield(distribution, budget)*100:.1f}%")
+
+    # -- 2. attribution ------------------------------------------------------
+    rows = [[r.cell_name, f"{r.usage_fraction*100:.0f}",
+             f"{r.mean_share*100:.1f}", f"{r.std_share*100:.1f}"]
+            for r in leakage_attribution(estimator.random_gate)[:6]]
+    print()
+    print(format_table(["cell", "usage %", "mean share %", "std share %"],
+                       rows, title="Top leakage contributors"))
+    swap_from, marginal = usage_gradient(estimator.random_gate)[0]
+    print(f"best swap-away candidate: {swap_from} "
+          f"(+{marginal*1e9:.2f} nA per instance over average)")
+
+    # -- 3. dual-Vt recovery ---------------------------------------------------
+    dual = build_dual_vt(library.subset(USAGE.names), technology,
+                         vt_offset=0.08)
+    fraction, recovered = optimize_hvt_fraction(
+        dual, USAGE, N_CELLS, DIE, DIE, budget=budget, percentile=0.90,
+        include_vt=True)
+    print(f"\ndual-Vt: swapping {fraction*100:.1f}% of instances to HVT "
+          f"(HVT/SVT leakage ratio {dual.hvt_leakage_ratio:.2f})")
+    print(f"  90% leakage {float(recovered.quantile(0.90))*1e3:.2f} mA "
+          f"<= budget {budget*1e3:.2f} mA")
+    yield_after = parametric_yield(recovered, budget)
+    print(f"  parametric yield after swap: {yield_after*100:.1f}%")
+
+    # -- 4. regional map --------------------------------------------------------
+    regions = region_leakage_map(
+        estimator.chip, estimator.random_gate, estimator.rg_correlation,
+        estimator.correlation, block_rows=4, block_cols=4)
+    rho = regions.correlation_matrix()
+    print(f"\nregion map (4x4 blocks): per-block mean "
+          f"{regions.means[0,0]*1e6:.1f} uA, std "
+          f"{regions.stds[0,0]*1e6:.2f} uA")
+    print(f"  neighbour block correlation {rho[0,1]:.3f}, "
+          f"opposite corners {rho[0,15]:.3f}")
+    worst = regions.worst_block()
+    print(f"  worst 3-sigma block: row {worst[0]}, col {worst[1]}")
+
+    # -- 5. temperature table ------------------------------------------------
+    points = temperature_sweep(
+        library, technology, USAGE, N_CELLS, DIE, DIE,
+        temperatures=[273.15 + c for c in (25, 55, 85, 125)])
+    rows = [[f"{p.celsius:.0f}", f"{p.estimate.mean_with_vt*1e3:.2f}",
+             f"{p.estimate.std*1e3:.3f}"] for p in points]
+    print()
+    print(format_table(["Tj [C]", "mean [mA]", "std [mA]"], rows,
+                       title="Leakage vs junction temperature"))
+
+
+if __name__ == "__main__":
+    main()

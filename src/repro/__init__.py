@@ -1,0 +1,75 @@
+"""repro — statistical full-chip leakage estimation with within-die
+correlation.
+
+A faithful, self-contained reproduction of Heloue, Azizi & Najm,
+"Modeling and Estimation of Full-Chip Leakage Current Considering
+Within-Die Correlation" (DAC 2007): a Random-Gate full-chip model that
+predicts the mean and variance of total subthreshold leakage from
+high-level design characteristics, in O(n) or O(1) time, plus every
+substrate the paper relies on (a subthreshold circuit solver, a 62-cell
+library, analytical and Monte-Carlo characterization, correlated-field
+sampling, circuit generation and placement).
+
+Quickstart::
+
+    from repro import quick_estimate
+    estimate = quick_estimate(n_cells=100_000, width=2e-3, height=2e-3)
+    print(estimate.mean, estimate.std)
+"""
+
+from repro.cells import build_library, StandardCellLibrary
+from repro.characterization import characterize_library, LibraryCharacterization
+from repro.core import (
+    CellUsage,
+    FullChipLeakageEstimator,
+    FullChipModel,
+    LeakageEstimate,
+    RandomGate,
+    RGCorrelation,
+    expand_mixture,
+)
+from repro.process import Technology, synthetic_90nm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_library",
+    "StandardCellLibrary",
+    "characterize_library",
+    "LibraryCharacterization",
+    "CellUsage",
+    "FullChipLeakageEstimator",
+    "FullChipModel",
+    "LeakageEstimate",
+    "RandomGate",
+    "RGCorrelation",
+    "expand_mixture",
+    "Technology",
+    "synthetic_90nm",
+    "quick_estimate",
+]
+
+
+def quick_estimate(n_cells: int, width: float, height: float,
+                   usage: CellUsage = None,
+                   technology: Technology = None,
+                   signal_probability: float = 0.5,
+                   method: str = "auto") -> LeakageEstimate:
+    """One-call full-chip leakage estimate with library defaults.
+
+    Builds the synthetic 90 nm technology and 62-cell library,
+    characterizes it analytically, and estimates the leakage of a chip
+    with ``n_cells`` cells on a ``width x height`` die. For repeated
+    estimation construct a :class:`FullChipLeakageEstimator` once
+    instead — characterization dominates the cost of this convenience
+    wrapper.
+    """
+    technology = synthetic_90nm() if technology is None else technology
+    library = build_library()
+    characterization = characterize_library(library, technology)
+    if usage is None:
+        usage = CellUsage.uniform(library.names)
+    estimator = FullChipLeakageEstimator(
+        characterization, usage, n_cells, width, height,
+        signal_probability=signal_probability)
+    return estimator.estimate(method)

@@ -1,0 +1,38 @@
+"""Analysis tools: design realization, full-chip Monte Carlo (the golden
+reference), error metrics, and table rendering for the benchmarks."""
+
+from repro.analysis.design import (
+    DesignRealization,
+    ExpectedDesign,
+    expected_design,
+    realize_design,
+)
+from repro.analysis.chipmc import chip_monte_carlo, ChipMCResult
+from repro.analysis.distribution import (
+    LeakageDistribution,
+    compare_models,
+    parametric_yield,
+)
+from repro.analysis.metrics import percent_error, signed_percent_error
+from repro.analysis.regions import RegionLeakageMap, region_leakage_map
+from repro.analysis.report import format_table
+from repro.analysis.temperature import TemperaturePoint, temperature_sweep
+
+__all__ = [
+    "DesignRealization",
+    "ExpectedDesign",
+    "expected_design",
+    "realize_design",
+    "chip_monte_carlo",
+    "ChipMCResult",
+    "LeakageDistribution",
+    "compare_models",
+    "parametric_yield",
+    "percent_error",
+    "signed_percent_error",
+    "RegionLeakageMap",
+    "region_leakage_map",
+    "format_table",
+    "TemperaturePoint",
+    "temperature_sweep",
+]

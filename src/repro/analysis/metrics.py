@@ -1,0 +1,17 @@
+"""Error metrics used throughout the validation benchmarks."""
+
+from __future__ import annotations
+
+
+def percent_error(estimate: float, reference: float) -> float:
+    """``|estimate - reference| / |reference|`` in percent."""
+    if reference == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return abs(estimate - reference) / abs(reference) * 100.0
+
+
+def signed_percent_error(estimate: float, reference: float) -> float:
+    """``(estimate - reference) / |reference|`` in percent."""
+    if reference == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return (estimate - reference) / abs(reference) * 100.0

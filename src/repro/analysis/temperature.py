@@ -1,0 +1,65 @@
+"""Temperature sweeps of full-chip leakage.
+
+Subthreshold leakage rises steeply with junction temperature (larger
+``kT/q`` softens the exponential *and* the thresholds drop at ~1 mV/K),
+so a leakage budget is meaningful only at a stated temperature. This
+module re-characterizes the library per temperature point and sweeps the
+full-chip estimate — the "leakage vs. temperature" curve every power
+spec quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cells.library import StandardCellLibrary
+from repro.characterization.characterizer import characterize_library
+from repro.core.api import FullChipLeakageEstimator, LeakageEstimate
+from repro.core.usage import CellUsage
+from repro.exceptions import EstimationError
+from repro.process.technology import Technology
+
+
+@dataclass(frozen=True)
+class TemperaturePoint:
+    """One point of a leakage-vs-temperature sweep."""
+
+    temperature: float
+    estimate: LeakageEstimate
+
+    @property
+    def celsius(self) -> float:
+        return self.temperature - 273.15
+
+
+def temperature_sweep(
+    library: StandardCellLibrary,
+    technology: Technology,
+    usage: CellUsage,
+    n_cells: int,
+    width: float,
+    height: float,
+    temperatures: Sequence[float],
+    signal_probability: float = 0.5,
+    method: str = "auto",
+) -> List[TemperaturePoint]:
+    """Full-chip leakage estimates across junction temperatures [K].
+
+    Each point re-characterizes the (usage-relevant subset of the)
+    library at that temperature; the process variation description is
+    shared.
+    """
+    if not temperatures:
+        raise EstimationError("provide at least one temperature")
+    points = []
+    for temperature in temperatures:
+        tech_t = technology.at_temperature(float(temperature))
+        characterization = characterize_library(library, tech_t,
+                                                cells=usage.names)
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, n_cells, width, height,
+            signal_probability=signal_probability).estimate(method)
+        points.append(TemperaturePoint(temperature=float(temperature),
+                                       estimate=estimate))
+    return points

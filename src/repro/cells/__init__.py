@@ -1,0 +1,18 @@
+"""Standard-cell modeling: series-parallel CMOS topologies, leakage-state
+enumeration, and the synthetic 62-cell library."""
+
+from repro.cells.topology import Leaf, Series, Parallel, dual, conducts
+from repro.cells.cell import Cell, CellState
+from repro.cells.library import build_library, StandardCellLibrary
+
+__all__ = [
+    "Leaf",
+    "Series",
+    "Parallel",
+    "dual",
+    "conducts",
+    "Cell",
+    "CellState",
+    "build_library",
+    "StandardCellLibrary",
+]

@@ -1,0 +1,257 @@
+"""Cell abstraction: a transistor netlist plus its enumerated leakage
+states.
+
+A *leakage state* pins every input and full-swing internal node of the
+cell to a rail value; the set of states spans every input combination
+(and, for sequential cells, every consistent internal state). Each state
+carries the bookkeeping needed to weight it under a primary-input signal
+probability ``p`` (Section 2.1.4 of the paper):
+
+* ``signal_bits`` — data pins whose value follows ``p``;
+* ``n_coin_bits`` — clock/word-line pins and stored state bits, each
+  taken as a fair coin. Sequential cells prune inconsistent
+  (state, input) combinations, so probabilities are normalized over the
+  enumerated states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.topology import Expr, conducts, emit_stage, stage_output
+from repro.exceptions import NetlistError
+from repro.spice.netlist import CellNetlist
+
+
+@dataclass(frozen=True)
+class CellState:
+    """One leakage state of a cell.
+
+    Attributes
+    ----------
+    label:
+        Human-readable identifier, e.g. ``"A=0,B=1"``.
+    nodes:
+        Logic value (0/1) for every pinned node of the netlist.
+    signal_bits:
+        Pin values that follow the primary signal probability ``p``.
+    n_coin_bits:
+        Number of fair-coin binary freedoms (clocks, stored bits).
+    """
+
+    label: str
+    nodes: Mapping[str, int]
+    signal_bits: Mapping[str, int]
+    n_coin_bits: int = 0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A characterizable standard cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2_X1"``.
+    family:
+        Functional family, e.g. ``"NAND2"`` (drive strengths share it).
+    drive:
+        Drive-strength multiplier.
+    netlist:
+        Transistor netlist.
+    states:
+        Enumerated leakage states.
+    area:
+        Layout area [m^2], used for die-dimension bookkeeping.
+    description:
+        One-line functional description.
+    """
+
+    name: str
+    family: str
+    drive: float
+    netlist: CellNetlist
+    states: Tuple[CellState, ...]
+    area: float
+    description: str = ""
+    outputs: Tuple[str, ...] = ("Y",)
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise NetlistError(f"{self.name}: no leakage states")
+        if self.area <= 0:
+            raise NetlistError(f"{self.name}: area must be positive")
+        pinned = set(self.netlist.logic_nodes) | set(self.netlist.inputs)
+        for out in self.outputs:
+            if out not in pinned:
+                raise NetlistError(
+                    f"{self.name}: output {out!r} is not a pinned node")
+        for state in self.states:
+            self.netlist.validate_state(state.nodes)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_devices(self) -> int:
+        return self.netlist.n_devices
+
+    def state_probabilities(self, p: float) -> np.ndarray:
+        """Probability of each leakage state when every data input is an
+        independent Bernoulli(``p``) signal.
+
+        Clock/word-line pins and stored bits are fair coins; sequential
+        cells enumerate only consistent combinations, so the raw product
+        weights are normalized to sum to one.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"signal probability must be in [0, 1], got {p!r}")
+        weights = np.empty(len(self.states))
+        for k, state in enumerate(self.states):
+            raw = 0.5 ** state.n_coin_bits
+            for bit in state.signal_bits.values():
+                raw *= p if bit else (1.0 - p)
+            weights[k] = raw
+        total = weights.sum()
+        if total <= 0:
+            # All-signal-probability mass excluded (p == 0 or 1 with
+            # pruned states): fall back to uniform over consistent states.
+            return np.full(len(self.states), 1.0 / len(self.states))
+        return weights / total
+
+    def state_probabilities_per_pin(
+            self, pin_probs: Mapping[str, float]) -> np.ndarray:
+        """State probabilities with a distinct signal probability per pin.
+
+        The late-mode refinement: after propagating signal probabilities
+        through the netlist, each gate instance sees its own input-pin
+        probabilities rather than one chip-wide ``p``. Pins missing from
+        ``pin_probs`` default to 0.5.
+        """
+        probs = {}
+        for pin, value in pin_probs.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{self.name}: probability for pin {pin!r} must be in "
+                    f"[0, 1], got {value!r}")
+            probs[pin] = float(value)
+        weights = np.empty(len(self.states))
+        for k, state in enumerate(self.states):
+            raw = 0.5 ** state.n_coin_bits
+            for pin, bit in state.signal_bits.items():
+                p = probs.get(pin, 0.5)
+                raw *= p if bit else (1.0 - p)
+            weights[k] = raw
+        total = weights.sum()
+        if total <= 0:
+            return np.full(len(self.states), 1.0 / len(self.states))
+        return weights / total
+
+    def output_probabilities(
+            self, pin_probs: Mapping[str, float]) -> "Dict[str, float]":
+        """Probability that each output pin is logic 1, given input-pin
+        signal probabilities (independence assumed).
+
+        Stored-state outputs (flip-flops, latches in hold) naturally come
+        out at 0.5 through the coin-weighted states.
+        """
+        weights = self.state_probabilities_per_pin(pin_probs)
+        result: Dict[str, float] = {}
+        for out in self.outputs:
+            values = np.array([state.nodes[out] for state in self.states],
+                              dtype=float)
+            result[out] = float(weights @ values)
+        return result
+
+    def __repr__(self) -> str:
+        return (f"Cell({self.name!r}, devices={self.n_devices}, "
+                f"states={self.n_states})")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One complementary CMOS stage of a multi-stage cell.
+
+    ``pun`` defaults to the structural dual of ``pdn``. The stage output
+    logic value is always derived from the PDN; explicit PUNs are
+    checked for complementarity over every enumerated state.
+    """
+
+    out: str
+    pdn: Expr
+    pun: Optional[Expr] = None
+    nmos_width: float = 1.0
+    pmos_width: float = 2.0
+
+
+def _state_label(pins: Sequence[str], bits: Sequence[int]) -> str:
+    return ",".join(f"{pin}={bit}" for pin, bit in zip(pins, bits))
+
+
+def build_combinational(
+    name: str,
+    family: str,
+    drive: float,
+    inputs: Sequence[str],
+    stages: Sequence[Stage],
+    area: float,
+    description: str = "",
+    outputs: Optional[Tuple[str, ...]] = None,
+) -> Cell:
+    """Build a (possibly multi-stage) static CMOS combinational cell.
+
+    Stages are evaluated in order; later stages may reference earlier
+    stage outputs as gate signals. All stage outputs become pinned logic
+    nodes, and one leakage state is enumerated per input combination.
+    """
+    transistors: List = []
+    logic_nodes: List[str] = []
+    for k, stage in enumerate(stages):
+        scaled_n = stage.nmos_width * drive
+        scaled_p = stage.pmos_width * drive
+        transistors.extend(
+            emit_stage(stage.out, stage.pdn, prefix=f"{name}_s{k}",
+                       nmos_width=scaled_n, pmos_width=scaled_p,
+                       pun=stage.pun))
+        logic_nodes.append(stage.out)
+
+    netlist = CellNetlist(
+        name=name,
+        transistors=tuple(transistors),
+        inputs=tuple(inputs),
+        logic_nodes=tuple(logic_nodes),
+    )
+
+    states: List[CellState] = []
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        values: Dict[str, int] = dict(zip(inputs, bits))
+        for stage in stages:
+            out_value = stage_output(stage.pdn, values)
+            if stage.pun is not None:
+                pun_conducts = conducts(stage.pun, values, active_low=True)
+                if pun_conducts != bool(out_value):
+                    raise NetlistError(
+                        f"{name}: stage {stage.out!r} PUN is not complementary "
+                        f"to its PDN for inputs {dict(zip(inputs, bits))!r}")
+            values[stage.out] = out_value
+        states.append(CellState(
+            label=_state_label(inputs, bits),
+            nodes=dict(values),
+            signal_bits=dict(zip(inputs, bits)),
+        ))
+
+    if outputs is None:
+        outputs = (stages[-1].out,)
+    return Cell(name=name, family=family, drive=drive, netlist=netlist,
+                states=tuple(states), area=area, description=description,
+                outputs=outputs)
+
+
+def total_width_mult(cell_netlist: CellNetlist) -> float:
+    """Sum of device width multipliers (area heuristic input)."""
+    return sum(t.width_mult for t in cell_netlist.transistors)

@@ -1,0 +1,630 @@
+"""The synthetic 62-cell standard-cell library.
+
+Stands in for the commercial 90 nm library of the paper (Section 2.1.1:
+"62 cells which include the SRAM cell, various flip flops and a range of
+different logic cells"). Cells are real transistor netlists:
+
+* single-stage static CMOS gates (INV, NAND, NOR, AOI, OAI) built from
+  series-parallel PDN expressions with automatically derived PUNs;
+* multi-stage gates (AND, OR, BUF, XOR/XNOR, half/full adders) with
+  internal full-swing nodes;
+* transmission-gate structures (MUX2, latch, master-slave flip-flops
+  with asynchronous reset/set variants, tristate inverter);
+* a 6T SRAM bitcell with bitline leakage through the access devices.
+
+Each cell enumerates its complete set of leakage states, including the
+consistent internal states of sequential elements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.cells.cell import Cell, CellState, Stage, build_combinational
+from repro.cells.topology import Leaf, Parallel, Series
+from repro.devices.mosfet import NMOS, PMOS
+from repro.exceptions import NetlistError
+from repro.spice.netlist import CellNetlist, Transistor
+
+#: Area heuristic [m^2]: base + per-unit-width increment. Calibrated so
+#: a NAND2_X1 lands near the ~3 um^2 of a 90 nm standard cell.
+_AREA_BASE = 0.6e-12
+_AREA_PER_WIDTH = 0.4e-12
+
+
+def _area(transistors: Sequence[Transistor]) -> float:
+    return _AREA_BASE + _AREA_PER_WIDTH * sum(t.width_mult for t in transistors)
+
+
+def _cell_area(cell_transistors) -> float:
+    return _area(list(cell_transistors))
+
+
+def _combinational(name: str, family: str, drive: float,
+                   inputs: Sequence[str], stages: Sequence[Stage],
+                   description: str, outputs=None) -> Cell:
+    # build_combinational scales every stage's widths by `drive`.
+    cell = build_combinational(
+        name=name, family=family, drive=drive, inputs=inputs,
+        stages=list(stages), area=1.0,  # placeholder, replaced below
+        description=description, outputs=outputs)
+    return Cell(name=cell.name, family=cell.family, drive=cell.drive,
+                netlist=cell.netlist, states=cell.states,
+                area=_area(cell.netlist.transistors),
+                description=cell.description, outputs=cell.outputs)
+
+
+# ---------------------------------------------------------------------------
+# Explicit transistor-level helpers for transmission-gate cells.
+# ---------------------------------------------------------------------------
+
+def _inv(prefix: str, inp: str, out: str, drive: float,
+         nw: float = 1.0, pw: float = 2.0) -> List[Transistor]:
+    return [
+        Transistor(f"{prefix}N", NMOS, gate=inp, drain=out, source="gnd",
+                   width_mult=nw * drive),
+        Transistor(f"{prefix}P", PMOS, gate=inp, drain=out, source="vdd",
+                   width_mult=pw * drive),
+    ]
+
+
+def _tgate(prefix: str, a: str, b: str, ngate: str, pgate: str,
+           drive: float) -> List[Transistor]:
+    return [
+        Transistor(f"{prefix}N", NMOS, gate=ngate, drain=a, source=b,
+                   width_mult=1.0 * drive),
+        Transistor(f"{prefix}P", PMOS, gate=pgate, drain=b, source=a,
+                   width_mult=1.5 * drive),
+    ]
+
+
+def _nand2_stage(prefix: str, a: str, b: str, out: str,
+                 drive: float) -> List[Transistor]:
+    mid = f"{prefix}_m"
+    return [
+        Transistor(f"{prefix}N1", NMOS, gate=a, drain=out, source=mid,
+                   width_mult=1.5 * drive),
+        Transistor(f"{prefix}N2", NMOS, gate=b, drain=mid, source="gnd",
+                   width_mult=1.5 * drive),
+        Transistor(f"{prefix}P1", PMOS, gate=a, drain=out, source="vdd",
+                   width_mult=2.0 * drive),
+        Transistor(f"{prefix}P2", PMOS, gate=b, drain=out, source="vdd",
+                   width_mult=2.0 * drive),
+    ]
+
+
+def _nor2_stage(prefix: str, a: str, b: str, out: str,
+                drive: float) -> List[Transistor]:
+    mid = f"{prefix}_m"
+    return [
+        Transistor(f"{prefix}N1", NMOS, gate=a, drain=out, source="gnd",
+                   width_mult=1.0 * drive),
+        Transistor(f"{prefix}N2", NMOS, gate=b, drain=out, source="gnd",
+                   width_mult=1.0 * drive),
+        Transistor(f"{prefix}P1", PMOS, gate=a, drain=mid, source="vdd",
+                   width_mult=3.0 * drive),
+        Transistor(f"{prefix}P2", PMOS, gate=b, drain=out, source=mid,
+                   width_mult=3.0 * drive),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Combinational families.
+# ---------------------------------------------------------------------------
+
+def _inv_cell(drive: float) -> Cell:
+    return _combinational(
+        f"INV_X{drive:g}", "INV", drive, ("A",),
+        [Stage("Y", Leaf("A"))],
+        "Y = !A")
+
+
+def _buf_cell(family: str, drive: float) -> Cell:
+    return _combinational(
+        f"{family}_X{drive:g}", family, drive, ("A",),
+        [Stage("YN", Leaf("A"), nmos_width=0.5, pmos_width=1.0),
+         Stage("Y", Leaf("YN"))],
+        "Y = A")
+
+
+def _nand_cell(fan_in: int, drive: float) -> Cell:
+    nmos_w = 1.0 if fan_in == 2 else 1.5
+    pdn = Series(*(Leaf(f"I{k}") for k in range(fan_in)))
+    return _combinational(
+        f"NAND{fan_in}_X{drive:g}", f"NAND{fan_in}", drive,
+        tuple(f"I{k}" for k in range(fan_in)),
+        [Stage("Y", pdn, nmos_width=nmos_w, pmos_width=2.0)],
+        f"Y = !({' & '.join(f'I{k}' for k in range(fan_in))})")
+
+
+def _nor_cell(fan_in: int, drive: float) -> Cell:
+    pdn = Parallel(*(Leaf(f"I{k}") for k in range(fan_in)))
+    return _combinational(
+        f"NOR{fan_in}_X{drive:g}", f"NOR{fan_in}", drive,
+        tuple(f"I{k}" for k in range(fan_in)),
+        [Stage("Y", pdn, nmos_width=1.0, pmos_width=1.0 + fan_in)],
+        f"Y = !({' | '.join(f'I{k}' for k in range(fan_in))})")
+
+
+def _and_cell(fan_in: int, drive: float) -> Cell:
+    pdn = Series(*(Leaf(f"I{k}") for k in range(fan_in)))
+    return _combinational(
+        f"AND{fan_in}_X{drive:g}", f"AND{fan_in}", drive,
+        tuple(f"I{k}" for k in range(fan_in)),
+        [Stage("YN", pdn, nmos_width=1.5, pmos_width=2.0),
+         Stage("Y", Leaf("YN"))],
+        f"Y = {' & '.join(f'I{k}' for k in range(fan_in))}")
+
+
+def _or_cell(fan_in: int, drive: float) -> Cell:
+    pdn = Parallel(*(Leaf(f"I{k}") for k in range(fan_in)))
+    return _combinational(
+        f"OR{fan_in}_X{drive:g}", f"OR{fan_in}", drive,
+        tuple(f"I{k}" for k in range(fan_in)),
+        [Stage("YN", pdn, nmos_width=1.0, pmos_width=1.0 + fan_in),
+         Stage("Y", Leaf("YN"))],
+        f"Y = {' | '.join(f'I{k}' for k in range(fan_in))}")
+
+
+def _xor_like_cell(kind: str, drive: float) -> Cell:
+    a, b, an, bn = Leaf("A"), Leaf("B"), Leaf("an"), Leaf("bn")
+    equal = Parallel(Series(a, b), Series(an, bn))
+    differ = Parallel(Series(Leaf("A"), Leaf("bn")),
+                      Series(Leaf("an"), Leaf("B")))
+    if kind == "XOR2":
+        pdn, pun, desc = equal, differ, "Y = A ^ B"
+    else:
+        pdn, pun, desc = differ, equal, "Y = !(A ^ B)"
+    return _combinational(
+        f"{kind}_X{drive:g}", kind, drive, ("A", "B"),
+        [Stage("an", Leaf("A"), nmos_width=0.5, pmos_width=1.0),
+         Stage("bn", Leaf("B"), nmos_width=0.5, pmos_width=1.0),
+         Stage("Y", pdn, pun=pun, nmos_width=1.5, pmos_width=3.0)],
+        desc)
+
+
+_AOI_OAI_SPECS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    # family -> (inputs, description); expressions built in the factory.
+    "AOI21": (("A1", "A2", "B"), "Y = !((A1 & A2) | B)"),
+    "AOI22": (("A1", "A2", "B1", "B2"), "Y = !((A1 & A2) | (B1 & B2))"),
+    "AOI211": (("A1", "A2", "B", "C"), "Y = !((A1 & A2) | B | C)"),
+    "AOI221": (("A1", "A2", "B1", "B2", "C"),
+               "Y = !((A1 & A2) | (B1 & B2) | C)"),
+    "OAI21": (("A1", "A2", "B"), "Y = !((A1 | A2) & B)"),
+    "OAI22": (("A1", "A2", "B1", "B2"), "Y = !((A1 | A2) & (B1 | B2))"),
+    "OAI211": (("A1", "A2", "B", "C"), "Y = !((A1 | A2) & B & C)"),
+    "OAI221": (("A1", "A2", "B1", "B2", "C"),
+               "Y = !((A1 | A2) & (B1 | B2) & C)"),
+}
+
+
+def _aoi_oai_pdn(family: str):
+    a = Series(Leaf("A1"), Leaf("A2")) if family.startswith("AOI") \
+        else Parallel(Leaf("A1"), Leaf("A2"))
+    if family in ("AOI21", "OAI21"):
+        groups = [a, Leaf("B")]
+    elif family in ("AOI22", "OAI22"):
+        b = Series(Leaf("B1"), Leaf("B2")) if family.startswith("AOI") \
+            else Parallel(Leaf("B1"), Leaf("B2"))
+        groups = [a, b]
+    elif family in ("AOI211", "OAI211"):
+        groups = [a, Leaf("B"), Leaf("C")]
+    else:  # AOI221 / OAI221
+        b = Series(Leaf("B1"), Leaf("B2")) if family.startswith("AOI") \
+            else Parallel(Leaf("B1"), Leaf("B2"))
+        groups = [a, b, Leaf("C")]
+    return Parallel(*groups) if family.startswith("AOI") else Series(*groups)
+
+
+def _aoi_oai_cell(family: str, drive: float) -> Cell:
+    inputs, desc = _AOI_OAI_SPECS[family]
+    return _combinational(
+        f"{family}_X{drive:g}", family, drive, inputs,
+        [Stage("Y", _aoi_oai_pdn(family), nmos_width=1.5, pmos_width=2.5)],
+        desc)
+
+
+def _nand2b_cell(drive: float) -> Cell:
+    return _combinational(
+        f"NAND2B_X{drive:g}", "NAND2B", drive, ("A", "B"),
+        [Stage("an", Leaf("A"), nmos_width=0.5, pmos_width=1.0),
+         Stage("Y", Series(Leaf("an"), Leaf("B")),
+               nmos_width=1.5, pmos_width=2.0)],
+        "Y = !(!A & B)")
+
+
+def _nor2b_cell(drive: float) -> Cell:
+    return _combinational(
+        f"NOR2B_X{drive:g}", "NOR2B", drive, ("A", "B"),
+        [Stage("an", Leaf("A"), nmos_width=0.5, pmos_width=1.0),
+         Stage("Y", Parallel(Leaf("an"), Leaf("B")),
+               nmos_width=1.0, pmos_width=3.0)],
+        "Y = !(!A | B)")
+
+
+def _ha_cell(drive: float) -> Cell:
+    equal = Parallel(Series(Leaf("A"), Leaf("B")),
+                     Series(Leaf("an"), Leaf("bn")))
+    differ = Parallel(Series(Leaf("A"), Leaf("bn")),
+                      Series(Leaf("an"), Leaf("B")))
+    return _combinational(
+        f"HA_X{drive:g}", "HA", drive, ("A", "B"),
+        [Stage("an", Leaf("A"), nmos_width=0.5, pmos_width=1.0),
+         Stage("bn", Leaf("B"), nmos_width=0.5, pmos_width=1.0),
+         Stage("S", equal, pun=differ, nmos_width=1.5, pmos_width=3.0),
+         Stage("con", Series(Leaf("A"), Leaf("B")),
+               nmos_width=1.5, pmos_width=2.0),
+         Stage("CO", Leaf("con"))],
+        "S = A ^ B, CO = A & B", outputs=("S", "CO"))
+
+
+def _fa_cell(drive: float) -> Cell:
+    a, b, ci = Leaf("A"), Leaf("B"), Leaf("CI")
+    coutn_pdn = Parallel(Series(Leaf("A"), Leaf("B")),
+                         Series(Leaf("CI"), Parallel(a, b)))
+    sumn_pdn = Parallel(
+        Series(Leaf("A"), Leaf("B"), Leaf("CI")),
+        Series(Leaf("coutn"), Parallel(Leaf("A"), Leaf("B"), Leaf("CI"))))
+    return _combinational(
+        f"FA_X{drive:g}", "FA", drive, ("A", "B", "CI"),
+        [Stage("coutn", coutn_pdn, nmos_width=2.0, pmos_width=3.0),
+         Stage("sumn", sumn_pdn, nmos_width=2.0, pmos_width=3.0),
+         Stage("CO", Leaf("coutn")),
+         Stage("S", Leaf("sumn"))],
+        "S = A ^ B ^ CI, CO = majority(A, B, CI)", outputs=("S", "CO"))
+
+
+# ---------------------------------------------------------------------------
+# Transmission-gate / sequential cells (explicit netlists + states).
+# ---------------------------------------------------------------------------
+
+def _mux2_cell(drive: float) -> Cell:
+    name = f"MUX2_X{drive:g}"
+    transistors = (
+        *_inv(f"{name}_IA", "A", "an", drive, 0.5, 1.0),
+        *_inv(f"{name}_IB", "B", "bn", drive, 0.5, 1.0),
+        *_inv(f"{name}_IS", "S", "sn", drive, 0.5, 1.0),
+        *_tgate(f"{name}_TA", "an", "m", ngate="sn", pgate="S", drive=drive),
+        *_tgate(f"{name}_TB", "bn", "m", ngate="S", pgate="sn", drive=drive),
+        *_inv(f"{name}_IY", "m", "Y", drive),
+    )
+    netlist = CellNetlist(name, transistors, inputs=("A", "B", "S"),
+                          logic_nodes=("an", "bn", "sn", "m", "Y"))
+    states = []
+    for a, b, s in itertools.product((0, 1), repeat=3):
+        m = (1 - a) if s == 0 else (1 - b)
+        states.append(CellState(
+            label=f"A={a},B={b},S={s}",
+            nodes={"A": a, "B": b, "S": s, "an": 1 - a, "bn": 1 - b,
+                   "sn": 1 - s, "m": m, "Y": 1 - m},
+            signal_bits={"A": a, "B": b, "S": s},
+        ))
+    return Cell(name=name, family="MUX2", drive=drive, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="Y = S ? B : A (transmission-gate mux)")
+
+
+def _latch_cell(drive: float) -> Cell:
+    name = f"LATCH_X{drive:g}"
+    transistors = (
+        *_inv(f"{name}_IE", "EN", "enn", drive, 0.5, 1.0),
+        *_inv(f"{name}_ID", "D", "dn", drive, 0.5, 1.0),
+        *_tgate(f"{name}_TI", "dn", "ln", ngate="EN", pgate="enn",
+                drive=drive),
+        *_inv(f"{name}_IQ", "ln", "Q", drive),
+        *_inv(f"{name}_IF", "Q", "lfb", drive, 0.5, 1.0),
+        *_tgate(f"{name}_TF", "lfb", "ln", ngate="enn", pgate="EN",
+                drive=drive),
+    )
+    netlist = CellNetlist(name, transistors, inputs=("D", "EN"),
+                          logic_nodes=("enn", "dn", "ln", "Q", "lfb"))
+    states = []
+    for d in (0, 1):  # transparent: Q follows D
+        states.append(CellState(
+            label=f"D={d},EN=1",
+            nodes={"D": d, "EN": 1, "enn": 0, "dn": 1 - d, "ln": 1 - d,
+                   "Q": d, "lfb": 1 - d},
+            signal_bits={"D": d}, n_coin_bits=1))
+    for d, q in itertools.product((0, 1), repeat=2):  # opaque: Q held
+        states.append(CellState(
+            label=f"D={d},EN=0,Q={q}",
+            nodes={"D": d, "EN": 0, "enn": 1, "dn": 1 - d, "ln": 1 - q,
+                   "Q": q, "lfb": 1 - q},
+            signal_bits={"D": d}, n_coin_bits=2))
+    return Cell(name=name, family="LATCH", drive=drive, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="level-sensitive latch, transparent at EN=1",
+                outputs=("Q",))
+
+
+def _dff_nodes(d: int, ck: int, q: int) -> Dict[str, int]:
+    """Consistent node values of the base master-slave flip-flop."""
+    mn = (1 - d) if ck == 0 else (1 - q)
+    m = 1 - mn
+    return {
+        "D": d, "CK": ck, "dn": 1 - d, "ckb": 1 - ck, "cki": ck,
+        "mn": mn, "m": m, "mfb": 1 - m,
+        "sq": q, "QN": 1 - q, "Q": q, "sqfb": q,
+    }
+
+
+def _dff_base_transistors(name: str, drive: float) -> List[Transistor]:
+    return [
+        *_inv(f"{name}_ID", "D", "dn", drive, 0.5, 1.0),
+        *_inv(f"{name}_IC1", "CK", "ckb", drive, 0.5, 1.0),
+        *_inv(f"{name}_IC2", "ckb", "cki", drive, 0.5, 1.0),
+        *_tgate(f"{name}_T1", "dn", "mn", ngate="ckb", pgate="cki",
+                drive=drive),
+        *_inv(f"{name}_IM", "mn", "m", drive, 0.5, 1.0),
+        *_inv(f"{name}_IMF", "m", "mfb", drive, 0.5, 1.0),
+        *_tgate(f"{name}_T2", "mfb", "mn", ngate="cki", pgate="ckb",
+                drive=drive),
+        *_tgate(f"{name}_T3", "m", "sq", ngate="cki", pgate="ckb",
+                drive=drive),
+        *_inv(f"{name}_IS", "sq", "QN", drive, 0.5, 1.0),
+        *_inv(f"{name}_IQ", "QN", "Q", drive),
+        *_inv(f"{name}_ISF", "QN", "sqfb", drive, 0.5, 1.0),
+        *_tgate(f"{name}_T4", "sqfb", "sq", ngate="ckb", pgate="cki",
+                drive=drive),
+    ]
+
+
+_DFF_LOGIC_NODES = ("dn", "ckb", "cki", "mn", "m", "mfb", "sq",
+                    "QN", "Q", "sqfb")
+
+
+def _dff_cell(drive: float) -> Cell:
+    name = f"DFF_X{drive:g}"
+    transistors = tuple(_dff_base_transistors(name, drive))
+    netlist = CellNetlist(name, transistors, inputs=("D", "CK"),
+                          logic_nodes=_DFF_LOGIC_NODES)
+    states = []
+    for d, ck, q in itertools.product((0, 1), repeat=3):
+        states.append(CellState(
+            label=f"D={d},CK={ck},Q={q}",
+            nodes=_dff_nodes(d, ck, q),
+            signal_bits={"D": d}, n_coin_bits=2))
+    return Cell(name=name, family="DFF", drive=drive, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="master-slave transmission-gate D flip-flop",
+                outputs=("Q",))
+
+
+def _dffr_cell(drive: float) -> Cell:
+    """DFF with asynchronous reset.
+
+    The master inverter is replaced by a NOR (reset drives the master
+    low) and the slave inverter by a NAND with the inverted reset, so a
+    high ``R`` forces ``Q = 0`` with no drive contention in any state.
+    """
+    name = f"DFFR_X{drive:g}"
+    base = _dff_base_transistors(name, drive)
+    # Replace the mn->m inverter with NOR2(mn, R) and the sq->QN
+    # inverter with NAND2(sq, rn).
+    removed = {f"{name}_IMN", f"{name}_IMP", f"{name}_ISN", f"{name}_ISP"}
+    kept = [t for t in base if t.name not in removed]
+    transistors = (
+        *kept,
+        *_inv(f"{name}_IR", "R", "rn", drive, 0.5, 1.0),
+        *_nor2_stage(f"{name}_GM", "mn", "R", "m", drive),
+        *_nand2_stage(f"{name}_GS", "sq", "rn", "QN", drive),
+    )
+    netlist = CellNetlist(name, tuple(transistors), inputs=("D", "CK", "R"),
+                          logic_nodes=(*_DFF_LOGIC_NODES, "rn"))
+    states = []
+    for d, ck, q in itertools.product((0, 1), repeat=3):
+        nodes = _dff_nodes(d, ck, q)
+        nodes.update({"R": 0, "rn": 1})
+        states.append(CellState(
+            label=f"D={d},CK={ck},R=0,Q={q}", nodes=nodes,
+            signal_bits={"D": d, "R": 0}, n_coin_bits=2))
+    for d, ck in itertools.product((0, 1), repeat=2):
+        nodes = _dff_nodes(d, ck, 0)
+        # Reset overrides the master inverter: m forced low, its
+        # feedback and the slave follow Q = 0 consistently.
+        nodes.update({"R": 1, "rn": 0, "m": 0, "mfb": 1,
+                      "mn": (1 - d) if ck == 0 else 1})
+        states.append(CellState(
+            label=f"D={d},CK={ck},R=1,Q=0", nodes=nodes,
+            signal_bits={"D": d, "R": 1}, n_coin_bits=1))
+    return Cell(name=name, family="DFFR", drive=drive, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="D flip-flop with asynchronous reset (Q := 0)",
+                outputs=("Q",))
+
+
+def _dffs_cell(drive: float) -> Cell:
+    """DFF with asynchronous set: high ``S`` forces ``Q = 1``."""
+    name = f"DFFS_X{drive:g}"
+    base = _dff_base_transistors(name, drive)
+    removed = {f"{name}_IMN", f"{name}_IMP", f"{name}_ISN", f"{name}_ISP"}
+    kept = [t for t in base if t.name not in removed]
+    transistors = (
+        *kept,
+        *_inv(f"{name}_IS0", "S", "sn", drive, 0.5, 1.0),
+        *_nand2_stage(f"{name}_GM", "mn", "sn", "m", drive),
+        *_nor2_stage(f"{name}_GS", "sq", "S", "QN", drive),
+    )
+    netlist = CellNetlist(name, tuple(transistors), inputs=("D", "CK", "S"),
+                          logic_nodes=(*_DFF_LOGIC_NODES, "sn"))
+    states = []
+    for d, ck, q in itertools.product((0, 1), repeat=3):
+        nodes = _dff_nodes(d, ck, q)
+        nodes.update({"S": 0, "sn": 1})
+        states.append(CellState(
+            label=f"D={d},CK={ck},S=0,Q={q}", nodes=nodes,
+            signal_bits={"D": d, "S": 0}, n_coin_bits=2))
+    for d, ck in itertools.product((0, 1), repeat=2):
+        nodes = _dff_nodes(d, ck, 1)
+        nodes.update({"S": 1, "sn": 0, "m": 1, "mfb": 0,
+                      "mn": (1 - d) if ck == 0 else 0})
+        states.append(CellState(
+            label=f"D={d},CK={ck},S=1,Q=1", nodes=nodes,
+            signal_bits={"D": d, "S": 1}, n_coin_bits=1))
+    return Cell(name=name, family="DFFS", drive=drive, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="D flip-flop with asynchronous set (Q := 1)",
+                outputs=("Q",))
+
+
+def _tinv_cell(drive: float) -> Cell:
+    name = f"TINV_X{drive:g}"
+    transistors = (
+        *_inv(f"{name}_IE", "EN", "enn", drive, 0.5, 1.0),
+        Transistor(f"{name}_N1", NMOS, gate="A", drain="yn1", source="gnd",
+                   width_mult=1.0 * drive),
+        Transistor(f"{name}_N2", NMOS, gate="EN", drain="Y", source="yn1",
+                   width_mult=1.0 * drive),
+        Transistor(f"{name}_P1", PMOS, gate="A", drain="yp1", source="vdd",
+                   width_mult=2.0 * drive),
+        Transistor(f"{name}_P2", PMOS, gate="enn", drain="Y", source="yp1",
+                   width_mult=2.0 * drive),
+    )
+    netlist = CellNetlist(name, transistors, inputs=("A", "EN"),
+                          logic_nodes=("enn", "Y"))
+    states = []
+    for a in (0, 1):  # enabled: drives Y = !A
+        states.append(CellState(
+            label=f"A={a},EN=1",
+            nodes={"A": a, "EN": 1, "enn": 0, "Y": 1 - a},
+            signal_bits={"A": a}, n_coin_bits=1))
+    for a, y in itertools.product((0, 1), repeat=2):  # hi-Z: bus holds Y
+        states.append(CellState(
+            label=f"A={a},EN=0,Y={y}",
+            nodes={"A": a, "EN": 0, "enn": 1, "Y": y},
+            signal_bits={"A": a}, n_coin_bits=2))
+    return Cell(name=name, family="TINV", drive=drive, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="tristate inverter (hi-Z when EN=0)")
+
+
+def _sram6t_cell() -> Cell:
+    name = "SRAM6T_X1"
+    transistors = (
+        # Cross-coupled inverters (minimum size, typical of bitcells).
+        Transistor(f"{name}_PDL", NMOS, gate="QB", drain="Q", source="gnd",
+                   width_mult=1.0),
+        Transistor(f"{name}_PUL", PMOS, gate="QB", drain="Q", source="vdd",
+                   width_mult=0.7),
+        Transistor(f"{name}_PDR", NMOS, gate="Q", drain="QB", source="gnd",
+                   width_mult=1.0),
+        Transistor(f"{name}_PUR", PMOS, gate="Q", drain="QB", source="vdd",
+                   width_mult=0.7),
+        # Access transistors to the (precharged-high) bitlines.
+        Transistor(f"{name}_AXL", NMOS, gate="WL", drain="BL", source="Q",
+                   width_mult=0.9),
+        Transistor(f"{name}_AXR", NMOS, gate="WL", drain="BLB", source="QB",
+                   width_mult=0.9),
+    )
+    netlist = CellNetlist(name, transistors, inputs=("WL", "BL", "BLB"),
+                          logic_nodes=("Q", "QB"))
+    states = []
+    for q in (0, 1):  # standby: word line low, bitlines precharged high
+        states.append(CellState(
+            label=f"standby,Q={q}",
+            nodes={"WL": 0, "BL": 1, "BLB": 1, "Q": q, "QB": 1 - q},
+            signal_bits={}, n_coin_bits=1))
+    return Cell(name=name, family="SRAM6T", drive=1.0, netlist=netlist,
+                states=tuple(states), area=_area(transistors),
+                description="6T SRAM bitcell in standby (bitline leakage "
+                            "through access devices included)",
+                outputs=("Q",))
+
+
+# ---------------------------------------------------------------------------
+# Library assembly.
+# ---------------------------------------------------------------------------
+
+class StandardCellLibrary:
+    """An ordered, indexable collection of :class:`Cell` objects."""
+
+    def __init__(self, cells: Sequence[Cell]) -> None:
+        if not cells:
+            raise NetlistError("library must contain at least one cell")
+        names = [cell.name for cell in cells]
+        if len(set(names)) != len(names):
+            raise NetlistError("duplicate cell names in library")
+        self._cells: Tuple[Cell, ...] = tuple(cells)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(cells)}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key) -> Cell:
+        if isinstance(key, str):
+            try:
+                return self._cells[self._index[key]]
+            except KeyError:
+                raise KeyError(f"no cell named {key!r} in library") from None
+        return self._cells[key]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(cell.name for cell in self._cells)
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        return self._cells
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def families(self) -> Dict[str, List[str]]:
+        """Map family name to its cell names (drive variants)."""
+        result: Dict[str, List[str]] = {}
+        for cell in self._cells:
+            result.setdefault(cell.family, []).append(cell.name)
+        return result
+
+    def total_states(self) -> int:
+        return sum(cell.n_states for cell in self._cells)
+
+    def subset(self, names: Sequence[str]) -> "StandardCellLibrary":
+        """A new library containing only the named cells, in order."""
+        return StandardCellLibrary([self[name] for name in names])
+
+
+def build_library() -> StandardCellLibrary:
+    """Construct the full synthetic 62-cell library."""
+    cells: List[Cell] = []
+    cells += [_inv_cell(d) for d in (1, 2, 4, 8)]
+    cells += [_buf_cell("BUF", d) for d in (1, 2, 4, 8)]
+    cells += [_buf_cell("CLKBUF", d) for d in (1, 2, 4)]
+    cells += [_nand_cell(2, d) for d in (1, 2, 4)]
+    cells += [_nand_cell(3, d) for d in (1, 2)]
+    cells += [_nand_cell(4, d) for d in (1, 2)]
+    cells += [_nor_cell(2, d) for d in (1, 2, 4)]
+    cells += [_nor_cell(3, d) for d in (1, 2)]
+    cells += [_nor_cell(4, d) for d in (1, 2)]
+    cells += [_and_cell(2, d) for d in (1, 2)]
+    cells += [_and_cell(3, 1), _and_cell(4, 1)]
+    cells += [_or_cell(2, d) for d in (1, 2)]
+    cells += [_or_cell(3, 1), _or_cell(4, 1)]
+    cells += [_xor_like_cell("XOR2", d) for d in (1, 2)]
+    cells += [_xor_like_cell("XNOR2", d) for d in (1, 2)]
+    cells += [_aoi_oai_cell("AOI21", d) for d in (1, 2)]
+    cells += [_aoi_oai_cell("AOI22", d) for d in (1, 2)]
+    cells += [_aoi_oai_cell("AOI211", 1), _aoi_oai_cell("AOI221", 1)]
+    cells += [_aoi_oai_cell("OAI21", d) for d in (1, 2)]
+    cells += [_aoi_oai_cell("OAI22", d) for d in (1, 2)]
+    cells += [_aoi_oai_cell("OAI211", 1), _aoi_oai_cell("OAI221", 1)]
+    cells += [_nand2b_cell(1), _nor2b_cell(1)]
+    cells += [_mux2_cell(d) for d in (1, 2)]
+    cells += [_ha_cell(1), _fa_cell(1)]
+    cells += [_latch_cell(1)]
+    cells += [_dff_cell(d) for d in (1, 2)]
+    cells += [_dffr_cell(1), _dffs_cell(1)]
+    cells += [_tinv_cell(1)]
+    cells += [_sram6t_cell()]
+    library = StandardCellLibrary(cells)
+    if len(library) != 62:
+        raise NetlistError(
+            f"library roster drifted: expected 62 cells, built {len(library)}")
+    return library

@@ -1,0 +1,183 @@
+"""Series-parallel CMOS network expressions.
+
+Static CMOS gates are described by a pull-down network (PDN) expression
+over the gate's input signals. The pull-up network (PUN) defaults to the
+structural :func:`dual`, which conducts exactly when the PDN does not
+(De Morgan, applied recursively), so a single expression yields a
+complete complementary gate *and* its boolean function.
+
+Expressions with mixed-polarity literals (e.g. the XOR pair ``A``/``An``
+treated as independent leaves) are not complementary under the
+structural dual; such gates pass an explicit PUN instead.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Iterator, List, Mapping, Tuple
+
+from repro.devices.mosfet import NMOS, PMOS
+from repro.exceptions import NetlistError
+from repro.spice.netlist import Transistor
+
+
+class Expr(abc.ABC):
+    """A series-parallel transistor network expression."""
+
+    @abc.abstractmethod
+    def signals(self) -> Tuple[str, ...]:
+        """All gate signals referenced, in first-appearance order."""
+
+    @abc.abstractmethod
+    def _conducts(self, on: Mapping[str, bool]) -> bool:
+        """True if the network conducts when ``on[s]`` marks device s ON."""
+
+    @abc.abstractmethod
+    def _emit(self, kind: str, top: str, bottom: str, prefix: str,
+              width: float, counter: Iterator[int]) -> List[Transistor]:
+        """Emit transistors of polarity ``kind`` between two nodes.
+
+        ``top`` is the node toward the rail (VDD for PUN, the output for
+        PDN); ``bottom`` is the node away from it. Device orientation
+        follows the leakage-current convention of the device model:
+        NMOS drain at ``top``; PMOS source at ``top``.
+        """
+
+
+class Leaf(Expr):
+    """A single transistor gated by ``signal``."""
+
+    def __init__(self, signal: str) -> None:
+        if not signal:
+            raise NetlistError("Leaf signal name must be non-empty")
+        self.signal = signal
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.signal,)
+
+    def _conducts(self, on: Mapping[str, bool]) -> bool:
+        return bool(on[self.signal])
+
+    def _emit(self, kind, top, bottom, prefix, width, counter):
+        idx = next(counter)
+        if kind == NMOS:
+            return [Transistor(f"{prefix}N{idx}", NMOS, gate=self.signal,
+                               drain=top, source=bottom, width_mult=width)]
+        return [Transistor(f"{prefix}P{idx}", PMOS, gate=self.signal,
+                           drain=bottom, source=top, width_mult=width)]
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.signal!r})"
+
+
+class _Compound(Expr):
+    def __init__(self, *children: Expr) -> None:
+        if len(children) < 1:
+            raise NetlistError(f"{type(self).__name__} needs children")
+        flattened: List[Expr] = []
+        for child in children:
+            if type(child) is type(self):
+                flattened.extend(child.children)  # type: ignore[attr-defined]
+            else:
+                flattened.append(child)
+        self.children: Tuple[Expr, ...] = tuple(flattened)
+
+    def signals(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for child in self.children:
+            for signal in child.signals():
+                if signal not in seen:
+                    seen.append(signal)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(child) for child in self.children)
+        return f"{type(self).__name__}({inner})"
+
+
+class Series(_Compound):
+    """Children connected in series (stacked)."""
+
+    def _conducts(self, on: Mapping[str, bool]) -> bool:
+        return all(child._conducts(on) for child in self.children)
+
+    def _emit(self, kind, top, bottom, prefix, width, counter):
+        transistors: List[Transistor] = []
+        upper = top
+        for position, child in enumerate(self.children):
+            last = position == len(self.children) - 1
+            lower = bottom if last else f"{prefix}_i{next(counter)}"
+            transistors.extend(
+                child._emit(kind, upper, lower, prefix, width, counter))
+            upper = lower
+        return transistors
+
+
+class Parallel(_Compound):
+    """Children connected in parallel."""
+
+    def _conducts(self, on: Mapping[str, bool]) -> bool:
+        return any(child._conducts(on) for child in self.children)
+
+    def _emit(self, kind, top, bottom, prefix, width, counter):
+        transistors: List[Transistor] = []
+        for child in self.children:
+            transistors.extend(
+                child._emit(kind, top, bottom, prefix, width, counter))
+        return transistors
+
+
+def dual(expr: Expr) -> Expr:
+    """Structural dual: series <-> parallel, leaves unchanged.
+
+    For a PDN expression whose leaves are input signals, emitting the
+    dual with PMOS devices yields the complementary PUN (the PMOS is ON
+    when its NMOS twin is OFF, and De Morgan turns the swapped topology
+    into the complemented function).
+    """
+    if isinstance(expr, Leaf):
+        return Leaf(expr.signal)
+    if isinstance(expr, Series):
+        return Parallel(*(dual(child) for child in expr.children))
+    if isinstance(expr, Parallel):
+        return Series(*(dual(child) for child in expr.children))
+    raise NetlistError(f"unknown expression type {type(expr).__name__}")
+
+
+def conducts(expr: Expr, values: Mapping[str, int], *,
+             active_low: bool = False) -> bool:
+    """Whether the network conducts for the given signal logic values.
+
+    ``active_low=True`` evaluates PMOS polarity (device ON when its gate
+    signal is 0).
+    """
+    on = {signal: (not values[signal]) if active_low else bool(values[signal])
+          for signal in expr.signals()}
+    return expr._conducts(on)
+
+
+def emit_stage(
+    out_node: str,
+    pdn: Expr,
+    prefix: str,
+    nmos_width: float,
+    pmos_width: float,
+    pun: Expr = None,
+) -> List[Transistor]:
+    """Emit a full complementary stage driving ``out_node``.
+
+    The PDN is placed between ``out_node`` and GND, the PUN (structural
+    dual by default) between VDD and ``out_node``.
+    """
+    if pun is None:
+        pun = dual(pdn)
+    counter = itertools.count()
+    transistors = pdn._emit(NMOS, out_node, "gnd", prefix, nmos_width, counter)
+    transistors += pun._emit(PMOS, "vdd", out_node, prefix, pmos_width, counter)
+    return transistors
+
+
+def stage_output(pdn: Expr, values: Mapping[str, int]) -> int:
+    """Logic value of a complementary stage's output for given inputs."""
+    return 0 if conducts(pdn, values) else 1

@@ -1,0 +1,139 @@
+"""Exact moments of the fitted cell-leakage model.
+
+Rao et al. model a cell's leakage as ``X = a * exp(b*L + c*L**2)`` with
+``L ~ N(mu, sigma**2)``. Writing ``Y = ln X`` and completing the square,
+
+``Y = K1 * (Z + K2)**2 + K3``  with  ``Z ~ N(0, 1)``,
+
+where (paper eqs. (4)-(5))
+
+* ``K1 = c * sigma**2``
+* ``K2 = (b / (2c) + mu) / sigma``
+* ``K3 = ln a + b*mu + c*mu**2 - c*(b/(2c) + mu)**2``
+
+``(Z + K2)**2`` is non-central chi-square with one degree of freedom and
+non-centrality ``K2**2``, whose MGF is ``(1-2t)**(-1/2) *
+exp(lambda*t/(1-2t))``. Hence
+
+``M_Y(t) = (1 - 2*K1*t)**(-1/2) * exp(K1*K2**2*t / (1-2*K1*t) + K3*t)``.
+
+(The paper prints the prefactor exponent as ``+1/2``; the non-central
+chi-square MGF requires ``-1/2``, and only the corrected form matches
+Monte Carlo and direct numerical integration — see DESIGN.md.)
+
+The raw ``K2``/``K3`` expressions suffer catastrophic cancellation as
+``c -> 0`` (both diverge like ``1/c``). This module evaluates the
+algebraically equivalent, numerically stable form
+
+.. math::
+
+   \\ln M_Y(t) = -\\tfrac12 \\ln(1 - 2 K_1 t)
+      + t (\\ln a + b\\mu + c\\mu^2)
+      + \\frac{t^2 \\sigma^2 (b + 2 c \\mu)^2}{2 (1 - 2 K_1 t)}
+
+which reduces exactly to the log-normal MGF at ``c = 0``.
+
+The paper's eqs. (1)-(2) then give ``mean = M_Y(1)`` and
+``variance = M_Y(2) - mean**2``; the second moment exists only while
+``1 - 4*c*sigma**2 > 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from scipy import integrate
+
+from repro.exceptions import MomentExistenceError
+
+
+def log_mgf(t: float, a: float, b: float, c: float,
+            mu: float, sigma: float) -> float:
+    """``ln M_Y(t)`` for ``Y = ln(a) + b*L + c*L**2``, ``L ~ N(mu, sigma^2)``.
+
+    Raises
+    ------
+    MomentExistenceError
+        If ``1 - 2*c*sigma**2*t <= 0`` (the moment diverges).
+    """
+    if a <= 0:
+        raise MomentExistenceError(f"fit prefactor a must be positive, got {a!r}")
+    if sigma <= 0:
+        raise MomentExistenceError(f"sigma must be positive, got {sigma!r}")
+    k1 = c * sigma * sigma
+    denom = 1.0 - 2.0 * k1 * t
+    if denom <= 0.0:
+        raise MomentExistenceError(
+            f"moment of order {t} does not exist: 1 - 2*c*sigma^2*t = "
+            f"{denom:.3g} <= 0 (c*sigma^2 = {k1:.3g})")
+    quad_term = (t * t * sigma * sigma * (b + 2.0 * c * mu) ** 2
+                 / (2.0 * denom))
+    return (-0.5 * math.log(denom)
+            + t * (math.log(a) + b * mu + c * mu * mu)
+            + quad_term)
+
+
+def mgf_moments(a: float, b: float, c: float,
+                mu: float, sigma: float) -> Tuple[float, float]:
+    """Exact ``(mean, std)`` of ``X = a*exp(b*L + c*L**2)``.
+
+    Implements paper eqs. (1)-(2) via the corrected MGF.
+    """
+    mean = math.exp(log_mgf(1.0, a, b, c, mu, sigma))
+    log_m2 = log_mgf(2.0, a, b, c, mu, sigma)
+    # Compute the variance in log space to dodge overflow for strongly
+    # skewed fits: var = m2 - mean^2 = exp(log_m2) * (1 - mean^2/m2).
+    ratio = math.exp(2.0 * math.log(mean) - log_m2)
+    variance = math.exp(log_m2) * max(0.0, 1.0 - ratio)
+    return mean, math.sqrt(variance)
+
+
+def moments_numeric(a: float, b: float, c: float, mu: float, sigma: float,
+                    span: float = 12.0) -> Tuple[float, float]:
+    """``(mean, std)`` by direct Gaussian quadrature — validation oracle.
+
+    Integrates ``X^t * phi(L)`` over ``mu ± span*sigma`` with an adaptive
+    rule; used by the test suite to confirm the closed-form MGF.
+    """
+    def integrand(length: float, t: float) -> float:
+        x = a * math.exp(b * length + c * length * length)
+        z = (length - mu) / sigma
+        return (x ** t) * math.exp(-0.5 * z * z) / (sigma * math.sqrt(2 * math.pi))
+
+    lo, hi = mu - span * sigma, mu + span * sigma
+    # Leakage magnitudes are ~1e-10 A; quadpack's default *absolute*
+    # tolerance would swamp them, so drive the integration by relative
+    # tolerance only.
+    m1, _ = integrate.quad(integrand, lo, hi, args=(1.0,), limit=400,
+                           epsabs=0.0, epsrel=1e-11)
+    m2, _ = integrate.quad(integrand, lo, hi, args=(2.0,), limit=400,
+                           epsabs=0.0, epsrel=1e-11)
+    return m1, math.sqrt(max(0.0, m2 - m1 * m1))
+
+
+def paper_mgf_uncorrected(t: float, a: float, b: float, c: float,
+                          mu: float, sigma: float) -> float:
+    """The MGF exactly as printed in the paper (``+1/2`` exponent).
+
+    Kept for documentation/testing: the test suite demonstrates that the
+    printed form disagrees with Monte Carlo while the corrected form in
+    :func:`log_mgf` agrees.
+    """
+    k1 = c * sigma * sigma
+    denom = 1.0 - 2.0 * k1 * t
+    if denom <= 0.0:
+        raise MomentExistenceError("moment does not exist")
+    stable_exponent = (t * (math.log(a) + b * mu + c * mu * mu)
+                       + t * t * sigma * sigma * (b + 2.0 * c * mu) ** 2
+                       / (2.0 * denom))
+    return math.sqrt(denom) * math.exp(stable_exponent)
+
+
+def lognormal_mean_factor(log_sigma: float) -> float:
+    """Mean of ``exp(G)`` for ``G ~ N(0, log_sigma**2)``.
+
+    The standard log-normal mean term, used for the Vt multiplicative
+    mean correction.
+    """
+    return math.exp(0.5 * log_sigma * log_sigma)

@@ -1,0 +1,26 @@
+"""Threshold-voltage (RDF) mean correction.
+
+Section 2.1 of the paper: because RDF Vt variations are independent
+device to device, they matter for the *mean* of full-chip leakage but
+are negligible for its *variance* at large gate counts. The mean effect
+is a multiplicative factor derived from the log-normal mean
+(``E[exp(-dVt/(n*kT/q))] = exp(sigma_vt^2 / (2*(n*kT/q)^2))``), as in
+Helms et al. (ISLPED'06).
+"""
+
+from __future__ import annotations
+
+from repro.characterization.moments import lognormal_mean_factor
+from repro.process.technology import Technology
+
+
+def vt_mean_multiplier(technology: Technology) -> float:
+    """Multiplicative mean-leakage correction for RDF Vt variation.
+
+    A device's subthreshold leakage scales as ``exp(-dVt / (n*kT/q))``
+    with ``dVt ~ N(0, sigma_vt^2)``; averaging over the RDF ensemble
+    multiplies the mean leakage by ``exp(sigma_vt^2 / (2 (n kT/q)^2))``.
+    """
+    n_vt = (technology.subthreshold_swing_factor
+            * technology.thermal_voltage)
+    return lognormal_mean_factor(technology.vt.sigma / n_vt)

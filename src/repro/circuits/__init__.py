@@ -1,0 +1,40 @@
+"""Gate-level circuits: netlists, random circuit generation matching a
+usage histogram, placement, ISCAS85-equivalent benchmarks, and
+high-level characteristic extraction (the late-mode path)."""
+
+from repro.circuits.netlist import GateInstance, Netlist
+from repro.circuits.generator import random_circuit
+from repro.circuits.placement import (
+    die_dimensions,
+    grid_placement,
+    clustered_placement,
+)
+from repro.circuits.iscas85 import ISCAS85_GATE_COUNTS, iscas85_circuit, iscas85_names
+from repro.circuits.benchio import load_bench, parse_bench, write_bench
+from repro.circuits.verilogio import load_verilog, parse_verilog, write_verilog
+from repro.circuits.extraction import (
+    DesignCharacteristics,
+    extract_characteristics,
+    extract_state_weights,
+)
+
+__all__ = [
+    "GateInstance",
+    "Netlist",
+    "random_circuit",
+    "die_dimensions",
+    "grid_placement",
+    "clustered_placement",
+    "ISCAS85_GATE_COUNTS",
+    "iscas85_circuit",
+    "iscas85_names",
+    "extract_characteristics",
+    "extract_state_weights",
+    "DesignCharacteristics",
+    "load_bench",
+    "parse_bench",
+    "write_bench",
+    "load_verilog",
+    "parse_verilog",
+    "write_verilog",
+]

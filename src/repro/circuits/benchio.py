@@ -1,0 +1,231 @@
+"""ISCAS ``.bench`` netlist reader/writer.
+
+The ISCAS85/89 benchmark suites circulate in the ``.bench`` format::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = NOT(G10)
+    G12 = DFF(G11)
+
+This module parses that format into this library's gate-level
+:class:`~repro.circuits.netlist.Netlist` (mapping abstract functions
+onto library cells) and writes netlists back out. With it, the
+Table-1 flow runs on *real* ISCAS85 netlists whenever the benchmark
+files are available, instead of the synthetic equivalents.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cells.library import StandardCellLibrary
+from repro.circuits.netlist import GateInstance, Netlist
+from repro.exceptions import NetlistError
+
+#: Default mapping from .bench function names (by fan-in where needed)
+#: to library cells. ``None`` fan-in means any.
+_DEFAULT_CELL_MAP: Dict[Tuple[str, int], str] = {
+    ("NOT", 1): "INV_X1",
+    ("BUF", 1): "BUF_X1",
+    ("BUFF", 1): "BUF_X1",
+    ("AND", 2): "AND2_X1", ("AND", 3): "AND3_X1", ("AND", 4): "AND4_X1",
+    ("NAND", 2): "NAND2_X1", ("NAND", 3): "NAND3_X1",
+    ("NAND", 4): "NAND4_X1",
+    ("OR", 2): "OR2_X1", ("OR", 3): "OR3_X1", ("OR", 4): "OR4_X1",
+    ("NOR", 2): "NOR2_X1", ("NOR", 3): "NOR3_X1", ("NOR", 4): "NOR4_X1",
+    ("XOR", 2): "XOR2_X1",
+    ("XNOR", 2): "XNOR2_X1",
+    ("DFF", 1): "DFF_X1",
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]]+)\s*=\s*(?P<fn>\w+)\s*\((?P<args>[^)]*)\)\s*$")
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<net>[\w.\[\]]+)\)\s*$",
+                    re.IGNORECASE)
+
+
+def _decompose_wide_gate(function: str, inputs: List[str], out: str,
+                         counter: Iterable[int]) -> List[Tuple[str, List[str], str]]:
+    """Break a >4-input AND/OR/NAND/NOR into a tree of library-sized gates.
+
+    Returns a list of (function, inputs, output_net) triples in
+    topological order. De Morgan-free: an N-wide NAND becomes AND stages
+    feeding a final NAND, preserving the boolean function.
+    """
+    base = {"NAND": "AND", "NOR": "OR"}.get(function, function)
+    work = list(inputs)
+    stages: List[Tuple[str, List[str], str]] = []
+    while len(work) > 4:
+        chunk, work = work[:4], work[4:]
+        net = f"{out}__t{next(counter)}"
+        stages.append((base, chunk, net))
+        work.insert(0, net)
+    stages.append((function, work, out))
+    return stages
+
+
+def parse_bench(text: str, library: StandardCellLibrary,
+                name: str = "bench",
+                cell_map: Optional[Mapping[Tuple[str, int], str]] = None
+                ) -> Netlist:
+    """Parse ``.bench`` text into a placed-ready :class:`Netlist`.
+
+    Gates wider than the library's 4-input cells are decomposed into
+    trees. Flip-flop ``CK`` pins are wired to a synthesized global
+    ``clk`` primary input. The gate list is returned in topological
+    order (computed here; .bench files are not ordered).
+    """
+    mapping = dict(_DEFAULT_CELL_MAP)
+    if cell_map:
+        mapping.update(cell_map)
+
+    primary_inputs: List[str] = []
+    raw_gates: List[Tuple[str, str, List[str]]] = []  # (out, fn, ins)
+    needs_clock = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        io_match = _IO_RE.match(stripped)
+        if io_match:
+            if io_match.group("kind").upper() == "INPUT":
+                primary_inputs.append(io_match.group("net"))
+            continue  # OUTPUT declarations carry no structure we need
+        gate_match = _LINE_RE.match(stripped)
+        if not gate_match:
+            raise NetlistError(
+                f"{name}: cannot parse .bench line {lineno}: {line!r}")
+        function = gate_match.group("fn").upper()
+        inputs = [tok.strip() for tok in gate_match.group("args").split(",")
+                  if tok.strip()]
+        if function == "DFF":
+            needs_clock = True
+        raw_gates.append((gate_match.group("out"), function, inputs))
+
+    if needs_clock:
+        primary_inputs.append("clk")
+
+    # Decompose wide gates, then topologically order.
+    counter = iter(range(10 ** 9))
+    flat: List[Tuple[str, str, List[str]]] = []
+    for out, function, inputs in raw_gates:
+        key = (function, len(inputs))
+        if key in mapping or function == "DFF":
+            flat.append((out, function, inputs))
+        elif function in ("AND", "OR", "NAND", "NOR") and len(inputs) > 4:
+            for fn, ins, net in _decompose_wide_gate(function, inputs, out,
+                                                     counter):
+                flat.append((net, fn, ins))
+        else:
+            raise NetlistError(
+                f"{name}: no library cell for {function} with "
+                f"{len(inputs)} inputs (net {out!r})")
+
+    by_output = {out: (out, fn, ins) for out, fn, ins in flat}
+    # Flip-flop outputs are sequential boundaries: available from the
+    # start (pseudo inputs), the flip-flops themselves placed last.
+    pseudo_inputs = [out for out, function, _ in flat if function == "DFF"]
+    available = set(primary_inputs) | set(pseudo_inputs)
+    ordered: List[Tuple[str, str, List[str]]] = []
+    visiting: set = set()
+
+    def visit(out: str) -> None:
+        if out in available:
+            return
+        if out in visiting:
+            raise NetlistError(f"{name}: combinational loop through {out!r}")
+        if out not in by_output:
+            raise NetlistError(f"{name}: undriven net {out!r}")
+        visiting.add(out)
+        _, __, inputs = by_output[out]
+        for net in inputs:
+            visit(net)
+        ordered.append(by_output[out])
+        available.add(out)
+        visiting.discard(out)
+
+    for out, function, _ in flat:
+        if function != "DFF":
+            visit(out)
+    for out, function, inputs in flat:
+        if function == "DFF":
+            for net in inputs:
+                if net not in available:
+                    raise NetlistError(
+                        f"{name}: flip-flop input {net!r} undriven")
+            ordered.append((out, function, inputs))
+
+    gates: List[GateInstance] = []
+    for index, (out, function, inputs) in enumerate(ordered):
+        if function == "DFF":
+            cell_name = mapping[("DFF", 1)]
+            pin_nets = {"D": inputs[0], "CK": "clk"}
+        else:
+            cell_name = mapping[(function, len(inputs))]
+            cell = library[cell_name]
+            pin_nets = dict(zip(cell.netlist.inputs, inputs))
+        cell = library[cell_name]
+        output_pin = cell.outputs[0]
+        gates.append(GateInstance(
+            name=f"g{index}_{out}", cell_name=cell_name,
+            pin_nets=pin_nets, output_nets={output_pin: out}))
+    netlist = Netlist(name=name, gates=gates,
+                      primary_inputs=tuple(primary_inputs),
+                      pseudo_inputs=tuple(pseudo_inputs))
+    netlist.validate()
+    return netlist
+
+
+_WRITE_FUNCTION: Dict[str, str] = {
+    "INV": "NOT", "BUF": "BUFF", "CLKBUF": "BUFF",
+    "NAND2": "NAND", "NAND3": "NAND", "NAND4": "NAND",
+    "NOR2": "NOR", "NOR3": "NOR", "NOR4": "NOR",
+    "AND2": "AND", "AND3": "AND", "AND4": "AND",
+    "OR2": "OR", "OR3": "OR", "OR4": "OR",
+    "XOR2": "XOR", "XNOR2": "XNOR", "DFF": "DFF",
+}
+
+
+def write_bench(netlist: Netlist, library: StandardCellLibrary) -> str:
+    """Serialize a netlist to ``.bench`` text.
+
+    Only cells with a .bench-expressible function are supported (the
+    basic gate families and DFF); complex cells raise.
+    """
+    lines = [f"# {netlist.name} — written by repro"]
+    for net in netlist.primary_inputs:
+        lines.append(f"INPUT({net})")
+    driven = set()
+    for gate in netlist.gates:
+        driven.update(gate.output_nets.values())
+    read = {net for gate in netlist.gates
+            for net in gate.pin_nets.values()}
+    for net in sorted(driven - read):
+        lines.append(f"OUTPUT({net})")
+    for gate in netlist.gates:
+        cell = library[gate.cell_name]
+        function = _WRITE_FUNCTION.get(cell.family)
+        if function is None:
+            raise NetlistError(
+                f"{netlist.name}: cell family {cell.family!r} has no .bench "
+                "equivalent")
+        out_net = gate.output_nets[cell.outputs[0]]
+        if function == "DFF":
+            args = [gate.pin_nets["D"]]
+        else:
+            args = [gate.pin_nets[pin] for pin in cell.netlist.inputs]
+        lines.append(f"{out_net} = {function}({', '.join(args)})")
+    return "\n".join(lines) + "\n"
+
+
+def load_bench(path: str, library: StandardCellLibrary,
+               name: Optional[str] = None) -> Netlist:
+    """Read a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_bench(text, library, name=name)

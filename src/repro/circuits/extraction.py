@@ -1,0 +1,87 @@
+"""Late-mode extraction of the high-level design characteristics.
+
+Given a (placed) netlist, extract exactly what the Random-Gate model
+needs (paper Fig. 1): the cell usage histogram, the cell count, and the
+layout dimensions. This is the paper's footnote-1 step — constant or
+linear time in the netlist size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.cells.library import StandardCellLibrary
+from repro.circuits.netlist import Netlist
+from repro.circuits.placement import die_dimensions
+from repro.core.usage import CellUsage
+
+
+@dataclass(frozen=True)
+class DesignCharacteristics:
+    """The four high-level characteristics of a candidate design."""
+
+    usage: CellUsage
+    n_cells: int
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+def extract_state_weights(netlist, library: StandardCellLibrary,
+                          net_probabilities) -> dict:
+    """Average per-cell-type state distributions (late-mode refinement).
+
+    Given propagated net probabilities, each gate instance has its own
+    input-state distribution; averaging them per cell type yields the
+    extracted state-weight vectors that refine the Random-Gate mixture
+    beyond a single chip-wide signal probability.
+    """
+    import numpy as np
+
+    sums: dict = {}
+    counts: dict = {}
+    for gate in netlist.gates:
+        cell = library[gate.cell_name]
+        pin_probs = {pin: net_probabilities[net]
+                     for pin, net in gate.pin_nets.items()}
+        weights = cell.state_probabilities_per_pin(pin_probs)
+        if gate.cell_name in sums:
+            sums[gate.cell_name] = sums[gate.cell_name] + weights
+            counts[gate.cell_name] += 1
+        else:
+            sums[gate.cell_name] = weights.copy()
+            counts[gate.cell_name] = 1
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+def extract_characteristics(
+    netlist: Netlist,
+    library: StandardCellLibrary,
+    aspect: float = 1.0,
+    utilization: float = 0.7,
+) -> DesignCharacteristics:
+    """Extract the RG model inputs from a netlist.
+
+    If the netlist is placed, the layout dimensions are the bounding box
+    of the placement (plus half a site pitch of margin on each side);
+    otherwise they are derived from summed cell areas at the given
+    utilization.
+    """
+    usage = CellUsage.from_counts(netlist.cell_counts())
+    n_cells = netlist.n_gates
+    if netlist.is_placed:
+        positions = netlist.positions()
+        span = positions.max(axis=0) - positions.min(axis=0)
+        # Positions are site centers; pad by the implied site pitch so
+        # the extracted area covers the actual die.
+        pitch = span / max(1.0, np.sqrt(n_cells) - 1.0)
+        width = float(span[0] + pitch[0])
+        height = float(span[1] + pitch[1])
+    else:
+        width, height = die_dimensions(netlist, library, aspect, utilization)
+    return DesignCharacteristics(usage=usage, n_cells=n_cells,
+                                 width=width, height=height)

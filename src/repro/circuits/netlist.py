@@ -1,0 +1,135 @@
+"""Gate-level netlists.
+
+A :class:`Netlist` is an ordered list of :class:`GateInstance` objects
+connected by named nets. Gates are stored in topological order for the
+combinational core (the generator produces them that way), which the
+signal-probability propagation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetlistError
+
+
+@dataclass
+class GateInstance:
+    """One placed gate.
+
+    Attributes
+    ----------
+    name:
+        Instance name, unique within the netlist.
+    cell_name:
+        Library cell type.
+    pin_nets:
+        Mapping of input pin name to driving net.
+    output_nets:
+        Mapping of output pin name to driven net.
+    position:
+        ``(x, y)`` placement coordinates [m], or ``None`` pre-placement.
+    """
+
+    name: str
+    cell_name: str
+    pin_nets: Dict[str, str] = field(default_factory=dict)
+    output_nets: Dict[str, str] = field(default_factory=dict)
+    position: Optional[Tuple[float, float]] = None
+
+
+class Netlist:
+    """A gate-level design.
+
+    Parameters
+    ----------
+    name:
+        Design name.
+    gates:
+        Gate instances in topological order (drivers before loads for
+        the combinational portion).
+    primary_inputs:
+        Net names driven from outside.
+    pseudo_inputs:
+        Sequential-boundary nets (flip-flop outputs feeding logic that
+        precedes the flip-flop in gate order). They are treated as
+        available from the start for validation and carry probability
+        0.5 during signal propagation until their driver is reached.
+    """
+
+    def __init__(self, name: str, gates: Sequence[GateInstance],
+                 primary_inputs: Sequence[str] = (),
+                 pseudo_inputs: Sequence[str] = ()) -> None:
+        if not gates:
+            raise NetlistError(f"{name}: empty netlist")
+        instance_names = [g.name for g in gates]
+        if len(set(instance_names)) != len(instance_names):
+            raise NetlistError(f"{name}: duplicate gate instance names")
+        self.name = name
+        self.gates: List[GateInstance] = list(gates)
+        self.primary_inputs: Tuple[str, ...] = tuple(primary_inputs)
+        self.pseudo_inputs: Tuple[str, ...] = tuple(pseudo_inputs)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self):
+        return iter(self.gates)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Instance count per library cell type."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.cell_name] = counts.get(gate.cell_name, 0) + 1
+        return counts
+
+    def positions(self) -> np.ndarray:
+        """Placement coordinates as an ``(n, 2)`` array [m].
+
+        Raises if any gate is unplaced.
+        """
+        coords = []
+        for gate in self.gates:
+            if gate.position is None:
+                raise NetlistError(
+                    f"{self.name}: gate {gate.name!r} is not placed")
+            coords.append(gate.position)
+        return np.asarray(coords, dtype=float)
+
+    @property
+    def is_placed(self) -> bool:
+        return all(gate.position is not None for gate in self.gates)
+
+    def driven_nets(self) -> Dict[str, str]:
+        """Map of net name to the driving gate's instance name."""
+        drivers: Dict[str, str] = {}
+        for gate in self.gates:
+            for net in gate.output_nets.values():
+                if net in drivers:
+                    raise NetlistError(
+                        f"{self.name}: net {net!r} has multiple drivers "
+                        f"({drivers[net]!r} and {gate.name!r})")
+                drivers[net] = gate.name
+        return drivers
+
+    def validate(self) -> None:
+        """Check structural sanity: every input net has a driver or is a
+        primary input, and gate order is topological (flip-flop outputs
+        registered as pseudo inputs may be read before their driver)."""
+        available = set(self.primary_inputs) | set(self.pseudo_inputs)
+        for gate in self.gates:
+            for pin, net in gate.pin_nets.items():
+                if net not in available:
+                    raise NetlistError(
+                        f"{self.name}: gate {gate.name!r} pin {pin!r} reads "
+                        f"net {net!r} before it is driven (order is not "
+                        "topological, or the net is undriven)")
+            for net in gate.output_nets.values():
+                available.add(net)

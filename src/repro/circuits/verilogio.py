@@ -1,0 +1,215 @@
+"""Structural Verilog netlist reader/writer.
+
+Supports the gate-level structural subset that placement and synthesis
+tools exchange::
+
+    module top (a, b, clk, y);
+      input a, b, clk;
+      output y;
+      wire n1, n2;
+      NAND2_X1 u1 (.I0(a), .I1(b), .Y(n1));
+      DFF_X1  r1 (.D(n1), .CK(clk), .Q(n2));
+      INV_X1  u2 (.A(n2), .Y(y));
+    endmodule
+
+Instance types must name cells of the target library; named port
+connections are required (positional connections are ambiguous for
+multi-output cells). Gates may appear in any order — the parser
+topologically sorts the combinational cloud and treats sequential-cell
+outputs as boundaries, exactly like the ``.bench`` reader.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cells.library import StandardCellLibrary
+from repro.circuits.netlist import GateInstance, Netlist
+from repro.exceptions import NetlistError
+
+#: Cell families whose outputs are sequential boundaries.
+_SEQUENTIAL_FAMILIES = {"DFF", "DFFR", "DFFS", "LATCH", "SRAM6T", "TINV"}
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.DOTALL)
+_DECL_RE = re.compile(r"^(?P<kind>input|output|wire)\s+(?P<nets>.+)$",
+                      re.DOTALL)
+_INSTANCE_RE = re.compile(
+    r"^(?P<cell>\w+)\s+(?P<inst>\w+)\s*\((?P<conns>.*)\)$", re.DOTALL)
+_PORT_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>[\w.\[\]]+)\s*\)")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def parse_verilog(text: str, library: StandardCellLibrary,
+                  name: Optional[str] = None) -> Netlist:
+    """Parse structural Verilog into a :class:`Netlist`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise NetlistError("no module declaration found")
+    module_name = name or module.group("name")
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError(f"{module_name}: missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    raw_instances: List[Tuple[str, str, Dict[str, str]]] = []
+    for statement in body.split(";"):
+        statement = statement.strip()
+        if not statement:
+            continue
+        decl = _DECL_RE.match(statement)
+        if decl:
+            nets = [n.strip() for n in decl.group("nets").split(",")
+                    if n.strip()]
+            if decl.group("kind") == "input":
+                inputs.extend(nets)
+            continue  # outputs and wires carry no structure we need
+        instance = _INSTANCE_RE.match(statement)
+        if not instance:
+            raise NetlistError(
+                f"{module_name}: cannot parse statement: {statement!r}")
+        cell_name = instance.group("cell")
+        if cell_name not in library:
+            raise NetlistError(
+                f"{module_name}: unknown cell type {cell_name!r} "
+                f"(instance {instance.group('inst')!r})")
+        connections = dict(_PORT_RE.findall(instance.group("conns")))
+        if not connections:
+            raise NetlistError(
+                f"{module_name}: instance {instance.group('inst')!r} needs "
+                "named port connections (.pin(net))")
+        raw_instances.append((instance.group("inst"), cell_name,
+                              connections))
+
+    gates: List[GateInstance] = []
+    for inst, cell_name, connections in raw_instances:
+        cell = library[cell_name]
+        pin_nets = {}
+        for pin in cell.netlist.inputs:
+            if pin not in connections:
+                raise NetlistError(
+                    f"{module_name}: instance {inst!r} leaves input pin "
+                    f"{pin!r} unconnected")
+            pin_nets[pin] = connections[pin]
+        output_nets = {}
+        for pin in cell.outputs:
+            if pin in connections:
+                output_nets[pin] = connections[pin]
+        if not output_nets:
+            raise NetlistError(
+                f"{module_name}: instance {inst!r} has no connected output")
+        unknown = set(connections) - set(cell.netlist.inputs) \
+            - set(cell.outputs)
+        if unknown:
+            raise NetlistError(
+                f"{module_name}: instance {inst!r} connects unknown pins "
+                f"{sorted(unknown)}")
+        gates.append(GateInstance(name=inst, cell_name=cell_name,
+                                  pin_nets=pin_nets,
+                                  output_nets=output_nets))
+
+    ordered, pseudo = _topological_order(gates, inputs, library,
+                                         module_name)
+    netlist = Netlist(name=module_name, gates=ordered,
+                      primary_inputs=tuple(inputs),
+                      pseudo_inputs=tuple(pseudo))
+    netlist.validate()
+    return netlist
+
+
+def _topological_order(gates: Sequence[GateInstance],
+                       primary_inputs: Sequence[str],
+                       library: StandardCellLibrary,
+                       name: str) -> Tuple[List[GateInstance], List[str]]:
+    """Order gates drivers-first; sequential outputs become boundaries."""
+    sequential = [g for g in gates
+                  if library[g.cell_name].family in _SEQUENTIAL_FAMILIES]
+    combinational = [g for g in gates
+                     if library[g.cell_name].family
+                     not in _SEQUENTIAL_FAMILIES]
+    pseudo = [net for gate in sequential
+              for net in gate.output_nets.values()]
+    available: Set[str] = set(primary_inputs) | set(pseudo)
+
+    by_output: Dict[str, GateInstance] = {}
+    for gate in combinational:
+        for net in gate.output_nets.values():
+            by_output[net] = gate
+
+    ordered: List[GateInstance] = []
+    placed: Set[str] = set()
+    visiting: Set[str] = set()
+
+    def visit(gate: GateInstance) -> None:
+        if gate.name in placed:
+            return
+        if gate.name in visiting:
+            raise NetlistError(f"{name}: combinational loop through "
+                               f"{gate.name!r}")
+        visiting.add(gate.name)
+        for net in gate.pin_nets.values():
+            if net in available:
+                continue
+            driver = by_output.get(net)
+            if driver is None:
+                raise NetlistError(f"{name}: net {net!r} read by "
+                                   f"{gate.name!r} has no driver")
+            visit(driver)
+        ordered.append(gate)
+        placed.add(gate.name)
+        available.update(gate.output_nets.values())
+        visiting.discard(gate.name)
+
+    for gate in combinational:
+        visit(gate)
+    for gate in sequential:
+        for net in gate.pin_nets.values():
+            if net not in available:
+                raise NetlistError(
+                    f"{name}: sequential input net {net!r} undriven")
+        ordered.append(gate)
+    return ordered, pseudo
+
+
+def write_verilog(netlist: Netlist, library: StandardCellLibrary) -> str:
+    """Serialize a netlist to structural Verilog."""
+    driven = [net for gate in netlist.gates
+              for net in gate.output_nets.values()]
+    read = {net for gate in netlist.gates
+            for net in gate.pin_nets.values()}
+    outputs = sorted(set(driven) - read)
+    wires = sorted(set(driven) - set(outputs))
+    ports = [*netlist.primary_inputs, *outputs]
+
+    lines = [f"// {netlist.name} — written by repro",
+             f"module {netlist.name} ({', '.join(ports)});"]
+    if netlist.primary_inputs:
+        lines.append(f"  input {', '.join(netlist.primary_inputs)};")
+    if outputs:
+        lines.append(f"  output {', '.join(outputs)};")
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    for gate in netlist.gates:
+        connections = [f".{pin}({net})"
+                       for pin, net in gate.pin_nets.items()]
+        connections += [f".{pin}({net})"
+                        for pin, net in gate.output_nets.items()]
+        lines.append(f"  {gate.cell_name} {gate.name} "
+                     f"({', '.join(connections)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def load_verilog(path: str, library: StandardCellLibrary,
+                 name: Optional[str] = None) -> Netlist:
+    """Read a structural Verilog file from disk."""
+    with open(path) as handle:
+        return parse_verilog(handle.read(), library, name=name)

@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+Three subcommands cover the everyday flow::
+
+    python -m repro characterize --out char.json
+    python -m repro estimate --cells 1000000 --width-mm 2 --height-mm 2 \
+        --usage INV_X1=0.4 --usage NAND2_X1=0.6 [--char char.json]
+    python -m repro iscas85 c432
+
+``characterize`` persists the library characterization; ``estimate``
+runs the Random-Gate estimator (loading a stored characterization if
+given, otherwise characterizing on the fly); ``iscas85`` runs the full
+late-mode flow on one ISCAS85-equivalent benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro import __version__
+from repro.analysis.distribution import LeakageDistribution
+from repro.analysis.report import format_table
+from repro.cells.library import build_library
+from repro.characterization.characterizer import characterize_library
+from repro.characterization.store import (
+    load_characterization,
+    save_characterization,
+)
+from repro.core.api import FullChipLeakageEstimator
+from repro.core.usage import CellUsage
+from repro.exceptions import ReproError
+from repro.process.technology import synthetic_90nm
+
+
+def _technology_from_args(args) -> "Technology":
+    technology = synthetic_90nm(
+        correlation_length=args.corr_length_mm * 1e-3,
+        d2d_fraction=args.d2d_fraction,
+        relative_sigma_l=args.sigma_l)
+    if args.temperature_c is not None:
+        technology = technology.at_temperature(args.temperature_c + 273.15)
+    return technology
+
+
+def _add_technology_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--corr-length-mm", type=float, default=0.5,
+                        help="WID correlation length [mm] (default 0.5)")
+    parser.add_argument("--d2d-fraction", type=float, default=0.5,
+                        help="D2D fraction of L variance (default 0.5)")
+    parser.add_argument("--sigma-l", type=float, default=0.05,
+                        help="total relative L sigma (default 0.05)")
+    parser.add_argument("--temperature-c", type=float, default=None,
+                        help="junction temperature [C] "
+                             "(default: characterization temperature)")
+
+
+def _parse_usage(entries: Optional[Sequence[str]],
+                 library) -> CellUsage:
+    if not entries:
+        return CellUsage.uniform(library.names)
+    fractions: Dict[str, float] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise ReproError(
+                f"--usage entries must be NAME=FRACTION, got {entry!r}")
+        name, _, value = entry.partition("=")
+        fractions[name.strip()] = float(value)
+    return CellUsage(fractions)
+
+
+def _cmd_characterize(args) -> int:
+    technology = _technology_from_args(args)
+    library = build_library()
+    characterization = characterize_library(library, technology,
+                                            mode=args.mode)
+    save_characterization(characterization, args.out)
+    print(f"characterized {len(library)} cells "
+          f"({library.total_states()} states, mode={args.mode}) "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    technology = _technology_from_args(args)
+    library = build_library()
+    if args.char:
+        characterization = load_characterization(args.char, library,
+                                                 technology)
+    else:
+        characterization = characterize_library(library, technology)
+    usage = _parse_usage(args.usage, library)
+    estimator = FullChipLeakageEstimator(
+        characterization, usage, args.cells,
+        args.width_mm * 1e-3, args.height_mm * 1e-3,
+        signal_probability=args.signal_probability)
+    estimate = estimator.estimate(args.method)
+    distribution = LeakageDistribution.from_estimate(estimate,
+                                                     include_vt=True)
+    rows = [
+        ["cells", f"{estimate.n_cells:,}"],
+        ["die [mm]", f"{args.width_mm:g} x {args.height_mm:g}"],
+        ["method", estimate.method],
+        ["mean leakage [mA]", f"{estimate.mean * 1e3:.4f}"],
+        ["mean incl. Vt RDF [mA]", f"{estimate.mean_with_vt * 1e3:.4f}"],
+        ["std leakage [mA]", f"{estimate.std * 1e3:.4f}"],
+        ["CV", f"{estimate.cv:.4f}"],
+        ["99% quantile [mA]",
+         f"{float(distribution.quantile(0.99)) * 1e3:.4f}"],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title="Full-chip leakage estimate"))
+    return 0
+
+
+def _cmd_iscas85(args) -> int:
+    import numpy as np
+
+    from repro.analysis.design import expected_design
+    from repro.circuits.extraction import (
+        extract_characteristics,
+        extract_state_weights,
+    )
+    from repro.circuits.iscas85 import iscas85_circuit
+    from repro.circuits.placement import die_dimensions, grid_placement
+    from repro.core.estimators.exact import exact_moments
+    from repro.signalprob.propagation import propagate_probabilities
+
+    technology = _technology_from_args(args)
+    library = build_library()
+    characterization = characterize_library(library, technology)
+    rng = np.random.default_rng(args.seed)
+
+    netlist = iscas85_circuit(args.circuit, library, rng=rng)
+    width, height = die_dimensions(netlist, library)
+    grid_placement(netlist, width, height, rng=rng)
+    net_probs = propagate_probabilities(netlist, library, 0.5)
+    design = expected_design(netlist, characterization,
+                             net_probabilities=net_probs)
+    true_mean, true_std = exact_moments(
+        design.positions, design.means, design.stds,
+        technology.total_correlation, corr_stds=design.corr_stds)
+
+    chars = extract_characteristics(netlist, library)
+    weights = extract_state_weights(netlist, library, net_probs)
+    estimate = FullChipLeakageEstimator(
+        characterization, chars.usage, chars.n_cells, chars.width,
+        chars.height, state_weights=weights,
+        simplified_correlation=True).estimate("linear")
+
+    rows = [
+        ["gates", netlist.n_gates],
+        ["true mean [uA]", f"{true_mean * 1e6:.3f}"],
+        ["RG mean [uA]", f"{estimate.mean * 1e6:.3f}"],
+        ["true std [nA]", f"{true_std * 1e9:.2f}"],
+        ["RG std [nA]", f"{estimate.std * 1e9:.2f}"],
+        ["std error %",
+         f"{abs(estimate.std - true_std) / true_std * 100:.2f}"],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"Late-mode flow — {args.circuit}"))
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    from repro.selfcheck import run_selfcheck
+
+    return 0 if run_selfcheck() else 1
+
+
+def _cmd_corners(args) -> int:
+    from repro.process.corners import corner_report
+
+    technology = _technology_from_args(args)
+    library = build_library()
+    usage = _parse_usage(args.usage, library)
+    report = corner_report(library, technology, usage, args.cells,
+                           args.width_mm * 1e-3, args.height_mm * 1e-3,
+                           method=args.method)
+    rows = []
+    for corner, estimate in report:
+        temperature = (corner.temperature if corner.temperature is not None
+                       else technology.temperature)
+        rows.append([corner.name, f"{temperature - 273.15:.0f}",
+                     f"{estimate.mean_with_vt * 1e3:.4f}",
+                     f"{estimate.std * 1e3:.4f}",
+                     f"{estimate.cv:.4f}"])
+    print(format_table(
+        ["corner", "Tj [C]", "mean [mA]", "std (WID) [mA]", "CV"], rows,
+        title="Process-corner leakage report"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Statistical full-chip leakage estimation "
+                    "(Heloue/Azizi/Najm, DAC 2007)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    characterize = commands.add_parser(
+        "characterize", help="characterize the library and save to JSON")
+    _add_technology_arguments(characterize)
+    characterize.add_argument("--out", required=True,
+                              help="output JSON path")
+    characterize.add_argument("--mode", choices=["analytical", "montecarlo"],
+                              default="analytical")
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    estimate = commands.add_parser(
+        "estimate", help="estimate full-chip leakage statistics")
+    _add_technology_arguments(estimate)
+    estimate.add_argument("--cells", type=int, required=True,
+                          help="number of cells")
+    estimate.add_argument("--width-mm", type=float, required=True)
+    estimate.add_argument("--height-mm", type=float, required=True)
+    estimate.add_argument("--usage", action="append", metavar="NAME=FRAC",
+                          help="usage fraction (repeatable; default "
+                               "uniform over the library)")
+    estimate.add_argument("--signal-probability", type=float, default=0.5)
+    estimate.add_argument("--method", default="auto",
+                          choices=["auto", "linear", "integral2d", "polar"])
+    estimate.add_argument("--char", default=None,
+                          help="stored characterization JSON "
+                               "(default: characterize on the fly)")
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    selfcheck = commands.add_parser(
+        "selfcheck", help="validate the installation in a few seconds")
+    selfcheck.set_defaults(handler=_cmd_selfcheck)
+
+    corners = commands.add_parser(
+        "corners", help="leakage at the FF/TT/SS process corners")
+    _add_technology_arguments(corners)
+    corners.add_argument("--cells", type=int, required=True)
+    corners.add_argument("--width-mm", type=float, required=True)
+    corners.add_argument("--height-mm", type=float, required=True)
+    corners.add_argument("--usage", action="append", metavar="NAME=FRAC")
+    corners.add_argument("--method", default="auto",
+                         choices=["auto", "linear", "integral2d", "polar"])
+    corners.set_defaults(handler=_cmd_corners)
+
+    iscas = commands.add_parser(
+        "iscas85", help="run the late-mode flow on an ISCAS85 benchmark")
+    _add_technology_arguments(iscas)
+    iscas.add_argument("circuit", help="benchmark name, e.g. c432")
+    iscas.add_argument("--seed", type=int, default=1985)
+    iscas.set_defaults(handler=_cmd_iscas85)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

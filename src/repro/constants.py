@@ -1,0 +1,68 @@
+"""Physical constants and unit helpers used across the library.
+
+All quantities in :mod:`repro` are expressed in SI units:
+
+* lengths in metres (channel length ``L``, die dimensions ``W``/``H``),
+* voltages in volts,
+* currents in amperes,
+* temperatures in kelvin.
+
+Helper constants for common EDA unit conversions are provided so that
+user-facing code can write ``45 * NM`` instead of ``45e-9``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+BOLTZMANN: float = 1.380649e-23
+
+#: Elementary charge [C].
+ELECTRON_CHARGE: float = 1.602176634e-19
+
+#: Default junction temperature used for characterization [K] (25 C).
+ROOM_TEMPERATURE: float = 298.15
+
+#: One nanometre [m].
+NM: float = 1e-9
+
+#: One micrometre [m].
+UM: float = 1e-6
+
+#: One millimetre [m].
+MM: float = 1e-3
+
+#: One nanoampere [A].
+NA: float = 1e-9
+
+#: One picoampere [A].
+PA: float = 1e-12
+
+#: One millivolt [V].
+MV: float = 1e-3
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal voltage ``kT/q`` in volts.
+
+    Parameters
+    ----------
+    temperature:
+        Absolute temperature in kelvin. Defaults to room temperature.
+
+    Examples
+    --------
+    >>> round(thermal_voltage(300.0), 6)
+    0.025852
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature!r}")
+    return BOLTZMANN * temperature / ELECTRON_CHARGE
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibels (used in diagnostic reports)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the Random Gate full-chip model and
+its leakage estimators (exact O(n^2), linear O(n), constant-time 2-D and
+polar 1-D integration)."""
+
+from repro.core.usage import CellUsage
+from repro.core.random_gate import GateMixture, RandomGate, expand_mixture
+from repro.core.rg_correlation import RGCorrelation
+from repro.core.chip_model import FullChipModel
+from repro.core.api import FullChipLeakageEstimator, LeakageEstimate
+from repro.core.multiregion import (
+    MultiRegionEstimate,
+    Region,
+    estimate_multiregion,
+)
+from repro.core.planning import (
+    leakage_at_percentile,
+    leakage_headroom,
+    max_cells_for_budget,
+)
+
+__all__ = [
+    "MultiRegionEstimate",
+    "Region",
+    "estimate_multiregion",
+    "leakage_at_percentile",
+    "leakage_headroom",
+    "max_cells_for_budget",
+    "CellUsage",
+    "GateMixture",
+    "RandomGate",
+    "expand_mixture",
+    "RGCorrelation",
+    "FullChipModel",
+    "FullChipLeakageEstimator",
+    "LeakageEstimate",
+]

@@ -1,0 +1,188 @@
+"""High-level full-chip leakage estimation API.
+
+Ties together the whole pipeline of the paper's Fig. 1: process info +
+characterized cell library + high-level design characteristics (usage
+histogram, cell count, die dimensions) -> mean and standard deviation of
+full-chip leakage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.characterization.characterizer import LibraryCharacterization
+from repro.characterization.vt import vt_mean_multiplier
+from repro.core.chip_model import FullChipModel
+from repro.core.estimators.integral2d import integral2d_variance
+from repro.core.estimators.linear import linear_variance
+from repro.core.estimators.polar import polar_variance
+from repro.core.random_gate import RandomGate, expand_mixture
+from repro.core.rg_correlation import RGCorrelation
+from repro.core.usage import CellUsage
+from repro.exceptions import EstimationError
+from repro.process.correlation import SpatialCorrelation
+
+#: Grid-size threshold below which ``method="auto"`` uses the exact
+#: linear-time transform rather than integration (the paper recommends
+#: the O(n) route for small designs where integral granularity error
+#: exceeds 1%, Fig. 7).
+_AUTO_LINEAR_LIMIT = 250_000
+
+
+@dataclass(frozen=True)
+class LeakageEstimate:
+    """Full-chip leakage statistics.
+
+    Attributes
+    ----------
+    mean:
+        Expected total leakage [A] (without the Vt mean multiplier).
+    std:
+        Standard deviation of total leakage [A].
+    method:
+        Variance algorithm used (``linear``, ``integral2d``, ``polar``).
+    n_cells:
+        Cell count the estimate is for.
+    signal_probability:
+        Signal probability at which cells were weighted.
+    vt_multiplier:
+        Multiplicative mean correction for RDF Vt variation.
+    details:
+        Diagnostic values (grid shape, RG statistics, ...).
+    """
+
+    mean: float
+    std: float
+    method: str
+    n_cells: int
+    signal_probability: float
+    vt_multiplier: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_with_vt(self) -> float:
+        """Mean total leakage including the Vt mean multiplier [A]."""
+        return self.mean * self.vt_multiplier
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation ``std / mean``."""
+        return self.std / self.mean
+
+    def __repr__(self) -> str:
+        return (f"LeakageEstimate(mean={self.mean:.4e} A, "
+                f"std={self.std:.4e} A, cv={self.cv:.3f}, "
+                f"method={self.method!r}, n={self.n_cells})")
+
+
+class FullChipLeakageEstimator:
+    """The paper's estimation engine (Fig. 1).
+
+    Parameters
+    ----------
+    characterization:
+        Characterized standard-cell library.
+    usage:
+        Frequency-of-use histogram — *extracted* (late mode) or
+        *expected* (early mode).
+    n_cells:
+        Number of cells in the design.
+    width / height:
+        Layout dimensions [m].
+    signal_probability:
+        Primary-input signal probability used to weight cell states
+        (use :func:`repro.signalprob.maximize_mean_leakage` for the
+        conservative maximizing setting).
+    correlation:
+        Total channel-length correlation; defaults to the technology's
+        D2D + WID combination.
+    simplified_correlation:
+        Force (or forbid) the ``rho_leak = rho_L`` assumption; defaults
+        to exact when fits exist, simplified otherwise (Section 3.1.2).
+    """
+
+    def __init__(
+        self,
+        characterization: LibraryCharacterization,
+        usage: CellUsage,
+        n_cells: int,
+        width: float,
+        height: float,
+        signal_probability: float = 0.5,
+        correlation: Optional[SpatialCorrelation] = None,
+        simplified_correlation: Optional[bool] = None,
+        state_weights=None,
+    ) -> None:
+        self.characterization = characterization
+        self.usage = usage
+        self.signal_probability = float(signal_probability)
+        technology = characterization.technology
+        self.correlation = (technology.total_correlation
+                            if correlation is None else correlation)
+        self.chip = FullChipModel.from_design(n_cells, width, height)
+        mixture = expand_mixture(characterization, usage,
+                                 self.signal_probability,
+                                 state_weights=state_weights)
+        self.random_gate = RandomGate(mixture)
+        self.rg_correlation = RGCorrelation(
+            self.random_gate,
+            mu_l=technology.length.nominal,
+            sigma_l=technology.length.sigma,
+            simplified=simplified_correlation,
+        )
+        self._vt_multiplier = vt_mean_multiplier(technology)
+
+    def estimate(self, method: str = "auto") -> LeakageEstimate:
+        """Estimate full-chip leakage mean and standard deviation.
+
+        ``method`` is one of ``"auto"``, ``"linear"``, ``"integral2d"``,
+        ``"polar"``.
+        """
+        chip = self.chip
+        if method == "auto":
+            method = ("linear" if chip.n_sites <= _AUTO_LINEAR_LIMIT
+                      else "integral2d")
+
+        if method == "linear":
+            site_variance = linear_variance(
+                chip.rows, chip.cols, chip.pitch_x, chip.pitch_y,
+                self.correlation, self.rg_correlation)
+        elif method == "integral2d":
+            site_variance = integral2d_variance(
+                chip.n_sites, chip.width, chip.height,
+                self.correlation, self.rg_correlation)
+        elif method == "polar":
+            site_variance = polar_variance(
+                chip.n_sites, chip.width, chip.height,
+                self.correlation, self.rg_correlation)
+        else:
+            raise EstimationError(
+                f"unknown method {method!r}; choose auto, linear, "
+                "integral2d, or polar")
+
+        # Grid statistics are for n_sites gates; rescale to the actual
+        # cell count (mean ~ n, std ~ n for strongly correlated sums).
+        scale = chip.n_cells / chip.n_sites
+        mean = chip.n_cells * self.random_gate.mean
+        std = math.sqrt(site_variance) * scale
+        return LeakageEstimate(
+            mean=mean,
+            std=std,
+            method=method,
+            n_cells=chip.n_cells,
+            signal_probability=self.signal_probability,
+            vt_multiplier=self._vt_multiplier,
+            details={
+                "rows": chip.rows,
+                "cols": chip.cols,
+                "rg_mean": self.random_gate.mean,
+                "rg_std": self.random_gate.std,
+                "site_variance": site_variance,
+                "simplified_correlation":
+                    float(self.rg_correlation.simplified),
+            },
+        )

@@ -1,0 +1,110 @@
+"""The full-chip model: a rectangular array of Random-Gate sites
+(paper Section 2.2.1, Fig. 4).
+
+The array's dimensions equal the candidate design's layout dimensions,
+and the number of sites equals the number of cells; each site's pitch is
+therefore the average cell-plus-routing footprint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FullChipModel:
+    """A ``rows x cols`` RG site grid over a ``width x height`` die.
+
+    ``rows * cols`` may differ slightly from ``n_cells`` when the cell
+    count does not factor nicely; estimators compute grid statistics on
+    the ``n_sites`` array and rescale to ``n_cells`` (mean linearly,
+    variance quadratically — both exact in the large-``n`` regime the
+    model targets).
+    """
+
+    n_cells: int
+    width: float
+    height: float
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.n_cells <= 0:
+            raise ConfigurationError(
+                f"n_cells must be positive, got {self.n_cells!r}")
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("die dimensions must be positive")
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("grid dimensions must be positive")
+
+    @classmethod
+    def from_design(cls, n_cells: int, width: float,
+                    height: float) -> "FullChipModel":
+        """Build the site grid matching a die's dimensions and cell count.
+
+        Rows and columns are chosen so sites are as close to square as
+        the aspect ratio allows and ``rows * cols`` is as close to
+        ``n_cells`` as possible.
+        """
+        if n_cells <= 0:
+            raise ConfigurationError(
+                f"n_cells must be positive, got {n_cells!r}")
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("die dimensions must be positive")
+        rows = max(1, round(math.sqrt(n_cells * height / width)))
+        cols = max(1, math.ceil(n_cells / rows))
+        return cls(n_cells=n_cells, width=width, height=height,
+                   rows=rows, cols=cols)
+
+    @classmethod
+    def from_area(cls, n_cells: int, avg_cell_area: float,
+                  aspect: float = 1.0) -> "FullChipModel":
+        """Build from an average cell area and die aspect ratio
+        (``width / height``) — the early-mode path where only the
+        floorplan budget is known."""
+        if avg_cell_area <= 0:
+            raise ConfigurationError("avg_cell_area must be positive")
+        if aspect <= 0:
+            raise ConfigurationError("aspect must be positive")
+        area = n_cells * avg_cell_area
+        height = math.sqrt(area / aspect)
+        return cls.from_design(n_cells, aspect * height, height)
+
+    @property
+    def n_sites(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def pitch_x(self) -> float:
+        """Site width ``Delta W``."""
+        return self.width / self.cols
+
+    @property
+    def pitch_y(self) -> float:
+        """Site height ``Delta H``."""
+        return self.height / self.rows
+
+    @property
+    def site_area(self) -> float:
+        return self.pitch_x * self.pitch_y
+
+    def site_positions(self):
+        """Site-center coordinates, row-major ``(n_sites, 2)`` [m]."""
+        import numpy as np
+
+        cc, rr = np.meshgrid(np.arange(self.cols), np.arange(self.rows))
+        x = (cc.ravel() + 0.5) * self.pitch_x
+        y = (rr.ravel() + 0.5) * self.pitch_y
+        return np.column_stack([x, y])
+
+    def __repr__(self) -> str:
+        return (f"FullChipModel(n_cells={self.n_cells}, grid={self.rows}x"
+                f"{self.cols}, die={self.width * 1e3:.2f}x"
+                f"{self.height * 1e3:.2f} mm)")

@@ -1,0 +1,82 @@
+"""The O(1) constant-time variance by 2-D integration (paper eq. 20).
+
+For large ``n`` the lag sum of eq. (18) is a Riemann sum of
+
+.. math::
+
+   \\sigma^2_{I_T} \\approx 4\\,\\sigma^2_{X_I} \\frac{n^2}{A^2}
+   \\int_0^W \\int_0^H (W - x)(H - y)\\,
+   \\rho_{X_I}\\big(\\sqrt{x^2 + y^2}\\big)\\, dy\\, dx
+
+whose cost is independent of the gate count.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+from scipy import integrate
+
+from repro.core.rg_correlation import RGCorrelation
+from repro.exceptions import EstimationError
+from repro.process.correlation import SpatialCorrelation
+
+
+def integral2d_variance(
+    n_cells: int,
+    width: float,
+    height: float,
+    correlation: SpatialCorrelation,
+    rg_correlation: RGCorrelation,
+    epsabs: float = 0.0,
+    epsrel: float = 1e-7,
+    diagonal_correction: bool = False,
+) -> float:
+    """Total-leakage variance by rectangular-coordinate integration.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells on the die (enters as ``n^2 / A^2``).
+    width / height:
+        Die dimensions ``W`` / ``H`` [m].
+    correlation:
+        Total channel-length correlation function.
+    rg_correlation:
+        The RG covariance structure.
+    epsabs / epsrel:
+        Quadrature tolerances forwarded to the quadrature routine.
+    diagonal_correction:
+        Extension beyond the paper's eq. (20): add the self-pair excess
+        ``n * (sigma_XI^2 - C_XI(1))`` that the continuous kernel cannot
+        represent (the same-site covariance discontinuity of eq. (11)).
+        Negligible at large ``n`` but removes most of the small-``n``
+        granularity error reported in Fig. 7.
+    """
+    if n_cells <= 0:
+        raise EstimationError("n_cells must be positive")
+    if width <= 0 or height <= 0:
+        raise EstimationError("die dimensions must be positive")
+
+    def integrand(y: float, x: float) -> float:
+        rho = float(correlation.evaluate_xy(x, y))
+        return ((width - x) * (height - y)
+                * float(rg_correlation.covariance(rho)))
+
+    opts = {"epsabs": epsabs, "epsrel": epsrel, "limit": 200}
+    with warnings.catch_warnings():
+        # Kinked kernels (compact-support correlations, interpolated RG
+        # covariance) trip quadpack's roundoff heuristic long after the
+        # requested accuracy is reached; the convergence tests pin the
+        # actual error.
+        warnings.simplefilter("ignore", integrate.IntegrationWarning)
+        integral, _ = integrate.nquad(
+            integrand, [(0.0, height), (0.0, width)], opts=[opts, opts])
+    area = width * height
+    # covariance() already contains sigma_XI^2 * rho_XI, so eq. (20)'s
+    # sigma_XI^2 factor is folded into the integrand.
+    variance = 4.0 * (n_cells ** 2 / area ** 2) * integral
+    if diagonal_correction:
+        variance += n_cells * rg_correlation.selection_gap
+    return variance

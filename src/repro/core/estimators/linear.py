@@ -1,0 +1,65 @@
+"""The O(n) linear-time variance on the RG site grid (paper eqs. 16-17).
+
+Because the leakage correlation depends only on the distance between
+sites, the O(n^2) pairwise sum over a rectangular ``rows x cols`` grid
+collapses into a sum over *distance vectors* ``(i, j)``, each occurring
+
+``n_ij = (cols - |i|) * (rows - |j|)``
+
+times (eq. 16). The ``(0, 0)`` entry counts exactly the ``n`` self-pairs
+and contributes the full RG variance; every other entry uses the
+distinct-site covariance. The transform is exact — no approximation
+relative to eq. (15) on a grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rg_correlation import RGCorrelation
+from repro.exceptions import EstimationError
+from repro.process.correlation import SpatialCorrelation
+
+
+def linear_variance(
+    rows: int,
+    cols: int,
+    pitch_x: float,
+    pitch_y: float,
+    correlation: SpatialCorrelation,
+    rg_correlation: RGCorrelation,
+) -> float:
+    """Total-leakage variance of the ``rows x cols`` RG array — eq. (17).
+
+    Parameters
+    ----------
+    rows / cols:
+        Site grid dimensions (``k`` and ``m`` in the paper).
+    pitch_x / pitch_y:
+        Site pitches ``Delta W`` / ``Delta H`` [m].
+    correlation:
+        Total channel-length correlation function.
+    rg_correlation:
+        The RG covariance structure.
+    """
+    if rows <= 0 or cols <= 0:
+        raise EstimationError("grid dimensions must be positive")
+    if pitch_x <= 0 or pitch_y <= 0:
+        raise EstimationError("site pitches must be positive")
+
+    i = np.arange(-(cols - 1), cols)
+    j = np.arange(-(rows - 1), rows)
+    count_x = cols - np.abs(i)
+    count_y = rows - np.abs(j)
+    # Correlation over all (i, j) lags; (2m-1) x (2k-1) entries.
+    # evaluate_xy keeps anisotropic correlation models exact.
+    x = i * pitch_x
+    y = j * pitch_y
+    cov = rg_correlation.covariance(
+        correlation.evaluate_xy(x[:, None], y[None, :]))
+    # The zero-lag entry is the n self-pairs: full RG variance (eq. 11).
+    zero_i = cols - 1
+    zero_j = rows - 1
+    cov[zero_i, zero_j] = rg_correlation.same_site_covariance
+    counts = count_x[:, None] * count_y[None, :]
+    return float(np.sum(counts * cov))

@@ -1,0 +1,120 @@
+"""The O(1) variance by 1-D polar integration (paper eqs. 21-26).
+
+When the within-die correlation reaches (numerically) zero at some
+``D_max <= min(W, H)``, the 2-D integral of eq. (20) separates: the
+angular integral has the closed form (eq. 24)
+
+``g(r) = 0.5*r**2 - (W + H)*r + (pi/2)*W*H``
+
+leaving a single radial integral (eq. 25). With die-to-die variation the
+total correlation has a floor ``rho_C`` that never decays; splitting it
+off (eq. 26) adds the term ``sigma_XI^2 * n^2 * rho_C`` (in covariance
+form, ``n^2 * C_floor``) and integrates only the decaying remainder.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Optional
+
+from scipy import integrate
+
+from repro.core.rg_correlation import RGCorrelation
+from repro.exceptions import EstimationError
+from repro.process.correlation import SpatialCorrelation, TotalCorrelation
+
+
+def angular_kernel(r: float, width: float, height: float) -> float:
+    """``g(r)`` of eq. (24): the analytic angular integral."""
+    return 0.5 * r * r - (width + height) * r + 0.5 * math.pi * width * height
+
+
+def polar_variance(
+    n_cells: int,
+    width: float,
+    height: float,
+    correlation: SpatialCorrelation,
+    rg_correlation: RGCorrelation,
+    dmax: Optional[float] = None,
+    support_tolerance: float = 1e-4,
+    epsrel: float = 1e-9,
+    diagonal_correction: bool = False,
+) -> float:
+    """Total-leakage variance by the polar single integral — eqs. 25-26.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells on the die.
+    width / height:
+        Die dimensions [m].
+    correlation:
+        Total channel-length correlation. If it is a
+        :class:`~repro.process.correlation.TotalCorrelation`, its D2D
+        floor is split off per eq. (26); otherwise the floor is taken as
+        the correlation's value at ``dmax``.
+    rg_correlation:
+        The RG covariance structure.
+    dmax:
+        Radius beyond which the decaying part is treated as zero.
+        Defaults to the correlation's (effective) support. Must not
+        exceed ``min(W, H)`` — the applicability condition of
+        Section 3.2.2.
+    support_tolerance:
+        Tolerance used when deriving ``dmax`` for infinite-support
+        correlation families.
+    epsrel:
+        Quadrature relative tolerance.
+    diagonal_correction:
+        Add the self-pair excess ``n * (sigma_XI^2 - C_XI(1))`` (see
+        :func:`repro.core.estimators.integral2d.integral2d_variance`).
+    """
+    if n_cells <= 0:
+        raise EstimationError("n_cells must be positive")
+    if width <= 0 or height <= 0:
+        raise EstimationError("die dimensions must be positive")
+    if not correlation.isotropic:
+        raise EstimationError(
+            "the polar single-integral method requires an isotropic "
+            "correlation; use the 2-D integral for anisotropic models")
+
+    if isinstance(correlation, TotalCorrelation):
+        rho_floor_l = correlation.rho_floor
+        decay_support = correlation.wid.effective_support(support_tolerance)
+    else:
+        rho_floor_l = 0.0
+        decay_support = correlation.effective_support(support_tolerance)
+
+    if dmax is None:
+        dmax = decay_support
+    if dmax > min(width, height) * (1.0 + 1e-9):
+        raise EstimationError(
+            f"polar method requires D_max <= min(W, H); D_max = "
+            f"{dmax:.3e} m exceeds {min(width, height):.3e} m — use the "
+            "2-D integral instead")
+
+    if isinstance(correlation, TotalCorrelation) and rho_floor_l > 0.0:
+        cov_floor = float(rg_correlation.covariance(rho_floor_l))
+    elif rho_floor_l == 0.0 and not math.isfinite(correlation.support):
+        # Infinite-support WID-only correlation truncated at dmax: treat
+        # the residual beyond dmax as the floor so truncation error is
+        # second order.
+        cov_floor = float(rg_correlation.covariance(float(correlation(dmax))))
+    else:
+        cov_floor = float(rg_correlation.covariance(0.0))
+
+    def integrand(r: float) -> float:
+        cov = float(rg_correlation.covariance(float(correlation(r))))
+        return (cov - cov_floor) * r * angular_kernel(r, width, height)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", integrate.IntegrationWarning)
+        integral, _ = integrate.quad(integrand, 0.0, dmax,
+                                     epsrel=epsrel, limit=400)
+    area = width * height
+    variance = (4.0 * (n_cells ** 2 / area ** 2) * integral
+                + n_cells ** 2 * cov_floor)
+    if diagonal_correction:
+        variance += n_cells * rg_correlation.selection_gap
+    return variance

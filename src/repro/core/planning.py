@@ -1,0 +1,125 @@
+"""Design planning on top of the estimator: budgets and inverse problems.
+
+The point of an *early* leakage estimator (the paper's motivation:
+"given the need to budget for power constraints") is to answer planning
+questions before a netlist exists:
+
+* how much leakage will ``n`` cells draw, at a given yield percentile?
+* how many cells fit under a leakage budget?
+* which usage-mix adjustments buy the most leakage headroom?
+"""
+
+from __future__ import annotations
+
+import math
+from repro.analysis.distribution import LOGNORMAL, LeakageDistribution
+from repro.characterization.characterizer import LibraryCharacterization
+from repro.core.api import FullChipLeakageEstimator
+from repro.core.usage import CellUsage
+from repro.exceptions import EstimationError
+
+
+def leakage_at_percentile(
+    characterization: LibraryCharacterization,
+    usage: CellUsage,
+    n_cells: int,
+    site_area: float,
+    percentile: float = 0.99,
+    aspect: float = 1.0,
+    signal_probability: float = 0.5,
+    model: str = LOGNORMAL,
+    include_vt: bool = True,
+) -> float:
+    """Total leakage [A] not exceeded by ``percentile`` of dies.
+
+    The die grows with the design at fixed density: its area is
+    ``n_cells * site_area`` with the given aspect ratio.
+    """
+    if not 0.0 < percentile < 1.0:
+        raise EstimationError(
+            f"percentile must be in (0, 1), got {percentile!r}")
+    if site_area <= 0:
+        raise EstimationError(f"site_area must be positive, got {site_area!r}")
+    height = math.sqrt(n_cells * site_area / aspect)
+    estimator = FullChipLeakageEstimator(
+        characterization, usage, n_cells, aspect * height, height,
+        signal_probability=signal_probability)
+    estimate = estimator.estimate("auto")
+    distribution = LeakageDistribution.from_estimate(
+        estimate, model=model, include_vt=include_vt)
+    return float(distribution.quantile(percentile))
+
+
+def max_cells_for_budget(
+    characterization: LibraryCharacterization,
+    usage: CellUsage,
+    budget: float,
+    site_area: float,
+    percentile: float = 0.99,
+    aspect: float = 1.0,
+    signal_probability: float = 0.5,
+    model: str = LOGNORMAL,
+    include_vt: bool = True,
+    n_max: int = 100_000_000,
+) -> int:
+    """Largest cell count whose ``percentile`` leakage stays within
+    ``budget`` [A], at fixed placement density.
+
+    Bisects on the cell count; the percentile leakage is monotone in
+    ``n`` (mean scales ~n, std ~n for correlated variation), so the
+    answer is exact to the integer.
+    """
+    if budget <= 0:
+        raise EstimationError(f"budget must be positive, got {budget!r}")
+
+    def percentile_leakage(n: int) -> float:
+        return leakage_at_percentile(
+            characterization, usage, n, site_area, percentile, aspect,
+            signal_probability, model, include_vt)
+
+    if percentile_leakage(1) > budget:
+        return 0
+    lo, hi = 1, 2
+    while hi < n_max and percentile_leakage(hi) <= budget:
+        lo, hi = hi, hi * 4
+    if hi >= n_max:
+        raise EstimationError(
+            f"budget {budget!r} A admits more than n_max={n_max} cells")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if percentile_leakage(mid) <= budget:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def leakage_headroom(
+    characterization: LibraryCharacterization,
+    baseline: CellUsage,
+    candidate: CellUsage,
+    n_cells: int,
+    width: float,
+    height: float,
+    signal_probability: float = 0.5,
+) -> dict:
+    """Compare two usage mixes at the same floorplan.
+
+    Returns a dict with the mean/std of both mixes and the relative
+    savings of ``candidate`` over ``baseline`` — the what-if a planner
+    runs when trading drive strengths or architectural alternatives.
+    """
+    results = {}
+    for label, usage in (("baseline", baseline), ("candidate", candidate)):
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, n_cells, width, height,
+            signal_probability=signal_probability).estimate("auto")
+        results[label] = estimate
+    base = results["baseline"]
+    cand = results["candidate"]
+    return {
+        "baseline": base,
+        "candidate": cand,
+        "mean_saving": 1.0 - cand.mean / base.mean,
+        "std_saving": 1.0 - cand.std / base.std,
+    }

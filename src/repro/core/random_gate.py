@@ -1,0 +1,175 @@
+"""The Random Gate (RG) abstraction — paper Section 2.2.2.
+
+A Random Gate is "a gate picked at random from the library according to
+the frequency-of-use distribution". Here the mixture runs over
+*(cell, input-state)* pairs: the cell type is drawn from the usage
+histogram (eq. 6) and the state from the cell's state distribution under
+the chip's signal probability ``p``. This is exactly the paper's
+construction — its cells are "characterized for every input state" and
+the state dimension averages out chip-wide (Section 2.1.4) — made
+explicit as a single flat mixture, so eqs. (7)-(8) apply unchanged:
+
+* mean:     ``mu_XI = sum_i alpha_i * mu_i``            (eq. 7)
+* 2nd mom.: ``E[XI^2] = sum_i alpha_i (sigma_i^2 + mu_i^2)``  (eq. 8)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.characterization.characterizer import LibraryCharacterization
+from repro.characterization.fitting import LeakageFit
+from repro.core.usage import CellUsage
+from repro.exceptions import EstimationError
+
+
+@dataclass(frozen=True)
+class GateMixture:
+    """Flat mixture of (cell, state) leakage components.
+
+    Attributes
+    ----------
+    labels:
+        ``(cell_name, state_label)`` per component.
+    alphas:
+        Mixture weights (usage fraction x state probability); sum to 1.
+    means / stds:
+        Per-component leakage statistics [A].
+    fits:
+        Per-component ``(a, b, c)`` fits, or ``None`` when the
+        characterization ran in Monte-Carlo mode.
+    """
+
+    labels: Tuple[Tuple[str, str], ...]
+    alphas: np.ndarray
+    means: np.ndarray
+    stds: np.ndarray
+    fits: Optional[Tuple[LeakageFit, ...]]
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if not (self.alphas.shape == self.means.shape == self.stds.shape
+                == (n,)):
+            raise EstimationError("mixture arrays must be aligned")
+        if n == 0:
+            raise EstimationError("mixture must be non-empty")
+        if abs(float(self.alphas.sum()) - 1.0) > 1e-9:
+            raise EstimationError(
+                f"mixture weights must sum to 1, got {self.alphas.sum()!r}")
+
+    @property
+    def has_fits(self) -> bool:
+        return self.fits is not None
+
+    def prune(self, tolerance: float = 1e-12) -> "GateMixture":
+        """Drop negligible-weight components and renormalize."""
+        keep = self.alphas > tolerance
+        if keep.all():
+            return self
+        alphas = self.alphas[keep]
+        fits = None if self.fits is None else tuple(
+            fit for fit, k in zip(self.fits, keep) if k)
+        return GateMixture(
+            labels=tuple(lbl for lbl, k in zip(self.labels, keep) if k),
+            alphas=alphas / alphas.sum(),
+            means=self.means[keep],
+            stds=self.stds[keep],
+            fits=fits,
+        )
+
+
+def expand_mixture(characterization: LibraryCharacterization,
+                   usage: CellUsage, p: float = 0.5,
+                   state_weights=None) -> GateMixture:
+    """Expand a usage histogram into the flat (cell, state) mixture.
+
+    Parameters
+    ----------
+    characterization:
+        Characterized library (must cover every cell in ``usage``).
+    usage:
+        Frequency-of-use distribution.
+    p:
+        Primary signal probability weighting the cell states.
+    state_weights:
+        Optional mapping of cell name to a state-probability vector that
+        overrides the chip-wide ``p`` for that cell — the late-mode
+        refinement where per-cell state distributions are extracted from
+        the netlist's propagated signal probabilities.
+    """
+    labels: List[Tuple[str, str]] = []
+    alphas: List[float] = []
+    means: List[float] = []
+    stds: List[float] = []
+    fits: List[LeakageFit] = []
+    all_fits = True
+    for cell_name, fraction in usage.items():
+        if cell_name not in characterization:
+            raise EstimationError(
+                f"usage references uncharacterized cell {cell_name!r}")
+        cell_char = characterization[cell_name]
+        if state_weights is not None and cell_name in state_weights:
+            state_probs = np.asarray(state_weights[cell_name], dtype=float)
+            if state_probs.shape != (len(cell_char.states),) or \
+                    abs(float(state_probs.sum()) - 1.0) > 1e-6:
+                raise EstimationError(
+                    f"invalid state weights for cell {cell_name!r}")
+        else:
+            state_probs = cell_char.cell.state_probabilities(p)
+        for state_char, prob in zip(cell_char.states, state_probs):
+            labels.append((cell_name, state_char.state_label))
+            alphas.append(fraction * prob)
+            means.append(state_char.mean)
+            stds.append(state_char.std)
+            if state_char.fit is None:
+                all_fits = False
+            else:
+                fits.append(state_char.fit)
+    mixture = GateMixture(
+        labels=tuple(labels),
+        alphas=np.array(alphas),
+        means=np.array(means),
+        stds=np.array(stds),
+        fits=tuple(fits) if all_fits else None,
+    )
+    return mixture.prune()
+
+
+class RandomGate:
+    """Random Gate leakage statistics (paper eqs. (7)-(8))."""
+
+    def __init__(self, mixture: GateMixture) -> None:
+        self.mixture = mixture
+        self._mean = float(mixture.alphas @ mixture.means)
+        second = float(mixture.alphas
+                       @ (mixture.stds ** 2 + mixture.means ** 2))
+        self._variance = max(0.0, second - self._mean ** 2)
+
+    @property
+    def mean(self) -> float:
+        """``mu_XI`` — eq. (7)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """``sigma_XI^2`` — from eq. (8)."""
+        return self._variance
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._variance)
+
+    @property
+    def mean_of_stds(self) -> float:
+        """``sum_i alpha_i * sigma_i`` — the coefficient of the simplified
+        covariance ``F(rho) = rho * (sum alpha_i sigma_i)^2``."""
+        return float(self.mixture.alphas @ self.mixture.stds)
+
+    def __repr__(self) -> str:
+        return (f"RandomGate(mean={self.mean:.3e} A, "
+                f"std={self.std:.3e} A, "
+                f"components={len(self.mixture.labels)})")

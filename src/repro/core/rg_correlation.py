@@ -1,0 +1,137 @@
+"""Random-Gate leakage covariance (paper Section 2.2.3).
+
+For two RGs at distinct locations, the covariance of their leakages is
+the usage-weighted average over all gate-type pairs (eq. 9):
+
+``C_XI(rho_L) = sum_mn alpha_m alpha_n [E[X_m X_n](rho_L) - mu_m mu_n]``
+
+evaluated through the leakage-correlation mapping ``f_mn`` (eq. 10). At
+the *same* location the covariance is the full RG variance (eq. 11) —
+note the discontinuity: ``C_XI(rho_L -> 1) < sigma_XI^2`` because gate
+*selection* at two distinct sites is independent even when the process
+correlation is perfect.
+
+Two evaluation modes:
+
+* **exact** — the closed-form pairwise cross moment from the fitted
+  ``(a, b, c)`` triplets, precomputed on a dense grid of ``rho_L`` and
+  linearly interpolated (the mapping is smooth and nearly linear);
+* **simplified** — the paper's Section 3.1.2 assumption
+  ``rho_mn = rho_L`` for all pairs, giving
+  ``C_XI(rho_L) = rho_L * (sum_i alpha_i sigma_i)^2``. This is the only
+  option when cells were characterized by Monte Carlo (no triplets).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.random_gate import RandomGate
+from repro.exceptions import EstimationError, MomentExistenceError
+
+
+class RGCorrelation:
+    """Distance-free RG covariance as a function of length correlation.
+
+    Parameters
+    ----------
+    random_gate:
+        The RG whose mixture defines the covariance.
+    mu_l / sigma_l:
+        Channel-length mean and *total* standard deviation.
+    simplified:
+        Force the simplified ``rho_mn = rho_L`` assumption. Defaults to
+        exact when fits are available, simplified otherwise.
+    n_grid:
+        Grid resolution for the precomputed exact mapping on [-1, 1].
+    """
+
+    def __init__(self, random_gate: RandomGate, mu_l: float, sigma_l: float,
+                 simplified: Optional[bool] = None, n_grid: int = 65) -> None:
+        mixture = random_gate.mixture
+        if simplified is None:
+            simplified = not mixture.has_fits
+        if not simplified and not mixture.has_fits:
+            raise EstimationError(
+                "exact RG correlation requires (a, b, c) fits; characterize "
+                "the library in analytical mode or set simplified=True")
+        self.random_gate = random_gate
+        self.simplified = bool(simplified)
+        self.variance = random_gate.variance
+
+        if self.simplified:
+            self._scale = random_gate.mean_of_stds ** 2
+            self._grid = None
+            self._values = None
+        else:
+            self._grid = np.linspace(-1.0, 1.0, n_grid)
+            self._values = self._exact_covariance_grid(
+                mixture, mu_l, sigma_l, self._grid)
+            self._scale = None
+
+    @staticmethod
+    def _exact_covariance_grid(mixture, mu_l: float, sigma_l: float,
+                               grid: np.ndarray) -> np.ndarray:
+        alphas = mixture.alphas
+        a = np.array([fit.c for fit in mixture.fits]) * sigma_l ** 2
+        if np.any(1.0 - 2.0 * a <= 0):
+            raise MomentExistenceError(
+                "a mixture component has c*sigma^2 >= 1/2; its pairwise "
+                "moments do not exist")
+        h = np.array([(fit.b + 2.0 * fit.c * mu_l) * sigma_l
+                      for fit in mixture.fits])
+        k = np.array([math.log(fit.a) + fit.b * mu_l + fit.c * mu_l ** 2
+                      for fit in mixture.fits])
+        # Pairwise building blocks, cached once (q x q each).
+        one = 1.0 - 2.0 * a
+        d0 = np.outer(one, one)
+        aa = np.outer(a, a)
+        h_sq = h * h
+        p0 = h_sq[:, None] * one[None, :] + h_sq[None, :] * one[:, None]
+        p2 = 2.0 * (h_sq[:, None] * a[None, :] + h_sq[None, :] * a[:, None])
+        p1 = 2.0 * np.outer(h, h)
+        k_sum = k[:, None] + k[None, :]
+        mean_total = float(alphas @ mixture.means)
+
+        values = np.empty_like(grid)
+        for idx, rho in enumerate(grid):
+            det = d0 - 4.0 * rho * rho * aa
+            if np.any(det <= 0):
+                raise MomentExistenceError(
+                    "pairwise cross moment does not exist at "
+                    f"rho_L = {rho:.3f}")
+            quad = (p0 + rho * p1 + rho * rho * p2) / det
+            cross = det ** -0.5 * np.exp(k_sum + 0.5 * quad)
+            values[idx] = float(alphas @ cross @ alphas) - mean_total ** 2
+        return values
+
+    def covariance(self, rho_l) -> np.ndarray:
+        """``C_XI`` between two *distinct* sites with length correlation
+        ``rho_l`` (scalar or array)."""
+        rho_l = np.asarray(rho_l, dtype=float)
+        if np.any(np.abs(rho_l) > 1.0 + 1e-12):
+            raise EstimationError("length correlation must lie in [-1, 1]")
+        if self.simplified:
+            return self._scale * rho_l
+        return np.interp(rho_l, self._grid, self._values)
+
+    def rho(self, rho_l) -> np.ndarray:
+        """Normalized RG leakage correlation ``C_XI(rho_l) / sigma_XI^2``
+        (the ``rho_XI`` entering eqs. (15)-(26)) for distinct sites."""
+        if self.variance <= 0:
+            raise EstimationError("random gate has zero variance")
+        return self.covariance(rho_l) / self.variance
+
+    @property
+    def same_site_covariance(self) -> float:
+        """Covariance at the same site: the RG variance (eq. 11)."""
+        return self.variance
+
+    @property
+    def selection_gap(self) -> float:
+        """``sigma_XI^2 - C_XI(1)``: the covariance discontinuity due to
+        independent gate selection at distinct sites."""
+        return float(self.variance - self.covariance(1.0))

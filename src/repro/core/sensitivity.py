@@ -1,0 +1,86 @@
+"""Leakage attribution: which cell types drive the chip's mean and
+spread.
+
+A planner acting on an estimate needs to know *where* the leakage comes
+from. The Random-Gate mixture makes attribution analytic:
+
+* **mean share** of component ``i``: ``alpha_i * mu_i / mu_XI`` —
+  total mean is linear in the mixture (eq. 7);
+* **spread share**: with the (near-exact) simplified correlation model
+  the correlated part of the chip variance is proportional to
+  ``(sum_i alpha_i sigma_i)^2``, so component ``i`` owns the fraction
+  ``alpha_i sigma_i / sum_j alpha_j sigma_j`` of the chip's *standard
+  deviation* — the quantity that actually adds linearly across fully
+  correlated contributors.
+
+Components are (cell, state) pairs; per-cell aggregation sums them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.random_gate import RandomGate
+from repro.exceptions import EstimationError
+
+
+@dataclass(frozen=True)
+class AttributionRow:
+    """Per-cell attribution of chip leakage statistics."""
+
+    cell_name: str
+    usage_fraction: float
+    mean_share: float
+    std_share: float
+
+
+def leakage_attribution(random_gate: RandomGate) -> List[AttributionRow]:
+    """Per-cell shares of the chip's mean leakage and leakage spread.
+
+    Shares each sum to one; rows are sorted by descending mean share.
+    """
+    mixture = random_gate.mixture
+    mean_total = float(mixture.alphas @ mixture.means)
+    corr_sigma_total = float(mixture.alphas @ mixture.stds)
+    if mean_total <= 0 or corr_sigma_total <= 0:
+        raise EstimationError("random gate has degenerate statistics")
+
+    by_cell: Dict[str, List[float]] = {}
+    for (cell_name, _), alpha, mean, std in zip(
+            mixture.labels, mixture.alphas, mixture.means, mixture.stds):
+        record = by_cell.setdefault(cell_name, [0.0, 0.0, 0.0])
+        record[0] += float(alpha)
+        record[1] += float(alpha * mean)
+        record[2] += float(alpha * std)
+
+    rows = [AttributionRow(
+        cell_name=name,
+        usage_fraction=usage,
+        mean_share=mean_mass / mean_total,
+        std_share=sigma_mass / corr_sigma_total,
+    ) for name, (usage, mean_mass, sigma_mass) in by_cell.items()]
+    rows.sort(key=lambda row: -row.mean_share)
+    return rows
+
+
+def usage_gradient(random_gate: RandomGate) -> List[Tuple[str, float]]:
+    """Marginal mean leakage per cell type [A per gate].
+
+    The derivative of the chip mean w.r.t. shifting one gate of usage
+    into type ``i`` (at fixed ``n``) is ``mu_i(p) - mu_XI``: positive
+    for leakier-than-average types. Sorted descending — the first
+    entries are the best candidates to swap *away from*; the last, the
+    best to swap *to*.
+    """
+    mixture = random_gate.mixture
+    by_cell: Dict[str, List[float]] = {}
+    for (cell_name, _), alpha, mean in zip(
+            mixture.labels, mixture.alphas, mixture.means):
+        record = by_cell.setdefault(cell_name, [0.0, 0.0])
+        record[0] += float(alpha)
+        record[1] += float(alpha * mean)
+    gradient = [(name, mass / usage - random_gate.mean)
+                for name, (usage, mass) in by_cell.items() if usage > 0]
+    gradient.sort(key=lambda item: -item[1])
+    return gradient

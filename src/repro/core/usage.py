@@ -1,0 +1,107 @@
+"""Cell usage histograms (frequency-of-use distributions).
+
+One of the four high-level design characteristics the paper's model
+consumes: the fraction of the design's cells that are of each library
+type (paper eq. (6): ``P{I = i} = alpha_i``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class CellUsage:
+    """A frequency-of-use distribution over library cell names.
+
+    Parameters
+    ----------
+    fractions:
+        Mapping of cell name to usage fraction; fractions must be
+        non-negative and sum to one (within tolerance; they are
+        re-normalized exactly).
+    """
+
+    def __init__(self, fractions: Mapping[str, float]) -> None:
+        if not fractions:
+            raise ConfigurationError("usage histogram must be non-empty")
+        names = tuple(fractions)
+        values = np.array([float(fractions[name]) for name in names])
+        if np.any(values < 0):
+            raise ConfigurationError("usage fractions must be non-negative")
+        total = values.sum()
+        if not 0.99 < total < 1.01:
+            raise ConfigurationError(
+                f"usage fractions must sum to ~1, got {total:.6f}")
+        keep = values > 0
+        self._names: Tuple[str, ...] = tuple(np.array(names)[keep])
+        self._fractions = values[keep] / values[keep].sum()
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int]) -> "CellUsage":
+        """Build from instance counts (e.g. extracted from a netlist)."""
+        total = sum(counts.values())
+        if total <= 0:
+            raise ConfigurationError("counts must sum to a positive number")
+        return cls({name: count / total for name, count in counts.items()
+                    if count})
+
+    @classmethod
+    def uniform(cls, names: Sequence[str]) -> "CellUsage":
+        """Equal usage over the given cell names."""
+        if not names:
+            raise ConfigurationError("need at least one cell name")
+        return cls({name: 1.0 / len(names) for name in names})
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """Usage fractions aligned with :attr:`names` (sums to 1)."""
+        return self._fractions.copy()
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            idx = self._names.index(name)
+        except ValueError:
+            return 0.0
+        return float(self._fractions[idx])
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        return zip(self._names, self._fractions)
+
+    def sample(self, n: int,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``n`` cell names i.i.d. from the histogram."""
+        rng = np.random.default_rng() if rng is None else rng
+        idx = rng.choice(len(self._names), size=n, p=self._fractions)
+        return np.array(self._names)[idx]
+
+    def counts_for(self, n: int) -> Dict[str, int]:
+        """Deterministic integer apportionment of ``n`` instances.
+
+        Largest-remainder rounding so the counts sum exactly to ``n`` —
+        used when generating circuits that match the histogram a priori
+        (paper Section 3.1.1).
+        """
+        raw = self._fractions * n
+        base = np.floor(raw).astype(int)
+        deficit = n - int(base.sum())
+        order = np.argsort(-(raw - base))
+        base[order[:deficit]] += 1
+        return {name: int(count)
+                for name, count in zip(self._names, base) if count}
+
+    def __repr__(self) -> str:
+        top = sorted(self.items(), key=lambda kv: -kv[1])[:4]
+        body = ", ".join(f"{name}: {frac:.3f}" for name, frac in top)
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"CellUsage({{{body}{suffix}}})"

@@ -1,0 +1,5 @@
+"""Transistor-level device models (subthreshold leakage)."""
+
+from repro.devices.mosfet import DeviceModel, NMOS, PMOS
+
+__all__ = ["DeviceModel", "NMOS", "PMOS"]

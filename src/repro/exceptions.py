@@ -1,0 +1,45 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class CorrelationError(ReproError):
+    """A spatial correlation function is invalid or used out of domain."""
+
+
+class CharacterizationError(ReproError):
+    """Cell leakage characterization failed (fit, moments, or sampling)."""
+
+
+class MomentExistenceError(CharacterizationError):
+    """A requested moment of the fitted leakage model does not exist.
+
+    The exact moments of ``X = a*exp(b*L + c*L**2)`` with Gaussian ``L``
+    exist only while ``1 - 2*c*sigma**2 * t > 0``; for strongly convex
+    fits (large ``c``) the second moment can diverge.
+    """
+
+
+class SolverError(ReproError):
+    """The DC subthreshold circuit solver failed to converge."""
+
+
+class NetlistError(ReproError):
+    """A transistor- or gate-level netlist is malformed."""
+
+
+class EstimationError(ReproError):
+    """Full-chip leakage estimation could not be carried out."""

@@ -1,0 +1,17 @@
+"""Leakage optimization on top of the estimation engine."""
+
+from repro.opt.dualvt import (
+    DualVtCharacterization,
+    build_dual_vt,
+    dual_vt_usage,
+    hvt_technology,
+    optimize_hvt_fraction,
+)
+
+__all__ = [
+    "DualVtCharacterization",
+    "build_dual_vt",
+    "dual_vt_usage",
+    "hvt_technology",
+    "optimize_hvt_fraction",
+]

@@ -1,0 +1,202 @@
+"""Dual-threshold (dual-Vt) leakage recovery.
+
+The canonical application of a full-chip leakage estimator in the
+2000s design flow: offer every cell in two flavours — standard-Vt (SVT,
+fast, leaky) and high-Vt (HVT, slower, exponentially less leaky) — and
+swap non-critical instances to HVT until the chip meets its leakage
+budget. This module builds the HVT flavour of the library (a threshold
+offset applied at characterization time, exactly how foundries derive
+multi-Vt corners), merges both flavours into a single characterized
+library, and solves for the HVT fraction that meets a statistical
+leakage budget.
+
+Timing is out of scope (the paper's model is leakage-only); the
+``max_hvt_fraction`` knob stands in for the timing-imposed limit on how
+many instances may be swapped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.analysis.distribution import LOGNORMAL, LeakageDistribution
+from repro.cells.library import StandardCellLibrary
+from repro.characterization.characterizer import (
+    CellCharacterization,
+    LibraryCharacterization,
+    StateCharacterization,
+    characterize_library,
+)
+from repro.core.api import FullChipLeakageEstimator
+from repro.core.usage import CellUsage
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.process.parameters import VtSpec
+from repro.process.technology import Technology
+
+#: Suffix appended to HVT flavour cell names.
+HVT_SUFFIX = "_HVT"
+
+
+def hvt_technology(technology: Technology, vt_offset: float = 0.08
+                   ) -> Technology:
+    """The same process with both thresholds raised by ``vt_offset`` [V].
+
+    An 80 mV offset is typical of a 90 nm SVT/HVT pair (roughly one
+    decade of subthreshold leakage).
+    """
+    if vt_offset <= 0:
+        raise ConfigurationError(
+            f"vt_offset must be positive, got {vt_offset!r}")
+    vt = technology.vt
+    return dataclasses.replace(
+        technology,
+        name=f"{technology.name}-hvt",
+        vt=VtSpec(nominal_n=vt.nominal_n + vt_offset,
+                  nominal_p=vt.nominal_p + vt_offset,
+                  sigma=vt.sigma))
+
+
+@dataclass(frozen=True)
+class DualVtCharacterization:
+    """A merged SVT + HVT characterized library.
+
+    ``characterization`` covers both flavours (HVT cells carry the
+    :data:`HVT_SUFFIX`); ``hvt_leakage_ratio`` summarizes the average
+    HVT/SVT mean-leakage ratio across cells.
+    """
+
+    library: StandardCellLibrary
+    characterization: LibraryCharacterization
+    vt_offset: float
+    hvt_leakage_ratio: float
+
+    def hvt_name(self, cell_name: str) -> str:
+        return cell_name + HVT_SUFFIX
+
+
+def build_dual_vt(library: StandardCellLibrary, technology: Technology,
+                  vt_offset: float = 0.08) -> DualVtCharacterization:
+    """Characterize the library in SVT and HVT flavours and merge them.
+
+    The merged characterization attaches to the base technology (the
+    channel-length statistics, which drive the correlation machinery,
+    are flavour-independent); the HVT threshold enters through the
+    stored per-state moments and fits.
+    """
+    svt_char = characterize_library(library, technology)
+    hvt_char = characterize_library(library, hvt_technology(technology,
+                                                            vt_offset))
+
+    merged_cells = list(library.cells)
+    table: Dict[str, CellCharacterization] = {
+        name: svt_char[name] for name in library.names}
+    ratios = []
+    for name in library.names:
+        hvt_cell = dataclasses.replace(library[name],
+                                       name=name + HVT_SUFFIX)
+        merged_cells.append(hvt_cell)
+        states = tuple(
+            StateCharacterization(
+                cell_name=hvt_cell.name, state_label=state.state_label,
+                mean=state.mean, std=state.std, fit=state.fit)
+            for state in hvt_char[name].states)
+        table[hvt_cell.name] = CellCharacterization(cell=hvt_cell,
+                                                    states=states)
+        svt_mean, _ = svt_char[name].moments_at(0.5)
+        hvt_mean, _ = hvt_char[name].moments_at(0.5)
+        ratios.append(hvt_mean / svt_mean)
+
+    merged_library = StandardCellLibrary(merged_cells)
+    merged = LibraryCharacterization(merged_library, technology,
+                                     svt_char.mode, table)
+    ratio = sum(ratios) / len(ratios)
+    return DualVtCharacterization(library=merged_library,
+                                  characterization=merged,
+                                  vt_offset=vt_offset,
+                                  hvt_leakage_ratio=ratio)
+
+
+def dual_vt_usage(usage: CellUsage,
+                  hvt_fraction: Union[float, Mapping[str, float]]
+                  ) -> CellUsage:
+    """Split a usage histogram between SVT and HVT flavours.
+
+    ``hvt_fraction`` is either one global fraction or a per-cell map;
+    each cell's usage mass is split ``(1-f)`` SVT / ``f`` HVT.
+    """
+    fractions: Dict[str, float] = {}
+    for name, mass in usage.items():
+        if isinstance(hvt_fraction, Mapping):
+            f = float(hvt_fraction.get(name, 0.0))
+        else:
+            f = float(hvt_fraction)
+        if not 0.0 <= f <= 1.0:
+            raise ConfigurationError(
+                f"HVT fraction for {name!r} must be in [0, 1], got {f!r}")
+        if f < 1.0:
+            fractions[name] = mass * (1.0 - f)
+        if f > 0.0:
+            fractions[name + HVT_SUFFIX] = mass * f
+    return CellUsage(fractions)
+
+
+def optimize_hvt_fraction(
+    dual: DualVtCharacterization,
+    usage: CellUsage,
+    n_cells: int,
+    width: float,
+    height: float,
+    budget: float,
+    percentile: float = 0.99,
+    signal_probability: float = 0.5,
+    model: str = LOGNORMAL,
+    max_hvt_fraction: float = 1.0,
+    tolerance: float = 1e-3,
+    include_vt: bool = False,
+) -> Tuple[float, LeakageDistribution]:
+    """Smallest global HVT fraction meeting a statistical leakage budget.
+
+    Finds ``f`` such that the ``percentile`` quantile of total leakage is
+    at most ``budget`` [A]. ``include_vt`` folds the RDF Vt mean
+    multiplier into the distribution (match it to however the budget was
+    derived). Returns ``(fraction, distribution)``; raises if even
+    ``max_hvt_fraction`` cannot meet the budget (the design needs more
+    than Vt-swapping).
+    """
+    if budget <= 0:
+        raise EstimationError(f"budget must be positive, got {budget!r}")
+    if not 0.0 < max_hvt_fraction <= 1.0:
+        raise EstimationError(
+            f"max_hvt_fraction must be in (0, 1], got {max_hvt_fraction!r}")
+
+    def quantile_at(f: float) -> Tuple[float, LeakageDistribution]:
+        mixed = dual_vt_usage(usage, f)
+        estimate = FullChipLeakageEstimator(
+            dual.characterization, mixed, n_cells, width, height,
+            signal_probability=signal_probability).estimate("auto")
+        distribution = LeakageDistribution.from_estimate(
+            estimate, model, include_vt=include_vt)
+        return float(distribution.quantile(percentile)), distribution
+
+    q0, dist0 = quantile_at(0.0)
+    if q0 <= budget:
+        return 0.0, dist0
+    q_max, dist_max = quantile_at(max_hvt_fraction)
+    if q_max > budget:
+        raise EstimationError(
+            f"budget {budget:.3e} A unreachable: even at HVT fraction "
+            f"{max_hvt_fraction:g} the {percentile:.0%} leakage is "
+            f"{q_max:.3e} A")
+
+    lo, hi = 0.0, max_hvt_fraction
+    dist = dist_max
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        q_mid, dist_mid = quantile_at(mid)
+        if q_mid <= budget:
+            hi, dist = mid, dist_mid
+        else:
+            lo = mid
+    return hi, dist

@@ -1,0 +1,49 @@
+"""Process variation models: D2D/WID parameter splits, spatial correlation
+functions, technology presets, correlated-field sampling, and robust
+correlation extraction.
+"""
+
+from repro.process.parameters import ProcessParameter, VtSpec
+from repro.process.correlation import (
+    AnisotropicCorrelation,
+    SpatialCorrelation,
+    ExponentialCorrelation,
+    GaussianCorrelation,
+    LinearCorrelation,
+    SphericalCorrelation,
+    CompositeCorrelation,
+    TotalCorrelation,
+)
+from repro.process.technology import Technology, synthetic_90nm
+from repro.process.field import CholeskyFieldSampler, CirculantFieldSampler, sample_field
+from repro.process.extraction import extract_correlation, CorrelationFit
+from repro.process.corners import (
+    ProcessCorner,
+    corner_report,
+    corner_technology,
+    leakage_corners,
+)
+
+__all__ = [
+    "ProcessParameter",
+    "VtSpec",
+    "AnisotropicCorrelation",
+    "SpatialCorrelation",
+    "ExponentialCorrelation",
+    "GaussianCorrelation",
+    "LinearCorrelation",
+    "SphericalCorrelation",
+    "CompositeCorrelation",
+    "TotalCorrelation",
+    "Technology",
+    "synthetic_90nm",
+    "CholeskyFieldSampler",
+    "CirculantFieldSampler",
+    "sample_field",
+    "extract_correlation",
+    "CorrelationFit",
+    "ProcessCorner",
+    "corner_report",
+    "corner_technology",
+    "leakage_corners",
+]

@@ -1,0 +1,138 @@
+"""Process corners for leakage sign-off.
+
+Classical corner analysis pins the die-to-die component at a ±k·σ point
+(every device on a given die shares it) while the within-die component
+keeps varying. In this library's terms a corner is the *conditional*
+process given the D2D draw:
+
+* the channel-length nominal shifts by ``k · σ_dd``;
+* the D2D variance collapses to zero (it is now pinned);
+* the WID statistics are untouched;
+* optionally, the thresholds shift and the junction temperature moves
+  (the leakage-relevant fast/slow corners pair short-L with low-Vt and
+  high temperature).
+
+The leakage estimator then gives the *within-corner* statistics — mean
+and residual (WID-driven) spread — which is exactly the corner-report
+table power sign-off quotes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.process.parameters import ProcessParameter, VtSpec
+from repro.process.technology import Technology
+
+if TYPE_CHECKING:  # higher-layer types; imported lazily at call time
+    from repro.cells.library import StandardCellLibrary
+    from repro.core.api import LeakageEstimate
+    from repro.core.usage import CellUsage
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One named process corner.
+
+    Attributes
+    ----------
+    name:
+        Corner label, e.g. ``"FF"``.
+    l_d2d_sigmas:
+        Die-to-die channel-length offset in units of ``σ_dd``
+        (negative = shorter = leakier).
+    vt_shift:
+        Deterministic threshold shift [V] applied to both polarities
+        (negative = leakier).
+    temperature:
+        Junction temperature [K], or ``None`` for the characterization
+        temperature.
+    """
+
+    name: str
+    l_d2d_sigmas: float = 0.0
+    vt_shift: float = 0.0
+    temperature: Optional[float] = None
+
+
+def leakage_corners(hot: float = 398.15) -> Tuple[ProcessCorner, ...]:
+    """The standard leakage corner trio.
+
+    ``FF`` (fast/leaky): L at −3σ_dd, Vt −30 mV, hot.
+    ``TT`` (typical): everything nominal.
+    ``SS`` (slow/tight): L at +3σ_dd, Vt +30 mV, hot (leakage sign-off
+    is quoted at temperature even for the slow corner).
+    """
+    return (
+        ProcessCorner("FF", l_d2d_sigmas=-3.0, vt_shift=-0.030,
+                      temperature=hot),
+        ProcessCorner("TT", l_d2d_sigmas=0.0, vt_shift=0.0,
+                      temperature=None),
+        ProcessCorner("SS", l_d2d_sigmas=+3.0, vt_shift=+0.030,
+                      temperature=hot),
+    )
+
+
+def corner_technology(technology: Technology,
+                      corner: ProcessCorner) -> Technology:
+    """The conditional technology at a pinned D2D corner."""
+    length = technology.length
+    nominal = length.nominal + corner.l_d2d_sigmas * length.sigma_d2d
+    if nominal <= 0:
+        raise ConfigurationError(
+            f"corner {corner.name!r} drives the channel length through zero")
+    if length.sigma_wid <= 0:
+        raise ConfigurationError(
+            "corner analysis pins the D2D component; the technology needs "
+            "a non-zero WID component to retain any variation")
+    pinned = ProcessParameter(name=length.name, nominal=nominal,
+                              sigma_d2d=0.0, sigma_wid=length.sigma_wid)
+    vt = technology.vt
+    shifted_vt = VtSpec(nominal_n=vt.nominal_n + corner.vt_shift,
+                        nominal_p=vt.nominal_p + corner.vt_shift,
+                        sigma=vt.sigma)
+    result = dataclasses.replace(
+        technology, name=f"{technology.name}-{corner.name}",
+        length=pinned, vt=shifted_vt)
+    if corner.temperature is not None:
+        result = result.at_temperature(corner.temperature)
+    return result
+
+
+def corner_report(
+    library: "StandardCellLibrary",
+    technology: Technology,
+    usage: "CellUsage",
+    n_cells: int,
+    width: float,
+    height: float,
+    corners: Optional[Sequence[ProcessCorner]] = None,
+    signal_probability: float = 0.5,
+    method: str = "auto",
+) -> "List[Tuple[ProcessCorner, LeakageEstimate]]":
+    """Full-chip leakage statistics at each process corner.
+
+    Returns ``(corner, estimate)`` pairs in the given order; each
+    estimate's spread is the *residual within-corner* (WID-driven)
+    variation.
+    """
+    # Imported here: corners.py sits in the low-level process package
+    # but orchestrates the higher layers.
+    from repro.characterization.characterizer import characterize_library
+    from repro.core.api import FullChipLeakageEstimator
+
+    if corners is None:
+        corners = leakage_corners()
+    report = []
+    for corner in corners:
+        tech_c = corner_technology(technology, corner)
+        characterization = characterize_library(library, tech_c,
+                                                cells=usage.names)
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, n_cells, width, height,
+            signal_probability=signal_probability).estimate(method)
+        report.append((corner, estimate))
+    return report

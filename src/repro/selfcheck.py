@@ -1,0 +1,142 @@
+"""Installation self-check.
+
+``python -m repro selfcheck`` runs a condensed version of the validation
+chain — device physics, solver consistency, moment mathematics,
+estimator equivalences, and a miniature end-to-end Monte-Carlo
+cross-check — and prints one PASS/FAIL line per property. It takes a few
+seconds and requires nothing beyond the installed package; use it to
+confirm an environment before trusting real estimates from it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+
+def _checks() -> List[Tuple[str, Callable[[], bool]]]:
+    from repro.cells import build_library
+    from repro.characterization import (
+        characterize_library,
+        mgf_moments,
+        moments_numeric,
+    )
+    from repro.core import (
+        CellUsage,
+        FullChipModel,
+        RandomGate,
+        RGCorrelation,
+        expand_mixture,
+    )
+    from repro.core.estimators import integral2d_variance, linear_variance
+    from repro.devices import DeviceModel, NMOS
+    from repro.process import synthetic_90nm
+
+    technology = synthetic_90nm(correlation_length=0.5e-3)
+    model = DeviceModel(technology)
+    library = build_library()
+    l_nom = technology.length.nominal
+
+    def check_library() -> bool:
+        return len(library) == 62 and library.total_states() > 400
+
+    def check_device_physics() -> bool:
+        lengths = np.linspace(0.9, 1.1, 5) * l_nom
+        ioff = model.off_current(NMOS, lengths, technology.min_width)
+        return bool(np.all(np.diff(ioff) < 0) and np.all(ioff > 0))
+
+    def check_stack_effect() -> bool:
+        from repro.spice import state_leakage
+        nand = library["NAND2_X1"]
+        by_label = {s.label: s for s in nand.states}
+        stacked = float(state_leakage(nand.netlist,
+                                      by_label["I0=0,I1=0"].nodes, model,
+                                      l_nom)[0])
+        single = float(state_leakage(nand.netlist,
+                                     by_label["I0=1,I1=0"].nodes, model,
+                                     l_nom)[0])
+        return stacked < 0.5 * single
+
+    characterization = characterize_library(
+        library, technology, cells=["INV_X1", "NAND2_X1", "NOR2_X1"])
+
+    def check_moments() -> bool:
+        fit = characterization["NAND2_X1"].states[0].fit
+        closed = mgf_moments(fit.a, fit.b, fit.c, l_nom,
+                             technology.length.sigma)
+        numeric = moments_numeric(fit.a, fit.b, fit.c, l_nom,
+                                  technology.length.sigma)
+        return (abs(closed[0] / numeric[0] - 1) < 1e-6
+                and abs(closed[1] / numeric[1] - 1) < 1e-4)
+
+    usage = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
+    rg = RandomGate(expand_mixture(characterization, usage, 0.5))
+    rgc = RGCorrelation(rg, l_nom, technology.length.sigma)
+    correlation = technology.total_correlation
+
+    def check_linear_is_exact() -> bool:
+        chip = FullChipModel(n_cells=144, width=6e-5, height=6e-5,
+                             rows=12, cols=12)
+        positions = chip.site_positions()
+        delta = positions[:, None, :] - positions[None, :, :]
+        cov = rgc.covariance(
+            correlation.evaluate_xy(delta[..., 0], delta[..., 1]))
+        np.fill_diagonal(cov, rgc.same_site_covariance)
+        brute = float(cov.sum())
+        linear = linear_variance(12, 12, chip.pitch_x, chip.pitch_y,
+                                 correlation, rgc)
+        return abs(linear / brute - 1) < 1e-10
+
+    def check_integral_converges() -> bool:
+        side, die = 120, 120 * 2e-6
+        linear = linear_variance(side, side, die / side, die / side,
+                                 correlation, rgc)
+        integral = integral2d_variance(side * side, die, die, correlation,
+                                       rgc)
+        return abs(math.sqrt(integral) / math.sqrt(linear) - 1) < 0.01
+
+    def check_monte_carlo() -> bool:
+        from repro.analysis import chip_monte_carlo, realize_design
+        from repro.circuits import grid_placement, random_circuit
+        from repro.core import FullChipLeakageEstimator
+
+        rng = np.random.default_rng(7)
+        netlist = random_circuit(library, usage, 400, rng=rng)
+        grid_placement(netlist, 8e-5, 8e-5, rng=rng)
+        realization = realize_design(netlist, characterization, rng=rng)
+        mc = chip_monte_carlo(realization, technology, n_samples=1500,
+                              rng=rng)
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, 400, 8e-5, 8e-5).estimate("linear")
+        return (abs(estimate.mean / mc.mean - 1) < 0.10
+                and abs(estimate.std / mc.std - 1) < 0.25)
+
+    return [
+        ("62-cell library builds with full state coverage", check_library),
+        ("device leakage decreases with channel length", check_device_physics),
+        ("stack effect suppresses series-OFF leakage", check_stack_effect),
+        ("closed-form moments match numerical integration", check_moments),
+        ("linear-time transform is exact on site grids", check_linear_is_exact),
+        ("constant-time integral converges to the transform",
+         check_integral_converges),
+        ("estimator agrees with full-chip Monte Carlo", check_monte_carlo),
+    ]
+
+
+def run_selfcheck(verbose: bool = True) -> bool:
+    """Run all checks; returns True iff every property holds."""
+    all_good = True
+    for label, check in _checks():
+        try:
+            good = bool(check())
+        except Exception as exc:  # a crash is a failure with a reason
+            good = False
+            label = f"{label} ({type(exc).__name__}: {exc})"
+        all_good &= good
+        if verbose:
+            print(f"[{'PASS' if good else 'FAIL'}] {label}")
+    if verbose:
+        print("self-check:", "OK" if all_good else "FAILED")
+    return all_good

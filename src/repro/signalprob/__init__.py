@@ -1,0 +1,17 @@
+"""Signal-probability machinery (paper Section 2.1.4, Fig. 3):
+per-state weighting, netlist propagation, and the conservative
+mean-maximizing signal-probability search."""
+
+from repro.signalprob.propagation import propagate_probabilities
+from repro.signalprob.optimizer import (
+    sweep_mean_leakage,
+    sweep_std_leakage,
+    maximize_mean_leakage,
+)
+
+__all__ = [
+    "propagate_probabilities",
+    "sweep_mean_leakage",
+    "sweep_std_leakage",
+    "maximize_mean_leakage",
+]

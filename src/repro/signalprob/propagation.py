@@ -1,0 +1,86 @@
+"""Signal-probability propagation through a gate-level netlist.
+
+The classic zero-delay, independence-assuming propagation: primary
+inputs carry a given probability of being logic 1; each gate's output
+probability follows from its boolean function (encoded in the cell's
+enumerated states). Flip-flop and latch outputs come out at 0.5, their
+stored bit being a fair coin.
+
+The per-gate input-pin probabilities this produces refine the late-mode
+leakage estimate: instead of one chip-wide ``p``, each gate's states are
+weighted by its actual input statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.cells.library import StandardCellLibrary
+from repro.circuits.netlist import Netlist
+from repro.exceptions import NetlistError
+
+
+def propagate_probabilities(
+    netlist: Netlist,
+    library: StandardCellLibrary,
+    primary_input_probability: Union[float, Mapping[str, float]] = 0.5,
+) -> Dict[str, float]:
+    """Compute the probability of every net being logic 1.
+
+    Parameters
+    ----------
+    netlist:
+        Topologically ordered gate-level design.
+    library:
+        Cell library (provides each cell's boolean behaviour).
+    primary_input_probability:
+        A single probability for all primary inputs, or a mapping of
+        primary-input net name to probability (missing nets get 0.5).
+
+    Returns
+    -------
+    dict
+        Net name -> probability of logic 1, covering primary inputs and
+        every gate output.
+    """
+    net_probs: Dict[str, float] = {}
+    if isinstance(primary_input_probability, Mapping):
+        for net in netlist.primary_inputs:
+            net_probs[net] = float(primary_input_probability.get(net, 0.5))
+    else:
+        p = float(primary_input_probability)
+        if not 0.0 <= p <= 1.0:
+            raise NetlistError(
+                f"primary input probability must be in [0, 1], got {p!r}")
+        for net in netlist.primary_inputs:
+            net_probs[net] = p
+    # Sequential boundaries: a stored bit is a fair coin until (and
+    # after) its flip-flop is evaluated.
+    for net in getattr(netlist, "pseudo_inputs", ()):
+        net_probs[net] = 0.5
+
+    for gate in netlist.gates:
+        cell = library[gate.cell_name]
+        pin_probs = {}
+        for pin, net in gate.pin_nets.items():
+            if net not in net_probs:
+                raise NetlistError(
+                    f"{netlist.name}: net {net!r} read by {gate.name!r} has "
+                    "no known probability (netlist not topological?)")
+            pin_probs[pin] = net_probs[net]
+        out_probs = cell.output_probabilities(pin_probs)
+        for pin, net in gate.output_nets.items():
+            net_probs[net] = out_probs.get(pin, 0.5)
+    return net_probs
+
+
+def gate_pin_probabilities(
+    netlist: Netlist,
+    net_probs: Mapping[str, float],
+) -> Dict[str, Dict[str, float]]:
+    """Per-gate input-pin probabilities from a net-probability map."""
+    result: Dict[str, Dict[str, float]] = {}
+    for gate in netlist.gates:
+        result[gate.name] = {pin: float(net_probs[net])
+                             for pin, net in gate.pin_nets.items()}
+    return result

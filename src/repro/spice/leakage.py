@@ -1,0 +1,33 @@
+"""Convenience wrapper: leakage of a cell state.
+
+The characterization layer only needs "leakage current per sample for a
+given cell state"; this module provides that single entry point over the
+netlist + solver machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.devices.mosfet import DeviceModel
+from repro.spice.netlist import CellNetlist
+from repro.spice.solver import solve_dc
+
+
+def state_leakage(
+    netlist: CellNetlist,
+    state: Mapping[str, int],
+    model: DeviceModel,
+    length,
+    vt_shifts: Optional[Mapping[str, np.ndarray]] = None,
+    include_gate_leakage: bool = False,
+) -> np.ndarray:
+    """Supply-to-ground leakage of ``netlist`` in logic state ``state``.
+
+    Parameters mirror :func:`repro.spice.solver.solve_dc`; returns the
+    leakage current per sample, shape ``(S,)`` [A].
+    """
+    return solve_dc(netlist, state, model, length, vt_shifts,
+                    include_gate_leakage=include_gate_leakage).leakage

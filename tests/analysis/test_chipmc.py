@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.analysis import chip_monte_carlo, realize_design
+from repro.circuits import grid_placement, random_circuit
+from repro.core import CellUsage
+from repro.core.estimators import exact_moments
+from repro.exceptions import EstimationError
+
+
+@pytest.fixture(scope="module")
+def realization(library, small_characterization):
+    rng = np.random.default_rng(99)
+    usage = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
+    net = random_circuit(library, usage, 400, rng=rng)
+    grid_placement(net, 2e-4, 2e-4, rng=rng)
+    return realize_design(net, small_characterization, rng=rng)
+
+
+class TestChipMonteCarlo:
+    def test_matches_exact_pairwise_moments(self, realization, technology,
+                                            rng):
+        """The golden cross-check: sampled chip totals agree with the
+        closed-form O(n^2) moments."""
+        result = chip_monte_carlo(realization, technology,
+                                  n_samples=4000, rng=rng)
+        pair_params = realization.pair_params(technology.length.nominal,
+                                              technology.length.sigma)
+        mean, std = exact_moments(
+            realization.positions, realization.means, realization.stds,
+            technology.total_correlation, pair_params=pair_params)
+        assert result.mean == pytest.approx(mean, rel=0.01)
+        assert result.std == pytest.approx(std, rel=0.08)
+
+    def test_sample_count(self, realization, technology, rng):
+        result = chip_monte_carlo(realization, technology, n_samples=128,
+                                  rng=rng)
+        assert result.n_samples == 128
+        assert result.samples.shape == (128,)
+        assert np.all(result.samples > 0)
+
+    def test_vt_variance_contribution_negligible(self, realization,
+                                                 technology):
+        """Section 2.1: RDF Vt is independent per gate, so its chip-level
+        variance contribution is ~n vs the ~n^2 of correlated L."""
+        base = chip_monte_carlo(realization, technology, n_samples=3000,
+                                rng=np.random.default_rng(5))
+        with_vt = chip_monte_carlo(realization, technology, n_samples=3000,
+                                   rng=np.random.default_rng(5),
+                                   include_vt=True)
+        assert with_vt.std == pytest.approx(base.std, rel=0.1)
+
+    def test_requires_fits(self, library, technology, rng):
+        from repro.characterization import characterize_library
+        mc_char = characterize_library(library, technology,
+                                       mode="montecarlo", cells=["INV_X1"],
+                                       n_samples=100, rng=rng)
+        usage = CellUsage({"INV_X1": 1.0})
+        net = random_circuit(library, usage, 20, rng=rng)
+        grid_placement(net, 1e-5, 1e-5, rng=rng)
+        real = realize_design(net, mc_char, rng=rng)
+        with pytest.raises(EstimationError):
+            chip_monte_carlo(real, technology, n_samples=10, rng=rng)
+
+    def test_std_standard_error(self, realization, technology, rng):
+        result = chip_monte_carlo(realization, technology, n_samples=500,
+                                  rng=rng)
+        assert 0 < result.std_standard_error() < result.std

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.analysis import realize_design
+from repro.circuits import grid_placement, random_circuit
+from repro.core import CellUsage
+from repro.exceptions import EstimationError
+from repro.signalprob import propagate_probabilities
+
+
+@pytest.fixture
+def placed(library, rng):
+    usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+    net = random_circuit(library, usage, 300, rng=rng)
+    grid_placement(net, 1e-4, 1e-4, rng=rng)
+    return net
+
+
+class TestRealizeDesign:
+    def test_arrays_aligned(self, placed, small_characterization, rng):
+        real = realize_design(placed, small_characterization, rng=rng)
+        assert real.n_gates == 300
+        assert real.positions.shape == (300, 2)
+        assert real.means.shape == (300,)
+        assert np.all(real.means > 0)
+        assert len(real.fits) == 300
+        assert len(real.labels) == 300
+
+    def test_states_follow_signal_probability(self, placed,
+                                              small_characterization):
+        rng = np.random.default_rng(0)
+        real = realize_design(placed, small_characterization, rng=rng,
+                              signal_probability=0.0)
+        for (cell_name, state_label) in real.labels:
+            if cell_name == "INV_X1":
+                assert state_label == "A=0"
+
+    def test_unplaced_rejected(self, library, small_characterization, rng):
+        usage = CellUsage({"INV_X1": 1.0})
+        net = random_circuit(library, usage, 10, rng=rng)
+        with pytest.raises(EstimationError):
+            realize_design(net, small_characterization, rng=rng)
+
+    def test_net_probabilities_override(self, placed, library,
+                                        small_characterization, rng):
+        net_probs = propagate_probabilities(placed, library, 1.0)
+        real = realize_design(placed, small_characterization, rng=rng,
+                              net_probabilities=net_probs)
+        # Primary inputs at 1.0: every INV directly fed by a PI is in A=1.
+        pi_set = set(placed.primary_inputs)
+        for gate, (cell_name, label) in zip(placed.gates, real.labels):
+            if cell_name == "INV_X1" and gate.pin_nets["A"] in pi_set:
+                assert label == "A=1"
+
+    def test_pair_params_shape(self, placed, small_characterization, rng):
+        real = realize_design(placed, small_characterization, rng=rng)
+        a, h, k = real.pair_params(50e-9, 2.5e-9)
+        assert a.shape == h.shape == k.shape == (300,)

@@ -1,0 +1,114 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LeakageDistribution,
+    chip_monte_carlo,
+    compare_models,
+    parametric_yield,
+    realize_design,
+)
+from repro.circuits import grid_placement, random_circuit
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.exceptions import EstimationError
+
+
+class TestDistributionBasics:
+    def test_moment_matching_lognormal(self):
+        dist = LeakageDistribution(1e-3, 2e-4, "lognormal")
+        # The matched lognormal must reproduce the moments.
+        q = np.linspace(1e-5, 1 - 1e-5, 200_001)
+        x = dist.quantile(q)
+        integral = float(np.trapezoid(x, q))
+        assert integral == pytest.approx(1e-3, rel=1e-3)
+
+    def test_normal_quantiles(self):
+        dist = LeakageDistribution(1e-3, 2e-4, "normal")
+        assert float(dist.quantile(0.5)) == pytest.approx(1e-3)
+        assert dist.sigma_corner(3.0) == pytest.approx(1.6e-3)
+
+    def test_lognormal_median_below_mean(self):
+        dist = LeakageDistribution(1e-3, 5e-4, "lognormal")
+        assert float(dist.quantile(0.5)) < dist.mean
+
+    def test_cdf_quantile_inverse(self):
+        for model in ("normal", "lognormal"):
+            dist = LeakageDistribution(1e-3, 2e-4, model)
+            for q in (0.01, 0.5, 0.99):
+                assert float(dist.cdf(dist.quantile(q))) == pytest.approx(q)
+
+    def test_cdf_zero_below_support(self):
+        dist = LeakageDistribution(1e-3, 2e-4, "lognormal")
+        assert float(dist.cdf(-1.0)) == 0.0
+
+    def test_exceedance_and_yield(self):
+        dist = LeakageDistribution(1e-3, 2e-4, "normal")
+        assert dist.exceedance(1e-3) == pytest.approx(0.5)
+        assert parametric_yield(dist, 1e-3) == pytest.approx(0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(EstimationError):
+            LeakageDistribution(-1.0, 1.0)
+        with pytest.raises(EstimationError):
+            LeakageDistribution(1.0, 1.0, "cauchy")
+        with pytest.raises(EstimationError):
+            LeakageDistribution(1.0, 0.1).quantile(1.5)
+        with pytest.raises(EstimationError):
+            LeakageDistribution(1.0, 0.1).exceedance(0.0)
+
+    def test_from_estimate(self, characterization):
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, 5000, 5e-4, 5e-4).estimate("linear")
+        dist = LeakageDistribution.from_estimate(estimate)
+        assert dist.mean == estimate.mean
+        with_vt = LeakageDistribution.from_estimate(estimate,
+                                                    include_vt=True)
+        assert with_vt.mean > dist.mean
+
+
+class TestAgainstChipMonteCarlo:
+    def test_lognormal_tracks_mc_quantiles_with_d2d(self, library,
+                                                    characterization):
+        """With a strong D2D component the total is right-skewed; the
+        lognormal model should track the MC quantiles within a few %."""
+        rng = np.random.default_rng(21)
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+        tech = characterization.technology
+        net = random_circuit(library, usage, 500, rng=rng)
+        grid_placement(net, 1e-4, 1e-4, rng=rng)
+        real = realize_design(net, characterization, rng=rng)
+        mc = chip_monte_carlo(real, tech, n_samples=12_000, rng=rng)
+
+        dist = LeakageDistribution(mc.mean, mc.std, "lognormal")
+        for q in (0.1, 0.5, 0.9, 0.99):
+            sampled = float(np.quantile(mc.samples, q))
+            modeled = float(dist.quantile(q))
+            assert modeled == pytest.approx(sampled, rel=0.04), q
+
+    def test_model_selection_prefers_lognormal_under_d2d(self, library,
+                                                         characterization):
+        rng = np.random.default_rng(22)
+        usage = CellUsage({"INV_X1": 1.0})
+        net = random_circuit(library, usage, 300, rng=rng)
+        grid_placement(net, 1e-4, 1e-4, rng=rng)
+        real = realize_design(net, characterization, rng=rng)
+        mc = chip_monte_carlo(real, characterization.technology,
+                              n_samples=6000, rng=rng)
+        assert compare_models(mc.samples) == "lognormal"
+
+
+class TestCompareModelsValidation:
+    def test_rejects_short_input(self):
+        with pytest.raises(EstimationError):
+            compare_models(np.ones(5))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(EstimationError):
+            compare_models(np.array([1.0] * 10 + [-1.0]))
+
+    def test_prefers_normal_for_gaussian_data(self, rng):
+        samples = rng.normal(10.0, 0.5, 20_000)
+        assert compare_models(samples) == "normal"

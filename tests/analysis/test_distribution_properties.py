@@ -1,0 +1,76 @@
+"""Property-based tests on the leakage distribution models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import LeakageDistribution
+
+MODELS = ("normal", "lognormal")
+
+
+@st.composite
+def distributions(draw):
+    mean = draw(st.floats(min_value=1e-6, max_value=1e-1))
+    cv = draw(st.floats(min_value=0.01, max_value=0.8))
+    model = draw(st.sampled_from(MODELS))
+    return LeakageDistribution(mean, cv * mean, model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=distributions(),
+       q1=st.floats(min_value=0.01, max_value=0.98),
+       dq=st.floats(min_value=1e-4, max_value=0.019))
+def test_quantiles_strictly_increasing(dist, q1, dq):
+    assert float(dist.quantile(q1 + dq)) > float(dist.quantile(q1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=distributions(), q=st.floats(min_value=0.001, max_value=0.999))
+def test_cdf_inverts_quantile(dist, q):
+    assert float(dist.cdf(dist.quantile(q))) == pytest.approx(q, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dist=distributions())
+def test_exceedance_decreases_with_budget(dist):
+    budgets = dist.mean * np.array([0.5, 1.0, 2.0, 4.0])
+    values = [dist.exceedance(float(b)) for b in budgets]
+    assert all(values[k + 1] <= values[k] for k in range(3))
+    assert 0.0 <= values[-1] <= values[0] <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(dist=distributions())
+def test_sigma_corner_ordering(dist):
+    assert dist.sigma_corner(3.0) > dist.sigma_corner(1.0)
+    # k = 0 is the median in both metrics; below the mean for lognormal.
+    assert dist.sigma_corner(0.0) <= dist.mean * (1 + 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mean=st.floats(min_value=1e-6, max_value=1e-2),
+       cv=st.floats(min_value=0.02, max_value=0.6))
+def test_lognormal_moment_matching(mean, cv):
+    """Wilkinson matching: the model's first two moments equal the
+    inputs (checked by sampling the matched lognormal)."""
+    dist = LeakageDistribution(mean, cv * mean, "lognormal")
+    rng = np.random.default_rng(12)
+    mu_ln, s_ln = dist._lognormal_params
+    samples = np.exp(rng.normal(mu_ln, s_ln, 200_000))
+    assert float(samples.mean()) == pytest.approx(mean, rel=0.02)
+    assert float(samples.std()) == pytest.approx(cv * mean, rel=0.05)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dist=distributions())
+def test_models_agree_at_small_cv(dist):
+    """As CV -> 0 the lognormal converges to the normal; at CV <= 0.1
+    their 99% quantiles differ by well under one sigma."""
+    if dist.std / dist.mean > 0.1:
+        return
+    other = LeakageDistribution(
+        dist.mean, dist.std,
+        "normal" if dist.model == "lognormal" else "lognormal")
+    gap = abs(float(dist.quantile(0.99)) - float(other.quantile(0.99)))
+    assert gap < 0.5 * dist.std

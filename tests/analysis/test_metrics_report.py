@@ -1,0 +1,34 @@
+import pytest
+
+from repro.analysis import format_table, percent_error, signed_percent_error
+
+
+class TestMetrics:
+    def test_percent_error(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_signed_percent_error(self):
+        assert signed_percent_error(110.0, 100.0) == pytest.approx(10.0)
+        assert signed_percent_error(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            percent_error(1.0, 0.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["circuit", "error %"],
+            [["c432", 1.14], ["c7552", 0.34]],
+            title="Table 1")
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "circuit" in lines[1]
+        assert any("c432" in line and "1.14" in line for line in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789e-8], [12345.678], [0.5]])
+        assert "1.235e-08" in text
+        assert "0.5" in text

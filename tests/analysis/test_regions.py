@@ -1,0 +1,137 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import region_leakage_map
+from repro.core import (
+    CellUsage,
+    FullChipModel,
+    RandomGate,
+    RGCorrelation,
+    expand_mixture,
+)
+from repro.core.estimators import linear_variance
+from repro.exceptions import EstimationError
+
+
+@pytest.fixture(scope="module")
+def setup(small_characterization):
+    usage = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
+    rg = RandomGate(expand_mixture(small_characterization, usage, 0.5))
+    tech = small_characterization.technology
+    rgc = RGCorrelation(rg, tech.length.nominal, tech.length.sigma)
+    chip = FullChipModel(n_cells=1600, width=4e-4, height=4e-4, rows=40,
+                         cols=40)
+    return chip, rg, rgc, tech.total_correlation
+
+
+class TestConsistencyInvariants:
+    """The block decomposition must re-aggregate to the chip totals."""
+
+    @pytest.mark.parametrize("blocks", [(1, 1), (2, 2), (4, 4), (5, 8)])
+    def test_total_mean_and_variance_preserved(self, setup, blocks):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, *blocks)
+        assert regions.total_mean == pytest.approx(
+            chip.n_sites * rg.mean, rel=1e-12)
+        full = linear_variance(chip.rows, chip.cols, chip.pitch_x,
+                               chip.pitch_y, corr, rgc)
+        assert regions.total_std == pytest.approx(math.sqrt(full),
+                                                  rel=1e-10)
+
+    def test_single_block_equals_chip(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 1, 1)
+        assert regions.covariance.shape == (1, 1)
+
+    def test_matches_brute_force_blocks(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 2, 2)
+        # Brute force: full site covariance matrix, then aggregate.
+        pos = chip.site_positions()
+        delta = pos[:, None, :] - pos[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
+        cov = rgc.covariance(corr(dist))
+        np.fill_diagonal(cov, rgc.same_site_covariance)
+        cols = chip.cols
+        block_of = ((np.arange(chip.n_sites) // cols) // (chip.rows // 2)) \
+            * 2 + ((np.arange(chip.n_sites) % cols) // (cols // 2))
+        expected = np.zeros((4, 4))
+        for a in range(4):
+            for b in range(4):
+                expected[a, b] = cov[np.ix_(block_of == a,
+                                            block_of == b)].sum()
+        np.testing.assert_allclose(regions.covariance, expected, rtol=1e-10)
+
+
+class TestStructure:
+    def test_symmetric_positive_semidefinite(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 4, 4)
+        np.testing.assert_allclose(regions.covariance,
+                                   regions.covariance.T, rtol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(regions.covariance)
+        assert eigenvalues.min() > -1e-9 * eigenvalues.max()
+
+    def test_correlation_decays_with_block_distance(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 4, 4)
+        rho = regions.correlation_matrix()
+        # corner block (0) vs neighbour (1) vs far corner (15)
+        assert rho[0, 0] == pytest.approx(1.0)
+        assert rho[0, 1] > rho[0, 15]
+
+    def test_uniform_means_and_stds(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 4, 4)
+        assert np.allclose(regions.means, regions.means[0, 0])
+        # Stationary chip: all blocks share one variance.
+        np.testing.assert_allclose(np.diag(regions.covariance),
+                                   regions.covariance[0, 0], rtol=1e-10)
+
+    def test_worst_block_shape(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 4, 4)
+        row, col = regions.worst_block()
+        assert 0 <= row < 4 and 0 <= col < 4
+
+    def test_indivisible_grid_rejected(self, setup):
+        chip, rg, rgc, corr = setup
+        with pytest.raises(EstimationError):
+            region_leakage_map(chip, rg, rgc, corr, 7, 4)
+
+
+class TestSampling:
+    def test_samples_reproduce_block_moments(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 2, 2)
+        rng = np.random.default_rng(17)
+        samples = regions.sample(50_000, rng)
+        assert samples.shape == (50_000, 4)
+        np.testing.assert_allclose(samples.mean(axis=0),
+                                   regions.means.ravel(), rtol=0.01)
+        np.testing.assert_allclose(np.cov(samples.T), regions.covariance,
+                                   rtol=0.08)
+
+    def test_hotspot_below_union_bound(self, setup):
+        """Joint exceedance of correlated blocks sits between the single-
+        block exceedance and the union bound."""
+        from scipy import stats
+
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 4, 4)
+        budget = float(regions.means[0, 0] + 2.0 * regions.stds[0, 0])
+        joint = regions.hotspot_exceedance(budget, n_samples=40_000,
+                                           rng=np.random.default_rng(3))
+        single = float(1 - stats.norm.cdf(2.0))
+        union = min(1.0, 16 * single)
+        assert single * 0.8 <= joint <= union
+
+    def test_rejects_bad_inputs(self, setup):
+        chip, rg, rgc, corr = setup
+        regions = region_leakage_map(chip, rg, rgc, corr, 2, 2)
+        with pytest.raises(EstimationError):
+            regions.sample(0)
+        with pytest.raises(EstimationError):
+            regions.hotspot_exceedance(0.0)

@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import Cell, CellState, build_library
+from repro.cells.cell import Stage, build_combinational
+from repro.cells.topology import Leaf, Series
+from repro.exceptions import NetlistError
+
+LIB = build_library()
+
+
+class TestStateProbabilities:
+    @pytest.mark.parametrize("cell_name", ["INV_X1", "NAND3_X1", "DFF_X1",
+                                           "DFFR_X1", "LATCH_X1",
+                                           "SRAM6T_X1", "MUX2_X1"])
+    @pytest.mark.parametrize("p", [0.0, 0.25, 0.5, 0.9, 1.0])
+    def test_normalized_and_non_negative(self, cell_name, p):
+        probs = LIB[cell_name].state_probabilities(p)
+        assert probs.shape == (LIB[cell_name].n_states,)
+        assert np.all(probs >= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_inverter_probabilities_follow_p(self):
+        inv = LIB["INV_X1"]
+        probs = inv.state_probabilities(0.3)
+        by_label = dict(zip([s.label for s in inv.states], probs))
+        assert by_label["A=0"] == pytest.approx(0.7)
+        assert by_label["A=1"] == pytest.approx(0.3)
+
+    def test_nand2_joint_probabilities(self):
+        nand = LIB["NAND2_X1"]
+        probs = nand.state_probabilities(0.8)
+        by_label = dict(zip([s.label for s in nand.states], probs))
+        assert by_label["I0=1,I1=1"] == pytest.approx(0.64)
+        assert by_label["I0=0,I1=0"] == pytest.approx(0.04)
+
+    def test_dff_state_bit_is_fair_coin(self):
+        dff = LIB["DFF_X1"]
+        probs = dff.state_probabilities(0.9)
+        q1 = sum(p for s, p in zip(dff.states, probs) if s.nodes["Q"] == 1)
+        assert q1 == pytest.approx(0.5)
+
+    @given(p=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_dffr_pruned_states_still_normalize(self, p):
+        probs = LIB["DFFR_X1"].state_probabilities(p)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            LIB["INV_X1"].state_probabilities(1.5)
+
+
+class TestPerPinProbabilities:
+    def test_matches_uniform_when_all_equal(self):
+        nand = LIB["NAND2_X1"]
+        uniform = nand.state_probabilities(0.3)
+        per_pin = nand.state_probabilities_per_pin({"I0": 0.3, "I1": 0.3})
+        np.testing.assert_allclose(per_pin, uniform)
+
+    def test_heterogeneous_pins(self):
+        nand = LIB["NAND2_X1"]
+        probs = nand.state_probabilities_per_pin({"I0": 1.0, "I1": 0.25})
+        by_label = dict(zip([s.label for s in nand.states], probs))
+        assert by_label["I0=1,I1=1"] == pytest.approx(0.25)
+        assert by_label["I0=0,I1=0"] == pytest.approx(0.0)
+
+    def test_missing_pins_default_to_half(self):
+        nand = LIB["NAND2_X1"]
+        probs = nand.state_probabilities_per_pin({"I0": 1.0})
+        by_label = dict(zip([s.label for s in nand.states], probs))
+        assert by_label["I0=1,I1=1"] == pytest.approx(0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LIB["INV_X1"].state_probabilities_per_pin({"A": 1.2})
+
+
+class TestOutputProbabilities:
+    def test_inverter(self):
+        out = LIB["INV_X1"].output_probabilities({"A": 0.3})
+        assert out["Y"] == pytest.approx(0.7)
+
+    def test_nand2(self):
+        out = LIB["NAND2_X1"].output_probabilities({"I0": 0.5, "I1": 0.5})
+        assert out["Y"] == pytest.approx(0.75)
+
+    def test_xor2(self):
+        out = LIB["XOR2_X1"].output_probabilities({"A": 0.5, "B": 0.5})
+        assert out["Y"] == pytest.approx(0.5)
+
+    def test_full_adder_carry(self):
+        out = LIB["FA_X1"].output_probabilities({"A": 0.5, "B": 0.5,
+                                                 "CI": 0.5})
+        assert out["CO"] == pytest.approx(0.5)
+        assert out["S"] == pytest.approx(0.5)
+
+    def test_dff_output_is_half_regardless_of_input(self):
+        out = LIB["DFF_X1"].output_probabilities({"D": 0.95})
+        assert out["Q"] == pytest.approx(0.5)
+
+
+class TestBuildCombinational:
+    def test_non_complementary_explicit_pun_rejected(self):
+        with pytest.raises(NetlistError):
+            build_combinational(
+                "BAD", "BAD", 1.0, ("A", "B"),
+                [Stage("Y", Series(Leaf("A"), Leaf("B")),
+                       pun=Series(Leaf("A"), Leaf("B")))],
+                area=1e-12)
+
+    def test_invalid_output_rejected(self):
+        cell = LIB["INV_X1"]
+        with pytest.raises(NetlistError):
+            Cell(name="X", family="X", drive=1.0, netlist=cell.netlist,
+                 states=cell.states, area=1e-12, outputs=("nonexistent",))
+
+    def test_empty_states_rejected(self):
+        cell = LIB["INV_X1"]
+        with pytest.raises(NetlistError):
+            Cell(name="X", family="X", drive=1.0, netlist=cell.netlist,
+                 states=(), area=1e-12)

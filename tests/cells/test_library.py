@@ -1,0 +1,193 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cells import build_library, StandardCellLibrary
+from repro.exceptions import NetlistError
+
+
+class TestRoster:
+    def test_exactly_62_cells(self, library):
+        assert len(library) == 62
+
+    def test_paper_required_content(self, library):
+        """Section 2.1.1: SRAM cell, various flip-flops, logic cells."""
+        names = library.names
+        assert "SRAM6T_X1" in names
+        flops = [n for n in names if n.startswith(("DFF", "LATCH"))]
+        assert len(flops) >= 4
+        assert any(n.startswith("NAND") for n in names)
+        assert any(n.startswith("XOR") for n in names)
+
+    def test_unique_names(self, library):
+        assert len(set(library.names)) == 62
+
+    def test_lookup_by_name_and_index(self, library):
+        assert library["INV_X1"].name == "INV_X1"
+        assert library[0].name == library.names[0]
+        assert "INV_X1" in library
+        assert "FOO" not in library
+
+    def test_unknown_name_raises_keyerror(self, library):
+        with pytest.raises(KeyError):
+            library["NONEXISTENT"]
+
+    def test_families_group_drive_variants(self, library):
+        families = library.families()
+        assert set(families["INV"]) == {"INV_X1", "INV_X2", "INV_X4",
+                                        "INV_X8"}
+
+    def test_subset(self, library):
+        sub = library.subset(["INV_X1", "NAND2_X1"])
+        assert isinstance(sub, StandardCellLibrary)
+        assert sub.names == ("INV_X1", "NAND2_X1")
+
+    def test_duplicate_cells_rejected(self, library):
+        with pytest.raises(NetlistError):
+            StandardCellLibrary([library["INV_X1"], library["INV_X1"]])
+
+    def test_positive_areas(self, library):
+        for cell in library:
+            assert cell.area > 0
+            assert cell.area < 100e-12  # under 100 um^2
+
+    def test_drive_scales_width(self, library):
+        x1 = sum(t.width_mult for t in library["INV_X1"].netlist.transistors)
+        x4 = sum(t.width_mult for t in library["INV_X4"].netlist.transistors)
+        assert x4 == pytest.approx(4 * x1)
+
+
+class TestFunctionalCorrectness:
+    """Every combinational cell's enumerated states must realize its
+    documented boolean function."""
+
+    @pytest.mark.parametrize("name,function", [
+        ("INV_X1", lambda a: 1 - a),
+        ("BUF_X2", lambda a: a),
+    ])
+    def test_single_input(self, library, name, function):
+        cell = library[name]
+        for state in cell.states:
+            a = state.nodes[cell.netlist.inputs[0]]
+            assert state.nodes[cell.outputs[0]] == function(a), state.label
+
+    @pytest.mark.parametrize("name,function", [
+        ("NAND2_X1", lambda a, b: 1 - (a & b)),
+        ("NOR2_X1", lambda a, b: 1 - (a | b)),
+        ("AND2_X1", lambda a, b: a & b),
+        ("OR2_X1", lambda a, b: a | b),
+        ("XOR2_X1", lambda a, b: a ^ b),
+        ("XNOR2_X1", lambda a, b: 1 - (a ^ b)),
+        ("NAND2B_X1", lambda a, b: 1 - ((1 - a) & b)),
+        ("NOR2B_X1", lambda a, b: 1 - ((1 - a) | b)),
+    ])
+    def test_two_input(self, library, name, function):
+        cell = library[name]
+        for state in cell.states:
+            ins = [state.nodes[pin] for pin in cell.netlist.inputs]
+            assert state.nodes[cell.outputs[0]] == function(*ins), state.label
+
+    def test_nand4_truth_table(self, library):
+        cell = library["NAND4_X1"]
+        assert cell.n_states == 16
+        for state in cell.states:
+            ins = [state.nodes[f"I{k}"] for k in range(4)]
+            assert state.nodes["Y"] == (0 if all(ins) else 1)
+
+    def test_aoi22(self, library):
+        cell = library["AOI22_X1"]
+        for state in cell.states:
+            a1, a2, b1, b2 = (state.nodes[p] for p in
+                              ("A1", "A2", "B1", "B2"))
+            expected = 0 if (a1 and a2) or (b1 and b2) else 1
+            assert state.nodes["Y"] == expected
+
+    def test_oai221(self, library):
+        cell = library["OAI221_X1"]
+        for state in cell.states:
+            a1, a2, b1, b2, c = (state.nodes[p] for p in
+                                 ("A1", "A2", "B1", "B2", "C"))
+            expected = 0 if ((a1 or a2) and (b1 or b2) and c) else 1
+            assert state.nodes["Y"] == expected
+
+    def test_mux2(self, library):
+        cell = library["MUX2_X1"]
+        for state in cell.states:
+            a, b, s = (state.nodes[p] for p in ("A", "B", "S"))
+            assert state.nodes["Y"] == (b if s else a), state.label
+
+    def test_full_adder(self, library):
+        cell = library["FA_X1"]
+        for state in cell.states:
+            a, b, ci = (state.nodes[p] for p in ("A", "B", "CI"))
+            total = a + b + ci
+            assert state.nodes["S"] == total % 2
+            assert state.nodes["CO"] == total // 2
+
+    def test_half_adder(self, library):
+        cell = library["HA_X1"]
+        for state in cell.states:
+            a, b = state.nodes["A"], state.nodes["B"]
+            assert state.nodes["S"] == (a + b) % 2
+            assert state.nodes["CO"] == (a + b) // 2
+
+
+class TestSequentialConsistency:
+    def test_dff_q_consistent_with_slave(self, library):
+        cell = library["DFF_X1"]
+        assert cell.n_states == 8
+        for state in cell.states:
+            assert state.nodes["Q"] == state.nodes["sq"]
+            assert state.nodes["QN"] == 1 - state.nodes["Q"]
+
+    def test_dff_master_transparent_when_clock_low(self, library):
+        for state in library["DFF_X1"].states:
+            if state.nodes["CK"] == 0:
+                assert state.nodes["m"] == state.nodes["D"]
+            else:
+                assert state.nodes["m"] == state.nodes["Q"]
+
+    def test_dffr_reset_forces_q_zero(self, library):
+        states = library["DFFR_X1"].states
+        assert len(states) == 12
+        for state in states:
+            if state.nodes["R"] == 1:
+                assert state.nodes["Q"] == 0
+
+    def test_dffs_set_forces_q_one(self, library):
+        states = library["DFFS_X1"].states
+        assert len(states) == 12
+        for state in states:
+            if state.nodes["S"] == 1:
+                assert state.nodes["Q"] == 1
+
+    def test_latch_transparent_when_enabled(self, library):
+        for state in library["LATCH_X1"].states:
+            if state.nodes["EN"] == 1:
+                assert state.nodes["Q"] == state.nodes["D"]
+
+    def test_sram_standby_states(self, library):
+        cell = library["SRAM6T_X1"]
+        assert cell.n_states == 2
+        for state in cell.states:
+            assert state.nodes["WL"] == 0
+            assert state.nodes["BL"] == 1 and state.nodes["BLB"] == 1
+            assert state.nodes["QB"] == 1 - state.nodes["Q"]
+
+    def test_tristate_hiz_states_cover_both_bus_values(self, library):
+        hiz = [s for s in library["TINV_X1"].states if s.nodes["EN"] == 0]
+        assert {s.nodes["Y"] for s in hiz} == {0, 1}
+
+
+class TestStateCounts:
+    def test_total_states(self, library):
+        assert library.total_states() == sum(c.n_states for c in library)
+        # Combinational cells enumerate all 2^k input combos.
+        for cell in library:
+            k = len(cell.netlist.inputs)
+            if cell.family in ("INV", "BUF", "CLKBUF") or \
+               cell.family.startswith(("NAND", "NOR", "AND", "OR", "XOR",
+                                       "XNOR", "AOI", "OAI", "HA", "FA",
+                                       "MUX")):
+                assert cell.n_states == 2 ** k, cell.name

@@ -1,0 +1,118 @@
+"""Property tests on randomly generated static CMOS cells.
+
+The library's 62 cells are a fixed roster; these tests generate *novel*
+series-parallel gate topologies and assert the end-to-end invariants the
+whole pipeline rests on: every state solves, leakage is positive and
+monotone-decreasing in L, the analytical moments agree with Monte
+Carlo, and the complementary-stage construction computes the right
+boolean function.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells.cell import Stage, build_combinational
+from repro.cells.topology import Leaf, Parallel, Series, conducts
+from repro.characterization.fitting import fit_leakage, sample_lengths
+from repro.characterization.moments import mgf_moments
+from repro.devices import DeviceModel
+from repro.process import synthetic_90nm
+from repro.spice import state_leakage
+
+TECH = synthetic_90nm()
+MODEL = DeviceModel(TECH)
+SIGNALS = ("A", "B", "C", "D")
+
+
+def random_expr(draw, depth):
+    if depth == 0 or draw(st.booleans()):
+        return Leaf(draw(st.sampled_from(SIGNALS)))
+    ctor = Series if draw(st.booleans()) else Parallel
+    return ctor(*(random_expr(draw, depth - 1)
+                  for _ in range(draw(st.integers(2, 3)))))
+
+
+@st.composite
+def random_cells(draw):
+    pdn = random_expr(draw, depth=2)
+    inputs = pdn.signals()
+    return build_combinational(
+        name="RANDOM", family="RANDOM", drive=1.0, inputs=inputs,
+        stages=[Stage("Y", pdn)], area=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cell=random_cells())
+def test_every_state_solves_positively(cell):
+    for state in cell.states:
+        leak = state_leakage(cell.netlist, state.nodes, MODEL,
+                             TECH.length.nominal)
+        assert np.isfinite(leak[0]) and leak[0] > 0, state.label
+
+
+@settings(max_examples=15, deadline=None)
+@given(cell=random_cells())
+def test_leakage_decreases_with_length(cell):
+    lengths = np.linspace(0.9, 1.1, 5) * TECH.length.nominal
+    for state in cell.states[:4]:
+        leak = state_leakage(cell.netlist, state.nodes, MODEL, lengths)
+        assert np.all(np.diff(leak) < 0), state.label
+
+
+@settings(max_examples=10, deadline=None)
+@given(cell=random_cells())
+def test_analytical_moments_track_monte_carlo(cell):
+    rng = np.random.default_rng(99)
+    state = cell.states[0]
+    lengths = sample_lengths(TECH.length.nominal, TECH.length.sigma)
+    fit = fit_leakage(lengths, state_leakage(cell.netlist, state.nodes,
+                                             MODEL, lengths))
+    mean_a, std_a = mgf_moments(fit.a, fit.b, fit.c,
+                                TECH.length.nominal, TECH.length.sigma)
+    samples = state_leakage(
+        cell.netlist, state.nodes, MODEL,
+        np.maximum(rng.normal(TECH.length.nominal, TECH.length.sigma,
+                              4000), 0.2 * TECH.length.nominal))
+    assert mean_a == pytest.approx(float(samples.mean()), rel=0.05)
+    assert std_a == pytest.approx(float(samples.std()), rel=0.15)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cell=random_cells())
+def test_states_realize_the_boolean_function(cell):
+    # Reconstruct the PDN from the emitted netlist is overkill; instead
+    # check that the enumerated output equals the complementary-stage
+    # function evaluated on the inputs.
+    for state in cell.states:
+        values = {pin: state.nodes[pin] for pin in cell.netlist.inputs}
+        # Output low iff some PDN path conducts. Infer conduction from
+        # the leakage structure: instead evaluate via the state nodes
+        # enumerated at build time (they came from stage_output), so
+        # here we assert consistency between Y and a brute-force path
+        # search over the emitted NMOS transistors.
+        on_edges = []
+        for t in cell.netlist.transistors:
+            if t.kind != "nmos":
+                continue
+            if values.get(t.gate, state.nodes.get(t.gate, 0)):
+                on_edges.append((t.drain, t.source))
+        # Union-find reachability gnd -> Y over ON NMOS edges.
+        parent = {}
+
+        def find(x):
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a, b):
+            parent[find(a)] = find(b)
+
+        for a, b in on_edges:
+            union(a, b)
+        conducting = find("gnd") == find("Y")
+        assert state.nodes["Y"] == (0 if conducting else 1), state.label

@@ -1,0 +1,105 @@
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import Leaf, Parallel, Series, conducts, dual
+from repro.cells.topology import emit_stage, stage_output
+from repro.devices import NMOS, PMOS
+from repro.exceptions import NetlistError
+
+
+def random_expr(draw, depth, signals):
+    """Hypothesis-recursive series-parallel expression builder."""
+    if depth == 0 or draw(st.booleans()):
+        return Leaf(draw(st.sampled_from(signals)))
+    ctor = Series if draw(st.booleans()) else Parallel
+    n_children = draw(st.integers(min_value=2, max_value=3))
+    return ctor(*(random_expr(draw, depth - 1, signals)
+                  for _ in range(n_children)))
+
+
+@st.composite
+def sp_expressions(draw):
+    return random_expr(draw, depth=3, signals=("A", "B", "C", "D"))
+
+
+class TestExpressions:
+    def test_leaf_conducts_when_high(self):
+        assert conducts(Leaf("A"), {"A": 1})
+        assert not conducts(Leaf("A"), {"A": 0})
+
+    def test_series_is_and(self):
+        expr = Series(Leaf("A"), Leaf("B"))
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert conducts(expr, {"A": a, "B": b}) == bool(a and b)
+
+    def test_parallel_is_or(self):
+        expr = Parallel(Leaf("A"), Leaf("B"))
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert conducts(expr, {"A": a, "B": b}) == bool(a or b)
+
+    def test_nested_flattening(self):
+        expr = Series(Series(Leaf("A"), Leaf("B")), Leaf("C"))
+        assert len(expr.children) == 3
+
+    def test_signals_first_appearance_order(self):
+        expr = Parallel(Series(Leaf("B"), Leaf("A")), Leaf("B"))
+        assert expr.signals() == ("B", "A")
+
+    def test_empty_compound_rejected(self):
+        with pytest.raises(NetlistError):
+            Series()
+
+    def test_empty_leaf_rejected(self):
+        with pytest.raises(NetlistError):
+            Leaf("")
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=sp_expressions())
+def test_dual_computes_complement(expr):
+    """The structural dual, evaluated active-low, is the complement — the
+    property the automatic PUN derivation rests on."""
+    signals = expr.signals()
+    for bits in itertools.product((0, 1), repeat=len(signals)):
+        values = dict(zip(signals, bits))
+        pdn = conducts(expr, values)
+        pun = conducts(dual(expr), values, active_low=True)
+        assert pun == (not pdn)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=sp_expressions())
+def test_emit_counts_match_leaves(expr):
+    def leaves(e):
+        if isinstance(e, Leaf):
+            return 1
+        return sum(leaves(c) for c in e.children)
+
+    transistors = emit_stage("Y", expr, prefix="T", nmos_width=1.0,
+                             pmos_width=2.0)
+    n_leaves = leaves(expr)
+    assert len(transistors) == 2 * n_leaves
+    kinds = [t.kind for t in transistors]
+    assert kinds.count(NMOS) == n_leaves
+    assert kinds.count(PMOS) == n_leaves
+
+
+class TestEmitStage:
+    def test_nand2_structure(self):
+        transistors = emit_stage("Y", Series(Leaf("A"), Leaf("B")), "T",
+                                 1.0, 2.0)
+        nmos = [t for t in transistors if t.kind == NMOS]
+        pmos = [t for t in transistors if t.kind == PMOS]
+        # NMOS in series: exactly one touches Y, one touches gnd.
+        assert sum(1 for t in nmos if "Y" in (t.drain, t.source)) == 1
+        assert sum(1 for t in nmos if "gnd" in (t.drain, t.source)) == 1
+        # PMOS in parallel: all touch both vdd and Y.
+        assert all({"vdd", "Y"} <= {t.drain, t.source} for t in pmos)
+
+    def test_stage_output_is_complementary_function(self):
+        pdn = Parallel(Series(Leaf("A"), Leaf("B")), Leaf("C"))  # AOI21
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            values = {"A": a, "B": b, "C": c}
+            assert stage_output(pdn, values) == (0 if (a and b) or c else 1)

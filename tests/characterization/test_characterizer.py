@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    characterize_library,
+    mc_state_moments,
+)
+from repro.characterization.characterizer import ANALYTICAL, MONTECARLO
+from repro.devices import DeviceModel
+from repro.exceptions import CharacterizationError
+
+
+class TestAnalyticalMode:
+    def test_covers_requested_cells(self, small_characterization):
+        assert len(small_characterization) == 5
+        assert "INV_X1" in small_characterization
+        assert "AND4_X1" not in small_characterization
+
+    def test_state_count_matches_cell(self, small_characterization, library):
+        for name in small_characterization.cell_names:
+            assert len(small_characterization[name].states) == \
+                library[name].n_states
+
+    def test_fits_present(self, small_characterization):
+        assert small_characterization.has_fits
+        for state in small_characterization.state_table():
+            assert state.fit is not None
+            assert state.fit.b < 0  # leakage decreases with L
+            assert state.mean > 0 and state.std > 0
+
+    def test_unknown_cell_raises(self, small_characterization):
+        with pytest.raises(KeyError):
+            small_characterization["AND4_X1"]
+
+    def test_fit_quality_is_good(self, characterization):
+        """Section 2.1.2: the model-form error is small; our smooth
+        device model fits even better than the paper's cells."""
+        residuals = [s.fit.rms_log_error
+                     for s in characterization.state_table()]
+        assert max(residuals) < 0.05
+
+    def test_moments_at_interpolates_states(self, small_characterization):
+        cell_char = small_characterization["NAND2_X1"]
+        mean_half, std_half = cell_char.moments_at(0.5)
+        state_means = [s.mean for s in cell_char.states]
+        assert min(state_means) < mean_half < max(state_means)
+        assert std_half > 0
+
+    def test_moments_at_extremes_select_single_state(self,
+                                                     small_characterization):
+        cell_char = small_characterization["INV_X1"]
+        mean0, _ = cell_char.moments_at(0.0)
+        by_label = {s.state_label: s for s in cell_char.states}
+        assert mean0 == pytest.approx(by_label["A=0"].mean)
+
+
+class TestMonteCarloMode:
+    def test_no_fits(self, library, technology, rng):
+        char = characterize_library(library, technology, mode=MONTECARLO,
+                                    cells=["INV_X1"], n_samples=500, rng=rng)
+        assert not char.has_fits
+        assert char["INV_X1"].states[0].fit is None
+
+    def test_agrees_with_analytical(self, library, technology, rng,
+                                    small_characterization):
+        mc = characterize_library(library, technology, mode=MONTECARLO,
+                                  cells=["NAND2_X1"], n_samples=8000, rng=rng)
+        for mc_state, an_state in zip(mc["NAND2_X1"].states,
+                                      small_characterization["NAND2_X1"].states):
+            assert mc_state.mean == pytest.approx(an_state.mean, rel=0.05)
+            assert mc_state.std == pytest.approx(an_state.std, rel=0.12)
+
+    def test_unknown_mode_rejected(self, library, technology):
+        with pytest.raises(CharacterizationError):
+            characterize_library(library, technology, mode="quantum",
+                                 cells=["INV_X1"])
+
+
+class TestSection212Numbers:
+    """The paper's cell-model accuracy claims, on a library sample:
+    mean error well under 2%, std error under ~10%."""
+
+    def test_analytical_vs_mc_errors(self, library, technology,
+                                     characterization, rng):
+        model = DeviceModel(technology)
+        mean_errors, std_errors = [], []
+        for name in ("INV_X1", "NAND3_X1", "NOR3_X1", "XOR2_X1"):
+            cell = library[name]
+            for state, char in zip(cell.states,
+                                   characterization[name].states):
+                mc_mean, mc_std = mc_state_moments(cell, state, model,
+                                                   n_samples=6000, rng=rng)
+                mean_errors.append(abs(char.mean - mc_mean) / mc_mean)
+                std_errors.append(abs(char.std - mc_std) / mc_std)
+        assert np.mean(mean_errors) < 0.02
+        assert max(mean_errors) < 0.05
+        assert np.mean(std_errors) < 0.05
+        assert max(std_errors) < 0.12

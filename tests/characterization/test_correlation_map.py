@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.characterization import (
+    CorrelationMap,
+    leakage_correlation,
+    mgf_moments,
+    pair_expectation,
+)
+from repro.characterization.fitting import LeakageFit
+from repro.exceptions import MomentExistenceError
+
+MU_L = 50e-9
+SIGMA_L = 2.5e-9
+
+FIT_A = LeakageFit(a=1e-9, b=-1.6e8, c=1.1e15, rms_log_error=0.0)
+FIT_B = LeakageFit(a=4e-10, b=-1.2e8, c=8.0e14, rms_log_error=0.0)
+
+
+class TestPairExpectation:
+    def test_independence_factorizes(self):
+        mean_a, _ = mgf_moments(*FIT_A.as_tuple(), MU_L, SIGMA_L)
+        mean_b, _ = mgf_moments(*FIT_B.as_tuple(), MU_L, SIGMA_L)
+        cross = float(pair_expectation(FIT_A, FIT_B, MU_L, SIGMA_L, 0.0))
+        assert cross == pytest.approx(mean_a * mean_b, rel=1e-12)
+
+    def test_full_correlation_same_gate_is_second_moment(self):
+        mean, std = mgf_moments(*FIT_A.as_tuple(), MU_L, SIGMA_L)
+        cross = float(pair_expectation(FIT_A, FIT_A, MU_L, SIGMA_L, 1.0))
+        assert cross == pytest.approx(mean ** 2 + std ** 2, rel=1e-10)
+
+    def test_monte_carlo_agreement(self, rng):
+        rho = 0.6
+        z1 = rng.standard_normal(500_000)
+        z2 = rho * z1 + np.sqrt(1 - rho ** 2) * rng.standard_normal(500_000)
+        l1 = MU_L + SIGMA_L * z1
+        l2 = MU_L + SIGMA_L * z2
+        x1 = FIT_A.evaluate(l1)
+        x2 = FIT_B.evaluate(l2)
+        sampled = float((x1 * x2).mean())
+        closed = float(pair_expectation(FIT_A, FIT_B, MU_L, SIGMA_L, rho))
+        assert closed == pytest.approx(sampled, rel=0.02)
+
+    def test_vectorized_over_rho(self):
+        rhos = np.linspace(-1, 1, 11)
+        values = pair_expectation(FIT_A, FIT_B, MU_L, SIGMA_L, rhos)
+        assert values.shape == (11,)
+        for k, rho in enumerate(rhos):
+            single = float(pair_expectation(FIT_A, FIT_B, MU_L, SIGMA_L,
+                                            float(rho)))
+            assert values[k] == pytest.approx(single, rel=1e-12)
+
+    def test_nonexistent_moment_raises(self):
+        fat = LeakageFit(a=1e-9, b=-1e8, c=0.3 / SIGMA_L ** 2,
+                         rms_log_error=0.0)
+        with pytest.raises(MomentExistenceError):
+            pair_expectation(fat, fat, MU_L, SIGMA_L, 1.0)
+
+
+class TestLeakageCorrelationMapping:
+    """The f_mn mapping of Section 2.1.3 / Fig. 2."""
+
+    def test_endpoints(self):
+        assert float(leakage_correlation(FIT_A, FIT_A, MU_L, SIGMA_L,
+                                         1.0)) == pytest.approx(1.0)
+        assert float(leakage_correlation(FIT_A, FIT_B, MU_L, SIGMA_L,
+                                         0.0)) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rho=st.floats(min_value=-1.0, max_value=1.0))
+    def test_bounded_by_one(self, rho):
+        value = float(leakage_correlation(FIT_A, FIT_B, MU_L, SIGMA_L, rho))
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_monotone_increasing(self):
+        rhos = np.linspace(-1, 1, 101)
+        values = leakage_correlation(FIT_A, FIT_B, MU_L, SIGMA_L, rhos)
+        assert np.all(np.diff(values) > 0)
+
+    def test_close_to_identity_line(self):
+        """The paper's Fig. 2 observation: leakage correlation is near
+        the y = x line for realistic fits."""
+        rhos = np.linspace(0, 1, 51)
+        values = leakage_correlation(FIT_A, FIT_B, MU_L, SIGMA_L, rhos)
+        assert np.max(np.abs(values - rhos)) < 0.08
+
+    def test_library_pairs_near_identity(self, characterization):
+        """Every pair of real library cells maps near y = x (Fig. 2 for
+        the whole library)."""
+        fits = [characterization[name].states[0].fit
+                for name in ("INV_X1", "NAND4_X1", "NOR4_X1", "DFF_X1",
+                             "SRAM6T_X1")]
+        rhos = np.linspace(0, 1, 21)
+        for fit_m in fits:
+            for fit_n in fits:
+                values = leakage_correlation(fit_m, fit_n, MU_L, SIGMA_L,
+                                             rhos)
+                assert np.max(np.abs(values - rhos)) < 0.1
+
+
+class TestCorrelationMapInterpolation:
+    def test_matches_closed_form(self):
+        cmap = CorrelationMap(FIT_A, FIT_B, MU_L, SIGMA_L)
+        rhos = np.linspace(-0.99, 0.99, 37)
+        exact = leakage_correlation(FIT_A, FIT_B, MU_L, SIGMA_L, rhos)
+        np.testing.assert_allclose(cmap(rhos), exact, atol=1e-5)
+
+    def test_identity_deviation_metric(self):
+        cmap = CorrelationMap(FIT_A, FIT_A, MU_L, SIGMA_L)
+        assert 0 <= cmap.identity_deviation < 0.1

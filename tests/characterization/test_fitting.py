@@ -1,0 +1,74 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.characterization import LeakageFit, fit_leakage, sample_lengths
+from repro.exceptions import CharacterizationError
+
+MU_L = 50e-9
+SIGMA_L = 2.5e-9
+
+
+class TestSampleLengths:
+    def test_span_and_count(self):
+        points = sample_lengths(MU_L, SIGMA_L, n_points=9, span=3.0)
+        assert points.shape == (9,)
+        assert points[0] == pytest.approx(MU_L - 3 * SIGMA_L)
+        assert points[-1] == pytest.approx(MU_L + 3 * SIGMA_L)
+        assert np.all(np.diff(points) > 0)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(CharacterizationError):
+            sample_lengths(MU_L, SIGMA_L, n_points=2)
+
+
+class TestFitLeakage:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        log_a=st.floats(min_value=-25, max_value=-15),
+        b=st.floats(min_value=-2.5e8, max_value=-0.5e8),
+        c=st.floats(min_value=1e14, max_value=3e15),
+    )
+    def test_recovers_exact_quadratic(self, log_a, b, c):
+        a = math.exp(log_a)
+        lengths = sample_lengths(MU_L, SIGMA_L)
+        leakages = a * np.exp(b * lengths + c * lengths ** 2)
+        fit = fit_leakage(lengths, leakages)
+        assert fit.b == pytest.approx(b, rel=1e-6)
+        assert fit.c == pytest.approx(c, rel=1e-5)
+        assert math.log(fit.a) == pytest.approx(log_a, rel=1e-6)
+        assert fit.rms_log_error < 1e-9
+
+    def test_evaluate_roundtrip(self):
+        fit = LeakageFit(a=1e-9, b=-1.6e8, c=1.1e15, rms_log_error=0.0)
+        lengths = sample_lengths(MU_L, SIGMA_L)
+        values = fit.evaluate(lengths)
+        refit = fit_leakage(lengths, values)
+        assert refit.b == pytest.approx(fit.b, rel=1e-8)
+
+    def test_reports_residual_for_imperfect_model(self, rng):
+        lengths = sample_lengths(MU_L, SIGMA_L)
+        leakages = 1e-9 * np.exp(-1.6e8 * lengths) \
+            * (1.0 + 0.05 * rng.standard_normal(lengths.shape))
+        fit = fit_leakage(lengths, leakages)
+        assert fit.rms_log_error > 1e-3
+
+    def test_rejects_non_positive_leakage(self):
+        lengths = sample_lengths(MU_L, SIGMA_L)
+        leakages = np.full_like(lengths, -1e-9)
+        with pytest.raises(CharacterizationError):
+            fit_leakage(lengths, leakages)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(CharacterizationError):
+            fit_leakage(np.arange(5.0), np.arange(4.0))
+
+    def test_rejects_degenerate_points(self):
+        with pytest.raises(CharacterizationError):
+            fit_leakage(np.full(5, MU_L), np.full(5, 1e-9))
+
+    def test_as_tuple(self):
+        fit = LeakageFit(a=1.0, b=2.0, c=3.0, rms_log_error=0.0)
+        assert fit.as_tuple() == (1.0, 2.0, 3.0)

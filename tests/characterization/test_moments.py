@@ -1,0 +1,104 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.characterization import log_mgf, mgf_moments, moments_numeric
+from repro.characterization.moments import (
+    lognormal_mean_factor,
+    paper_mgf_uncorrected,
+)
+from repro.exceptions import MomentExistenceError
+
+# Realistic parameter ranges for a 90nm leakage fit on L in metres:
+# b ~ -1e8..-2e8 per metre, c ~ 1e14..3e15 per metre^2.
+MU_L = 50e-9
+SIGMA_L = 2.5e-9
+
+
+class TestAgainstNumericIntegration:
+    @pytest.mark.parametrize("a,b,c", [
+        (1e-9, -1.6e8, 1.1e15),
+        (5e-8, -1.0e8, 0.0),        # pure lognormal limit
+        (1e-12, -2.0e8, 3.0e15),
+        (3e-10, 1.0e8, 5.0e14),     # increasing leakage (pathological fit)
+    ])
+    def test_mean_and_std(self, a, b, c):
+        mean_a, std_a = mgf_moments(a, b, c, MU_L, SIGMA_L)
+        mean_n, std_n = moments_numeric(a, b, c, MU_L, SIGMA_L)
+        assert mean_a == pytest.approx(mean_n, rel=1e-8)
+        assert std_a == pytest.approx(std_n, rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        log_a=st.floats(min_value=-25, max_value=-15),
+        b=st.floats(min_value=-2.5e8, max_value=0.0),
+        c=st.floats(min_value=0.0, max_value=5e15),
+    )
+    def test_property_mean_matches_numeric(self, log_a, b, c):
+        a = math.exp(log_a)
+        mean_a, std_a = mgf_moments(a, b, c, MU_L, SIGMA_L)
+        mean_n, std_n = moments_numeric(a, b, c, MU_L, SIGMA_L)
+        assert mean_a == pytest.approx(mean_n, rel=1e-7)
+        if std_n > 1e-3 * mean_n:  # std is well-conditioned
+            assert std_a == pytest.approx(std_n, rel=1e-4)
+
+
+class TestAgainstMonteCarlo:
+    def test_sampled_moments(self, rng):
+        a, b, c = 1e-9, -1.6e8, 1.1e15
+        lengths = rng.normal(MU_L, SIGMA_L, 400_000)
+        x = a * np.exp(b * lengths + c * lengths ** 2)
+        mean_a, std_a = mgf_moments(a, b, c, MU_L, SIGMA_L)
+        assert mean_a == pytest.approx(x.mean(), rel=0.01)
+        assert std_a == pytest.approx(x.std(), rel=0.02)
+
+    def test_paper_printed_form_disagrees_with_monte_carlo(self, rng):
+        """The MGF as printed (``+1/2`` exponent) does NOT reproduce the
+        sampled mean; the corrected ``-1/2`` form does. Documents the
+        typo fix recorded in DESIGN.md."""
+        a, b, c = 1e-9, -1.6e8, 1.1e15
+        lengths = rng.normal(MU_L, SIGMA_L, 200_000)
+        sampled_mean = float(
+            (a * np.exp(b * lengths + c * lengths ** 2)).mean())
+        corrected = math.exp(log_mgf(1.0, a, b, c, MU_L, SIGMA_L))
+        printed = paper_mgf_uncorrected(1.0, a, b, c, MU_L, SIGMA_L)
+        assert corrected == pytest.approx(sampled_mean, rel=0.01)
+        assert abs(printed - sampled_mean) > abs(corrected - sampled_mean)
+
+
+class TestMomentExistence:
+    def test_second_moment_diverges_for_large_curvature(self):
+        c = 0.3 / SIGMA_L ** 2  # c*sigma^2 = 0.3 > 1/4
+        with pytest.raises(MomentExistenceError):
+            mgf_moments(1e-9, -1e8, c, MU_L, SIGMA_L)
+
+    def test_first_moment_can_exist_when_second_does_not(self):
+        c = 0.3 / SIGMA_L ** 2
+        value = log_mgf(1.0, 1e-9, -1e8, c, MU_L, SIGMA_L)
+        assert math.isfinite(value)
+
+    def test_rejects_non_positive_a(self):
+        with pytest.raises(MomentExistenceError):
+            log_mgf(1.0, 0.0, -1e8, 1e15, MU_L, SIGMA_L)
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(MomentExistenceError):
+            log_mgf(1.0, 1e-9, -1e8, 1e15, MU_L, 0.0)
+
+
+class TestLognormalLimit:
+    def test_c_zero_reduces_to_lognormal(self):
+        a, b = 1e-9, -1.5e8
+        mean, std = mgf_moments(a, b, 0.0, MU_L, SIGMA_L)
+        s = abs(b) * SIGMA_L
+        expected_mean = a * math.exp(b * MU_L + 0.5 * s * s)
+        expected_var = (a * math.exp(b * MU_L)) ** 2 * math.exp(s * s) \
+            * (math.exp(s * s) - 1.0)
+        assert mean == pytest.approx(expected_mean, rel=1e-12)
+        assert std == pytest.approx(math.sqrt(expected_var), rel=1e-12)
+
+    def test_lognormal_mean_factor(self):
+        assert lognormal_mean_factor(0.0) == 1.0
+        assert lognormal_mean_factor(0.5) == pytest.approx(math.exp(0.125))

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.characterization.montecarlo import (
+    mc_pair_correlation,
+    mc_state_leakage,
+    mc_state_moments,
+)
+from repro.devices import DeviceModel
+
+
+@pytest.fixture(scope="module")
+def nand2(library):
+    return library["NAND2_X1"]
+
+
+class TestStateLeakage:
+    def test_shape_and_positivity(self, nand2, device_model, rng):
+        samples = mc_state_leakage(nand2, nand2.states[0], device_model,
+                                   n_samples=300, rng=rng)
+        assert samples.shape == (300,)
+        assert np.all(samples > 0)
+
+    def test_reproducible_with_seed(self, nand2, device_model):
+        a = mc_state_leakage(nand2, nand2.states[0], device_model, 200,
+                             np.random.default_rng(5))
+        b = mc_state_leakage(nand2, nand2.states[0], device_model, 200,
+                             np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_include_vt_increases_spread(self, nand2, device_model):
+        base = mc_state_leakage(nand2, nand2.states[0], device_model, 4000,
+                                np.random.default_rng(7), include_vt=False)
+        with_vt = mc_state_leakage(nand2, nand2.states[0], device_model,
+                                   4000, np.random.default_rng(7),
+                                   include_vt=True)
+        assert with_vt.std() > base.std()
+
+
+class TestMoments:
+    def test_moments_match_samples(self, nand2, device_model):
+        rng = np.random.default_rng(11)
+        mean, std = mc_state_moments(nand2, nand2.states[0], device_model,
+                                     n_samples=2000, rng=rng)
+        assert mean > 0 and std > 0
+        assert std < mean  # leakage CV of one gate under 5% L sigma
+
+
+class TestPairCorrelation:
+    """The MC side of the paper's Fig. 2."""
+
+    @pytest.mark.parametrize("rho_l", [0.0, 0.5, 0.9])
+    def test_tracks_length_correlation(self, library, device_model, rho_l):
+        rng = np.random.default_rng(13)
+        inv, nand = library["INV_X1"], library["NAND2_X1"]
+        rho_leak = mc_pair_correlation(
+            inv, inv.states[0], nand, nand.states[1], device_model,
+            rho_l=rho_l, n_samples=6000, rng=rng)
+        assert rho_leak == pytest.approx(rho_l, abs=0.08)

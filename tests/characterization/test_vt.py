@@ -1,0 +1,36 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.characterization import vt_mean_multiplier
+from repro.process import synthetic_90nm
+
+
+class TestVtMeanMultiplier:
+    def test_greater_than_one(self, technology):
+        assert vt_mean_multiplier(technology) > 1.0
+
+    def test_formula(self, technology):
+        n_vt = (technology.subthreshold_swing_factor
+                * technology.thermal_voltage)
+        expected = math.exp(technology.vt.sigma ** 2 / (2 * n_vt ** 2))
+        assert vt_mean_multiplier(technology) == pytest.approx(expected)
+
+    def test_matches_sampled_single_device_mean(self, technology, rng):
+        """E[exp(-dVt/(n kT/q))] over the RDF ensemble."""
+        n_vt = (technology.subthreshold_swing_factor
+                * technology.thermal_voltage)
+        shifts = rng.normal(0.0, technology.vt.sigma, 1_000_000)
+        sampled = float(np.exp(-shifts / n_vt).mean())
+        assert vt_mean_multiplier(technology) == pytest.approx(sampled,
+                                                               rel=1e-3)
+
+    def test_grows_with_sigma(self):
+        import dataclasses
+
+        from repro.process import VtSpec
+        small = synthetic_90nm()
+        big = dataclasses.replace(
+            small, vt=VtSpec(nominal_n=0.26, nominal_p=0.28, sigma=0.05))
+        assert vt_mean_multiplier(big) > vt_mean_multiplier(small)

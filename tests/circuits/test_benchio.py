@@ -1,0 +1,127 @@
+import pytest
+
+from repro.circuits import parse_bench, write_bench
+from repro.circuits.benchio import load_bench
+from repro.exceptions import NetlistError
+from repro.signalprob import propagate_probabilities
+
+C17 = """
+# c17 — the classic 6-gate ISCAS85 example
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+SEQUENTIAL = """
+INPUT(D0)
+OUTPUT(Q1)
+N1 = NOT(FFQ)
+FFQ = DFF(N2)
+N2 = AND(D0, N1)
+Q1 = BUFF(FFQ)
+"""
+
+WIDE = """
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(D)
+INPUT(E)
+INPUT(F)
+OUTPUT(Y)
+Y = NAND(A, B, C, D, E, F)
+"""
+
+
+class TestParse:
+    def test_c17_structure(self, library):
+        net = parse_bench(C17, library, name="c17")
+        assert net.n_gates == 6
+        assert net.cell_counts() == {"NAND2_X1": 6}
+        assert set(net.primary_inputs) == {"G1", "G2", "G3", "G6", "G7"}
+        net.validate()
+
+    def test_c17_order_is_topological(self, library):
+        net = parse_bench(C17, library)
+        seen = set(net.primary_inputs)
+        for gate in net.gates:
+            assert all(n in seen for n in gate.pin_nets.values())
+            seen.update(gate.output_nets.values())
+
+    def test_c17_propagation(self, library):
+        net = parse_bench(C17, library)
+        probs = propagate_probabilities(net, library, 0.5)
+        assert probs["G10"] == pytest.approx(0.75)
+        # G16 = NAND(G2, G11); G11 independent of G2 -> exact product.
+        assert probs["G16"] == pytest.approx(1 - 0.5 * 0.75)
+
+    def test_sequential_loop_through_dff(self, library):
+        net = parse_bench(SEQUENTIAL, library, name="seq")
+        assert net.cell_counts()["DFF_X1"] == 1
+        assert "FFQ" in net.pseudo_inputs
+        assert "clk" in net.primary_inputs
+        probs = propagate_probabilities(net, library, 0.5)
+        assert probs["FFQ"] == pytest.approx(0.5)
+        assert probs["Q1"] == pytest.approx(0.5)
+
+    def test_wide_gate_decomposition_preserves_function(self, library):
+        net = parse_bench(WIDE, library, name="wide")
+        probs = propagate_probabilities(net, library, 0.9)
+        # NAND6 at independent p: 1 - p^6.
+        assert probs["Y"] == pytest.approx(1 - 0.9 ** 6, rel=1e-12)
+
+    def test_combinational_loop_rejected(self, library):
+        looped = """
+        INPUT(A)
+        X = NAND(A, Y)
+        Y = NOT(X)
+        """
+        with pytest.raises(NetlistError):
+            parse_bench(looped, library)
+
+    def test_undriven_net_rejected(self, library):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(A)\nY = NAND(A, GHOST)\n", library)
+
+    def test_garbage_line_rejected(self, library):
+        with pytest.raises(NetlistError):
+            parse_bench("INPUT(A)\nthis is not bench\n", library)
+
+
+class TestWriteRoundTrip:
+    def test_c17_round_trip(self, library):
+        net = parse_bench(C17, library, name="c17")
+        text = write_bench(net, library)
+        again = parse_bench(text, library, name="c17rt")
+        assert again.cell_counts() == net.cell_counts()
+        p1 = propagate_probabilities(net, library, 0.3)
+        p2 = propagate_probabilities(again, library, 0.3)
+        assert p1["G22"] == pytest.approx(p2["G22"])
+        assert p1["G23"] == pytest.approx(p2["G23"])
+
+    def test_unsupported_cell_rejected(self, library, rng):
+        from repro.circuits import random_circuit
+        from repro.core import CellUsage
+        net = random_circuit(library, CellUsage({"MUX2_X1": 1.0}), 5,
+                             rng=rng)
+        with pytest.raises(NetlistError):
+            write_bench(net, library)
+
+
+class TestLoadFromDisk:
+    def test_load_bench(self, library, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17)
+        net = load_bench(str(path), library)
+        assert net.name == "c17"
+        assert net.n_gates == 6

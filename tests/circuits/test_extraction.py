@@ -1,0 +1,38 @@
+import pytest
+
+from repro.circuits import (
+    extract_characteristics,
+    grid_placement,
+    random_circuit,
+)
+from repro.core import CellUsage
+
+
+@pytest.fixture
+def placed_netlist(library, rng):
+    usage = CellUsage({"INV_X1": 0.6, "NAND2_X1": 0.4})
+    net = random_circuit(library, usage, 400, rng=rng)
+    grid_placement(net, 2e-4, 1e-4, rng=rng)
+    return net
+
+
+class TestExtraction:
+    def test_usage_recovered_exactly(self, placed_netlist, library):
+        chars = extract_characteristics(placed_netlist, library)
+        assert chars.usage["INV_X1"] == pytest.approx(0.6)
+        assert chars.usage["NAND2_X1"] == pytest.approx(0.4)
+        assert chars.n_cells == 400
+
+    def test_placed_dimensions_cover_die(self, placed_netlist, library):
+        chars = extract_characteristics(placed_netlist, library)
+        assert chars.width == pytest.approx(2e-4, rel=0.15)
+        assert chars.height == pytest.approx(1e-4, rel=0.15)
+        assert chars.area == pytest.approx(chars.width * chars.height)
+
+    def test_unplaced_falls_back_to_area_model(self, library, rng):
+        usage = CellUsage({"INV_X1": 1.0})
+        net = random_circuit(library, usage, 100, rng=rng)
+        chars = extract_characteristics(net, library, utilization=0.7)
+        expected_area = 100 * library["INV_X1"].area / 0.7
+        assert chars.width * chars.height == pytest.approx(expected_area,
+                                                           rel=1e-9)

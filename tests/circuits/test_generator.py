@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import random_circuit
+from repro.core import CellUsage
+from repro.exceptions import NetlistError
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.3, "NOR2_X1": 0.2,
+                      "DFF_X1": 0.1})
+
+
+class TestRandomCircuit:
+    def test_exact_histogram(self, library, usage, rng):
+        net = random_circuit(library, usage, 1000, rng=rng)
+        counts = net.cell_counts()
+        assert counts == {"INV_X1": 400, "NAND2_X1": 300, "NOR2_X1": 200,
+                          "DFF_X1": 100}
+
+    def test_sampled_histogram_fluctuates(self, library, usage):
+        counts = []
+        for seed in range(3):
+            net = random_circuit(library, usage, 500,
+                                 rng=np.random.default_rng(seed),
+                                 exact_histogram=False)
+            counts.append(net.cell_counts().get("INV_X1", 0))
+        assert len(set(counts)) > 1  # i.i.d. sampling varies
+
+    def test_valid_topological_netlist(self, library, usage, rng):
+        net = random_circuit(library, usage, 300, rng=rng)
+        net.validate()
+
+    def test_every_input_pin_wired(self, library, usage, rng):
+        net = random_circuit(library, usage, 200, rng=rng)
+        for gate in net:
+            cell = library[gate.cell_name]
+            assert set(gate.pin_nets) == set(cell.netlist.inputs)
+
+    def test_primary_input_count_default(self, library, usage, rng):
+        net = random_circuit(library, usage, 500, rng=rng)
+        assert len(net.primary_inputs) == 50
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=400))
+    def test_gate_count_always_exact(self, library, usage, n):
+        net = random_circuit(library, usage, n,
+                             rng=np.random.default_rng(n))
+        assert net.n_gates == n
+
+    def test_rejects_unknown_cell(self, library, rng):
+        with pytest.raises(NetlistError):
+            random_circuit(library, CellUsage({"GHOST": 1.0}), 10, rng=rng)
+
+    def test_rejects_non_positive_count(self, library, usage, rng):
+        with pytest.raises(NetlistError):
+            random_circuit(library, usage, 0, rng=rng)
+
+    def test_reproducible_with_seed(self, library, usage):
+        a = random_circuit(library, usage, 100,
+                           rng=np.random.default_rng(9))
+        b = random_circuit(library, usage, 100,
+                           rng=np.random.default_rng(9))
+        assert [g.cell_name for g in a] == [g.cell_name for g in b]
+        assert [g.pin_nets for g in a] == [g.pin_nets for g in b]

@@ -1,0 +1,57 @@
+import pytest
+
+from repro.circuits import ISCAS85_GATE_COUNTS, iscas85_circuit, iscas85_names
+from repro.circuits.iscas85 import iscas85_cell_counts, iscas85_usage
+from repro.exceptions import NetlistError
+
+#: Published total gate counts of the suite.
+PUBLISHED_TOTALS = {
+    "c432": 160, "c499": 202, "c880": 383, "c1355": 546, "c1908": 880,
+    "c2670": 1193, "c5315": 2307, "c6288": 2406, "c7552": 3512,
+}
+
+
+class TestData:
+    def test_names_cover_table1(self):
+        assert set(iscas85_names()) == set(PUBLISHED_TOTALS)
+
+    @pytest.mark.parametrize("name,total", sorted(PUBLISHED_TOTALS.items()))
+    def test_function_counts_sum_to_published_total(self, name, total):
+        assert sum(ISCAS85_GATE_COUNTS[name].values()) == total
+
+    @pytest.mark.parametrize("name", sorted(PUBLISHED_TOTALS))
+    def test_cell_counts_preserve_totals(self, name):
+        counts = iscas85_cell_counts(name)
+        assert sum(counts.values()) == PUBLISHED_TOTALS[name]
+
+    def test_c6288_is_nor_dominated(self):
+        """The famous 16x16 multiplier is a sea of NOR gates."""
+        counts = iscas85_cell_counts("c6288")
+        nor = sum(v for k, v in counts.items() if k.startswith("NOR"))
+        assert nor / PUBLISHED_TOTALS["c6288"] > 0.8
+
+    def test_c499_is_xor_heavy(self):
+        counts = iscas85_cell_counts("c499")
+        assert counts.get("XOR2_X1", 0) == 104
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            iscas85_cell_counts("c9999")
+
+
+class TestCircuits:
+    @pytest.mark.parametrize("name", ["c432", "c880"])
+    def test_netlist_matches_counts(self, library, name):
+        net = iscas85_circuit(name, library)
+        assert net.n_gates == PUBLISHED_TOTALS[name]
+        assert net.cell_counts() == iscas85_cell_counts(name)
+        net.validate()
+
+    def test_usage_normalized(self):
+        usage = iscas85_usage("c432")
+        assert usage.fractions.sum() == pytest.approx(1.0)
+
+    def test_deterministic_without_rng(self, library):
+        a = iscas85_circuit("c432", library)
+        b = iscas85_circuit("c432", library)
+        assert [g.cell_name for g in a] == [g.cell_name for g in b]

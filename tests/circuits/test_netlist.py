@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.circuits import GateInstance, Netlist
+from repro.exceptions import NetlistError
+
+
+def small_netlist():
+    g0 = GateInstance("g0", "INV_X1", pin_nets={"A": "pi0"},
+                      output_nets={"Y": "n0"})
+    g1 = GateInstance("g1", "NAND2_X1", pin_nets={"I0": "pi0", "I1": "n0"},
+                      output_nets={"Y": "n1"})
+    return Netlist("small", [g0, g1], primary_inputs=("pi0",))
+
+
+class TestNetlist:
+    def test_counts(self):
+        net = small_netlist()
+        assert net.n_gates == 2
+        assert net.cell_counts() == {"INV_X1": 1, "NAND2_X1": 1}
+
+    def test_validate_passes_topological(self):
+        small_netlist().validate()
+
+    def test_validate_rejects_undriven_net(self):
+        g = GateInstance("g0", "INV_X1", pin_nets={"A": "ghost"},
+                         output_nets={"Y": "n0"})
+        with pytest.raises(NetlistError):
+            Netlist("bad", [g], primary_inputs=()).validate()
+
+    def test_validate_rejects_non_topological_order(self):
+        g0 = GateInstance("g0", "INV_X1", pin_nets={"A": "n1"},
+                          output_nets={"Y": "n0"})
+        g1 = GateInstance("g1", "INV_X1", pin_nets={"A": "pi0"},
+                          output_nets={"Y": "n1"})
+        with pytest.raises(NetlistError):
+            Netlist("bad", [g0, g1], primary_inputs=("pi0",)).validate()
+
+    def test_duplicate_instance_names_rejected(self):
+        g = GateInstance("g", "INV_X1", pin_nets={"A": "pi0"},
+                         output_nets={"Y": "n0"})
+        h = GateInstance("g", "INV_X1", pin_nets={"A": "pi0"},
+                         output_nets={"Y": "n1"})
+        with pytest.raises(NetlistError):
+            Netlist("bad", [g, h], primary_inputs=("pi0",))
+
+    def test_multiple_drivers_rejected(self):
+        g0 = GateInstance("g0", "INV_X1", pin_nets={"A": "pi0"},
+                          output_nets={"Y": "n0"})
+        g1 = GateInstance("g1", "INV_X1", pin_nets={"A": "pi0"},
+                          output_nets={"Y": "n0"})
+        with pytest.raises(NetlistError):
+            Netlist("bad", [g0, g1], primary_inputs=("pi0",)).driven_nets()
+
+    def test_positions_require_placement(self):
+        net = small_netlist()
+        assert not net.is_placed
+        with pytest.raises(NetlistError):
+            net.positions()
+        for gate in net:
+            gate.position = (1e-6, 2e-6)
+        assert net.is_placed
+        assert net.positions().shape == (2, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("empty", [])

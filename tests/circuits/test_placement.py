@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    clustered_placement,
+    die_dimensions,
+    grid_placement,
+    random_circuit,
+)
+from repro.core import CellUsage
+from repro.exceptions import NetlistError
+
+
+@pytest.fixture
+def netlist(library, rng):
+    usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+    return random_circuit(library, usage, 200, rng=rng)
+
+
+class TestDieDimensions:
+    def test_area_accounts_for_utilization(self, netlist, library):
+        width, height = die_dimensions(netlist, library, utilization=0.5)
+        cell_area = sum(library[g.cell_name].area for g in netlist)
+        assert width * height == pytest.approx(cell_area / 0.5, rel=1e-9)
+
+    def test_aspect(self, netlist, library):
+        width, height = die_dimensions(netlist, library, aspect=2.0)
+        assert width / height == pytest.approx(2.0)
+
+    def test_rejects_bad_utilization(self, netlist, library):
+        with pytest.raises(NetlistError):
+            die_dimensions(netlist, library, utilization=0.0)
+
+
+class TestGridPlacement:
+    def test_places_every_gate(self, netlist, rng):
+        chip = grid_placement(netlist, 1e-4, 1e-4, rng=rng)
+        assert netlist.is_placed
+        assert chip.n_sites >= netlist.n_gates
+
+    def test_positions_unique_sites(self, netlist, rng):
+        grid_placement(netlist, 1e-4, 1e-4, rng=rng)
+        positions = netlist.positions()
+        unique = {tuple(p) for p in positions}
+        assert len(unique) == netlist.n_gates
+
+    def test_positions_inside_die(self, netlist, rng):
+        grid_placement(netlist, 1e-4, 2e-4, rng=rng)
+        positions = netlist.positions()
+        assert positions[:, 0].max() < 1e-4
+        assert positions[:, 1].max() < 2e-4
+
+    def test_random_assignment_varies_with_seed(self, library):
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+        nets = [random_circuit(library, usage, 100,
+                               rng=np.random.default_rng(1))
+                for _ in range(2)]
+        grid_placement(nets[0], 1e-4, 1e-4, np.random.default_rng(2))
+        grid_placement(nets[1], 1e-4, 1e-4, np.random.default_rng(3))
+        assert not np.allclose(nets[0].positions(), nets[1].positions())
+
+
+class TestClusteredPlacement:
+    def test_same_type_gates_tighter_than_random(self, library):
+        usage = CellUsage({"INV_X1": 0.25, "NAND2_X1": 0.25,
+                           "NOR2_X1": 0.25, "XOR2_X1": 0.25})
+        clustered = random_circuit(library, usage, 400,
+                                   rng=np.random.default_rng(1))
+        shuffled = random_circuit(library, usage, 400,
+                                  rng=np.random.default_rng(1))
+        clustered_placement(clustered, 1e-4, 1e-4,
+                            rng=np.random.default_rng(2))
+        grid_placement(shuffled, 1e-4, 1e-4, rng=np.random.default_rng(2))
+
+        def within_type(net, name):
+            positions = net.positions()
+            types = np.array([g.cell_name for g in net])
+            return _mean_pairwise(positions[types == name][:80])
+
+        # Clustering packs same-type gates: their mean pairwise distance
+        # must be well below the random-placement value.
+        assert within_type(clustered, "INV_X1") < \
+            0.7 * within_type(shuffled, "INV_X1")
+
+
+def _mean_pairwise(points):
+    delta = points[:, None, :] - points[None, :, :]
+    return float(np.sqrt((delta ** 2).sum(-1)).mean())

@@ -1,0 +1,134 @@
+import pytest
+
+from repro.circuits.verilogio import load_verilog, parse_verilog, write_verilog
+from repro.exceptions import NetlistError
+from repro.signalprob import propagate_probabilities
+
+SIMPLE = """
+// two-gate example
+module tiny (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  NAND2_X1 u1 (.I0(a), .I1(b), .Y(n1));
+  INV_X1 u2 (.A(n1), .Y(y));
+endmodule
+"""
+
+OUT_OF_ORDER = """
+module ooo (a, y);
+  input a;
+  output y;
+  wire n1, n2;
+  INV_X1 u3 (.A(n2), .Y(y));
+  INV_X1 u2 (.A(n1), .Y(n2));
+  INV_X1 u1 (.A(a), .Y(n1));
+endmodule
+"""
+
+SEQUENTIAL = """
+module counterbit (clk, y);
+  input clk;
+  output y;
+  wire d, q;
+  INV_X1 u1 (.A(q), .Y(d));   /* toggle feedback */
+  DFF_X1 r1 (.D(d), .CK(clk), .Q(q));
+  BUF_X1 u2 (.A(q), .Y(y));
+endmodule
+"""
+
+MULTI_OUTPUT = """
+module adder (a, b, s, co);
+  input a, b;
+  output s, co;
+  HA_X1 u1 (.A(a), .B(b), .S(s), .CO(co));
+endmodule
+"""
+
+
+class TestParse:
+    def test_simple_structure(self, library):
+        net = parse_verilog(SIMPLE, library)
+        assert net.name == "tiny"
+        assert net.cell_counts() == {"NAND2_X1": 1, "INV_X1": 1}
+        assert net.primary_inputs == ("a", "b")
+        probs = propagate_probabilities(net, library, 0.5)
+        assert probs["y"] == pytest.approx(0.25)
+
+    def test_out_of_order_instances_sorted(self, library):
+        net = parse_verilog(OUT_OF_ORDER, library)
+        assert [g.name for g in net.gates] == ["u1", "u2", "u3"]
+        net.validate()
+
+    def test_sequential_feedback_through_dff(self, library):
+        net = parse_verilog(SEQUENTIAL, library)
+        assert "q" in net.pseudo_inputs
+        probs = propagate_probabilities(net, library, 0.5)
+        assert probs["y"] == pytest.approx(0.5)
+
+    def test_multi_output_cell(self, library):
+        net = parse_verilog(MULTI_OUTPUT, library)
+        probs = propagate_probabilities(net, library, 0.5)
+        assert probs["s"] == pytest.approx(0.5)
+        assert probs["co"] == pytest.approx(0.25)
+
+    def test_unknown_cell_rejected(self, library):
+        bad = SIMPLE.replace("NAND2_X1", "MYSTERY9")
+        with pytest.raises(NetlistError):
+            parse_verilog(bad, library)
+
+    def test_unconnected_input_rejected(self, library):
+        bad = SIMPLE.replace(".I1(b), ", "")
+        with pytest.raises(NetlistError):
+            parse_verilog(bad, library)
+
+    def test_unknown_pin_rejected(self, library):
+        bad = SIMPLE.replace(".I1(b)", ".I9(b)")
+        with pytest.raises(NetlistError):
+            parse_verilog(bad, library)
+
+    def test_combinational_loop_rejected(self, library):
+        loop = """
+        module l (a, y);
+          input a;
+          output y;
+          wire n1, n2;
+          NAND2_X1 u1 (.I0(a), .I1(n2), .Y(n1));
+          INV_X1 u2 (.A(n1), .Y(n2));
+          BUF_X1 u3 (.A(n2), .Y(y));
+        endmodule
+        """
+        with pytest.raises(NetlistError):
+            parse_verilog(loop, library)
+
+    def test_missing_module_rejected(self, library):
+        with pytest.raises(NetlistError):
+            parse_verilog("wire x;", library)
+
+
+class TestRoundTrip:
+    def test_write_and_reparse(self, library):
+        net = parse_verilog(SIMPLE, library)
+        text = write_verilog(net, library)
+        again = parse_verilog(text, library)
+        assert again.cell_counts() == net.cell_counts()
+        p1 = propagate_probabilities(net, library, 0.3)
+        p2 = propagate_probabilities(again, library, 0.3)
+        assert p1["y"] == pytest.approx(p2["y"])
+
+    def test_random_circuit_round_trip(self, library, rng):
+        from repro.circuits import random_circuit
+        from repro.core import CellUsage
+        usage = CellUsage({"INV_X1": 0.3, "NAND2_X1": 0.3, "MUX2_X1": 0.2,
+                           "DFF_X1": 0.2})
+        net = random_circuit(library, usage, 150, rng=rng)
+        text = write_verilog(net, library)
+        again = parse_verilog(text, library)
+        assert again.cell_counts() == net.cell_counts()
+        again.validate()
+
+    def test_load_from_disk(self, library, tmp_path):
+        path = tmp_path / "tiny.v"
+        path.write_text(SIMPLE)
+        net = load_verilog(str(path), library)
+        assert net.n_gates == 2

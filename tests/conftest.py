@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Library construction and analytical characterization are expensive
+enough (a couple of seconds) to share at session scope; tests must not
+mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import build_library
+from repro.characterization import characterize_library
+from repro.devices import DeviceModel
+from repro.process import synthetic_90nm
+
+
+@pytest.fixture(scope="session")
+def technology():
+    return synthetic_90nm(correlation_length=0.5e-3)
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_library()
+
+
+@pytest.fixture(scope="session")
+def device_model(technology):
+    return DeviceModel(technology)
+
+
+@pytest.fixture(scope="session")
+def characterization(library, technology):
+    """Analytical characterization of the full library."""
+    return characterize_library(library, technology)
+
+
+@pytest.fixture(scope="session")
+def small_characterization(library, technology):
+    """Analytical characterization of a small representative subset."""
+    return characterize_library(
+        library, technology,
+        cells=["INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1", "DFF_X1"])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20070604)  # DAC 2007 started June 4

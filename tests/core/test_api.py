@@ -1,0 +1,120 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.exceptions import EstimationError
+from repro.process import LinearCorrelation
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.3, "NOR2_X1": 0.2,
+                      "DFF_X1": 0.1})
+
+
+@pytest.fixture(scope="module")
+def estimator(characterization, usage):
+    return FullChipLeakageEstimator(
+        characterization, usage, n_cells=10_000, width=1e-3, height=1e-3)
+
+
+class TestEstimate:
+    def test_mean_is_n_times_rg_mean(self, estimator):
+        result = estimator.estimate("linear")
+        assert result.mean == pytest.approx(
+            10_000 * estimator.random_gate.mean)
+
+    def test_methods_agree(self, estimator):
+        linear = estimator.estimate("linear")
+        integral = estimator.estimate("integral2d")
+        assert integral.std == pytest.approx(linear.std, rel=5e-3)
+        assert integral.mean == linear.mean
+
+    def test_auto_picks_linear_for_small(self, estimator):
+        assert estimator.estimate("auto").method == "linear"
+
+    def test_auto_picks_integral_for_huge(self, characterization, usage):
+        big = FullChipLeakageEstimator(
+            characterization, usage, n_cells=2_000_000, width=5e-3,
+            height=5e-3)
+        assert big.estimate("auto").method == "integral2d"
+
+    def test_polar_method(self, characterization, usage):
+        est = FullChipLeakageEstimator(
+            characterization, usage, n_cells=10_000, width=2e-3,
+            height=2e-3, correlation=LinearCorrelation(4e-4))
+        polar = est.estimate("polar")
+        integral = est.estimate("integral2d")
+        assert polar.std == pytest.approx(integral.std, rel=1e-3)
+
+    def test_unknown_method_rejected(self, estimator):
+        with pytest.raises(EstimationError):
+            estimator.estimate("quantum")
+
+    def test_vt_multiplier_applied_to_mean_with_vt(self, estimator):
+        result = estimator.estimate("linear")
+        assert result.vt_multiplier > 1.0
+        assert result.mean_with_vt == pytest.approx(
+            result.mean * result.vt_multiplier)
+
+    def test_cv_definition(self, estimator):
+        result = estimator.estimate("linear")
+        assert result.cv == pytest.approx(result.std / result.mean)
+
+    def test_details_populated(self, estimator):
+        details = estimator.estimate("linear").details
+        assert details["rows"] * details["cols"] >= 10_000
+        assert details["rg_std"] > 0
+
+
+class TestScalingBehaviour:
+    """The structural predictions of the model."""
+
+    def test_mean_scales_linearly_with_n(self, characterization, usage):
+        results = []
+        for n in (1000, 4000):
+            est = FullChipLeakageEstimator(
+                characterization, usage, n_cells=n,
+                width=1e-3 * math.sqrt(n / 1000),
+                height=1e-3 * math.sqrt(n / 1000))
+            results.append(est.estimate("linear").mean)
+        assert results[1] == pytest.approx(4 * results[0], rel=1e-6)
+
+    def test_cv_decreases_with_area_at_fixed_density(self, characterization,
+                                                     usage):
+        """Bigger dies average more independent WID regions, so the
+        relative spread shrinks (toward the D2D floor)."""
+        cvs = []
+        for n, side in ((2500, 0.5e-3), (40_000, 2e-3)):
+            est = FullChipLeakageEstimator(
+                characterization, usage, n_cells=n, width=side, height=side)
+            cvs.append(est.estimate("linear").cv)
+        assert cvs[1] < cvs[0]
+
+    def test_d2d_floor_bounds_cv(self, library, usage):
+        """With D2D variation the chip-level CV cannot fall below the
+        perfectly correlated component."""
+        from repro.characterization import characterize_library
+        from repro.process import synthetic_90nm
+        tech = synthetic_90nm(correlation_length=0.1e-3, d2d_fraction=0.5)
+        char = characterize_library(
+            library, tech, cells=["INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"])
+        est = FullChipLeakageEstimator(char, CellUsage(
+            {"INV_X1": 0.4, "NAND2_X1": 0.3, "NOR2_X1": 0.2, "DFF_X1": 0.1}),
+            n_cells=250_000, width=5e-3, height=5e-3)
+        result = est.estimate("integral2d")
+        floor_cov = float(est.rg_correlation.covariance(
+            tech.length.rho_floor))
+        floor_std = 250_000 * math.sqrt(floor_cov)
+        assert result.std > 0.95 * floor_std
+
+
+class TestQuickEstimate:
+    def test_runs_end_to_end(self):
+        from repro import quick_estimate
+        result = quick_estimate(n_cells=5000, width=1e-3, height=1e-3)
+        assert result.mean > 0
+        assert result.std > 0
+        assert result.n_cells == 5000

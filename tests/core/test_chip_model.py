@@ -1,0 +1,79 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import FullChipModel
+from repro.exceptions import ConfigurationError
+
+
+class TestFromDesign:
+    def test_square_die(self):
+        chip = FullChipModel.from_design(10_000, 1e-3, 1e-3)
+        assert chip.rows == 100 and chip.cols == 100
+        assert chip.n_sites == 10_000
+
+    def test_sites_cover_cells(self):
+        for n in (1, 7, 97, 1234, 99_991):
+            chip = FullChipModel.from_design(n, 1e-3, 1e-3)
+            assert chip.n_sites >= n
+            assert chip.n_sites <= n + max(chip.rows, chip.cols)
+
+    def test_aspect_ratio_respected(self):
+        chip = FullChipModel.from_design(20_000, 2e-3, 1e-3)
+        assert chip.cols == pytest.approx(2 * chip.rows, rel=0.05)
+
+    def test_pitches(self):
+        chip = FullChipModel.from_design(100, 1e-3, 2e-3)
+        assert chip.pitch_x * chip.cols == pytest.approx(1e-3)
+        assert chip.pitch_y * chip.rows == pytest.approx(2e-3)
+        assert chip.site_area == pytest.approx(chip.pitch_x * chip.pitch_y)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            FullChipModel.from_design(0, 1e-3, 1e-3)
+        with pytest.raises(ConfigurationError):
+            FullChipModel.from_design(10, -1.0, 1e-3)
+
+
+class TestFromArea:
+    def test_area_matches_budget(self):
+        chip = FullChipModel.from_area(1000, 3e-12, aspect=1.0)
+        assert chip.area == pytest.approx(1000 * 3e-12, rel=0.01)
+
+    def test_aspect(self):
+        chip = FullChipModel.from_area(1000, 3e-12, aspect=4.0)
+        assert chip.width / chip.height == pytest.approx(4.0, rel=0.01)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            FullChipModel.from_area(10, 0.0)
+
+
+class TestSitePositions:
+    def test_centers_inside_die(self):
+        chip = FullChipModel.from_design(24, 1e-3, 2e-3)
+        pos = chip.site_positions()
+        assert pos.shape == (chip.n_sites, 2)
+        assert np.all(pos[:, 0] > 0) and np.all(pos[:, 0] < chip.width)
+        assert np.all(pos[:, 1] > 0) and np.all(pos[:, 1] < chip.height)
+
+    def test_row_major_order(self):
+        chip = FullChipModel(n_cells=6, width=3.0, height=2.0, rows=2,
+                             cols=3)
+        pos = chip.site_positions()
+        np.testing.assert_allclose(pos[0], [0.5, 0.5])
+        np.testing.assert_allclose(pos[1], [1.5, 0.5])
+        np.testing.assert_allclose(pos[3], [0.5, 1.5])
+
+    def test_pairwise_distances_match_lag_formula(self):
+        """d_ij = sqrt((i*dW)^2 + (j*dH)^2) — the linear method's core."""
+        chip = FullChipModel(n_cells=12, width=4.0, height=3.0, rows=3,
+                             cols=4)
+        pos = chip.site_positions()
+        a, b = 1, 10  # (col 1, row 0) and (col 2, row 2)
+        i = (b % 4) - (a % 4)
+        j = (b // 4) - (a // 4)
+        expected = math.hypot(i * chip.pitch_x, j * chip.pitch_y)
+        actual = float(np.linalg.norm(pos[b] - pos[a]))
+        assert actual == pytest.approx(expected)

@@ -1,0 +1,195 @@
+"""Cross-validation of the four variance estimators.
+
+The load-bearing facts, each from the paper:
+
+* the linear-time transform (eq. 17) is an *exact* rewrite of the
+  pairwise sum (eq. 15) on a grid;
+* the 2-D integral (eq. 20) converges to the linear result as n grows;
+* the polar 1-D integral (eqs. 25-26) matches the 2-D integral when its
+  support condition holds, and refuses when it does not.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CellUsage, FullChipModel, RandomGate, RGCorrelation, \
+    expand_mixture
+from repro.core.estimators import (
+    exact_moments,
+    integral2d_variance,
+    linear_variance,
+    pair_params_from_fits,
+    polar_variance,
+)
+from repro.exceptions import EstimationError
+from repro.process import (
+    ExponentialCorrelation,
+    LinearCorrelation,
+    ProcessParameter,
+    TotalCorrelation,
+)
+
+MU_L = 50e-9
+SIGMA_L = 2.5e-9
+
+
+@pytest.fixture(scope="module")
+def rg(small_characterization):
+    usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.3, "NOR2_X1": 0.2})
+    return RandomGate(expand_mixture(small_characterization, usage, 0.5))
+
+
+@pytest.fixture(scope="module")
+def rgc(rg):
+    return RGCorrelation(rg, MU_L, SIGMA_L)
+
+
+@pytest.fixture(scope="module")
+def correlation():
+    param = ProcessParameter("L", MU_L, SIGMA_L / math.sqrt(2),
+                             SIGMA_L / math.sqrt(2))
+    return TotalCorrelation(ExponentialCorrelation(4e-4), param)
+
+
+def brute_force_grid_variance(chip, correlation, rgc):
+    pos = chip.site_positions()
+    delta = pos[:, None, :] - pos[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
+    cov = rgc.covariance(correlation(dist))
+    np.fill_diagonal(cov, rgc.same_site_covariance)
+    return float(cov.sum())
+
+
+class TestLinearIsExactOnGrids:
+    @settings(max_examples=12, deadline=None)
+    @given(rows=st.integers(min_value=1, max_value=12),
+           cols=st.integers(min_value=1, max_value=12))
+    def test_matches_brute_force(self, rows, cols, rgc, correlation):
+        chip = FullChipModel(n_cells=rows * cols, width=cols * 5e-6,
+                             height=rows * 5e-6, rows=rows, cols=cols)
+        brute = brute_force_grid_variance(chip, correlation, rgc)
+        linear = linear_variance(rows, cols, chip.pitch_x, chip.pitch_y,
+                                 correlation, rgc)
+        assert linear == pytest.approx(brute, rel=1e-12)
+
+    def test_rejects_bad_grid(self, rgc, correlation):
+        with pytest.raises(EstimationError):
+            linear_variance(0, 5, 1e-6, 1e-6, correlation, rgc)
+
+
+class TestIntegralConvergence:
+    def test_error_shrinks_with_n(self, rgc, correlation):
+        """Fig. 7's shape: integral error large for small n, tiny for
+        large n."""
+        errors = []
+        for side in (10, 40, 160):
+            width = height = side * 4e-6
+            chip = FullChipModel(n_cells=side * side, width=width,
+                                 height=height, rows=side, cols=side)
+            lin = linear_variance(side, side, chip.pitch_x, chip.pitch_y,
+                                  correlation, rgc)
+            i2d = integral2d_variance(side * side, width, height,
+                                      correlation, rgc)
+            errors.append(abs(math.sqrt(i2d) - math.sqrt(lin))
+                          / math.sqrt(lin))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 5e-3
+
+    def test_rejects_bad_inputs(self, rgc, correlation):
+        with pytest.raises(EstimationError):
+            integral2d_variance(0, 1e-3, 1e-3, correlation, rgc)
+
+
+class TestPolar:
+    def test_matches_2d_with_compact_support_wid_only(self, rgc):
+        corr = LinearCorrelation(3e-4)
+        i2d = integral2d_variance(10_000, 1e-3, 1e-3, corr, rgc)
+        pol = polar_variance(10_000, 1e-3, 1e-3, corr, rgc)
+        assert pol == pytest.approx(i2d, rel=1e-4)
+
+    def test_matches_2d_with_d2d_floor(self, rgc):
+        param = ProcessParameter("L", MU_L, SIGMA_L * 0.6, SIGMA_L * 0.8)
+        corr = TotalCorrelation(LinearCorrelation(3e-4), param)
+        i2d = integral2d_variance(10_000, 1e-3, 1e-3, corr, rgc)
+        pol = polar_variance(10_000, 1e-3, 1e-3, corr, rgc)
+        assert pol == pytest.approx(i2d, rel=1e-4)
+
+    def test_matches_2d_with_truncated_exponential(self, rgc, correlation):
+        i2d = integral2d_variance(10_000, 4e-3, 4e-3, correlation, rgc)
+        pol = polar_variance(10_000, 4e-3, 4e-3, correlation, rgc)
+        assert pol == pytest.approx(i2d, rel=1e-3)
+
+    def test_refuses_when_support_exceeds_die(self, rgc):
+        corr = LinearCorrelation(2e-3)
+        with pytest.raises(EstimationError):
+            polar_variance(100, 1e-3, 1e-3, corr, rgc)
+
+    def test_angular_kernel_value(self):
+        from repro.core.estimators.polar import angular_kernel
+        # g(0) = (pi/2) W H
+        assert angular_kernel(0.0, 2.0, 3.0) == pytest.approx(3 * math.pi)
+
+
+class TestExactMoments:
+    def test_matches_naive_loop(self, rgc, correlation, rng):
+        n = 40
+        positions = rng.uniform(0, 1e-3, (n, 2))
+        means = rng.uniform(1e-9, 1e-8, n)
+        stds = rng.uniform(1e-10, 1e-9, n)
+        mean, std = exact_moments(positions, means, stds, correlation,
+                                  block_size=7)
+        naive_var = 0.0
+        for i in range(n):
+            for j in range(n):
+                d = float(np.linalg.norm(positions[i] - positions[j]))
+                naive_var += stds[i] * stds[j] * float(correlation(d))
+        assert mean == pytest.approx(float(means.sum()))
+        assert std == pytest.approx(math.sqrt(naive_var), rel=1e-10)
+
+    def test_corr_stds_split(self, correlation, rng):
+        """State-selection variance sits on the diagonal only."""
+        n = 25
+        positions = rng.uniform(0, 1e-3, (n, 2))
+        means = rng.uniform(1e-9, 1e-8, n)
+        stds = rng.uniform(5e-10, 1e-9, n)
+        corr_stds = 0.5 * stds
+        _, std_split = exact_moments(positions, means, stds, correlation,
+                                     corr_stds=corr_stds)
+        _, std_full = exact_moments(positions, means, stds, correlation)
+        _, std_low = exact_moments(positions, means, corr_stds, correlation)
+        assert std_low < std_split < std_full
+
+    def test_exact_pair_params_match_simplified_for_identical_fits(
+            self, small_characterization, correlation, rng):
+        """When every gate shares one fit, f_mm(rho) ~ rho, so both
+        covariance models nearly coincide (Fig. 2's y = x)."""
+        fit = small_characterization["INV_X1"].states[0].fit
+        from repro.characterization import mgf_moments
+        mean, std = mgf_moments(fit.a, fit.b, fit.c, MU_L, SIGMA_L)
+        n = 30
+        positions = rng.uniform(0, 1e-3, (n, 2))
+        means = np.full(n, mean)
+        stds = np.full(n, std)
+        pair_params = pair_params_from_fits([fit] * n, MU_L, SIGMA_L)
+        _, std_simpl = exact_moments(positions, means, stds, correlation)
+        _, std_exact = exact_moments(positions, means, stds, correlation,
+                                     pair_params=pair_params)
+        assert std_exact == pytest.approx(std_simpl, rel=0.03)
+
+    def test_block_size_invariance(self, correlation, rng):
+        n = 50
+        positions = rng.uniform(0, 1e-3, (n, 2))
+        means = rng.uniform(1e-9, 1e-8, n)
+        stds = rng.uniform(1e-10, 1e-9, n)
+        results = [exact_moments(positions, means, stds, correlation,
+                                 block_size=bs)[1] for bs in (3, 17, 100)]
+        assert results[0] == pytest.approx(results[1], rel=1e-12)
+        assert results[1] == pytest.approx(results[2], rel=1e-12)
+
+    def test_shape_validation(self, correlation):
+        with pytest.raises(EstimationError):
+            exact_moments(np.zeros((3, 3)), np.zeros(3), np.zeros(3),
+                          correlation)

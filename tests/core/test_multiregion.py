@@ -1,0 +1,135 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.core.multiregion import (
+    MultiRegionEstimate,
+    Region,
+    estimate_multiregion,
+)
+from repro.exceptions import EstimationError
+from repro.process import LinearCorrelation, TotalCorrelation
+
+
+@pytest.fixture(scope="module")
+def logic_usage():
+    return CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+
+
+@pytest.fixture(scope="module")
+def other_usage():
+    return CellUsage({"NOR2_X1": 0.6, "XOR2_X1": 0.4})
+
+
+def region(name, x0, y0, usage, n=4000, side=4e-4):
+    return Region(name=name, x0=x0, y0=y0, width=side, height=side,
+                  usage=usage, n_cells=n)
+
+
+class TestConsistencyWithSingleRegion:
+    def test_one_region_matches_estimator(self, small_characterization,
+                                          logic_usage):
+        result = estimate_multiregion(
+            small_characterization, [region("a", 0, 0, logic_usage)],
+            diagonal_correction=False)
+        single = FullChipLeakageEstimator(
+            small_characterization, logic_usage, 4000, 4e-4, 4e-4
+        ).estimate("integral2d")
+        assert result.mean == pytest.approx(single.mean, rel=1e-9)
+        assert result.std == pytest.approx(single.std, rel=1e-6)
+
+    def test_split_homogeneous_chip_recovers_whole(
+            self, small_characterization, logic_usage):
+        """Cutting one uniform chip into two abutting halves must give
+        the same total moments (cross term included)."""
+        whole = estimate_multiregion(
+            small_characterization,
+            [Region("whole", 0, 0, 8e-4, 4e-4, logic_usage, 8000)],
+            diagonal_correction=False)
+        halves = estimate_multiregion(
+            small_characterization,
+            [Region("left", 0, 0, 4e-4, 4e-4, logic_usage, 4000),
+             Region("right", 4e-4, 0, 4e-4, 4e-4, logic_usage, 4000)],
+            diagonal_correction=False)
+        assert halves.mean == pytest.approx(whole.mean, rel=1e-9)
+        assert halves.std == pytest.approx(whole.std, rel=2e-3)
+
+
+class TestCrossRegionStructure:
+    def test_far_apart_wid_only_regions_decouple(self,
+                                                 small_characterization,
+                                                 logic_usage, other_usage):
+        tech = small_characterization.technology
+        wid_only = TotalCorrelation(LinearCorrelation(1e-4),
+                                    tech.length.with_split(0.0))
+        near = estimate_multiregion(
+            small_characterization,
+            [region("a", 0, 0, logic_usage),
+             region("b", 4.05e-4, 0, other_usage)],
+            correlation=wid_only)
+        far = estimate_multiregion(
+            small_characterization,
+            [region("a", 0, 0, logic_usage),
+             region("b", 5e-3, 0, other_usage)],
+            correlation=wid_only)
+        rho_near = near.correlation_matrix()[0, 1]
+        rho_far = far.correlation_matrix()[0, 1]
+        assert rho_far == pytest.approx(0.0, abs=1e-9)
+        assert rho_near > 0.001
+
+    def test_d2d_floor_keeps_regions_coupled(self, small_characterization,
+                                             logic_usage, other_usage):
+        result = estimate_multiregion(
+            small_characterization,
+            [region("a", 0, 0, logic_usage),
+             region("b", 5e-3, 0, other_usage)])
+        rho = result.correlation_matrix()[0, 1]
+        assert rho > 0.3  # the shared D2D component never decays
+
+    def test_total_variance_exceeds_independent_sum(
+            self, small_characterization, logic_usage, other_usage):
+        result = estimate_multiregion(
+            small_characterization,
+            [region("a", 0, 0, logic_usage),
+             region("b", 4.5e-4, 0, other_usage)])
+        independent = math.sqrt(float((result.region_stds ** 2).sum()))
+        assert result.std > independent
+
+    def test_heterogeneous_means_add(self, small_characterization,
+                                     logic_usage, other_usage):
+        result = estimate_multiregion(
+            small_characterization,
+            [region("a", 0, 0, logic_usage),
+             region("b", 4.5e-4, 0, other_usage)])
+        assert result.mean == pytest.approx(float(result.region_means.sum()))
+        assert result.region_names == ("a", "b")
+
+
+class TestValidation:
+    def test_overlapping_regions_rejected(self, small_characterization,
+                                          logic_usage):
+        with pytest.raises(EstimationError):
+            estimate_multiregion(
+                small_characterization,
+                [region("a", 0, 0, logic_usage),
+                 region("b", 2e-4, 2e-4, logic_usage)])
+
+    def test_abutting_regions_allowed(self, small_characterization,
+                                      logic_usage):
+        result = estimate_multiregion(
+            small_characterization,
+            [region("a", 0, 0, logic_usage),
+             region("b", 4e-4, 0, logic_usage)])
+        assert isinstance(result, MultiRegionEstimate)
+
+    def test_empty_rejected(self, small_characterization):
+        with pytest.raises(EstimationError):
+            estimate_multiregion(small_characterization, [])
+
+    def test_bad_region_rejected(self, logic_usage):
+        with pytest.raises(EstimationError):
+            Region("x", 0, 0, -1.0, 1.0, logic_usage, 10)
+        with pytest.raises(EstimationError):
+            Region("x", 0, 0, 1.0, 1.0, logic_usage, 0)

@@ -1,0 +1,79 @@
+import pytest
+
+from repro.core import (
+    CellUsage,
+    leakage_at_percentile,
+    leakage_headroom,
+    max_cells_for_budget,
+)
+from repro.exceptions import EstimationError
+
+SITE_AREA = 3.5e-12
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
+
+
+class TestLeakageAtPercentile:
+    def test_monotone_in_n(self, characterization, usage):
+        small = leakage_at_percentile(characterization, usage, 1000,
+                                      SITE_AREA)
+        big = leakage_at_percentile(characterization, usage, 10_000,
+                                    SITE_AREA)
+        assert big > small
+
+    def test_monotone_in_percentile(self, characterization, usage):
+        p50 = leakage_at_percentile(characterization, usage, 5000,
+                                    SITE_AREA, percentile=0.5)
+        p99 = leakage_at_percentile(characterization, usage, 5000,
+                                    SITE_AREA, percentile=0.99)
+        assert p99 > p50
+
+    def test_rejects_bad_percentile(self, characterization, usage):
+        with pytest.raises(EstimationError):
+            leakage_at_percentile(characterization, usage, 100, SITE_AREA,
+                                  percentile=1.0)
+
+
+class TestMaxCellsForBudget:
+    def test_inverse_of_forward(self, characterization, usage):
+        budget = leakage_at_percentile(characterization, usage, 5000,
+                                       SITE_AREA)
+        n = max_cells_for_budget(characterization, usage, budget, SITE_AREA)
+        # Bisection is exact to the integer; the forward curve is smooth,
+        # so the answer lands within a hair of 5000.
+        assert n == pytest.approx(5000, rel=0.02)
+        over = leakage_at_percentile(characterization, usage, n + 50,
+                                     SITE_AREA)
+        assert over > budget
+
+    def test_zero_when_budget_below_single_cell(self, characterization,
+                                                usage):
+        assert max_cells_for_budget(characterization, usage, 1e-12,
+                                    SITE_AREA) == 0
+
+    def test_rejects_non_positive_budget(self, characterization, usage):
+        with pytest.raises(EstimationError):
+            max_cells_for_budget(characterization, usage, 0.0, SITE_AREA)
+
+    def test_huge_budget_hits_guard(self, characterization, usage):
+        with pytest.raises(EstimationError):
+            max_cells_for_budget(characterization, usage, 1e6, SITE_AREA,
+                                 n_max=10_000)
+
+
+class TestHeadroom:
+    def test_lower_leakage_mix_saves(self, characterization, usage):
+        leaky = CellUsage({"NOR4_X1": 0.5, "INV_X8": 0.5})
+        result = leakage_headroom(characterization, leaky, usage,
+                                  n_cells=2000, width=2e-4, height=2e-4)
+        assert result["mean_saving"] > 0
+        assert result["baseline"].mean > result["candidate"].mean
+
+    def test_identity_mix_saves_nothing(self, characterization, usage):
+        result = leakage_headroom(characterization, usage, usage,
+                                  n_cells=2000, width=2e-4, height=2e-4)
+        assert result["mean_saving"] == pytest.approx(0.0, abs=1e-12)
+        assert result["std_saving"] == pytest.approx(0.0, abs=1e-12)

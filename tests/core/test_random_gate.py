@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.core import CellUsage, RandomGate, expand_mixture
+from repro.core.random_gate import GateMixture
+from repro.exceptions import EstimationError
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "DFF_X1": 0.2})
+
+
+@pytest.fixture(scope="module")
+def mixture(small_characterization, usage):
+    return expand_mixture(small_characterization, usage, p=0.5)
+
+
+class TestExpandMixture:
+    def test_weights_sum_to_one(self, mixture):
+        assert mixture.alphas.sum() == pytest.approx(1.0)
+
+    def test_component_counts(self, mixture):
+        # INV: 2 states, NAND2: 4 states, DFF: 8 states.
+        assert len(mixture.labels) == 2 + 4 + 8
+
+    def test_weights_factor_usage_and_state(self, small_characterization,
+                                            usage):
+        mixture = expand_mixture(small_characterization, usage, p=0.5)
+        weight = dict(zip(mixture.labels, mixture.alphas))
+        assert weight[("INV_X1", "A=0")] == pytest.approx(0.4 * 0.5)
+        assert weight[("NAND2_X1", "I0=1,I1=1")] == pytest.approx(0.4 * 0.25)
+
+    def test_signal_probability_shifts_weights(self, small_characterization,
+                                               usage):
+        mixture = expand_mixture(small_characterization, usage, p=0.9)
+        weight = dict(zip(mixture.labels, mixture.alphas))
+        assert weight[("NAND2_X1", "I0=1,I1=1")] == pytest.approx(0.4 * 0.81)
+
+    def test_uncharacterized_cell_rejected(self, small_characterization):
+        bad = CellUsage({"AND4_X1": 1.0})
+        with pytest.raises(EstimationError):
+            expand_mixture(small_characterization, bad, 0.5)
+
+    def test_has_fits(self, mixture):
+        assert mixture.has_fits
+        assert len(mixture.fits) == len(mixture.labels)
+
+
+class TestRandomGateStatistics:
+    """Eqs. (7)-(8) against direct enumeration."""
+
+    def test_mean_eq7(self, mixture):
+        rg = RandomGate(mixture)
+        expected = float(np.sum(mixture.alphas * mixture.means))
+        assert rg.mean == pytest.approx(expected, rel=1e-14)
+
+    def test_second_moment_eq8(self, mixture):
+        rg = RandomGate(mixture)
+        second = float(np.sum(mixture.alphas
+                              * (mixture.stds ** 2 + mixture.means ** 2)))
+        assert rg.variance == pytest.approx(second - rg.mean ** 2, rel=1e-12)
+
+    def test_variance_exceeds_weighted_state_variance(self, mixture):
+        """Gate-selection adds variance on top of process variance."""
+        rg = RandomGate(mixture)
+        process_only = float(np.sum(mixture.alphas * mixture.stds ** 2))
+        assert rg.variance > process_only
+
+    def test_monte_carlo_consistency(self, mixture, rng):
+        """Sampling the mixture reproduces eqs. (7)-(8)."""
+        rg = RandomGate(mixture)
+        idx = rng.choice(len(mixture.alphas), size=200_000, p=mixture.alphas)
+        # Leakage sampled as lognormal-ish per component is unnecessary;
+        # sampling the component means+gaussians suffices for moments.
+        values = (mixture.means[idx]
+                  + mixture.stds[idx] * rng.standard_normal(idx.shape))
+        assert rg.mean == pytest.approx(float(values.mean()), rel=0.01)
+        assert rg.std == pytest.approx(float(values.std()), rel=0.02)
+
+    def test_mean_of_stds_below_std(self, mixture):
+        rg = RandomGate(mixture)
+        assert rg.mean_of_stds < rg.std
+
+
+class TestMixtureValidation:
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(EstimationError):
+            GateMixture(labels=(("a", "s"),), alphas=np.array([0.5, 0.5]),
+                        means=np.array([1.0]), stds=np.array([0.1]),
+                        fits=None)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(EstimationError):
+            GateMixture(labels=(("a", "s"),), alphas=np.array([0.5]),
+                        means=np.array([1.0]), stds=np.array([0.1]),
+                        fits=None)
+
+    def test_prune_drops_negligible(self, mixture):
+        alphas = mixture.alphas.copy()
+        alphas[0] = 1e-15
+        alphas /= alphas.sum()
+        dirty = GateMixture(labels=mixture.labels, alphas=alphas,
+                            means=mixture.means, stds=mixture.stds,
+                            fits=mixture.fits)
+        clean = dirty.prune()
+        assert len(clean.labels) == len(mixture.labels) - 1
+        assert clean.alphas.sum() == pytest.approx(1.0)

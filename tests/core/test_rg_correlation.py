@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.core import CellUsage, RandomGate, RGCorrelation, expand_mixture
+from repro.exceptions import EstimationError
+
+MU_L = 50e-9
+SIGMA_L = 2.5e-9
+
+
+@pytest.fixture(scope="module")
+def random_gate(small_characterization):
+    usage = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.3, "NOR2_X1": 0.2,
+                       "XOR2_X1": 0.1})
+    return RandomGate(expand_mixture(small_characterization, usage, 0.5))
+
+
+@pytest.fixture(scope="module")
+def exact(random_gate):
+    return RGCorrelation(random_gate, MU_L, SIGMA_L, simplified=False)
+
+
+@pytest.fixture(scope="module")
+def simplified(random_gate):
+    return RGCorrelation(random_gate, MU_L, SIGMA_L, simplified=True)
+
+
+class TestStructure:
+    def test_defaults_to_exact_with_fits(self, random_gate):
+        rgc = RGCorrelation(random_gate, MU_L, SIGMA_L)
+        assert not rgc.simplified
+
+    def test_zero_correlation_zero_covariance(self, exact, simplified):
+        assert float(exact.covariance(0.0)) == pytest.approx(0.0, abs=1e-22)
+        assert float(simplified.covariance(0.0)) == 0.0
+
+    def test_selection_gap_positive(self, exact):
+        """Eq. (11): same-site variance exceeds the rho_L -> 1 limit of
+        the distinct-site covariance, because gate selection at two
+        sites is independent."""
+        assert exact.selection_gap > 0
+        assert exact.same_site_covariance == pytest.approx(
+            exact.variance)
+
+    def test_simplified_scale_is_mean_of_stds_squared(self, random_gate,
+                                                      simplified):
+        expected = random_gate.mean_of_stds ** 2
+        assert float(simplified.covariance(1.0)) == pytest.approx(expected)
+
+    def test_monotone_in_rho(self, exact):
+        rhos = np.linspace(-1, 1, 41)
+        cov = exact.covariance(rhos)
+        assert np.all(np.diff(cov) > 0)
+
+    def test_rho_normalized(self, exact):
+        rhos = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(exact.rho(rhos),
+                                   exact.covariance(rhos) / exact.variance)
+
+    def test_out_of_range_rho_rejected(self, exact):
+        with pytest.raises(EstimationError):
+            exact.covariance(1.5)
+
+
+class TestSimplifiedVsExact:
+    def test_close_for_library_gates(self, exact, simplified):
+        """Section 3.1.2: the rho_mn = rho_L assumption changes the
+        covariance by a few percent at most."""
+        rhos = np.linspace(0.05, 1.0, 20)
+        exact_cov = exact.covariance(rhos)
+        simple_cov = simplified.covariance(rhos)
+        rel = np.abs(simple_cov - exact_cov) / exact_cov
+        assert np.max(rel) < 0.06
+
+    def test_exact_requires_fits(self, library, technology, rng):
+        from repro.characterization import characterize_library
+        mc_char = characterize_library(library, technology,
+                                       mode="montecarlo",
+                                       cells=["INV_X1"], n_samples=200,
+                                       rng=rng)
+        usage = CellUsage({"INV_X1": 1.0})
+        rg = RandomGate(expand_mixture(mc_char, usage, 0.5))
+        with pytest.raises(EstimationError):
+            RGCorrelation(rg, MU_L, SIGMA_L, simplified=False)
+        # but simplified works, and is the default for MC mode
+        assert RGCorrelation(rg, MU_L, SIGMA_L).simplified
+
+
+class TestInterpolationResolution:
+    def test_grid_interpolation_error_is_negligible(self, random_gate):
+        """The 65-point default grid must match a 1025-point reference
+        to well below the simplified-assumption error (Section 3.1.2)."""
+        coarse = RGCorrelation(random_gate, MU_L, SIGMA_L,
+                               simplified=False, n_grid=65)
+        fine = RGCorrelation(random_gate, MU_L, SIGMA_L,
+                             simplified=False, n_grid=1025)
+        rhos = np.linspace(-0.999, 0.999, 301)
+        rel = np.abs(coarse.covariance(rhos) - fine.covariance(rhos)) \
+            / fine.variance
+        assert float(rel.max()) < 1e-5
+
+
+class TestAgainstBruteForce:
+    def test_covariance_matches_pairwise_sum(self, random_gate, exact):
+        """Eq. (10) by direct summation over the mixture at a few rho."""
+        from repro.characterization import pair_expectation
+        mixture = random_gate.mixture
+        for rho in (0.2, 0.7, 1.0):
+            total = 0.0
+            for wm, fm, mm in zip(mixture.alphas, mixture.fits,
+                                  mixture.means):
+                for wn, fn, mn in zip(mixture.alphas, mixture.fits,
+                                      mixture.means):
+                    cross = float(pair_expectation(fm, fn, MU_L, SIGMA_L,
+                                                   rho))
+                    total += wm * wn * (cross - mm * mn)
+            assert float(exact.covariance(rho)) == pytest.approx(
+                total, rel=1e-4)

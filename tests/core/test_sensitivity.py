@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.core import CellUsage, RandomGate, expand_mixture
+from repro.core.sensitivity import leakage_attribution, usage_gradient
+
+
+@pytest.fixture(scope="module")
+def random_gate(small_characterization):
+    usage = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.3, "NOR2_X1": 0.2,
+                       "DFF_X1": 0.1})
+    return RandomGate(expand_mixture(small_characterization, usage, 0.5))
+
+
+class TestAttribution:
+    def test_shares_sum_to_one(self, random_gate):
+        rows = leakage_attribution(random_gate)
+        assert sum(r.mean_share for r in rows) == pytest.approx(1.0)
+        assert sum(r.std_share for r in rows) == pytest.approx(1.0)
+        assert sum(r.usage_fraction for r in rows) == pytest.approx(1.0)
+
+    def test_sorted_by_mean_share(self, random_gate):
+        rows = leakage_attribution(random_gate)
+        shares = [r.mean_share for r in rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_dff_outweighs_its_usage(self, random_gate,
+                                     small_characterization):
+        """A 24-transistor flip-flop leaks far more per instance than an
+        inverter, so its mean share must exceed its 10% usage share."""
+        rows = {r.cell_name: r for r in leakage_attribution(random_gate)}
+        assert rows["DFF_X1"].mean_share > rows["DFF_X1"].usage_fraction
+
+    def test_mean_share_reconstructs_rg_mean(self, random_gate,
+                                             small_characterization):
+        rows = leakage_attribution(random_gate)
+        reconstructed = sum(r.mean_share for r in rows) * random_gate.mean
+        assert reconstructed == pytest.approx(random_gate.mean)
+
+
+class TestUsageGradient:
+    def test_zero_sum_under_usage_weights(self, random_gate):
+        """sum_i alpha_i (mu_i - mu_XI) = 0 — shifting mass to the
+        average changes nothing."""
+        gradient = dict(usage_gradient(random_gate))
+        mixture = random_gate.mixture
+        by_cell = {}
+        for (name, _), alpha in zip(mixture.labels, mixture.alphas):
+            by_cell[name] = by_cell.get(name, 0.0) + float(alpha)
+        total = sum(by_cell[name] * gradient[name] for name in gradient)
+        assert total == pytest.approx(0.0, abs=1e-12 * random_gate.mean)
+
+    def test_sorted_descending(self, random_gate):
+        values = [v for _, v in usage_gradient(random_gate)]
+        assert values == sorted(values, reverse=True)
+
+    def test_dff_is_the_swap_away_candidate(self, random_gate):
+        name, value = usage_gradient(random_gate)[0]
+        assert name == "DFF_X1"
+        assert value > 0

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CellUsage
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_fractions_normalized(self):
+        usage = CellUsage({"A": 0.5, "B": 0.5})
+        assert usage.fractions.sum() == pytest.approx(1.0)
+        assert usage["A"] == pytest.approx(0.5)
+
+    def test_zero_fraction_entries_dropped(self):
+        usage = CellUsage({"A": 1.0, "B": 0.0})
+        assert usage.names == ("A",)
+        assert usage["B"] == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CellUsage({"A": -0.1, "B": 1.1})
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ConfigurationError):
+            CellUsage({"A": 0.2, "B": 0.2})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CellUsage({})
+
+    def test_from_counts(self):
+        usage = CellUsage.from_counts({"A": 30, "B": 10})
+        assert usage["A"] == pytest.approx(0.75)
+        assert usage["B"] == pytest.approx(0.25)
+
+    def test_uniform(self):
+        usage = CellUsage.uniform(["A", "B", "C", "D"])
+        assert usage["C"] == pytest.approx(0.25)
+
+
+class TestCountsFor:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10_000),
+        raw=st.lists(st.floats(min_value=0.01, max_value=1.0),
+                     min_size=1, max_size=8),
+    )
+    def test_counts_sum_exactly(self, n, raw):
+        total = sum(raw)
+        usage = CellUsage({f"c{k}": v / total for k, v in enumerate(raw)})
+        counts = usage.counts_for(n)
+        assert sum(counts.values()) == n
+        assert all(v >= 0 for v in counts.values())
+
+    def test_counts_close_to_fractions(self):
+        usage = CellUsage({"A": 0.5, "B": 0.3, "C": 0.2})
+        counts = usage.counts_for(1000)
+        assert counts == {"A": 500, "B": 300, "C": 200}
+
+    def test_largest_remainder_rounding(self):
+        usage = CellUsage({"A": 1 / 3, "B": 1 / 3, "C": 1 / 3})
+        counts = usage.counts_for(10)
+        assert sum(counts.values()) == 10
+        assert sorted(counts.values()) == [3, 3, 4]
+
+
+class TestSample:
+    def test_sampled_fractions_converge(self, rng):
+        usage = CellUsage({"A": 0.7, "B": 0.3})
+        names = usage.sample(20_000, rng)
+        fraction_a = float(np.mean(names == "A"))
+        assert fraction_a == pytest.approx(0.7, abs=0.02)
+
+    def test_repr_mentions_top_entries(self):
+        usage = CellUsage({"A": 0.9, "B": 0.1})
+        assert "A" in repr(usage)

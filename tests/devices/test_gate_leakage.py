@@ -1,0 +1,97 @@
+"""Tests for the optional gate-oxide tunneling extension."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cells import build_library
+from repro.characterization import characterize_library
+from repro.devices import DeviceModel, NMOS, PMOS
+from repro.process import synthetic_90nm
+from repro.spice import state_leakage
+
+TECH = synthetic_90nm()
+MODEL = DeviceModel(TECH)
+L_NOM = TECH.length.nominal
+W_MIN = TECH.min_width
+
+
+class TestGateCurrentModel:
+    def test_on_nmos_magnitude_is_nanoamp_class(self):
+        current = float(MODEL.gate_current(NMOS, TECH.vdd, 0.0, 0.0, L_NOM,
+                                           W_MIN))
+        assert 1e-10 < current < 1e-8
+
+    def test_off_device_tunnels_negligibly(self):
+        on = float(MODEL.gate_current(NMOS, TECH.vdd, 0.0, 0.0, L_NOM,
+                                      W_MIN))
+        off = float(MODEL.gate_current(NMOS, 0.0, 0.0, TECH.vdd, L_NOM,
+                                       W_MIN))
+        assert off < 1e-3 * on
+
+    def test_pmos_polarity(self):
+        # PMOS tunnels when the channel is high and the gate low.
+        active = float(MODEL.gate_current(PMOS, 0.0, TECH.vdd, TECH.vdd,
+                                          L_NOM, W_MIN))
+        idle = float(MODEL.gate_current(PMOS, TECH.vdd, TECH.vdd, TECH.vdd,
+                                        L_NOM, W_MIN))
+        assert active > 100 * idle
+
+    def test_scales_with_area(self):
+        one = float(MODEL.gate_current(NMOS, TECH.vdd, 0.0, 0.0, L_NOM,
+                                       W_MIN))
+        four = float(MODEL.gate_current(NMOS, TECH.vdd, 0.0, 0.0,
+                                        2 * L_NOM, 2 * W_MIN))
+        assert four == pytest.approx(4 * one, rel=1e-12)
+
+    def test_split_sums_to_total(self):
+        i_gs, i_gd = MODEL.gate_current_split(NMOS, 0.7, 0.1, 0.4, L_NOM,
+                                              W_MIN)
+        total = MODEL.gate_current(NMOS, 0.7, 0.1, 0.4, L_NOM, W_MIN)
+        assert float(i_gs + i_gd) == pytest.approx(float(total))
+
+    def test_disabled_when_j0_zero(self):
+        tech0 = dataclasses.replace(TECH, gate_j0_per_area=0.0)
+        model0 = DeviceModel(tech0)
+        assert float(model0.gate_current(NMOS, TECH.vdd, 0.0, 0.0, L_NOM,
+                                         W_MIN)) == 0.0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MODEL.gate_current("finfet", 1.0, 0.0, 0.0, L_NOM, W_MIN)
+
+
+class TestCellLevelGateLeakage:
+    @pytest.fixture(scope="class")
+    def inverter(self):
+        return build_library()["INV_X1"]
+
+    def test_adds_to_subthreshold(self, inverter):
+        for state in inverter.states:
+            base = float(state_leakage(inverter.netlist, state.nodes,
+                                       MODEL, L_NOM)[0])
+            with_gate = float(state_leakage(
+                inverter.netlist, state.nodes, MODEL, L_NOM,
+                include_gate_leakage=True)[0])
+            assert with_gate > base
+
+    def test_contribution_is_same_order_as_subthreshold(self, inverter):
+        """At 90 nm, gate leakage is a significant fraction of (but does
+        not dwarf) subthreshold leakage."""
+        state = inverter.states[1]  # A=1: NMOS on (tunneling), PMOS off
+        base = float(state_leakage(inverter.netlist, state.nodes, MODEL,
+                                   L_NOM)[0])
+        with_gate = float(state_leakage(
+            inverter.netlist, state.nodes, MODEL, L_NOM,
+            include_gate_leakage=True)[0])
+        extra = with_gate - base
+        assert 0.01 * base < extra < 2.0 * base
+
+    def test_characterization_flag(self, library, technology):
+        base = characterize_library(library, technology, cells=["INV_X1"])
+        gated = characterize_library(library, technology, cells=["INV_X1"],
+                                     include_gate_leakage=True)
+        for state_base, state_gated in zip(base["INV_X1"].states,
+                                           gated["INV_X1"].states):
+            assert state_gated.mean > state_base.mean

@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import DeviceModel, NMOS, PMOS
+from repro.process import synthetic_90nm
+
+TECH = synthetic_90nm()
+MODEL = DeviceModel(TECH)
+L_NOM = TECH.length.nominal
+W_MIN = TECH.min_width
+
+
+class TestOffCurrent:
+    def test_realistic_magnitude(self):
+        # 90nm-class minimum device: Ioff in the nA range.
+        ioff = float(MODEL.off_current(NMOS, L_NOM, W_MIN))
+        assert 1e-10 < ioff < 1e-7
+
+    def test_scales_linearly_with_width(self):
+        one = float(MODEL.off_current(NMOS, L_NOM, W_MIN))
+        two = float(MODEL.off_current(NMOS, L_NOM, 2 * W_MIN))
+        assert two == pytest.approx(2 * one, rel=1e-12)
+
+    def test_decreases_with_length(self):
+        lengths = np.linspace(0.85 * L_NOM, 1.15 * L_NOM, 9)
+        currents = MODEL.off_current(NMOS, lengths, W_MIN)
+        assert np.all(np.diff(currents) < 0)
+
+    def test_log_leakage_convex_in_length(self):
+        # The fitted form a*exp(bL + cL^2) expects c > 0.
+        lengths = np.linspace(0.85 * L_NOM, 1.15 * L_NOM, 9)
+        log_i = np.log(MODEL.off_current(NMOS, lengths, W_MIN))
+        curvature = np.diff(log_i, 2)
+        assert np.all(curvature > 0)
+
+    def test_pmos_same_order_as_nmos(self):
+        n = float(MODEL.off_current(NMOS, L_NOM, W_MIN))
+        p = float(MODEL.off_current(PMOS, L_NOM, W_MIN))
+        assert 0.1 < p / n < 10
+
+    def test_dibl_increases_leakage_with_vds(self):
+        low = float(MODEL.off_current(NMOS, L_NOM, W_MIN, vds=0.5))
+        high = float(MODEL.off_current(NMOS, L_NOM, W_MIN, vds=1.0))
+        assert high > low
+
+    def test_vt_shift_reduces_leakage(self):
+        base = float(MODEL.off_current(NMOS, L_NOM, W_MIN))
+        shifted = float(MODEL.off_current(NMOS, L_NOM, W_MIN, vt_shift=0.05))
+        assert shifted < base
+        # exp(-dVt / n*kT/q) scaling
+        n_vt = TECH.subthreshold_swing_factor * TECH.thermal_voltage
+        assert shifted / base == pytest.approx(np.exp(-0.05 / n_vt), rel=1e-6)
+
+
+class TestBranchSymmetry:
+    def test_zero_bias_zero_current(self):
+        i, _, __ = MODEL.nmos_branch(0.0, 0.3, 0.3, L_NOM, W_MIN)
+        assert float(i) == pytest.approx(0.0, abs=1e-30)
+
+    def test_sign_follows_bias_direction(self):
+        fwd, _, __ = MODEL.nmos_branch(0.0, 0.0, 1.0, L_NOM, W_MIN)
+        rev, _, __ = MODEL.nmos_branch(0.0, 1.0, 0.0, L_NOM, W_MIN)
+        assert float(fwd) > 0
+        assert float(rev) < 0
+
+    def test_reverse_bias_magnitude_is_physical(self):
+        """A reverse-labeled OFF transmission gate must leak about as much
+        as the forward-labeled one — the bug the symmetric form fixes."""
+        fwd, _, __ = MODEL.nmos_branch(0.0, 0.0, 1.0, L_NOM, W_MIN)
+        rev, _, __ = MODEL.nmos_branch(0.0, 1.0, 0.0, L_NOM, W_MIN)
+        ratio = abs(float(rev)) / float(fwd)
+        assert 0.05 < ratio < 20
+
+    def test_pmos_mirror(self):
+        i, _, __ = MODEL.pmos_branch(TECH.vdd, TECH.vdd, 0.0, L_NOM, W_MIN)
+        assert float(i) > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vg=st.floats(min_value=0.0, max_value=1.0),
+    vs=st.floats(min_value=0.0, max_value=1.0),
+    vd=st.floats(min_value=0.0, max_value=1.0),
+    kind=st.sampled_from([NMOS, PMOS]),
+)
+def test_branch_derivatives_match_finite_differences(vg, vs, vd, kind):
+    branch = MODEL.nmos_branch if kind == NMOS else MODEL.pmos_branch
+    step = 1e-7
+    _, di_dvs, di_dvd = branch(vg, vs, vd, L_NOM, W_MIN)
+    i_sp, _, __ = branch(vg, vs + step, vd, L_NOM, W_MIN)
+    i_sm, _, __ = branch(vg, vs - step, vd, L_NOM, W_MIN)
+    i_dp, _, __ = branch(vg, vs, vd + step, L_NOM, W_MIN)
+    i_dm, _, __ = branch(vg, vs, vd - step, L_NOM, W_MIN)
+    fd_vs = (float(i_sp) - float(i_sm)) / (2 * step)
+    fd_vd = (float(i_dp) - float(i_dm)) / (2 * step)
+    scale = max(abs(fd_vs), abs(fd_vd), 1e-12)
+    assert float(di_dvs) == pytest.approx(fd_vs, rel=1e-4, abs=1e-6 * scale)
+    assert float(di_dvd) == pytest.approx(fd_vd, rel=1e-4, abs=1e-6 * scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(vg=st.floats(min_value=0.0, max_value=1.0),
+       vs=st.floats(min_value=0.0, max_value=0.99))
+def test_nmos_current_monotone_in_vd(vg, vs):
+    vds = np.linspace(vs, 1.0, 20)
+    currents, _, __ = MODEL.nmos_branch(vg, vs, vds, L_NOM, W_MIN)
+    assert np.all(np.diff(currents) > -1e-25)
+
+
+class TestRolloff:
+    def test_zero_at_nominal(self):
+        assert float(MODEL.rolloff(L_NOM)) == pytest.approx(0.0, abs=1e-15)
+
+    def test_positive_for_short_channel(self):
+        assert float(MODEL.rolloff(0.9 * L_NOM)) > 0
+
+    def test_negative_for_long_channel(self):
+        assert float(MODEL.rolloff(1.1 * L_NOM)) < 0
+
+    def test_effective_vt_tracks_rolloff(self):
+        short = float(MODEL.effective_vt(NMOS, 0.9 * L_NOM, 0.0, 0.0))
+        nominal = float(MODEL.effective_vt(NMOS, L_NOM, 0.0, 0.0))
+        assert short < nominal
+
+
+class TestVectorization:
+    def test_array_lengths(self):
+        lengths = np.linspace(0.9, 1.1, 11) * L_NOM
+        currents = MODEL.off_current(NMOS, lengths, W_MIN)
+        assert currents.shape == (11,)
+        for k, length in enumerate(lengths):
+            single = float(MODEL.off_current(NMOS, length, W_MIN))
+            assert currents[k] == pytest.approx(single, rel=1e-14)
+
+    def test_subthreshold_current_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            MODEL.subthreshold_current("cmos", 0.0, 1.0, 0.0, L_NOM, W_MIN)

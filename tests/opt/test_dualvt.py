@@ -1,0 +1,127 @@
+import math
+
+import pytest
+
+from repro.cells import StandardCellLibrary
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.opt import (
+    build_dual_vt,
+    dual_vt_usage,
+    hvt_technology,
+    optimize_hvt_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def dual(library, technology):
+    subset = library.subset(["INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"])
+    return build_dual_vt(subset, technology, vt_offset=0.08)
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.3, "NAND2_X1": 0.3, "NOR2_X1": 0.2,
+                      "DFF_X1": 0.2})
+
+
+class TestHvtTechnology:
+    def test_offsets_both_thresholds(self, technology):
+        hvt = hvt_technology(technology, 0.08)
+        assert hvt.vt.nominal_n == pytest.approx(
+            technology.vt.nominal_n + 0.08)
+        assert hvt.vt.nominal_p == pytest.approx(
+            technology.vt.nominal_p + 0.08)
+        assert hvt.length == technology.length  # L statistics untouched
+
+    def test_rejects_non_positive_offset(self, technology):
+        with pytest.raises(ConfigurationError):
+            hvt_technology(technology, 0.0)
+
+
+class TestBuildDualVt:
+    def test_merged_library_has_both_flavours(self, dual):
+        assert isinstance(dual.library, StandardCellLibrary)
+        assert "INV_X1" in dual.library
+        assert "INV_X1_HVT" in dual.library
+        assert len(dual.library) == 8
+
+    def test_hvt_leaks_about_a_decade_less(self, dual):
+        """An 80 mV offset at ~95 mV/decade swing is ~0.85 decades."""
+        assert 0.05 < dual.hvt_leakage_ratio < 0.25
+
+    def test_per_cell_ratio(self, dual):
+        svt_mean, _ = dual.characterization["NAND2_X1"].moments_at(0.5)
+        hvt_mean, _ = dual.characterization["NAND2_X1_HVT"].moments_at(0.5)
+        assert hvt_mean < 0.3 * svt_mean
+
+    def test_hvt_states_preserved(self, dual):
+        svt = dual.characterization["DFF_X1"]
+        hvt = dual.characterization["DFF_X1_HVT"]
+        assert [s.state_label for s in svt.states] == \
+            [s.state_label for s in hvt.states]
+
+
+class TestDualVtUsage:
+    def test_global_fraction_split(self, usage):
+        mixed = dual_vt_usage(usage, 0.25)
+        assert mixed["INV_X1"] == pytest.approx(0.3 * 0.75)
+        assert mixed["INV_X1_HVT"] == pytest.approx(0.3 * 0.25)
+        assert mixed.fractions.sum() == pytest.approx(1.0)
+
+    def test_extremes(self, usage):
+        assert "INV_X1_HVT" not in dual_vt_usage(usage, 0.0).names
+        assert "INV_X1" not in dual_vt_usage(usage, 1.0).names
+
+    def test_per_cell_fractions(self, usage):
+        mixed = dual_vt_usage(usage, {"INV_X1": 1.0})
+        assert mixed["INV_X1"] == 0.0
+        assert mixed["INV_X1_HVT"] == pytest.approx(0.3)
+        assert mixed["NAND2_X1"] == pytest.approx(0.3)
+
+    def test_rejects_out_of_range(self, usage):
+        with pytest.raises(ConfigurationError):
+            dual_vt_usage(usage, 1.5)
+
+
+class TestOptimize:
+    N, W, H = 10_000, 6e-4, 6e-4
+
+    def quantile(self, dual, mixed):
+        from repro.analysis import LeakageDistribution
+        estimate = FullChipLeakageEstimator(
+            dual.characterization, mixed, self.N, self.W, self.H
+        ).estimate("linear")
+        return float(LeakageDistribution.from_estimate(
+            estimate).quantile(0.99))
+
+    def test_zero_fraction_when_budget_loose(self, dual, usage):
+        budget = 2 * self.quantile(dual, usage)
+        fraction, _ = optimize_hvt_fraction(
+            dual, usage, self.N, self.W, self.H, budget)
+        assert fraction == 0.0
+
+    def test_meets_tight_budget(self, dual, usage):
+        all_svt = self.quantile(dual, usage)
+        all_hvt = self.quantile(dual, dual_vt_usage(usage, 1.0))
+        budget = math.sqrt(all_svt * all_hvt)  # geometric midpoint
+        fraction, dist = optimize_hvt_fraction(
+            dual, usage, self.N, self.W, self.H, budget)
+        assert 0.0 < fraction < 1.0
+        assert float(dist.quantile(0.99)) <= budget * (1 + 1e-6)
+        # Minimality: a meaningfully smaller fraction misses the budget.
+        leaner = dual_vt_usage(usage, max(0.0, fraction - 0.05))
+        assert self.quantile(dual, leaner) > budget
+
+    def test_unreachable_budget_raises(self, dual, usage):
+        all_hvt = self.quantile(dual, dual_vt_usage(usage, 1.0))
+        with pytest.raises(EstimationError):
+            optimize_hvt_fraction(dual, usage, self.N, self.W, self.H,
+                                  budget=0.5 * all_hvt)
+
+    def test_max_fraction_cap(self, dual, usage):
+        all_svt = self.quantile(dual, usage)
+        with pytest.raises(EstimationError):
+            optimize_hvt_fraction(dual, usage, self.N, self.W, self.H,
+                                  budget=0.8 * all_svt,
+                                  max_hvt_fraction=0.05)

@@ -1,0 +1,137 @@
+"""Anisotropic within-die correlation: validity, samplers, estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CellUsage,
+    FullChipModel,
+    RandomGate,
+    RGCorrelation,
+    expand_mixture,
+)
+from repro.core.estimators import (
+    exact_moments,
+    integral2d_variance,
+    linear_variance,
+    polar_variance,
+)
+from repro.exceptions import CorrelationError, EstimationError
+from repro.process import (
+    AnisotropicCorrelation,
+    CholeskyFieldSampler,
+    ExponentialCorrelation,
+    ProcessParameter,
+    TotalCorrelation,
+)
+
+BASE = ExponentialCorrelation(4e-4)
+ANISO = AnisotropicCorrelation(BASE, scale_x=2.0, scale_y=0.5)
+
+
+class TestModel:
+    def test_unity_at_zero(self):
+        assert float(ANISO.evaluate_xy(0.0, 0.0)) == pytest.approx(1.0)
+
+    def test_direction_dependence(self):
+        d = 4e-4
+        along_x = float(ANISO.evaluate_xy(d, 0.0))
+        along_y = float(ANISO.evaluate_xy(0.0, d))
+        assert along_x > along_y  # x axis stretched -> slower decay
+
+    def test_metric_formula(self):
+        dx, dy = 3e-4, 2e-4
+        metric = math.hypot(dx / 2.0, dy / 0.5)
+        assert float(ANISO.evaluate_xy(dx, dy)) == pytest.approx(
+            float(BASE(metric)))
+
+    def test_not_isotropic(self):
+        assert not ANISO.isotropic
+        assert AnisotropicCorrelation(BASE, 1.5, 1.5).isotropic
+
+    def test_scalar_distance_rejected_when_anisotropic(self):
+        with pytest.raises(CorrelationError):
+            ANISO(1e-4)
+
+    def test_positive_semidefinite(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 2e-3, (40, 2))
+        eigenvalues = np.linalg.eigvalsh(ANISO.matrix(points))
+        assert eigenvalues.min() > -1e-8
+
+    def test_total_correlation_forwards_anisotropy(self):
+        param = ProcessParameter("L", 50e-9, 2e-9, 2e-9)
+        total = TotalCorrelation(ANISO, param)
+        assert not total.isotropic
+        d = 4e-4
+        assert float(total.evaluate_xy(d, 0.0)) > \
+            float(total.evaluate_xy(0.0, d))
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(CorrelationError):
+            AnisotropicCorrelation(BASE, 0.0, 1.0)
+
+
+class TestSampler:
+    def test_field_reproduces_anisotropic_correlation(self, rng):
+        points = np.array([[0, 0], [4e-4, 0], [0, 4e-4]], dtype=float)
+        sampler = CholeskyFieldSampler(points, ANISO)
+        samples = sampler.sample(60_000, rng)
+        corr = np.corrcoef(samples.T)
+        assert corr[0, 1] == pytest.approx(float(ANISO.evaluate_xy(4e-4, 0)),
+                                           abs=0.02)
+        assert corr[0, 2] == pytest.approx(float(ANISO.evaluate_xy(0, 4e-4)),
+                                           abs=0.02)
+        assert corr[0, 1] > corr[0, 2]
+
+
+class TestEstimators:
+    @pytest.fixture(scope="class")
+    def rgc(self, small_characterization):
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+        rg = RandomGate(expand_mixture(small_characterization, usage, 0.5))
+        tech = small_characterization.technology
+        return RGCorrelation(rg, tech.length.nominal, tech.length.sigma)
+
+    def test_linear_matches_brute_force(self, rgc):
+        chip = FullChipModel(n_cells=120, width=1.2e-4, height=1e-4,
+                             rows=10, cols=12)
+        pos = chip.site_positions()
+        delta = pos[:, None, :] - pos[None, :, :]
+        cov = rgc.covariance(ANISO.evaluate_xy(delta[..., 0],
+                                               delta[..., 1]))
+        np.fill_diagonal(cov, rgc.same_site_covariance)
+        brute = float(cov.sum())
+        linear = linear_variance(10, 12, chip.pitch_x, chip.pitch_y,
+                                 ANISO, rgc)
+        assert linear == pytest.approx(brute, rel=1e-12)
+
+    def test_integral_matches_linear_for_large_n(self, rgc):
+        side, die = 200, 200 * 2e-6
+        linear = linear_variance(side, side, die / side, die / side,
+                                 ANISO, rgc)
+        integral = integral2d_variance(side * side, die, die, ANISO, rgc)
+        assert math.sqrt(integral) == pytest.approx(math.sqrt(linear),
+                                                    rel=2e-3)
+
+    def test_anisotropy_changes_the_answer(self, rgc):
+        side, die = 100, 100 * 2e-6
+        iso = linear_variance(side, side, die / side, die / side, BASE,
+                              rgc)
+        aniso = linear_variance(side, side, die / side, die / side, ANISO,
+                                rgc)
+        assert abs(aniso - iso) / iso > 0.05
+
+    def test_exact_moments_uses_direction(self, rgc, rng):
+        positions = rng.uniform(0, 1e-3, (30, 2))
+        means = np.full(30, 1e-9)
+        stds = np.full(30, 1e-10)
+        _, std_iso = exact_moments(positions, means, stds, BASE)
+        _, std_aniso = exact_moments(positions, means, stds, ANISO)
+        assert std_iso != pytest.approx(std_aniso, rel=1e-3)
+
+    def test_polar_refuses_anisotropy(self, rgc):
+        with pytest.raises(EstimationError):
+            polar_variance(100, 2e-3, 2e-3, ANISO, rgc)

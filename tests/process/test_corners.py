@@ -1,0 +1,80 @@
+import pytest
+
+from repro.core import CellUsage
+from repro.exceptions import ConfigurationError
+from repro.process import synthetic_90nm
+from repro.process.corners import (
+    ProcessCorner,
+    corner_report,
+    corner_technology,
+    leakage_corners,
+)
+
+
+class TestCornerTechnology:
+    def test_ff_shortens_channel_and_drops_vt(self, technology):
+        ff = corner_technology(technology, leakage_corners()[0])
+        assert ff.length.nominal < technology.length.nominal
+        assert ff.vt.nominal_n < technology.vt.nominal_n
+        assert ff.temperature > technology.temperature
+
+    def test_d2d_is_pinned(self, technology):
+        ff = corner_technology(technology, leakage_corners()[0])
+        assert ff.length.sigma_d2d == 0.0
+        assert ff.length.sigma_wid == technology.length.sigma_wid
+        assert ff.length.rho_floor == 0.0
+
+    def test_tt_preserves_nominal(self, technology):
+        tt = corner_technology(technology, leakage_corners()[1])
+        assert tt.length.nominal == pytest.approx(
+            technology.length.nominal)
+        assert tt.vt.nominal_n == pytest.approx(technology.vt.nominal_n)
+
+    def test_absurd_corner_rejected(self, technology):
+        crazy = ProcessCorner("X", l_d2d_sigmas=-1e6)
+        with pytest.raises(ConfigurationError):
+            corner_technology(technology, crazy)
+
+    def test_wid_free_technology_rejected(self, technology):
+        pinned = technology.with_length_split(1.0)  # all D2D
+        with pytest.raises(ConfigurationError):
+            corner_technology(pinned, leakage_corners()[0])
+
+
+class TestCornerReport:
+    @pytest.fixture(scope="class")
+    def report(self, library, technology):
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+        return corner_report(library, technology, usage, n_cells=2000,
+                             width=2e-4, height=2e-4, method="linear")
+
+    def test_ordering(self, report):
+        by_name = {corner.name: estimate for corner, estimate in report}
+        # FF and SS are both quoted hot; the fast process must out-leak
+        # the slow one. Room-temperature TT is the lowest of the three
+        # (the hot slow corner still out-leaks it — temperature wins).
+        assert by_name["FF"].mean > by_name["SS"].mean
+        assert by_name["SS"].mean > by_name["TT"].mean
+        assert by_name["FF"].mean / by_name["SS"].mean > 2
+
+    def test_ff_tt_ratio_is_large(self, report):
+        """Hot fast corner vs room typical: an order of magnitude or
+        more — the familiar leakage-corner spread."""
+        by_name = {corner.name: estimate for corner, estimate in report}
+        assert by_name["FF"].mean / by_name["TT"].mean > 5
+
+    def test_within_corner_spread_is_wid_only(self, report):
+        """Corners pin D2D: the residual CV must be below the full
+        (D2D + WID) CV of the typical estimate."""
+        by_name = {corner.name: estimate for corner, estimate in report}
+        assert by_name["TT"].cv < 0.2
+        for _, estimate in report:
+            assert estimate.std > 0
+
+    def test_custom_corner_list(self, library, technology):
+        usage = CellUsage({"INV_X1": 1.0})
+        corners = [ProcessCorner("ONLY", l_d2d_sigmas=1.0)]
+        report = corner_report(library, technology, usage, 500, 1e-4,
+                               1e-4, corners=corners, method="linear")
+        assert len(report) == 1
+        assert report[0][0].name == "ONLY"

@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import CorrelationError
+from repro.process import (
+    ExponentialCorrelation,
+    GaussianCorrelation,
+    extract_correlation,
+)
+
+
+def noisy_measurements(corr, rng, noise=0.02, n=25):
+    distances = np.linspace(5e-5, 3e-3, n)
+    clean = corr(distances)
+    return distances, np.clip(clean + rng.normal(0, noise, n), -1, 1)
+
+
+class TestExtractCorrelation:
+    def test_recovers_exponential_length(self, rng):
+        truth = ExponentialCorrelation(8e-4)
+        d, r = noisy_measurements(truth, rng)
+        fit = extract_correlation(d, r, family="exponential")
+        assert fit.parameter == pytest.approx(8e-4, rel=0.15)
+        assert fit.rmse < 0.05
+
+    def test_recovers_gaussian_length(self, rng):
+        truth = GaussianCorrelation(1.2e-3)
+        d, r = noisy_measurements(truth, rng)
+        fit = extract_correlation(d, r, family="gaussian")
+        assert fit.parameter == pytest.approx(1.2e-3, rel=0.15)
+
+    def test_family_selection_prefers_the_generator(self, rng):
+        truth = GaussianCorrelation(1.0e-3)
+        d, r = noisy_measurements(truth, rng, noise=0.01)
+        fit = extract_correlation(d, r)
+        assert fit.family == "gaussian"
+
+    def test_fitted_model_is_valid_correlation(self, rng):
+        d, r = noisy_measurements(ExponentialCorrelation(6e-4), rng,
+                                  noise=0.1)
+        fit = extract_correlation(d, r)
+        assert float(fit.model(0.0)) == pytest.approx(1.0)
+        values = fit.model(np.linspace(0, 5e-3, 100))
+        assert np.all(values >= -1e-12) and np.all(values <= 1 + 1e-12)
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(CorrelationError):
+            extract_correlation([1e-4, 2e-4, 3e-4], [0.9, 0.8, 0.7],
+                                family="matern")
+
+    def test_rejects_short_input(self):
+        with pytest.raises(CorrelationError):
+            extract_correlation([1e-4, 2e-4], [0.9, 0.8])
+
+    def test_rejects_non_positive_distances(self):
+        with pytest.raises(CorrelationError):
+            extract_correlation([0.0, 1e-4, 2e-4], [1.0, 0.9, 0.8])
+
+    def test_rejects_out_of_range_correlations(self):
+        with pytest.raises(CorrelationError):
+            extract_correlation([1e-4, 2e-4, 3e-4], [1.5, 0.9, 0.8])

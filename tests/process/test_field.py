@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import CorrelationError
+from repro.process import (
+    CholeskyFieldSampler,
+    CirculantFieldSampler,
+    ExponentialCorrelation,
+    GaussianCorrelation,
+    LinearCorrelation,
+    sample_field,
+)
+from repro.process.field import grid_points
+
+
+CORR = ExponentialCorrelation(0.5e-3)
+
+
+class TestCholeskySampler:
+    def test_shape(self):
+        points = np.random.default_rng(0).uniform(0, 1e-3, (30, 2))
+        sampler = CholeskyFieldSampler(points, CORR)
+        samples = sampler.sample(100, np.random.default_rng(1))
+        assert samples.shape == (100, 30)
+
+    def test_unit_variance_and_target_correlation(self):
+        rng = np.random.default_rng(2)
+        points = np.array([[0.0, 0.0], [2e-4, 0.0], [2e-3, 0.0]])
+        sampler = CholeskyFieldSampler(points, CORR)
+        samples = sampler.sample(60_000, rng)
+        std = samples.std(axis=0)
+        np.testing.assert_allclose(std, 1.0, atol=0.02)
+        empirical = np.corrcoef(samples.T)
+        expected = CORR.matrix(points)
+        np.testing.assert_allclose(empirical, expected, atol=0.02)
+
+    def test_gaussian_kernel_needs_jitter_but_succeeds(self):
+        # Gaussian kernels on dense grids are numerically rank-deficient;
+        # the sampler must regularize rather than fail.
+        points = grid_points(8, 8, 1e-5, 1e-5)
+        sampler = CholeskyFieldSampler(points, GaussianCorrelation(1e-3))
+        samples = sampler.sample(10, np.random.default_rng(0))
+        assert np.all(np.isfinite(samples))
+
+    def test_rejects_non_positive_sample_count(self):
+        sampler = CholeskyFieldSampler(np.zeros((1, 2)), CORR)
+        with pytest.raises(ValueError):
+            sampler.sample(0)
+
+
+class TestCirculantSampler:
+    def test_shape_and_order(self):
+        sampler = CirculantFieldSampler(5, 7, 1e-5, 1e-5, CORR)
+        samples = sampler.sample(9, np.random.default_rng(0))
+        assert samples.shape == (9, 35)
+
+    def test_matches_cholesky_statistics(self):
+        rows, cols, pitch = 6, 6, 1e-4
+        rng = np.random.default_rng(3)
+        circ = CirculantFieldSampler(rows, cols, pitch, pitch, CORR)
+        samples = circ.sample(50_000, rng)
+        empirical = np.cov(samples.T)
+        expected = CORR.matrix(grid_points(rows, cols, pitch, pitch))
+        np.testing.assert_allclose(empirical, expected, atol=0.03)
+
+    def test_valid_embedding_has_no_clipping(self):
+        sampler = CirculantFieldSampler(16, 16, 1e-4, 1e-4,
+                                        ExponentialCorrelation(4e-4))
+        assert sampler.clipped_energy <= 1e-8
+
+    def test_large_grid_is_fast_and_finite(self):
+        sampler = CirculantFieldSampler(128, 128, 1e-5, 1e-5, CORR)
+        samples = sampler.sample(4, np.random.default_rng(1))
+        assert samples.shape == (4, 128 * 128)
+        assert np.all(np.isfinite(samples))
+
+
+class TestSampleFieldDispatch:
+    def test_requires_exactly_one_geometry(self):
+        with pytest.raises(ValueError):
+            sample_field(CORR, 2)
+        with pytest.raises(ValueError):
+            sample_field(CORR, 2, points=np.zeros((3, 2)),
+                         grid=(2, 2, 1e-5, 1e-5))
+
+    def test_grid_dispatch_small_uses_cholesky(self):
+        samples = sample_field(CORR, 3, grid=(4, 4, 1e-5, 1e-5),
+                               rng=np.random.default_rng(0))
+        assert samples.shape == (3, 16)
+
+    def test_grid_dispatch_large_uses_fft(self):
+        samples = sample_field(CORR, 2, grid=(80, 80, 1e-5, 1e-5),
+                               rng=np.random.default_rng(0))
+        assert samples.shape == (2, 6400)
+
+    def test_points_dispatch(self):
+        points = np.random.default_rng(0).uniform(0, 1e-3, (10, 2))
+        samples = sample_field(CORR, 5, points=points,
+                               rng=np.random.default_rng(0))
+        assert samples.shape == (5, 10)
+
+    def test_too_many_arbitrary_points_rejected(self):
+        with pytest.raises(CorrelationError):
+            sample_field(CORR, 1, points=np.zeros((5000, 2)))
+
+
+def test_grid_points_row_major_order():
+    pts = grid_points(2, 3, 10.0, 100.0)
+    # Row-major: x varies fastest.
+    np.testing.assert_allclose(pts[0], [0.0, 0.0])
+    np.testing.assert_allclose(pts[1], [10.0, 0.0])
+    np.testing.assert_allclose(pts[3], [0.0, 100.0])

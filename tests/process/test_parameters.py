@@ -1,0 +1,68 @@
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.process import ProcessParameter, VtSpec
+
+
+def make_param(d2d=1.5e-9, wid=2.0e-9):
+    return ProcessParameter(name="L", nominal=50e-9,
+                            sigma_d2d=d2d, sigma_wid=wid)
+
+
+class TestProcessParameter:
+    def test_total_variance_is_sum_of_components(self):
+        p = make_param()
+        assert p.variance == pytest.approx(1.5e-9 ** 2 + 2.0e-9 ** 2)
+        assert p.sigma == pytest.approx(math.sqrt(p.variance))
+
+    def test_rho_floor(self):
+        p = make_param(d2d=3e-9, wid=4e-9)
+        assert p.rho_floor == pytest.approx(9.0 / 25.0)
+
+    def test_rho_floor_extremes(self):
+        assert make_param(d2d=0.0, wid=1e-9).rho_floor == 0.0
+        assert make_param(d2d=1e-9, wid=0.0).rho_floor == 1.0
+
+    def test_relative_sigma(self):
+        p = make_param(d2d=3e-9, wid=4e-9)
+        assert p.relative_sigma == pytest.approx(5e-9 / 50e-9)
+
+    def test_rejects_non_positive_nominal(self):
+        with pytest.raises(ConfigurationError):
+            ProcessParameter("L", 0.0, 1e-9, 1e-9)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            ProcessParameter("L", 50e-9, -1e-9, 1e-9)
+
+    def test_rejects_all_zero_variation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessParameter("L", 50e-9, 0.0, 0.0)
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_with_split_preserves_total_variance(self, fraction):
+        p = make_param()
+        q = p.with_split(fraction)
+        assert q.variance == pytest.approx(p.variance, rel=1e-12)
+        assert q.rho_floor == pytest.approx(fraction, abs=1e-12)
+
+    def test_with_split_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            make_param().with_split(1.5)
+
+
+class TestVtSpec:
+    def test_valid(self):
+        spec = VtSpec(nominal_n=0.26, nominal_p=0.28, sigma=0.018)
+        assert spec.sigma == 0.018
+
+    def test_rejects_non_positive_nominal(self):
+        with pytest.raises(ConfigurationError):
+            VtSpec(nominal_n=0.0, nominal_p=0.28, sigma=0.018)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            VtSpec(nominal_n=0.26, nominal_p=0.28, sigma=-0.01)

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.process import (
+    GaussianCorrelation,
+    TotalCorrelation,
+    synthetic_90nm,
+)
+
+
+class TestSynthetic90nm:
+    def test_defaults(self):
+        tech = synthetic_90nm()
+        assert tech.vdd == 1.0
+        assert tech.length.nominal == pytest.approx(50e-9)
+        assert tech.length.relative_sigma == pytest.approx(0.05)
+        assert tech.length.rho_floor == pytest.approx(0.5)
+
+    def test_relative_sigma_override(self):
+        tech = synthetic_90nm(relative_sigma_l=0.08)
+        assert tech.length.relative_sigma == pytest.approx(0.08)
+
+    def test_d2d_fraction_override(self):
+        tech = synthetic_90nm(d2d_fraction=0.25)
+        assert tech.length.rho_floor == pytest.approx(0.25)
+
+    def test_total_correlation_combines_floor(self):
+        tech = synthetic_90nm(d2d_fraction=0.5)
+        total = tech.total_correlation
+        assert isinstance(total, TotalCorrelation)
+        assert total.rho_floor == pytest.approx(0.5)
+        assert float(total(0.0)) == pytest.approx(1.0)
+
+    def test_with_wid_only_removes_floor(self):
+        tech = synthetic_90nm().with_wid_only()
+        assert tech.length.rho_floor == 0.0
+        assert tech.length.sigma == pytest.approx(
+            synthetic_90nm().length.sigma)
+
+    def test_with_correlation_swaps_family(self):
+        tech = synthetic_90nm().with_correlation(GaussianCorrelation(2e-4))
+        assert isinstance(tech.wid_correlation, GaussianCorrelation)
+
+    def test_thermal_voltage_reasonable(self):
+        tech = synthetic_90nm()
+        assert 0.02 < tech.thermal_voltage < 0.03
+
+    def test_subthreshold_swing_in_realistic_band(self):
+        tech = synthetic_90nm()
+        import math
+        swing = (tech.subthreshold_swing_factor * tech.thermal_voltage
+                 * math.log(10.0)) * 1000  # mV/decade
+        assert 60 < swing < 120
+
+
+class TestValidation:
+    def test_rejects_bad_swing_factor(self):
+        import dataclasses
+        tech = synthetic_90nm()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(tech, subthreshold_swing_factor=0.5)
+
+    def test_rejects_bad_dibl(self):
+        import dataclasses
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(synthetic_90nm(), dibl=1.5)
+
+    def test_rejects_non_positive_vdd(self):
+        import dataclasses
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(synthetic_90nm(), vdd=0.0)

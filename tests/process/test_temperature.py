@@ -1,0 +1,63 @@
+import pytest
+
+from repro.analysis.temperature import temperature_sweep
+from repro.core import CellUsage
+from repro.devices import DeviceModel, NMOS
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.process import synthetic_90nm
+
+
+class TestAtTemperature:
+    def test_thermal_voltage_scales(self, technology):
+        hot = technology.at_temperature(398.15)
+        assert hot.thermal_voltage > technology.thermal_voltage
+
+    def test_thresholds_drop_when_heated(self, technology):
+        hot = technology.at_temperature(398.15)
+        expected_drop = technology.vt_temp_coefficient * 100.0
+        assert hot.vt.nominal_n == pytest.approx(
+            technology.vt.nominal_n - expected_drop)
+
+    def test_round_trip(self, technology):
+        back = technology.at_temperature(398.15).at_temperature(
+            technology.temperature)
+        assert back.vt.nominal_n == pytest.approx(technology.vt.nominal_n)
+
+    def test_rejects_absurd_temperature(self, technology):
+        with pytest.raises(ConfigurationError):
+            technology.at_temperature(0.0)
+        with pytest.raises(ConfigurationError):
+            technology.at_temperature(600.0)  # Vt driven through zero
+
+    def test_device_off_current_rises_steeply(self, technology):
+        cold = DeviceModel(technology)
+        hot = DeviceModel(technology.at_temperature(398.15))
+        l_nom = technology.length.nominal
+        ratio = float(hot.off_current(NMOS, l_nom, technology.min_width)) \
+            / float(cold.off_current(NMOS, l_nom, technology.min_width))
+        # 25C -> 125C typically buys one to two decades of leakage.
+        assert 5 < ratio < 300
+
+
+class TestTemperatureSweep:
+    def test_monotone_increase(self, library, technology):
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+        points = temperature_sweep(
+            library, technology, usage, n_cells=2000, width=2e-4,
+            height=2e-4, temperatures=[298.15, 348.15, 398.15])
+        means = [p.estimate.mean for p in points]
+        assert means[0] < means[1] < means[2]
+        assert means[2] / means[0] > 5
+
+    def test_celsius_helper(self, library, technology):
+        usage = CellUsage({"INV_X1": 1.0})
+        (point,) = temperature_sweep(
+            library, technology, usage, 100, 1e-4, 1e-4,
+            temperatures=[373.15])
+        assert point.celsius == pytest.approx(100.0)
+
+    def test_empty_sweep_rejected(self, library, technology):
+        with pytest.raises(EstimationError):
+            temperature_sweep(library, technology,
+                              CellUsage({"INV_X1": 1.0}), 10, 1e-5, 1e-5,
+                              temperatures=[])

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.core import CellUsage
+from repro.signalprob import (
+    maximize_mean_leakage,
+    sweep_mean_leakage,
+    sweep_std_leakage,
+)
+from repro.exceptions import EstimationError
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.3, "NAND2_X1": 0.4, "NOR2_X1": 0.3})
+
+
+class TestSweeps:
+    def test_mean_curve_shape(self, small_characterization, usage):
+        p_values, means = sweep_mean_leakage(small_characterization, usage)
+        assert p_values.shape == means.shape
+        assert np.all(means > 0)
+
+    def test_endpoints_match_pure_states(self, small_characterization):
+        usage = CellUsage({"NAND2_X1": 1.0})
+        _, means = sweep_mean_leakage(small_characterization, usage,
+                                      np.array([0.0, 1.0]))
+        states = {s.state_label: s
+                  for s in small_characterization["NAND2_X1"].states}
+        assert means[0] == pytest.approx(states["I0=0,I1=0"].mean)
+        assert means[1] == pytest.approx(states["I0=1,I1=1"].mean)
+
+    def test_curve_is_smooth_polynomial(self, small_characterization, usage):
+        """The mean is a polynomial in p (degree = max fan-in), so a
+        quadratic fit over a NAND2/NOR2/INV mix is exact."""
+        p_values, means = sweep_mean_leakage(
+            small_characterization, usage, np.linspace(0, 1, 11))
+        coeffs = np.polyfit(p_values, means, 2)
+        np.testing.assert_allclose(np.polyval(coeffs, p_values), means,
+                                   rtol=1e-10)
+
+    def test_std_sweep_positive(self, small_characterization, usage):
+        _, stds = sweep_std_leakage(small_characterization, usage)
+        assert np.all(stds > 0)
+
+    def test_relative_swing_is_moderate(self, characterization):
+        """Fig. 3's message: chip-level mean varies with p but within a
+        bounded band (nothing like a single gate's 10x spread)."""
+        usage = CellUsage.uniform(characterization.cell_names)
+        _, means = sweep_mean_leakage(characterization, usage)
+        assert means.max() / means.min() < 3.0
+
+
+class TestMaximize:
+    def test_returns_argmax_of_dense_sweep(self, small_characterization,
+                                           usage):
+        p_star, mean_star = maximize_mean_leakage(small_characterization,
+                                                  usage)
+        p_values, means = sweep_mean_leakage(
+            small_characterization, usage, np.linspace(0, 1, 401))
+        assert mean_star >= means.max() * (1 - 1e-9)
+        assert abs(p_star - p_values[np.argmax(means)]) < 0.02
+
+    def test_nor_heavy_mix_prefers_low_p(self, small_characterization):
+        """NOR gates leak most with inputs low (parallel OFF NMOS and a
+        conducting... rather: all-0 inputs put the stacked PMOS ON and
+        parallel NMOS OFF at full Vds)."""
+        nor_usage = CellUsage({"NOR2_X1": 1.0})
+        p_star, _ = maximize_mean_leakage(small_characterization, nor_usage)
+        nand_usage = CellUsage({"NAND2_X1": 1.0})
+        p_nand, _ = maximize_mean_leakage(small_characterization, nand_usage)
+        assert p_star != pytest.approx(p_nand, abs=0.05)
+
+    def test_rejects_tiny_grid(self, small_characterization, usage):
+        with pytest.raises(EstimationError):
+            maximize_mean_leakage(small_characterization, usage, n_grid=2)

@@ -1,0 +1,73 @@
+import pytest
+
+from repro.circuits import GateInstance, Netlist
+from repro.signalprob import propagate_probabilities
+from repro.signalprob.propagation import gate_pin_probabilities
+from repro.exceptions import NetlistError
+
+
+def chain(depth):
+    gates = []
+    prev = "pi0"
+    for k in range(depth):
+        gates.append(GateInstance(f"inv{k}", "INV_X1",
+                                  pin_nets={"A": prev},
+                                  output_nets={"Y": f"n{k}"}))
+        prev = f"n{k}"
+    return Netlist("chain", gates, primary_inputs=("pi0",))
+
+
+class TestPropagation:
+    def test_inverter_chain_alternates(self, library):
+        net = chain(3)
+        probs = propagate_probabilities(net, library, 0.2)
+        assert probs["pi0"] == pytest.approx(0.2)
+        assert probs["n0"] == pytest.approx(0.8)
+        assert probs["n1"] == pytest.approx(0.2)
+        assert probs["n2"] == pytest.approx(0.8)
+
+    def test_nand_tree(self, library):
+        g0 = GateInstance("g0", "NAND2_X1",
+                          pin_nets={"I0": "a", "I1": "b"},
+                          output_nets={"Y": "n0"})
+        g1 = GateInstance("g1", "NAND2_X1",
+                          pin_nets={"I0": "n0", "I1": "c"},
+                          output_nets={"Y": "n1"})
+        net = Netlist("tree", [g0, g1], primary_inputs=("a", "b", "c"))
+        probs = propagate_probabilities(net, library, 0.5)
+        assert probs["n0"] == pytest.approx(0.75)
+        assert probs["n1"] == pytest.approx(1 - 0.75 * 0.5)
+
+    def test_dff_output_is_half(self, library):
+        g = GateInstance("ff", "DFF_X1",
+                         pin_nets={"D": "pi0", "CK": "clk"},
+                         output_nets={"Q": "q"})
+        net = Netlist("seq", [g], primary_inputs=("pi0", "clk"))
+        probs = propagate_probabilities(net, library, 0.9)
+        assert probs["q"] == pytest.approx(0.5)
+
+    def test_per_net_primary_probabilities(self, library):
+        g = GateInstance("g", "NAND2_X1",
+                         pin_nets={"I0": "a", "I1": "b"},
+                         output_nets={"Y": "y"})
+        net = Netlist("x", [g], primary_inputs=("a", "b"))
+        probs = propagate_probabilities(net, library, {"a": 1.0, "b": 0.0})
+        assert probs["y"] == pytest.approx(1.0)
+
+    def test_missing_driver_raises(self, library):
+        g = GateInstance("g", "INV_X1", pin_nets={"A": "ghost"},
+                         output_nets={"Y": "y"})
+        net = Netlist("x", [g], primary_inputs=())
+        with pytest.raises(NetlistError):
+            propagate_probabilities(net, library, 0.5)
+
+    def test_out_of_range_probability_rejected(self, library):
+        with pytest.raises(NetlistError):
+            propagate_probabilities(chain(1), library, 1.5)
+
+    def test_gate_pin_probabilities(self, library):
+        net = chain(2)
+        probs = propagate_probabilities(net, library, 0.3)
+        per_gate = gate_pin_probabilities(net, probs)
+        assert per_gate["inv0"] == {"A": pytest.approx(0.3)}
+        assert per_gate["inv1"] == {"A": pytest.approx(0.7)}

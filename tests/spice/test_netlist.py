@@ -1,0 +1,82 @@
+import pytest
+
+from repro.devices import NMOS, PMOS
+from repro.exceptions import NetlistError
+from repro.spice import CellNetlist, Transistor, GND, VDD
+
+
+def inverter():
+    return CellNetlist("INV", (
+        Transistor("MN", NMOS, gate="A", drain="Y", source=GND),
+        Transistor("MP", PMOS, gate="A", drain="Y", source=VDD),
+    ), inputs=("A",), logic_nodes=("Y",))
+
+
+def nand2():
+    return CellNetlist("NAND2", (
+        Transistor("MN1", NMOS, gate="A", drain="n1", source=GND),
+        Transistor("MN2", NMOS, gate="B", drain="Y", source="n1"),
+        Transistor("MP1", PMOS, gate="A", drain="Y", source=VDD),
+        Transistor("MP2", PMOS, gate="B", drain="Y", source=VDD),
+    ), inputs=("A", "B"), logic_nodes=("Y",))
+
+
+class TestTransistor:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(NetlistError):
+            Transistor("M1", "jfet", gate="A", drain="Y", source=GND)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(NetlistError):
+            Transistor("M1", NMOS, gate="A", drain="Y", source=GND,
+                       width_mult=0.0)
+
+    def test_rejects_shorted_channel(self):
+        with pytest.raises(NetlistError):
+            Transistor("M1", NMOS, gate="A", drain="Y", source="Y")
+
+
+class TestCellNetlist:
+    def test_free_nodes_excludes_pinned(self):
+        assert nand2().free_nodes == ("n1",)
+        assert inverter().free_nodes == ()
+
+    def test_channel_nodes(self):
+        assert nand2().channel_nodes == frozenset({"Y", "n1", GND, VDD})
+
+    def test_duplicate_transistor_names_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist("BAD", (
+                Transistor("M", NMOS, gate="A", drain="Y", source=GND),
+                Transistor("M", PMOS, gate="A", drain="Y", source=VDD),
+            ), inputs=("A",), logic_nodes=("Y",))
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist("EMPTY", (), inputs=(), logic_nodes=())
+
+    def test_input_clashing_with_rail_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist("BAD", (
+                Transistor("M", NMOS, gate=VDD, drain="Y", source=GND),
+            ), inputs=(VDD,), logic_nodes=("Y",))
+
+    def test_node_overlap_between_inputs_and_logic_rejected(self):
+        with pytest.raises(NetlistError):
+            CellNetlist("BAD", (
+                Transistor("M", NMOS, gate="A", drain="Y", source=GND),
+            ), inputs=("A",), logic_nodes=("A",))
+
+
+class TestStates:
+    def test_validate_state_requires_all_pins(self):
+        with pytest.raises(NetlistError):
+            nand2().validate_state({"A": 1, "Y": 0})
+
+    def test_validate_state_rejects_non_binary(self):
+        with pytest.raises(NetlistError):
+            inverter().validate_state({"A": 2, "Y": 0})
+
+    def test_node_voltages(self):
+        voltages = inverter().node_voltages({"A": 1, "Y": 0}, vdd=1.2)
+        assert voltages == {VDD: 1.2, GND: 0.0, "A": 1.2, "Y": 0.0}

@@ -1,0 +1,130 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.devices import DeviceModel, NMOS, PMOS
+from repro.process import synthetic_90nm
+from repro.spice import CellNetlist, Transistor, solve_dc, state_leakage
+
+TECH = synthetic_90nm()
+MODEL = DeviceModel(TECH)
+L_NOM = TECH.length.nominal
+
+
+def inverter():
+    return CellNetlist("INV", (
+        Transistor("MN", NMOS, gate="A", drain="Y", source="gnd"),
+        Transistor("MP", PMOS, gate="A", drain="Y", source="vdd",
+                   width_mult=2.0),
+    ), inputs=("A",), logic_nodes=("Y",))
+
+
+def nmos_stack(depth):
+    """NAND-style pull-down stack with parallel PMOS pull-ups."""
+    transistors = []
+    upper = "Y"
+    for k in range(depth):
+        lower = "gnd" if k == depth - 1 else f"n{k}"
+        transistors.append(Transistor(f"MN{k}", NMOS, gate=f"I{k}",
+                                      drain=upper, source=lower))
+        upper = lower
+    for k in range(depth):
+        transistors.append(Transistor(f"MP{k}", PMOS, gate=f"I{k}",
+                                      drain="Y", source="vdd",
+                                      width_mult=2.0))
+    return CellNetlist(f"NAND{depth}", tuple(transistors),
+                       inputs=tuple(f"I{k}" for k in range(depth)),
+                       logic_nodes=("Y",))
+
+
+class TestInverter:
+    def test_no_free_nodes_shortcut(self):
+        sol = solve_dc(inverter(), {"A": 0, "Y": 1}, MODEL, L_NOM)
+        assert sol.iterations == 0
+        assert sol.leakage.shape == (1,)
+        assert sol.leakage[0] > 0
+
+    def test_input_low_leaks_through_nmos(self):
+        leak = state_leakage(inverter(), {"A": 0, "Y": 1}, MODEL, L_NOM)
+        expected = MODEL.off_current(NMOS, L_NOM, TECH.min_width)
+        assert float(leak[0]) == pytest.approx(float(expected), rel=1e-9)
+
+
+class TestStackEffect:
+    def test_all_off_stack_leaks_much_less_than_single_device(self):
+        single = float(MODEL.off_current(NMOS, L_NOM, TECH.min_width))
+        stack2 = nmos_stack(2)
+        pmos_leak = 2 * 2.0 * float(  # two OFF PMOS in parallel at Y=1
+            MODEL.off_current(PMOS, L_NOM, TECH.min_width, vds=0.0))
+        state = {"I0": 0, "I1": 0, "Y": 1}
+        total = float(state_leakage(stack2, state, MODEL, L_NOM)[0])
+        # With the output at VDD the PMOS are unbiased; the total is the
+        # stack current, which must be several times below one device.
+        assert total < single / 3
+        assert total > single / 50
+
+    def test_stack_factor_grows_with_depth(self):
+        leaks = []
+        for depth in (1, 2, 3, 4):
+            cell = nmos_stack(depth)
+            state = {f"I{k}": 0 for k in range(depth)}
+            state["Y"] = 1
+            leaks.append(float(state_leakage(cell, state, MODEL, L_NOM)[0]))
+        assert all(leaks[k + 1] < leaks[k] for k in range(3))
+
+    def test_intermediate_node_voltage_is_small_positive(self):
+        sol = solve_dc(nmos_stack(2), {"I0": 0, "I1": 0, "Y": 1},
+                       MODEL, L_NOM)
+        vx = float(sol.free_voltages[0, 0])
+        assert 0.0 < vx < 0.3
+
+    def test_on_bottom_device_pins_node_to_ground(self):
+        sol = solve_dc(nmos_stack(2), {"I0": 0, "I1": 1, "Y": 1},
+                       MODEL, L_NOM)
+        # gate order: I0 drives the top (Y-side) device.
+        vx = float(sol.free_voltages[0, 0])
+        assert abs(vx) < 1e-3
+
+
+class TestKCL:
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    def test_residual_is_negligible(self, depth):
+        cell = nmos_stack(depth)
+        state = {f"I{k}": 0 for k in range(depth)}
+        state["Y"] = 1
+        sol = solve_dc(cell, state, MODEL, L_NOM)
+        leak = float(sol.leakage[0])
+        assert sol.max_residual < 1e-6 * leak + 1e-20
+
+
+class TestVectorization:
+    def test_samples_match_scalar_solves(self):
+        lengths = np.linspace(0.9, 1.1, 5) * L_NOM
+        cell = nmos_stack(2)
+        state = {"I0": 0, "I1": 0, "Y": 1}
+        vector = state_leakage(cell, state, MODEL, lengths)
+        for k, length in enumerate(lengths):
+            scalar = float(state_leakage(cell, state, MODEL, length)[0])
+            assert vector[k] == pytest.approx(scalar, rel=1e-9)
+
+    def test_vt_shifts_applied_per_transistor(self):
+        cell = nmos_stack(1)
+        state = {"I0": 0, "Y": 1}
+        base = float(state_leakage(cell, state, MODEL, L_NOM)[0])
+        shifted = float(state_leakage(
+            cell, state, MODEL, L_NOM,
+            vt_shifts={"MN0": np.array([0.05])})[0])
+        assert shifted < base
+
+
+class TestAllLibraryStatesSolve:
+    def test_every_state_positive_and_finite(self, library, device_model,
+                                             technology):
+        for cell in library:
+            for state in cell.states:
+                leak = state_leakage(cell.netlist, state.nodes, device_model,
+                                     technology.length.nominal)
+                value = float(leak[0])
+                assert np.isfinite(value), (cell.name, state.label)
+                assert value > 0, (cell.name, state.label)

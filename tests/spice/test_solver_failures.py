@@ -1,0 +1,100 @@
+"""Failure injection and pathological-topology tests for the DC solver."""
+
+import numpy as np
+import pytest
+
+from repro.devices import DeviceModel, NMOS, PMOS
+from repro.exceptions import SolverError
+from repro.process import synthetic_90nm
+from repro.spice import CellNetlist, Transistor, solve_dc
+
+TECH = synthetic_90nm()
+MODEL = DeviceModel(TECH)
+L_NOM = TECH.length.nominal
+
+
+def two_stack():
+    return CellNetlist("STACK2", (
+        Transistor("MN1", NMOS, gate="A", drain="Y", source="n1"),
+        Transistor("MN2", NMOS, gate="B", drain="n1", source="gnd"),
+        Transistor("MP1", PMOS, gate="A", drain="Y", source="vdd"),
+        Transistor("MP2", PMOS, gate="B", drain="Y", source="vdd"),
+    ), inputs=("A", "B"), logic_nodes=("Y",))
+
+
+class TestFailureInjection:
+    def test_singular_jacobian_raises_solver_error(self, monkeypatch):
+        """If every Newton step fails to factor, the solver must raise a
+        library error rather than loop forever or return garbage."""
+        def explode(*args, **kwargs):
+            raise np.linalg.LinAlgError("injected")
+
+        monkeypatch.setattr(np.linalg, "solve", explode)
+        with pytest.raises(SolverError):
+            solve_dc(two_stack(), {"A": 0, "B": 0, "Y": 1}, MODEL, L_NOM)
+
+    def test_non_convergence_raises_solver_error(self, monkeypatch):
+        """Divergent updates (injected) must exhaust the retry ladder."""
+        import repro.spice.solver as solver_module
+
+        real_solve = np.linalg.solve
+
+        def noisy(a, b):
+            result = real_solve(a, b)
+            return result + 1.0  # never settles below the tolerance
+
+        monkeypatch.setattr(np.linalg, "solve", noisy)
+        with pytest.raises(SolverError):
+            solve_dc(two_stack(), {"A": 0, "B": 0, "Y": 1}, MODEL, L_NOM)
+
+
+class TestPathologicalTopologies:
+    def test_dangling_internal_node(self):
+        """A free node with a single device: gmin pins it; no crash."""
+        cell = CellNetlist("DANGLE", (
+            Transistor("MN", NMOS, gate="A", drain="loose", source="gnd"),
+            Transistor("MN2", NMOS, gate="A", drain="Y", source="gnd"),
+            Transistor("MP", PMOS, gate="A", drain="Y", source="vdd"),
+        ), inputs=("A",), logic_nodes=("Y",))
+        solution = solve_dc(cell, {"A": 0, "Y": 1}, MODEL, L_NOM)
+        assert np.isfinite(solution.leakage).all()
+
+    def test_deep_stack_converges(self):
+        """Six devices in series — deeper than any library cell."""
+        transistors = []
+        upper = "Y"
+        for k in range(6):
+            lower = "gnd" if k == 5 else f"n{k}"
+            transistors.append(Transistor(f"MN{k}", NMOS, gate=f"I{k}",
+                                          drain=upper, source=lower))
+            upper = lower
+        transistors.append(Transistor("MP", PMOS, gate="I0", drain="Y",
+                                      source="vdd"))
+        cell = CellNetlist("STACK6", tuple(transistors),
+                           inputs=tuple(f"I{k}" for k in range(6)),
+                           logic_nodes=("Y",))
+        state = {f"I{k}": 0 for k in range(6)}
+        state["Y"] = 1
+        solution = solve_dc(cell, state, MODEL, L_NOM)
+        assert solution.leakage[0] > 0
+        # Node voltages ordered monotonically down the stack.
+        voltages = solution.free_voltages[0]
+        names = cell.free_nodes
+        ordered = [voltages[names.index(f"n{k}")] for k in range(5)]
+        assert all(ordered[k] >= ordered[k + 1] - 1e-9 for k in range(4))
+
+    def test_extreme_lengths_stay_finite(self):
+        """+-6 sigma channel lengths: tails must not overflow."""
+        lengths = np.array([0.7, 1.0, 1.3]) * L_NOM
+        solution = solve_dc(two_stack(), {"A": 0, "B": 1, "Y": 1}, MODEL,
+                            lengths)
+        assert np.all(np.isfinite(solution.leakage))
+        assert np.all(solution.leakage > 0)
+
+    def test_large_sample_batch(self):
+        lengths = np.full(5000, L_NOM)
+        solution = solve_dc(two_stack(), {"A": 0, "B": 0, "Y": 1}, MODEL,
+                            lengths)
+        assert solution.leakage.shape == (5000,)
+        np.testing.assert_allclose(solution.leakage,
+                                   solution.leakage[0], rtol=1e-9)

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.cli import main
+
+
+class TestEstimateCommand:
+    def test_estimate_with_usage(self, capsys):
+        code = main(["estimate", "--cells", "2000", "--width-mm", "0.2",
+                     "--height-mm", "0.2",
+                     "--usage", "INV_X1=0.5", "--usage", "NAND2_X1=0.5",
+                     "--method", "linear"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean leakage" in out
+        assert "99% quantile" in out
+
+    def test_bad_usage_entry_is_reported(self, capsys):
+        code = main(["estimate", "--cells", "100", "--width-mm", "0.1",
+                     "--height-mm", "0.1", "--usage", "INV_X1:0.5"])
+        assert code == 2
+        assert "NAME=FRACTION" in capsys.readouterr().err
+
+    def test_temperature_raises_leakage(self, capsys):
+        args = ["estimate", "--cells", "1000", "--width-mm", "0.1",
+                "--height-mm", "0.1", "--usage", "INV_X1=1.0",
+                "--method", "linear"]
+        main(args)
+        cold = capsys.readouterr().out
+        main(args + ["--temperature-c", "125"])
+        hot = capsys.readouterr().out
+
+        def mean_of(text):
+            for line in text.splitlines():
+                if "mean leakage" in line:
+                    return float(line.split()[-1])
+            raise AssertionError(text)
+
+        assert mean_of(hot) > 5 * mean_of(cold)
+
+
+class TestCharacterizeRoundTrip:
+    def test_characterize_then_estimate(self, tmp_path, capsys):
+        char_path = str(tmp_path / "char.json")
+        assert main(["characterize", "--out", char_path]) == 0
+        capsys.readouterr()
+        code = main(["estimate", "--cells", "1000", "--width-mm", "0.1",
+                     "--height-mm", "0.1", "--usage", "INV_X1=1.0",
+                     "--char", char_path, "--method", "linear"])
+        assert code == 0
+        assert "mean leakage" in capsys.readouterr().out
+
+    def test_stale_characterization_fails_cleanly(self, tmp_path, capsys):
+        char_path = str(tmp_path / "char.json")
+        main(["characterize", "--out", char_path])
+        capsys.readouterr()
+        code = main(["estimate", "--cells", "100", "--width-mm", "0.1",
+                     "--height-mm", "0.1", "--char", char_path,
+                     "--sigma-l", "0.10"])
+        assert code == 2
+        assert "different technology" in capsys.readouterr().err
+
+
+class TestCornersCommand:
+    def test_corner_table(self, capsys):
+        code = main(["corners", "--cells", "1000", "--width-mm", "0.1",
+                     "--height-mm", "0.1", "--usage", "INV_X1=0.5",
+                     "--usage", "NAND2_X1=0.5", "--method", "linear"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("FF", "TT", "SS"):
+            assert name in out
+
+        def mean_of(label):
+            for line in out.splitlines():
+                if line.strip().startswith(label):
+                    return float(line.split()[2])
+            raise AssertionError(out)
+
+        assert mean_of("FF") > mean_of("SS") > mean_of("TT")
+
+
+class TestIscas85Command:
+    def test_c432_flow(self, capsys):
+        assert main(["iscas85", "c432"]) == 0
+        out = capsys.readouterr().out
+        assert "std error" in out
+        assert "160" in out
+
+    def test_unknown_circuit(self, capsys):
+        assert main(["iscas85", "c9999"]) == 2
+        assert "unknown ISCAS85" in capsys.readouterr().err

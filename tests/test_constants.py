@@ -1,0 +1,40 @@
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert constants.thermal_voltage(300.0) == pytest.approx(0.025852,
+                                                                 abs=1e-5)
+
+    def test_default_uses_room_temperature(self):
+        assert constants.thermal_voltage() == pytest.approx(
+            constants.thermal_voltage(constants.ROOM_TEMPERATURE))
+
+    def test_scales_linearly_with_temperature(self):
+        assert constants.thermal_voltage(600.0) == pytest.approx(
+            2.0 * constants.thermal_voltage(300.0))
+
+    @pytest.mark.parametrize("temperature", [0.0, -10.0])
+    def test_rejects_non_positive_temperature(self, temperature):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(temperature)
+
+
+class TestUnits:
+    def test_metric_prefixes(self):
+        assert constants.NM == 1e-9
+        assert constants.UM == 1e-6
+        assert constants.MM == 1e-3
+        assert 1000 * constants.NM == pytest.approx(constants.UM)
+
+    def test_db(self):
+        assert constants.db(10.0) == pytest.approx(10.0)
+        assert constants.db(1.0) == pytest.approx(0.0)
+
+    def test_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            constants.db(0.0)

@@ -1,0 +1,128 @@
+"""Cross-cutting edge-case tests that don't belong to a single module
+suite: unusual fit shapes, state-weight overrides, lossy format notes,
+and defensive-validation paths."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.characterization import mgf_moments, moments_numeric
+from repro.characterization.fitting import LeakageFit
+from repro.core import CellUsage, FullChipLeakageEstimator, expand_mixture
+from repro.exceptions import EstimationError
+
+MU_L, SIGMA_L = 50e-9, 2.5e-9
+
+
+class TestUnusualFitShapes:
+    def test_concave_log_leakage(self):
+        """c < 0 (concave in L): the MGF machinery must still be exact —
+        all moments exist since 1 - 2*c*sigma^2*t only grows."""
+        closed = mgf_moments(1e-9, -1.5e8, -2e15, MU_L, SIGMA_L)
+        numeric = moments_numeric(1e-9, -1.5e8, -2e15, MU_L, SIGMA_L)
+        assert closed[0] == pytest.approx(numeric[0], rel=1e-7)
+        assert closed[1] == pytest.approx(numeric[1], rel=1e-5)
+
+    def test_increasing_leakage_fit(self):
+        """b > 0 is unphysical for subthreshold leakage but can emerge
+        from fitting noise; the math must not care about the sign."""
+        closed = mgf_moments(1e-12, +1.2e8, 5e14, MU_L, SIGMA_L)
+        numeric = moments_numeric(1e-12, +1.2e8, 5e14, MU_L, SIGMA_L)
+        assert closed[0] == pytest.approx(numeric[0], rel=1e-7)
+
+    def test_near_deterministic_leakage(self):
+        """b ~ 0, c ~ 0: the distribution collapses; std -> 0 without
+        numerical garbage."""
+        mean, std = mgf_moments(1e-9, -1.0, 1.0, MU_L, SIGMA_L)
+        assert mean == pytest.approx(1e-9, rel=1e-6)
+        assert std < 1e-15
+
+    def test_fit_evaluate_vectorized(self):
+        fit = LeakageFit(a=1e-9, b=-1.6e8, c=1.1e15, rms_log_error=0.0)
+        lengths = np.linspace(0.9, 1.1, 7) * MU_L
+        values = fit.evaluate(lengths)
+        assert values.shape == (7,)
+        assert np.all(np.diff(values) < 0)
+
+
+class TestStateWeightOverrides:
+    def test_override_changes_mixture(self, small_characterization):
+        usage = CellUsage({"INV_X1": 1.0})
+        forced = {"INV_X1": np.array([1.0, 0.0])}  # always A=0
+        mixture = expand_mixture(small_characterization, usage, 0.5,
+                                 state_weights=forced)
+        assert len(mixture.labels) == 1
+        assert mixture.labels[0] == ("INV_X1", "A=0")
+
+    def test_bad_override_length_rejected(self, small_characterization):
+        usage = CellUsage({"INV_X1": 1.0})
+        with pytest.raises(EstimationError):
+            expand_mixture(small_characterization, usage, 0.5,
+                           state_weights={"INV_X1": np.array([1.0])})
+
+    def test_unnormalized_override_rejected(self, small_characterization):
+        usage = CellUsage({"INV_X1": 1.0})
+        with pytest.raises(EstimationError):
+            expand_mixture(small_characterization, usage, 0.5,
+                           state_weights={"INV_X1": np.array([0.9, 0.5])})
+
+    def test_estimator_accepts_state_weights(self, small_characterization):
+        usage = CellUsage({"INV_X1": 1.0})
+        forced = {"INV_X1": np.array([1.0, 0.0])}
+        estimate = FullChipLeakageEstimator(
+            small_characterization, usage, 500, 1e-4, 1e-4,
+            state_weights=forced).estimate("linear")
+        expected = small_characterization["INV_X1"].states[0].mean
+        assert estimate.mean == pytest.approx(500 * expected, rel=1e-9)
+
+
+class TestFormatLossiness:
+    def test_bench_collapses_drive_strengths(self, library):
+        """Documented: .bench carries functions only, so X2 drives come
+        back as X1 — gate count survives, drive mix does not."""
+        import numpy as np
+
+        from repro.circuits import parse_bench, random_circuit, write_bench
+        usage = CellUsage({"INV_X2": 0.5, "NAND2_X1": 0.5})
+        net = random_circuit(library, usage, 40,
+                             rng=np.random.default_rng(0))
+        back = parse_bench(write_bench(net, library), library)
+        assert back.n_gates == net.n_gates
+        assert back.cell_counts().get("INV_X2", 0) == 0
+        assert back.cell_counts()["INV_X1"] == 20
+
+    def test_verilog_preserves_drive_strengths(self, library):
+        import numpy as np
+
+        from repro.circuits import parse_verilog, random_circuit, \
+            write_verilog
+        usage = CellUsage({"INV_X2": 0.5, "NAND2_X4": 0.5})
+        net = random_circuit(library, usage, 40,
+                             rng=np.random.default_rng(0))
+        back = parse_verilog(write_verilog(net, library), library)
+        assert back.cell_counts() == net.cell_counts()
+
+
+class TestEstimatorInputValidation:
+    def test_estimate_details_simplified_flag(self, small_characterization):
+        usage = CellUsage({"INV_X1": 1.0})
+        exact = FullChipLeakageEstimator(
+            small_characterization, usage, 100, 1e-5, 1e-5,
+            simplified_correlation=False).estimate("linear")
+        simple = FullChipLeakageEstimator(
+            small_characterization, usage, 100, 1e-5, 1e-5,
+            simplified_correlation=True).estimate("linear")
+        assert exact.details["simplified_correlation"] == 0.0
+        assert simple.details["simplified_correlation"] == 1.0
+
+    def test_correlation_override(self, small_characterization):
+        from repro.process import LinearCorrelation
+        usage = CellUsage({"INV_X1": 1.0})
+        short = FullChipLeakageEstimator(
+            small_characterization, usage, 10_000, 1e-3, 1e-3,
+            correlation=LinearCorrelation(5e-5)).estimate("linear")
+        long = FullChipLeakageEstimator(
+            small_characterization, usage, 10_000, 1e-3, 1e-3,
+            correlation=LinearCorrelation(9e-4)).estimate("linear")
+        assert long.std > short.std

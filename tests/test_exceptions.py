@@ -1,0 +1,32 @@
+"""The exception hierarchy contract: library errors are catchable as
+ReproError without catching programming errors."""
+
+import pytest
+
+from repro import exceptions
+
+
+ALL_ERRORS = [
+    exceptions.ConfigurationError,
+    exceptions.CorrelationError,
+    exceptions.CharacterizationError,
+    exceptions.MomentExistenceError,
+    exceptions.SolverError,
+    exceptions.NetlistError,
+    exceptions.EstimationError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_derives_from_repro_error(error_type):
+    assert issubclass(error_type, exceptions.ReproError)
+
+
+def test_moment_existence_is_characterization_error():
+    assert issubclass(exceptions.MomentExistenceError,
+                      exceptions.CharacterizationError)
+
+
+def test_repro_error_is_not_catchall():
+    assert not issubclass(TypeError, exceptions.ReproError)
+    assert not issubclass(exceptions.ReproError, TypeError)

@@ -1,0 +1,127 @@
+"""End-to-end integration tests spanning the whole pipeline:
+
+process -> devices -> cells -> characterization -> Random Gate ->
+estimators -> circuits -> chip Monte Carlo.
+
+These encode the paper's headline claims at reduced scale; the
+benchmarks reproduce them at full scale.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import FullChipLeakageEstimator
+from repro.analysis import chip_monte_carlo, realize_design
+from repro.circuits import (
+    extract_characteristics,
+    grid_placement,
+    iscas85_circuit,
+    random_circuit,
+)
+from repro.circuits.placement import die_dimensions
+from repro.core import CellUsage
+from repro.core.estimators import exact_moments
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return CellUsage({"INV_X1": 0.25, "NAND2_X1": 0.30, "NOR2_X1": 0.20,
+                      "XOR2_X1": 0.10, "DFF_X1": 0.15})
+
+
+class TestLateModeFlow:
+    """Extract characteristics from a placed design, estimate, compare
+    with the true O(n^2) leakage (Table 1's procedure)."""
+
+    def test_rg_estimate_close_to_true_leakage(self, library,
+                                               characterization, usage):
+        rng = np.random.default_rng(7)
+        net = random_circuit(library, usage, 1500, rng=rng)
+        width, height = die_dimensions(net, library)
+        grid_placement(net, width, height, rng=rng)
+        real = realize_design(net, characterization, rng=rng)
+
+        tech = characterization.technology
+        pair_params = real.pair_params(tech.length.nominal,
+                                       tech.length.sigma)
+        true_mean, true_std = exact_moments(
+            real.positions, real.means, real.stds, tech.total_correlation,
+            pair_params=pair_params)
+
+        chars = extract_characteristics(net, library)
+        estimator = FullChipLeakageEstimator(
+            characterization, chars.usage, chars.n_cells,
+            chars.width, chars.height)
+        estimate = estimator.estimate("linear")
+        assert estimate.mean == pytest.approx(true_mean, rel=0.03)
+        assert estimate.std == pytest.approx(true_std, rel=0.05)
+
+    def test_iscas85_flow_runs(self, library, characterization):
+        rng = np.random.default_rng(3)
+        net = iscas85_circuit("c432", library, rng=rng)
+        width, height = die_dimensions(net, library)
+        grid_placement(net, width, height, rng=rng)
+        chars = extract_characteristics(net, library)
+        estimate = FullChipLeakageEstimator(
+            characterization, chars.usage, chars.n_cells, chars.width,
+            chars.height).estimate("linear")
+        assert estimate.mean > 0 and estimate.std > 0
+
+
+class TestEarlyModeFlow:
+    """Early mode: expected histogram + count + floorplan only."""
+
+    def test_early_estimate_brackets_realized_designs(
+            self, library, characterization, usage):
+        tech = characterization.technology
+        n, width, height = 900, 1.2e-4, 1.2e-4
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, n, width, height).estimate("linear")
+
+        true_means = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            net = random_circuit(library, usage, n, rng=rng)
+            grid_placement(net, width, height, rng=rng)
+            real = realize_design(net, characterization, rng=rng)
+            mean, _ = exact_moments(real.positions, real.means, real.stds,
+                                    tech.total_correlation)
+            true_means.append(mean)
+        # The RG prediction sits within the family spread.
+        spread = max(true_means) - min(true_means)
+        center = float(np.mean(true_means))
+        assert abs(estimate.mean - center) < max(spread, 0.05 * center)
+
+
+class TestMonteCarloCrossCheck:
+    def test_linear_estimator_matches_chip_mc(self, library,
+                                              characterization, usage):
+        """The full chain: the eq. (17) estimate of an RG chip agrees
+        with brute-force Monte Carlo of a matching realized design."""
+        rng = np.random.default_rng(11)
+        n, width, height = 600, 1e-4, 1e-4
+        tech = characterization.technology
+        net = random_circuit(library, usage, n, rng=rng)
+        grid_placement(net, width, height, rng=rng)
+        real = realize_design(net, characterization, rng=rng)
+        mc = chip_monte_carlo(real, tech, n_samples=3000, rng=rng)
+
+        estimate = FullChipLeakageEstimator(
+            characterization, usage, n, width, height).estimate("linear")
+        assert estimate.mean == pytest.approx(mc.mean, rel=0.05)
+        assert estimate.std == pytest.approx(mc.std, rel=0.15)
+
+
+class TestConstantTimeConsistency:
+    def test_all_methods_tell_one_story(self, characterization, usage):
+        est = FullChipLeakageEstimator(
+            characterization, usage, n_cells=40_000, width=2e-3,
+            height=2e-3)
+        linear = est.estimate("linear")
+        integral = est.estimate("integral2d")
+        assert integral.std == pytest.approx(linear.std, rel=2e-3)
+        # Paper Fig. 7 regime: >=10k gates, integral error well under 1%.
+        error = abs(integral.std - linear.std) / linear.std
+        assert error < 0.01
