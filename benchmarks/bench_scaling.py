@@ -1,19 +1,26 @@
-"""Complexity claims — O(n^2) vs O(n) vs O(1) runtime.
+"""Complexity claims — O(n^2) vs fast exact vs O(n) vs O(1) runtime.
 
 The paper's central efficiency claim: the pairwise "true leakage" costs
 O(n^2) and is impractical at full-chip scale; the distance-multiplicity
 transform is O(n); and the integral estimators cost a constant
-independent of n. This bench times all three across sizes and checks
-the scaling exponents. pytest-benchmark additionally reports the O(1)
-integral kernel's wall time.
+independent of n. This bench times all of them across sizes, checks the
+scaling exponents, and additionally records the lag-deduplicated fast
+exact path — which makes the "true leakage" reference computable at
+256x256 sites and beyond, where the dense O(n^2) sum is hopeless.
+
+Machine-readable timings land in ``BENCH_scaling.json`` at the repo
+root (one trajectory point per growth PR). Set ``BENCH_QUICK=1`` for a
+CI smoke run over reduced sizes (results go to a separate
+``BENCH_scaling_quick.json`` so the checked-in trajectory stays put).
 """
 
 import math
+import os
 import time
 
 import numpy as np
 
-from benchmarks._common import emit
+from benchmarks._common import emit, emit_json
 from repro.analysis import format_table
 from repro.core import CellUsage, FullChipModel, RandomGate, RGCorrelation, \
     expand_mixture
@@ -27,6 +34,10 @@ from repro.core.estimators import (
 USAGE = CellUsage({"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2})
 SITE_AREA = 3.5e-12
 
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+SIDES = (32, 64) if QUICK else (32, 64, 128, 256, 1000)
+DENSE_LIMIT = 16384
+
 
 def test_scaling(benchmark, characterization, rng):
     tech = characterization.technology
@@ -36,47 +47,89 @@ def test_scaling(benchmark, characterization, rng):
 
     def time_once(fn):
         start = time.perf_counter()
-        fn()
-        return time.perf_counter() - start
+        result = fn()
+        return time.perf_counter() - start, result
 
     rows = []
+    points = []
     exact_times = {}
     linear_times = {}
-    for side in (32, 64, 128, 1000):
+    for side in SIDES:
         n = side * side
         die = side * math.sqrt(SITE_AREA)
         chip = FullChipModel(n_cells=n, width=die, height=die, rows=side,
                              cols=side)
-        t_linear = time_once(lambda: linear_variance(
+        t_linear, _ = time_once(lambda: linear_variance(
             side, side, chip.pitch_x, chip.pitch_y, correlation, rgc))
         linear_times[n] = t_linear
-        if n <= 16384:
-            positions = chip.site_positions()
-            stds = np.full(n, rg.mean_of_stds)
-            means = np.full(n, rg.mean)
-            t_exact = time_once(lambda: exact_moments(
-                positions, means, stds, correlation))
-            exact_times[n] = t_exact
-            exact_text = f"{t_exact:.3f}"
+
+        positions = chip.site_positions()
+        stds = np.full(n, rg.mean_of_stds)
+        means = np.full(n, rg.mean)
+
+        point = {"gates": n, "side": side, "t_linear_s": t_linear}
+
+        dense_std = None
+        if n <= DENSE_LIMIT:
+            t_dense, (_, dense_std) = time_once(lambda: exact_moments(
+                positions, means, stds, correlation, method="dense"))
+            exact_times[n] = t_dense
+            point["t_dense_exact_s"] = t_dense
+            dense_text = f"{t_dense:.3f}"
         else:
-            exact_text = "(skipped)"
-        t_int = time_once(lambda: integral2d_variance(
+            dense_text = "(skipped)"
+
+        # Lag-deduplicated fast path; the grid hint engages it even at
+        # tolerance 0, where it still matches dense to machine precision.
+        t_fast, (_, fast_std) = time_once(lambda: exact_moments(
+            positions, means, stds, correlation, method="lagsum",
+            grid=(side, side)))
+        point["t_fast_exact_s"] = t_fast
+        point["fast_exact_std"] = fast_std
+        if dense_std is not None:
+            rel_err = abs(fast_std - dense_std) / dense_std
+            point["fast_vs_dense_rel_err"] = rel_err
+            assert rel_err < 1e-6
+
+        t_int, _ = time_once(lambda: integral2d_variance(
             n, die, die, correlation, rgc))
-        rows.append([n, exact_text, f"{t_linear:.4f}", f"{t_int:.3f}"])
+        point["t_integral2d_s"] = t_int
+        rows.append([n, dense_text, f"{t_fast:.4f}", f"{t_linear:.4f}",
+                     f"{t_int:.3f}"])
+        points.append(point)
 
     table = format_table(
-        ["gates", "O(n^2) exact [s]", "O(n) linear [s]", "O(1) 2D int [s]"],
+        ["gates", "O(n^2) exact [s]", "fast exact [s]", "O(n) linear [s]",
+         "O(1) 2D int [s]"],
         rows,
         title="Complexity scaling of the variance estimators")
     emit("scaling", table)
 
+    payload = {
+        "quick": QUICK,
+        "site_area_m2": SITE_AREA,
+        "points": points,
+    }
+    if DENSE_LIMIT in exact_times:
+        fast_at_limit = next(p["t_fast_exact_s"] for p in points
+                             if p["gates"] == DENSE_LIMIT)
+        payload["speedup_at_16384"] = exact_times[DENSE_LIMIT] / max(
+            fast_at_limit, 1e-9)
+    emit_json("scaling_quick" if QUICK else "scaling", payload)
+
     # pytest-benchmark measures the constant-time kernel.
-    die = 1000 * math.sqrt(SITE_AREA)
-    benchmark(lambda: integral2d_variance(1_000_000, die, die,
+    die = SIDES[-1] * math.sqrt(SITE_AREA)
+    benchmark(lambda: integral2d_variance(SIDES[-1] ** 2, die, die,
                                           correlation, rgc))
 
-    # Exact estimator should scale ~quadratically (x16 work for x4 n).
-    ratio_exact = exact_times[128 * 128] / max(exact_times[32 * 32], 1e-9)
-    assert ratio_exact > 4.0, "O(n^2) growth visible"
-    # Linear-time at n = 1e6 stays in interactive territory.
-    assert linear_times[1_000_000] < 5.0
+    if not QUICK:
+        # Exact estimator should scale ~quadratically (x16 work for x4 n).
+        ratio_exact = exact_times[128 * 128] / max(exact_times[32 * 32], 1e-9)
+        assert ratio_exact > 4.0, "O(n^2) growth visible"
+        # Linear-time at n = 1e6 stays in interactive territory.
+        assert linear_times[1_000_000] < 5.0
+        # The fast exact path must beat dense by >=5x at the dense limit
+        # and make the 256x256 reference computable at all.
+        assert payload["speedup_at_16384"] >= 5.0
+        assert any(p["gates"] == 256 * 256 and p["fast_exact_std"] > 0
+                   for p in points)

@@ -16,8 +16,9 @@ import numpy as np
 from repro.characterization.characterizer import LibraryCharacterization
 from repro.characterization.fitting import LeakageFit
 from repro.circuits.netlist import Netlist
-from repro.core.estimators.exact import pair_params_from_fits
+from repro.core.estimators.exact import exact_moments, pair_params_from_fits
 from repro.exceptions import EstimationError
+from repro.process.correlation import SpatialCorrelation
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,34 @@ class DesignRealization:
                 "use the simplified correlation model")
         return pair_params_from_fits(self.fits, mu_l, sigma_l)
 
+    def true_moments(
+        self,
+        correlation: SpatialCorrelation,
+        mu_l: Optional[float] = None,
+        sigma_l: Optional[float] = None,
+        *,
+        method: str = "auto",
+        n_jobs: int = 1,
+        tolerance: float = 0.0,
+    ) -> Tuple[float, float]:
+        """``(mean, std)`` of the realized design's total leakage.
+
+        Uses the exact per-pair ``f_mn`` moments when ``mu_l``/``sigma_l``
+        are given (and fits exist), the simplified ``rho_leak = rho_L``
+        model otherwise. ``method``/``n_jobs``/``tolerance`` select the
+        fast paths of :func:`repro.core.estimators.exact_moments`.
+        """
+        pair_params = None
+        if mu_l is not None or sigma_l is not None:
+            if mu_l is None or sigma_l is None:
+                raise EstimationError(
+                    "exact pair moments need both mu_l and sigma_l")
+            pair_params = self.pair_params(mu_l, sigma_l)
+        return exact_moments(
+            self.positions, self.means, self.stds, correlation,
+            pair_params=pair_params, method=method, n_jobs=n_jobs,
+            tolerance=tolerance)
+
 
 @dataclass(frozen=True)
 class ExpectedDesign:
@@ -76,6 +105,22 @@ class ExpectedDesign:
     @property
     def n_gates(self) -> int:
         return self.positions.shape[0]
+
+    def true_moments(
+        self,
+        correlation: SpatialCorrelation,
+        *,
+        method: str = "auto",
+        n_jobs: int = 1,
+        tolerance: float = 0.0,
+    ) -> Tuple[float, float]:
+        """``(mean, std)`` of the expected-state design's total leakage
+        (the late-mode "true leakage" reference), with the eq. (11)
+        diagonal/off-diagonal sigma split applied via ``corr_stds``."""
+        return exact_moments(
+            self.positions, self.means, self.stds, correlation,
+            corr_stds=self.corr_stds, method=method, n_jobs=n_jobs,
+            tolerance=tolerance)
 
 
 def expected_design(

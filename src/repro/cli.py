@@ -124,7 +124,6 @@ def _cmd_iscas85(args) -> int:
     )
     from repro.circuits.iscas85 import iscas85_circuit
     from repro.circuits.placement import die_dimensions, grid_placement
-    from repro.core.estimators.exact import exact_moments
     from repro.signalprob.propagation import propagate_probabilities
 
     technology = _technology_from_args(args)
@@ -138,9 +137,9 @@ def _cmd_iscas85(args) -> int:
     net_probs = propagate_probabilities(netlist, library, 0.5)
     design = expected_design(netlist, characterization,
                              net_probabilities=net_probs)
-    true_mean, true_std = exact_moments(
-        design.positions, design.means, design.stds,
-        technology.total_correlation, corr_stds=design.corr_stds)
+    # Grid-placed designs take the exact lag-deduplicated fast path.
+    true_mean, true_std = design.true_moments(
+        technology.total_correlation, tolerance=1e-9)
 
     chars = extract_characteristics(netlist, library)
     weights = extract_state_weights(netlist, library, net_probs)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.characterization.characterizer import LibraryCharacterization
 from repro.characterization.vt import vt_mean_multiplier
 from repro.core.chip_model import FullChipModel
+from repro.core.estimators.exact import exact_moments
 from repro.core.estimators.integral2d import integral2d_variance
 from repro.core.estimators.linear import linear_variance
 from repro.core.estimators.polar import polar_variance
@@ -136,11 +137,16 @@ class FullChipLeakageEstimator:
         )
         self._vt_multiplier = vt_mean_multiplier(technology)
 
-    def estimate(self, method: str = "auto") -> LeakageEstimate:
+    def estimate(self, method: str = "auto", *, n_jobs: int = 1,
+                 tolerance: float = 0.0) -> LeakageEstimate:
         """Estimate full-chip leakage mean and standard deviation.
 
         ``method`` is one of ``"auto"``, ``"linear"``, ``"integral2d"``,
-        ``"polar"``.
+        ``"polar"``, or ``"exact"`` — the last runs the placed-site
+        pairwise engine (lag-deduplicated on the RG grid; see
+        :func:`repro.core.estimators.exact_moments`) and serves as an
+        independent cross-check of the eq. (17) transform. ``n_jobs``
+        and ``tolerance`` are forwarded to that engine.
         """
         chip = self.chip
         if method == "auto":
@@ -159,11 +165,51 @@ class FullChipLeakageEstimator:
             site_variance = polar_variance(
                 chip.n_sites, chip.width, chip.height,
                 self.correlation, self.rg_correlation)
+        elif method == "exact":
+            site_variance = self._exact_site_variance(
+                n_jobs=n_jobs, tolerance=tolerance)
         else:
             raise EstimationError(
                 f"unknown method {method!r}; choose auto, linear, "
-                "integral2d, or polar")
+                "integral2d, polar, or exact")
 
+        return self._package(method, site_variance)
+
+    def _exact_site_variance(self, n_jobs: int = 1,
+                             tolerance: float = 0.0) -> float:
+        """Site-grid variance through the placed-design pairwise engine.
+
+        Every site carries the Random Gate: the full RG sigma on the
+        diagonal and the correlatable mean-of-stds off it — the eq. (11)
+        split that :func:`exact_moments` expresses via ``corr_stds``.
+        Only the simplified (``rho_leak = rho_L``) covariance has this
+        per-site product form, so the exact ``f_mn`` mode must go
+        through ``estimate("linear")`` instead.
+        """
+        if not self.rg_correlation.simplified:
+            raise EstimationError(
+                "method='exact' maps the RG covariance onto per-site "
+                "sigmas, which requires the simplified correlation "
+                "model; use simplified_correlation=True or "
+                "method='linear'")
+        chip = self.chip
+        n_sites = chip.n_sites
+        rg = self.random_gate
+        _, site_std = exact_moments(
+            chip.site_positions(),
+            np.full(n_sites, rg.mean),
+            np.full(n_sites, rg.std),
+            self.correlation,
+            corr_stds=np.full(n_sites, rg.mean_of_stds),
+            method="lagsum",
+            grid=(chip.rows, chip.cols),
+            n_jobs=n_jobs,
+            tolerance=tolerance,
+        )
+        return site_std ** 2
+
+    def _package(self, method: str, site_variance: float) -> LeakageEstimate:
+        chip = self.chip
         # Grid statistics are for n_sites gates; rescale to the actual
         # cell count (mean ~ n, std ~ n for strongly correlated sums).
         scale = chip.n_cells / chip.n_sites

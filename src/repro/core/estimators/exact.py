@@ -13,11 +13,18 @@ models are supported:
 
 Both are evaluated block-wise so memory stays bounded for tens of
 thousands of gates.
+
+Beyond the dense O(n^2) reference loop kept here, :func:`exact_moments`
+dispatches to the fast paths in
+:mod:`repro.core.estimators.fast_exact` — spatial pruning, lattice lag
+deduplication, and a shared-memory parallel block loop — selected via
+``method=`` / ``n_jobs=`` / ``tolerance=``.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,6 +70,11 @@ def exact_moments(
     pair_params: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
     corr_stds: Optional[np.ndarray] = None,
     block_size: int = 2048,
+    *,
+    method: str = "auto",
+    n_jobs: int = 1,
+    tolerance: float = 0.0,
+    grid: Optional[Tuple[int, int]] = None,
 ) -> Tuple[float, float]:
     """``(mean, std)`` of a placed design's total leakage — eq. (15).
 
@@ -85,9 +97,31 @@ def exact_moments(
         unresolved input state): the state-selection variance appears on
         the diagonal but does not correlate across gates, exactly like
         the Random Gate's same-site discontinuity (paper eq. 11).
-        Defaults to ``stds``.
+        Defaults to ``stds``. **Ignored on the exact ``pair_params``
+        path** (a warning is emitted): the per-pair cross moments
+        already carry each gate's full moment structure, and no
+        diagonal/off-diagonal sigma split is applied there.
     block_size:
         Pairwise evaluation block edge.
+    method:
+        ``"auto"`` (default), ``"dense"``, ``"pruned"``, or ``"lagsum"``.
+        ``auto`` keeps the dense path bit-compatible with the historical
+        estimator at ``tolerance=0, n_jobs=1`` (and no ``grid`` hint);
+        otherwise it picks the exact lag transform for lattice
+        placements, spatial pruning for scattered placements under a
+        short-range correlation, and the dense path as the fallback.
+    n_jobs:
+        Worker processes for the dense/pruned block loops (``-1`` for
+        one per CPU). The lag transform is FFT-bound and ignores it.
+    tolerance:
+        Truncation threshold on the *decaying* part of the correlation.
+        ``0`` disables truncation (the compact-support radius is still
+        used for pruning). The induced variance error is bounded by
+        ``tolerance * (sum corr_stds)^2`` on the simplified path.
+    grid:
+        Optional ``(rows, cols)`` site-lattice hint (e.g. from
+        :class:`~repro.core.chip_model.FullChipModel`) enabling the lag
+        transform without auto-detection.
     """
     positions = np.asarray(positions, dtype=float)
     means = np.asarray(means, dtype=float)
@@ -103,8 +137,48 @@ def exact_moments(
         corr_stds = np.asarray(corr_stds, dtype=float)
         if corr_stds.shape != (n,):
             raise EstimationError("corr_stds must align with positions")
+        if pair_params is not None:
+            warnings.warn(
+                "corr_stds is ignored when pair_params is given: the "
+                "exact pair-moment path applies no diagonal/off-diagonal "
+                "sigma split", stacklevel=2)
+    if method not in ("auto", "dense", "pruned", "lagsum"):
+        raise EstimationError(
+            f"unknown method {method!r}; choose auto, dense, pruned, "
+            "or lagsum")
 
     mean_total = float(means.sum())
+
+    from repro.core.estimators import fast_exact
+
+    grid_info = None
+    if method == "auto":
+        method, grid_info = fast_exact.choose_method(
+            positions, correlation, tolerance, n_jobs, grid)
+    if method == "lagsum" and grid_info is None:
+        rows, cols = grid if grid is not None else (None, None)
+        grid_info = fast_exact.detect_grid(positions, rows=rows, cols=cols)
+        if grid_info is None:
+            raise EstimationError(
+                "method='lagsum' requires positions on a regular site "
+                "lattice (optionally hinted via grid=(rows, cols))")
+
+    if method == "lagsum":
+        variance = fast_exact.lagsum_variance(
+            positions, means, stds, correlation, pair_params, corr_stds,
+            grid_info, tolerance)
+        return _finish(mean_total, variance)
+    if method == "pruned":
+        variance = fast_exact.pruned_variance(
+            positions, means, stds, correlation, pair_params, corr_stds,
+            block_size, tolerance, n_jobs)
+        return _finish(mean_total, variance)
+    if fast_exact.resolve_n_jobs(n_jobs) > 1:
+        variance = fast_exact.dense_variance_parallel(
+            positions, means, stds, correlation, pair_params, corr_stds,
+            block_size, n_jobs)
+        return _finish(mean_total, variance)
+
     variance = 0.0
     for start_i in range(0, n, block_size):
         end_i = min(start_i + block_size, n)
@@ -135,6 +209,10 @@ def exact_moments(
         # Replace the diagonal's correlatable variance with each gate's
         # full variance (they coincide when corr_stds is stds).
         variance += float((stds ** 2).sum() - (corr_stds ** 2).sum())
+    return _finish(mean_total, variance)
+
+
+def _finish(mean_total: float, variance: float) -> Tuple[float, float]:
     if variance < 0:
         raise EstimationError(
             f"negative total variance ({variance:.3e}); inconsistent inputs")

@@ -1,0 +1,161 @@
+"""Shared-memory worker pools for block-parallel estimators.
+
+The fast exact-leakage engine distributes its pairwise block loop over a
+``ProcessPoolExecutor``. The per-gate arrays (positions, sigmas, pair
+parameters) are large and strictly read-only for the workers, so they
+are published once through ``multiprocessing.shared_memory`` instead of
+being pickled into every task. Workers attach the segments in their pool
+initializer and receive only small task descriptors per call.
+
+:func:`parallel_map` is the single entry point: it degrades to a plain
+in-process loop at ``n_jobs=1`` (no pool, no copies), and otherwise
+guarantees that results come back in task order, so reductions stay
+deterministic regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+# Worker-side state, populated by the pool initializer.
+_WORKER_ARRAYS: Dict[str, np.ndarray] = {}
+_WORKER_PAYLOAD: Any = None
+_WORKER_SEGMENTS: List[shared_memory.SharedMemory] = []
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``-1`` means one worker per CPU;
+    other positive values are taken literally.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs <= 0:
+        raise ValueError(f"n_jobs must be positive or -1, got {n_jobs!r}")
+    return n_jobs
+
+
+def _export_arrays(arrays: Mapping[str, np.ndarray]):
+    """Copy arrays into fresh shared-memory segments.
+
+    Returns ``(specs, segments)`` where ``specs`` maps each array name to
+    ``(segment_name, shape, dtype_str)`` for reconstruction in workers.
+    """
+    specs = {}
+    segments = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        specs[name] = (segment.name, array.shape, array.dtype.str)
+        segments.append(segment)
+    return specs, segments
+
+
+def _tracker_pid() -> Optional[int]:
+    try:
+        from multiprocessing import resource_tracker
+        return resource_tracker._resource_tracker._pid
+    except Exception:
+        return None
+
+
+def _worker_init(specs, payload, parent_tracker_pid) -> None:
+    """Pool initializer: attach the parent's shared segments read-only."""
+    _WORKER_ARRAYS.clear()
+    _WORKER_PAYLOAD_SET(payload)
+    for name, (segment_name, shape, dtype) in specs.items():
+        segment = shared_memory.SharedMemory(name=segment_name)
+        # Attaching registers the segment with this process's resource
+        # tracker, but only the parent may unlink it. Forked workers
+        # share the parent's tracker — unregistering there would drop
+        # the parent's own registration — so unregister only when this
+        # worker runs its own tracker (spawn start method).
+        if _tracker_pid() != parent_tracker_pid:
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        _WORKER_SEGMENTS.append(segment)
+        array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        array.flags.writeable = False
+        _WORKER_ARRAYS[name] = array
+
+
+def _WORKER_PAYLOAD_SET(payload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _worker_call(item):
+    fn, task = item
+    return fn(task, _WORKER_ARRAYS, _WORKER_PAYLOAD)
+
+
+def parallel_map(
+    fn: Callable[[Any, Mapping[str, np.ndarray], Any], Any],
+    tasks: Sequence[Any],
+    *,
+    arrays: Optional[Mapping[str, np.ndarray]] = None,
+    payload: Any = None,
+    n_jobs: Optional[int] = 1,
+) -> List[Any]:
+    """Evaluate ``fn(task, arrays, payload)`` for every task.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) function. It receives the task
+        descriptor, the dict of shared read-only arrays, and the payload.
+    tasks:
+        Task descriptors; kept small — they are pickled per call.
+    arrays:
+        Named read-only numpy arrays published to workers through shared
+        memory (serial mode passes them through directly).
+    payload:
+        One picklable object shipped to each worker at pool start
+        (e.g. a correlation model plus scalar options).
+    n_jobs:
+        Worker-process count (see :func:`resolve_n_jobs`).
+
+    Returns
+    -------
+    The list of per-task results, in task order — independent of worker
+    scheduling, so floating-point reductions over it are deterministic.
+    """
+    arrays = dict(arrays or {})
+    n_jobs = resolve_n_jobs(n_jobs)
+    tasks = list(tasks)
+    if n_jobs == 1 or len(tasks) <= 1:
+        return [fn(task, arrays, payload) for task in tasks]
+
+    specs, segments = _export_arrays(arrays)
+    try:
+        chunksize = max(1, len(tasks) // (4 * n_jobs))
+        with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(tasks)),
+                initializer=_worker_init,
+                initargs=(specs, payload, _tracker_pid())) as pool:
+            results = list(pool.map(_worker_call,
+                                    [(fn, task) for task in tasks],
+                                    chunksize=chunksize))
+    finally:
+        for segment in segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+    return results

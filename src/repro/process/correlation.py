@@ -301,6 +301,17 @@ class AnisotropicCorrelation(SpatialCorrelation):
     def support(self) -> float:
         return self.base.support * max(self.scale_x, self.scale_y)
 
+    def effective_support(self, tolerance: float = 1e-4) -> float:
+        """Truncation radius along the slowest-decaying axis.
+
+        The default bisection needs a scalar-distance evaluation, which
+        an anisotropic metric does not define; the base function's
+        radius scaled by the larger stretch is a valid (conservative)
+        bound for every direction.
+        """
+        return (self.base.effective_support(tolerance)
+                * max(self.scale_x, self.scale_y))
+
     def __repr__(self) -> str:
         return (f"AnisotropicCorrelation(base={self.base!r}, "
                 f"scale_x={self.scale_x:g}, scale_y={self.scale_y:g})")
@@ -337,6 +348,16 @@ class TotalCorrelation(SpatialCorrelation):
         # The *total* correlation never reaches zero when a D2D floor
         # exists; report the support of the decaying part.
         return self.wid.support
+
+    def effective_support(self, tolerance: float = 1e-4) -> float:
+        """Truncation radius of the *decaying* part.
+
+        The total correlation never falls below the D2D floor, so the
+        literal "rho <= tolerance" radius does not exist; what every
+        truncating consumer (polar estimator, spatial pruning) actually
+        needs is the distance beyond which only the floor remains.
+        """
+        return self.decaying_part().effective_support(tolerance)
 
     def decaying_part(self) -> "ScaledCorrelation":
         """The compact/decaying component ``rho(d) - rho_floor``.

@@ -1,0 +1,305 @@
+"""Equivalence of the fast exact-estimator paths with the dense sum.
+
+The dense O(n^2) pairwise loop is the reference; the pruned and lag-sum
+paths must reproduce it — to machine precision on lattices and exact
+bucket covers, and within the documented truncation bound when a
+``tolerance`` is requested. Coverage spans random and grid placements,
+heterogeneous per-gate fits, all four isotropic correlation families
+(compact and infinite support) plus the D2D-floor total correlation,
+and both moment modes (simplified ``corr_stds`` and exact
+``pair_params``).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.characterization.fitting import LeakageFit
+from repro.core import FullChipModel
+from repro.core.estimators import (
+    detect_grid,
+    exact_moments,
+    pair_params_from_fits,
+)
+from repro.exceptions import EstimationError
+from repro.process import (
+    ExponentialCorrelation,
+    GaussianCorrelation,
+    LinearCorrelation,
+    ProcessParameter,
+    SphericalCorrelation,
+    TotalCorrelation,
+)
+
+MU_L = 50e-9
+SIGMA_L = 2.5e-9
+
+#: Four heterogeneous cell-state fits, tiled over the design so the
+#: type-grouped paths see repeated (a, h, k) triplets.
+FITS = (
+    LeakageFit(a=2.0e-7, b=-4.5e7, c=9.0e13, rms_log_error=0.0),
+    LeakageFit(a=5.0e-8, b=-6.0e7, c=1.4e14, rms_log_error=0.0),
+    LeakageFit(a=1.1e-7, b=-5.2e7, c=1.1e14, rms_log_error=0.0),
+    LeakageFit(a=3.3e-8, b=-3.8e7, c=7.0e13, rms_log_error=0.0),
+)
+
+CORRELATIONS = {
+    "exponential": ExponentialCorrelation(2e-4),
+    "gaussian": GaussianCorrelation(2e-4),
+    "linear": LinearCorrelation(4e-4),
+    "spherical": SphericalCorrelation(4e-4),
+    "total-floor": TotalCorrelation(
+        ExponentialCorrelation(2e-4),
+        ProcessParameter("L", MU_L, SIGMA_L / math.sqrt(2),
+                         SIGMA_L / math.sqrt(2))),
+}
+
+
+def random_placement(n, rng, extent=2e-3):
+    return rng.uniform(0.0, extent, size=(n, 2))
+
+
+def grid_placement(n_side, pitch=12e-6):
+    cc, rr = np.meshgrid(np.arange(n_side), np.arange(n_side))
+    return np.column_stack([cc.ravel() * pitch, rr.ravel() * pitch])
+
+
+def gate_arrays(n, rng):
+    """Heterogeneous means/stds/corr_stds plus tiled pair params.
+
+    Means are the fit-implied ``E[X_g]`` so the pair-moment variance
+    identity ``sum cross - (sum mu)^2`` stays consistent.
+    """
+    fits = tuple(FITS[i % len(FITS)] for i in range(n))
+    pair_params = pair_params_from_fits(fits, MU_L, SIGMA_L)
+    a, h, k = pair_params
+    one = 1.0 - 2.0 * a
+    means = one ** -0.5 * np.exp(k + h * h / (2.0 * one))
+    stds = rng.uniform(0.2e-7, 0.8e-7, size=n)
+    corr_stds = stds * rng.uniform(0.6, 1.0, size=n)
+    return means, stds, corr_stds, pair_params
+
+
+class TestGridDetection:
+    def test_detects_square_grid(self):
+        positions = grid_placement(9)
+        info = detect_grid(positions)
+        assert info is not None
+        assert (info.rows, info.cols) == (9, 9)
+        flat = info.row_index * info.cols + info.col_index
+        assert sorted(flat) == list(range(81))
+
+    def test_detects_sparse_grid(self, rng):
+        positions = grid_placement(10)
+        keep = rng.permutation(100)[:60]
+        info = detect_grid(positions[keep])
+        assert info is not None
+        assert info.rows <= 10 and info.cols <= 10
+
+    def test_rejects_scattered(self, rng):
+        assert detect_grid(random_placement(50, rng)) is None
+
+    def test_hint_expands_extent(self):
+        positions = grid_placement(4)
+        info = detect_grid(positions, rows=6, cols=6)
+        assert (info.rows, info.cols) == (6, 6)
+
+    def test_hint_below_extent_rejected(self):
+        positions = grid_placement(6)
+        assert detect_grid(positions, rows=4, cols=4) is None
+
+
+@pytest.mark.parametrize("name", sorted(CORRELATIONS))
+class TestPrunedMatchesDense:
+    """Zero-tolerance pruning is exact: the bucket cover is clamped to
+    the die extent, so no pair is ever dropped."""
+
+    def test_simplified(self, name, rng):
+        correlation = CORRELATIONS[name]
+        positions = random_placement(300, rng)
+        means, stds, corr_stds, _ = gate_arrays(300, rng)
+        dense = exact_moments(positions, means, stds, correlation,
+                              corr_stds=corr_stds, method="dense")
+        tol = 0.0 if math.isfinite(correlation.support) else 1e-12
+        pruned = exact_moments(positions, means, stds, correlation,
+                               corr_stds=corr_stds, method="pruned",
+                               tolerance=tol)
+        assert pruned[0] == dense[0]
+        assert pruned[1] == pytest.approx(dense[1], rel=1e-9)
+
+    def test_pair_params(self, name, rng):
+        correlation = CORRELATIONS[name]
+        positions = random_placement(200, rng)
+        means, stds, _, pair_params = gate_arrays(200, rng)
+        dense = exact_moments(positions, means, stds, correlation,
+                              pair_params=pair_params, method="dense")
+        tol = 0.0 if math.isfinite(correlation.support) else 1e-12
+        pruned = exact_moments(positions, means, stds, correlation,
+                               pair_params=pair_params, method="pruned",
+                               tolerance=tol)
+        assert pruned[1] == pytest.approx(dense[1], rel=1e-9)
+
+
+@pytest.mark.parametrize("name", sorted(CORRELATIONS))
+class TestLagsumMatchesDense:
+    """The lag transform is exact on lattices — full, sparse, and with
+    multiple gates per site."""
+
+    def test_simplified_full_grid(self, name, rng):
+        correlation = CORRELATIONS[name]
+        positions = grid_placement(16)
+        n = positions.shape[0]
+        means, stds, corr_stds, _ = gate_arrays(n, rng)
+        dense = exact_moments(positions, means, stds, correlation,
+                              corr_stds=corr_stds, method="dense")
+        lagsum = exact_moments(positions, means, stds, correlation,
+                               corr_stds=corr_stds, method="lagsum")
+        assert lagsum[1] == pytest.approx(dense[1], rel=1e-11)
+
+    def test_pair_params_full_grid(self, name, rng):
+        correlation = CORRELATIONS[name]
+        positions = grid_placement(12)
+        n = positions.shape[0]
+        means, stds, _, pair_params = gate_arrays(n, rng)
+        dense = exact_moments(positions, means, stds, correlation,
+                              pair_params=pair_params, method="dense")
+        lagsum = exact_moments(positions, means, stds, correlation,
+                               pair_params=pair_params, method="lagsum")
+        assert lagsum[1] == pytest.approx(dense[1], rel=1e-11)
+
+    def test_sparse_and_stacked_occupancy(self, name, rng):
+        correlation = CORRELATIONS[name]
+        base = grid_placement(10)
+        keep = rng.permutation(100)[:70]
+        positions = np.vstack([base[keep], base[keep[:15]]])  # 15 doubled
+        n = positions.shape[0]
+        means, stds, corr_stds, pair_params = gate_arrays(n, rng)
+        for kwargs in ({"corr_stds": corr_stds},
+                       {"pair_params": pair_params}):
+            dense = exact_moments(positions, means, stds, correlation,
+                                  method="dense", **kwargs)
+            lagsum = exact_moments(positions, means, stds, correlation,
+                                   method="lagsum", **kwargs)
+            assert lagsum[1] == pytest.approx(dense[1], rel=1e-11)
+
+
+class TestTruncationBound:
+    def test_simplified_error_within_bound(self, rng):
+        correlation = ExponentialCorrelation(1e-4)
+        positions = random_placement(400, rng, extent=3e-3)
+        means, stds, corr_stds, _ = gate_arrays(400, rng)
+        _, dense_std = exact_moments(positions, means, stds, correlation,
+                                     corr_stds=corr_stds, method="dense")
+        for tolerance in (1e-3, 1e-6, 1e-9):
+            _, fast_std = exact_moments(
+                positions, means, stds, correlation, corr_stds=corr_stds,
+                method="pruned", tolerance=tolerance)
+            bound = tolerance * float(corr_stds.sum()) ** 2
+            assert abs(fast_std ** 2 - dense_std ** 2) <= bound + 1e-30
+
+    def test_pruned_needs_finite_radius(self, rng):
+        positions = random_placement(50, rng)
+        means, stds, corr_stds, _ = gate_arrays(50, rng)
+        with pytest.raises(EstimationError):
+            exact_moments(positions, means, stds,
+                          ExponentialCorrelation(1e-4),
+                          corr_stds=corr_stds, method="pruned",
+                          tolerance=0.0)
+
+    def test_lagsum_tolerance_still_tight(self, rng):
+        correlation = CORRELATIONS["total-floor"]
+        positions = grid_placement(12)
+        n = positions.shape[0]
+        means, stds, _, pair_params = gate_arrays(n, rng)
+        dense = exact_moments(positions, means, stds, correlation,
+                              pair_params=pair_params, method="dense")
+        truncated = exact_moments(positions, means, stds, correlation,
+                                  pair_params=pair_params, method="lagsum",
+                                  tolerance=1e-7)
+        assert truncated[1] == pytest.approx(dense[1], rel=1e-5)
+
+
+class TestParallelDeterminism:
+    def test_dense_parallel_is_bit_identical(self, rng):
+        correlation = CORRELATIONS["total-floor"]
+        positions = random_placement(300, rng)
+        means, stds, corr_stds, _ = gate_arrays(300, rng)
+        serial = exact_moments(positions, means, stds, correlation,
+                               corr_stds=corr_stds, method="dense",
+                               block_size=64)
+        twice = [exact_moments(positions, means, stds, correlation,
+                               corr_stds=corr_stds, method="dense",
+                               block_size=64, n_jobs=2)
+                 for _ in range(2)]
+        assert twice[0] == twice[1]  # run-to-run determinism
+        assert twice[0] == serial    # and equal to serial, bit for bit
+
+    def test_pruned_parallel_matches_serial(self, rng):
+        correlation = LinearCorrelation(4e-4)
+        positions = random_placement(400, rng)
+        means, stds, _, pair_params = gate_arrays(400, rng)
+        serial = exact_moments(positions, means, stds, correlation,
+                               pair_params=pair_params, method="pruned",
+                               block_size=64)
+        parallel = exact_moments(positions, means, stds, correlation,
+                                 pair_params=pair_params, method="pruned",
+                                 block_size=64, n_jobs=2)
+        assert parallel == serial
+
+
+class TestDispatcher:
+    def test_auto_keeps_dense_bit_compatibility(self, rng):
+        # tolerance=0, n_jobs=1, no grid hint: auto must equal dense.
+        correlation = CORRELATIONS["total-floor"]
+        positions = grid_placement(8)
+        n = positions.shape[0]
+        means, stds, corr_stds, _ = gate_arrays(n, rng)
+        auto = exact_moments(positions, means, stds, correlation,
+                             corr_stds=corr_stds)
+        dense = exact_moments(positions, means, stds, correlation,
+                              corr_stds=corr_stds, method="dense")
+        assert auto == dense
+
+    def test_auto_takes_lagsum_on_grids(self, rng):
+        correlation = CORRELATIONS["total-floor"]
+        positions = grid_placement(8)
+        n = positions.shape[0]
+        means, stds, corr_stds, _ = gate_arrays(n, rng)
+        dense = exact_moments(positions, means, stds, correlation,
+                              corr_stds=corr_stds, method="dense")
+        auto = exact_moments(positions, means, stds, correlation,
+                             corr_stds=corr_stds, tolerance=1e-9)
+        assert auto[1] == pytest.approx(dense[1], rel=1e-9)
+
+    def test_lagsum_rejects_scattered(self, rng):
+        positions = random_placement(40, rng)
+        means, stds, corr_stds, _ = gate_arrays(40, rng)
+        with pytest.raises(EstimationError):
+            exact_moments(positions, means, stds,
+                          CORRELATIONS["exponential"],
+                          corr_stds=corr_stds, method="lagsum")
+
+    def test_corr_stds_warning_on_pair_params(self, rng):
+        positions = grid_placement(4)
+        n = positions.shape[0]
+        means, stds, corr_stds, pair_params = gate_arrays(n, rng)
+        with pytest.warns(UserWarning, match="corr_stds is ignored"):
+            exact_moments(positions, means, stds,
+                          CORRELATIONS["exponential"],
+                          pair_params=pair_params, corr_stds=corr_stds)
+
+
+class TestEstimatorCrossCheck:
+    def test_exact_method_matches_linear(self, small_characterization):
+        from repro.core import CellUsage
+        from repro.core.api import FullChipLeakageEstimator
+
+        usage = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.3, "NOR2_X1": 0.2})
+        estimator = FullChipLeakageEstimator(
+            small_characterization, usage, n_cells=3600, width=0.6e-3,
+            height=0.6e-3, simplified_correlation=True)
+        linear = estimator.estimate("linear")
+        exact = estimator.estimate("exact")
+        assert exact.std == pytest.approx(linear.std, rel=1e-9)
+        assert exact.mean == pytest.approx(linear.mean, rel=1e-12)
