@@ -1,0 +1,111 @@
+"""Service throughput — cold pipeline vs warm content-addressed cache.
+
+The estimation service promises that repeat requests are answered from
+the content-addressed cache at a fraction of the cold cost, and that a
+corner sweep reuses the characterization and Random-Gate tiers. This
+bench drives an in-process :class:`ServiceClient` with a 16k-gate
+request and records:
+
+* the cold latency (full characterize -> RG -> estimate pipeline),
+* warm-cache latency distribution (p50/p95) and throughput, and
+* the tiered-reuse latency of a geometry sweep under one corner.
+
+Machine-readable numbers land in ``BENCH_service.json`` at the repo
+root. Set ``BENCH_QUICK=1`` for a CI smoke run (reduced warm-request
+count and a reduced cell subset; results go to a separate
+``BENCH_service_quick.json`` so the checked-in trajectory stays put).
+"""
+
+import os
+import time
+
+from benchmarks._common import emit, emit_json
+from repro.analysis import format_table
+from repro.service import EstimateRequest, ServiceClient, TechnologyConfig
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: The acceptance workload: a 16k-gate die at paper-scale density.
+N_CELLS = 16_384
+WARM_REQUESTS = 50 if QUICK else 500
+USAGE = {"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2}
+CELLS = tuple(sorted(USAGE)) if QUICK else None
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_service_throughput(benchmark):
+    request = EstimateRequest(
+        n_cells=N_CELLS, width_mm=0.45, height_mm=0.45, usage=USAGE,
+        cells=CELLS, method="linear",
+        technology=TechnologyConfig(corr_length_mm=0.5))
+
+    with ServiceClient(workers=2) as client:
+        start = time.perf_counter()
+        cold = client.estimate(request, timeout=600.0)
+        t_cold = time.perf_counter() - start
+
+        warm_times = []
+        for _ in range(WARM_REQUESTS):
+            start = time.perf_counter()
+            warm = client.estimate(request, timeout=600.0)
+            warm_times.append(time.perf_counter() - start)
+        assert warm.mean == cold.mean and warm.std == cold.std
+
+        # Tiered reuse: same corner, new geometry — characterization and
+        # RG tiers hit, only the estimator stage reruns.
+        resized = EstimateRequest(
+            n_cells=4 * N_CELLS, width_mm=0.9, height_mm=0.9, usage=USAGE,
+            cells=CELLS, method="linear",
+            technology=TechnologyConfig(corr_length_mm=0.5))
+        start = time.perf_counter()
+        client.estimate(resized, timeout=600.0)
+        t_resized = time.perf_counter() - start
+
+        stats = client.cache_stats()
+        benchmark(lambda: client.estimate(request, timeout=600.0))
+
+    t_warm_p50 = percentile(warm_times, 0.50)
+    t_warm_p95 = percentile(warm_times, 0.95)
+    warm_throughput = WARM_REQUESTS / sum(warm_times)
+    cold_throughput = 1.0 / t_cold
+    speedup = t_cold / max(t_warm_p50, 1e-9)
+
+    table = format_table(
+        ["path", "latency [s]", "throughput [req/s]"],
+        [
+            ["cold (full pipeline)", f"{t_cold:.4f}",
+             f"{cold_throughput:.2f}"],
+            ["warm cache p50", f"{t_warm_p50:.6f}",
+             f"{warm_throughput:.0f}"],
+            ["warm cache p95", f"{t_warm_p95:.6f}", ""],
+            ["tier reuse (new geometry)", f"{t_resized:.4f}", ""],
+        ],
+        title=f"Service latency, {N_CELLS} gates "
+              f"(warm speedup {speedup:.0f}x)")
+    emit("service", table)
+
+    emit_json("service_quick" if QUICK else "service", {
+        "quick": QUICK,
+        "n_cells": N_CELLS,
+        "warm_requests": WARM_REQUESTS,
+        "t_cold_s": t_cold,
+        "t_warm_p50_s": t_warm_p50,
+        "t_warm_p95_s": t_warm_p95,
+        "warm_throughput_rps": warm_throughput,
+        "cold_throughput_rps": cold_throughput,
+        "warm_speedup": speedup,
+        "t_tier_reuse_s": t_resized,
+        "cache_stats": stats,
+    })
+
+    # Acceptance: warm-cache throughput >= 10x cold for the 16k request.
+    assert warm_throughput >= 10.0 * cold_throughput
+    # The geometry sweep must have reused both upstream tiers.
+    assert stats["characterization"]["hits"] >= 1
+    assert stats["rg"]["hits"] >= 1
+    assert stats["estimate"]["hits"] >= WARM_REQUESTS

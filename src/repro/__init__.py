@@ -47,7 +47,21 @@ __all__ = [
     "Technology",
     "synthetic_90nm",
     "quick_estimate",
+    "ServiceClient",
+    "EstimateRequest",
 ]
+
+
+def __getattr__(name):
+    # The service layer is imported lazily: it pulls in the HTTP stack
+    # and reads __version__ from this module at import time, so a plain
+    # `import repro` stays light and free of circular imports.
+    if name in ("ServiceClient", "EstimateRequest"):
+        from repro.service import EstimateRequest, ServiceClient
+
+        return {"ServiceClient": ServiceClient,
+                "EstimateRequest": EstimateRequest}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 def quick_estimate(n_cells: int, width: float, height: float,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the everyday flow::
+The everyday one-shot flow::
 
     python -m repro characterize --out char.json
     python -m repro estimate --cells 1000000 --width-mm 2 --height-mm 2 \
@@ -11,6 +11,17 @@ Three subcommands cover the everyday flow::
 runs the Random-Gate estimator (loading a stored characterization if
 given, otherwise characterizing on the fly); ``iscas85`` runs the full
 late-mode flow on one ISCAS85-equivalent benchmark.
+
+The serving flow (see ``docs/SERVICE.md``)::
+
+    python -m repro serve --port 8080 --workers 4 --cache-dir /var/cache/repro
+    python -m repro submit --url http://localhost:8080 \
+        --cells 100000 --width-mm 2 --height-mm 2 [--async]
+
+``serve`` starts the long-running estimation service (job queue,
+content-addressed result cache, worker pool, HTTP API, metrics);
+``submit`` posts one request to a running server and prints the result
+table (or the job id with ``--async``).
 """
 
 from __future__ import annotations
@@ -162,6 +173,95 @@ def _cmd_iscas85(args) -> int:
     return 0
 
 
+def _technology_config_from_args(args):
+    from repro.service.jobs import TechnologyConfig
+
+    return TechnologyConfig(
+        corr_length_mm=args.corr_length_mm,
+        d2d_fraction=args.d2d_fraction,
+        sigma_l=args.sigma_l,
+        temperature_c=args.temperature_c)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.http import create_server
+
+    client = ServiceClient(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries,
+        default_timeout=args.timeout)
+    server = create_server(client, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro estimation service listening on http://{host}:{port} "
+          f"({args.workers} workers, queue limit {args.queue_limit}, "
+          f"cache {'at ' + args.cache_dir if args.cache_dir else 'in memory'})")
+    print("endpoints: POST /v1/estimate  GET /v1/jobs/<id>  "
+          "GET /v1/healthz  GET /v1/metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        client.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import RemoteClient
+    from repro.service.jobs import EstimateRequest
+
+    usage = None
+    if args.usage:
+        usage = {}
+        for entry in args.usage:
+            if "=" not in entry:
+                raise ReproError(
+                    f"--usage entries must be NAME=FRACTION, got {entry!r}")
+            name, _, value = entry.partition("=")
+            usage[name.strip()] = float(value)
+    request = EstimateRequest(
+        n_cells=args.cells,
+        width_mm=args.width_mm,
+        height_mm=args.height_mm,
+        usage=usage,
+        signal_probability=args.signal_probability,
+        method=args.method,
+        n_jobs=args.n_jobs,
+        tolerance=args.tolerance,
+        cells=args.cell or None,
+        technology=_technology_config_from_args(args),
+        priority=args.priority)
+    remote = RemoteClient(args.url)
+
+    if getattr(args, "async_", False):
+        job_id = remote.submit(request, timeout=args.timeout)
+        print(job_id)
+        return 0
+
+    estimate = remote.estimate(request, timeout=args.timeout)
+    if args.json:
+        print(json.dumps(estimate.to_dict(), indent=1))
+        return 0
+    rows = [
+        ["cells", f"{estimate.n_cells:,}"],
+        ["method", estimate.method],
+        ["mean leakage [mA]", f"{estimate.mean * 1e3:.4f}"],
+        ["mean incl. Vt RDF [mA]", f"{estimate.mean_with_vt * 1e3:.4f}"],
+        ["std leakage [mA]", f"{estimate.std * 1e3:.4f}"],
+        ["CV", f"{estimate.cv:.4f}"],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"Service estimate via {args.url}"))
+    return 0
+
+
 def _cmd_selfcheck(args) -> int:
     from repro.selfcheck import run_selfcheck
 
@@ -248,6 +348,54 @@ def build_parser() -> argparse.ArgumentParser:
     iscas.add_argument("circuit", help="benchmark name, e.g. c432")
     iscas.add_argument("--seed", type=int, default=1985)
     iscas.set_defaults(handler=_cmd_iscas85)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-running estimation service (HTTP API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="estimation worker threads (-1: one per CPU)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max queued jobs before 429 backpressure")
+    serve.add_argument("--cache-dir", default=None,
+                       help="directory for the persistent result cache "
+                            "(default: in-memory only)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="per-tier in-memory LRU entry bound")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-job deadline [s]")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit one estimate to a running service")
+    _add_technology_arguments(submit)
+    submit.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="service base URL")
+    submit.add_argument("--cells", type=int, required=True)
+    submit.add_argument("--width-mm", type=float, required=True)
+    submit.add_argument("--height-mm", type=float, required=True)
+    submit.add_argument("--usage", action="append", metavar="NAME=FRAC",
+                        help="usage fraction (repeatable; default uniform)")
+    submit.add_argument("--cell", action="append", metavar="NAME",
+                        help="characterize only these cells "
+                             "(repeatable; default full library)")
+    submit.add_argument("--signal-probability", type=float, default=0.5)
+    submit.add_argument("--method", default="auto",
+                        choices=["auto", "linear", "integral2d", "polar",
+                                 "exact"])
+    submit.add_argument("--n-jobs", type=int, default=1)
+    submit.add_argument("--tolerance", type=float, default=0.0)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (higher runs first)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-job deadline [s]")
+    submit.add_argument("--async", dest="async_", action="store_true",
+                        help="return a job id immediately instead of "
+                             "waiting for the result")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw estimate JSON")
+    submit.set_defaults(handler=_cmd_submit)
     return parser
 
 

@@ -6,7 +6,12 @@ from repro.core.usage import CellUsage
 from repro.core.random_gate import GateMixture, RandomGate, expand_mixture
 from repro.core.rg_correlation import RGCorrelation
 from repro.core.chip_model import FullChipModel
-from repro.core.api import FullChipLeakageEstimator, LeakageEstimate
+from repro.core.api import (
+    FullChipLeakageEstimator,
+    LeakageEstimate,
+    RGComponents,
+    resolve_auto_method,
+)
 from repro.core.multiregion import (
     MultiRegionEstimate,
     Region,
@@ -33,4 +38,6 @@ __all__ = [
     "FullChipModel",
     "FullChipLeakageEstimator",
     "LeakageEstimate",
+    "RGComponents",
+    "resolve_auto_method",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -31,7 +31,47 @@ from repro.process.correlation import SpatialCorrelation
 #: linear-time transform rather than integration (the paper recommends
 #: the O(n) route for small designs where integral granularity error
 #: exceeds 1%, Fig. 7).
-_AUTO_LINEAR_LIMIT = 250_000
+AUTO_LINEAR_LIMIT = 250_000
+
+# Backward-compatible alias (pre-service releases used the private name).
+_AUTO_LINEAR_LIMIT = AUTO_LINEAR_LIMIT
+
+
+def resolve_auto_method(n_sites: int) -> str:
+    """The exact ``method="auto"`` selection rule of :meth:`estimate`.
+
+    ``"linear"`` — the O(n) eq. (17) transform — whenever the RG site
+    grid has at most :data:`AUTO_LINEAR_LIMIT` (250,000) sites, where it
+    is both exact on the grid and fast; ``"integral2d"`` — the O(1)
+    eq. (20) integral — above that, where the integral's granularity
+    error is negligible (Fig. 7). ``"polar"`` and ``"exact"`` are never
+    chosen automatically: the former is an accuracy/speed study variant,
+    and the latter is the pairwise cross-check engine (whose *own*
+    ``method="auto"`` sub-rule is documented at
+    :func:`repro.core.estimators.exact.exact_moments` — dense at
+    ``tolerance=0, n_jobs=1`` with no grid hint for bit compatibility,
+    otherwise lag deduplication on lattices, spatial pruning for
+    scattered placements whose correlation truncation radius is under
+    half the die extent, dense as the fallback).
+    """
+    return "linear" if n_sites <= AUTO_LINEAR_LIMIT else "integral2d"
+
+
+def _json_scalar(value: Any) -> Any:
+    """Coerce a scalar to a plain JSON-serializable Python type.
+
+    Numpy integers/floats/bools (which ``json`` refuses) become their
+    native equivalents; zero-dimensional arrays are unwrapped first.
+    """
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        value = value[()]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -53,7 +93,9 @@ class LeakageEstimate:
     vt_multiplier:
         Multiplicative mean correction for RDF Vt variation.
     details:
-        Diagnostic values (grid shape, RG statistics, ...).
+        Diagnostic values (grid shape, RG statistics, the requested
+        method before ``auto`` resolution, ...) — always plain JSON
+        scalars so the estimate serializes via :meth:`to_dict`.
     """
 
     mean: float
@@ -62,7 +104,7 @@ class LeakageEstimate:
     n_cells: int
     signal_probability: float
     vt_multiplier: float
-    details: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def mean_with_vt(self) -> float:
@@ -74,10 +116,94 @@ class LeakageEstimate:
         """Coefficient of variation ``std / mean``."""
         return self.std / self.mean
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (stable service/cache wire format).
+
+        Every field is coerced to a native Python scalar, so the result
+        round-trips through ``json.dumps``/``loads`` *bit-exactly*
+        (Python's ``repr``-based float serialization is shortest
+        round-trip): ``from_dict(json.loads(json.dumps(e.to_dict())))``
+        compares equal to ``e`` field by field.
+        """
+        return {
+            "mean": float(self.mean),
+            "std": float(self.std),
+            "method": str(self.method),
+            "n_cells": int(self.n_cells),
+            "signal_probability": float(self.signal_probability),
+            "vt_multiplier": float(self.vt_multiplier),
+            "details": {str(key): _json_scalar(value)
+                        for key, value in self.details.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "LeakageEstimate":
+        """Rebuild an estimate from :meth:`to_dict` output."""
+        try:
+            return cls(
+                mean=float(document["mean"]),
+                std=float(document["std"]),
+                method=str(document["method"]),
+                n_cells=int(document["n_cells"]),
+                signal_probability=float(document["signal_probability"]),
+                vt_multiplier=float(document["vt_multiplier"]),
+                details=dict(document.get("details", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise EstimationError(
+                f"not a serialized LeakageEstimate: {exc}") from exc
+
     def __repr__(self) -> str:
         return (f"LeakageEstimate(mean={self.mean:.4e} A, "
                 f"std={self.std:.4e} A, cv={self.cv:.3f}, "
                 f"method={self.method!r}, n={self.n_cells})")
+
+
+@dataclass(frozen=True)
+class RGComponents:
+    """The chip-independent half of the estimation engine.
+
+    Bundles the Random Gate, its leakage correlation model, and the Vt
+    mean multiplier — everything eqs. (6)–(11) derive from the
+    characterized library, the usage histogram, and the signal
+    probability, before any die geometry enters. Building this is the
+    second-most expensive stage of an estimate (after characterization),
+    and it is *reusable across chips*: the estimation service caches it
+    per (library, usage, signal probability) so sweeps over cell count,
+    die size, or estimator method hit a warm path.
+    """
+
+    random_gate: RandomGate
+    rg_correlation: RGCorrelation
+    vt_multiplier: float
+    signal_probability: float
+
+    @classmethod
+    def build(
+        cls,
+        characterization: LibraryCharacterization,
+        usage: CellUsage,
+        signal_probability: float = 0.5,
+        simplified_correlation: Optional[bool] = None,
+        state_weights=None,
+    ) -> "RGComponents":
+        """Derive the RG bundle from a characterized library + usage."""
+        technology = characterization.technology
+        signal_probability = float(signal_probability)
+        mixture = expand_mixture(characterization, usage,
+                                 signal_probability,
+                                 state_weights=state_weights)
+        random_gate = RandomGate(mixture)
+        rg_correlation = RGCorrelation(
+            random_gate,
+            mu_l=technology.length.nominal,
+            sigma_l=technology.length.sigma,
+            simplified=simplified_correlation,
+        )
+        return cls(random_gate=random_gate,
+                   rg_correlation=rg_correlation,
+                   vt_multiplier=vt_mean_multiplier(technology),
+                   signal_probability=signal_probability)
 
 
 class FullChipLeakageEstimator:
@@ -104,6 +230,12 @@ class FullChipLeakageEstimator:
     simplified_correlation:
         Force (or forbid) the ``rho_leak = rho_L`` assumption; defaults
         to exact when fits exist, simplified otherwise (Section 3.1.2).
+    components:
+        A prebuilt :class:`RGComponents` bundle (e.g. from a service
+        cache). When given it is used verbatim — the
+        ``signal_probability`` / ``simplified_correlation`` /
+        ``state_weights`` arguments must have produced it — and the
+        mixture expansion is skipped entirely.
     """
 
     def __init__(
@@ -117,25 +249,24 @@ class FullChipLeakageEstimator:
         correlation: Optional[SpatialCorrelation] = None,
         simplified_correlation: Optional[bool] = None,
         state_weights=None,
+        components: Optional[RGComponents] = None,
     ) -> None:
         self.characterization = characterization
         self.usage = usage
-        self.signal_probability = float(signal_probability)
         technology = characterization.technology
         self.correlation = (technology.total_correlation
                             if correlation is None else correlation)
         self.chip = FullChipModel.from_design(n_cells, width, height)
-        mixture = expand_mixture(characterization, usage,
-                                 self.signal_probability,
-                                 state_weights=state_weights)
-        self.random_gate = RandomGate(mixture)
-        self.rg_correlation = RGCorrelation(
-            self.random_gate,
-            mu_l=technology.length.nominal,
-            sigma_l=technology.length.sigma,
-            simplified=simplified_correlation,
-        )
-        self._vt_multiplier = vt_mean_multiplier(technology)
+        if components is None:
+            components = RGComponents.build(
+                characterization, usage, signal_probability,
+                simplified_correlation=simplified_correlation,
+                state_weights=state_weights)
+        self.components = components
+        self.signal_probability = components.signal_probability
+        self.random_gate = components.random_gate
+        self.rg_correlation = components.rg_correlation
+        self._vt_multiplier = components.vt_multiplier
 
     def estimate(self, method: str = "auto", *, n_jobs: int = 1,
                  tolerance: float = 0.0) -> LeakageEstimate:
@@ -147,11 +278,22 @@ class FullChipLeakageEstimator:
         :func:`repro.core.estimators.exact_moments`) and serves as an
         independent cross-check of the eq. (17) transform. ``n_jobs``
         and ``tolerance`` are forwarded to that engine.
+
+        ``"auto"`` resolves through :func:`resolve_auto_method`: the
+        O(n) ``"linear"`` transform up to :data:`AUTO_LINEAR_LIMIT`
+        sites, the O(1) ``"integral2d"`` estimator above. The returned
+        estimate's ``method`` field always names the *concrete* method
+        that ran (never ``"auto"``), and ``details["requested_method"]``
+        preserves what was asked for — service metrics use the former to
+        label latency by algorithm. ``method="exact"`` additionally
+        records ``details["exact_engine"]`` (always ``"lagsum"``: the RG
+        site grid is a lattice, so the engine takes the FFT lag
+        transform).
         """
         chip = self.chip
+        requested = method
         if method == "auto":
-            method = ("linear" if chip.n_sites <= _AUTO_LINEAR_LIMIT
-                      else "integral2d")
+            method = resolve_auto_method(chip.n_sites)
 
         if method == "linear":
             site_variance = linear_variance(
@@ -173,7 +315,12 @@ class FullChipLeakageEstimator:
                 f"unknown method {method!r}; choose auto, linear, "
                 "integral2d, polar, or exact")
 
-        return self._package(method, site_variance)
+        extra = {"requested_method": requested}
+        if method == "exact":
+            # The RG site grid is a regular lattice, so the pairwise
+            # engine always runs its FFT lag-deduplication path here.
+            extra["exact_engine"] = "lagsum"
+        return self._package(method, site_variance, extra)
 
     def _exact_site_variance(self, n_jobs: int = 1,
                              tolerance: float = 0.0) -> float:
@@ -208,27 +355,31 @@ class FullChipLeakageEstimator:
         )
         return site_std ** 2
 
-    def _package(self, method: str, site_variance: float) -> LeakageEstimate:
+    def _package(self, method: str, site_variance: float,
+                 extra: Optional[Dict[str, Any]] = None) -> LeakageEstimate:
         chip = self.chip
         # Grid statistics are for n_sites gates; rescale to the actual
         # cell count (mean ~ n, std ~ n for strongly correlated sums).
         scale = chip.n_cells / chip.n_sites
         mean = chip.n_cells * self.random_gate.mean
         std = math.sqrt(site_variance) * scale
+        details = {
+            "rows": chip.rows,
+            "cols": chip.cols,
+            "rg_mean": self.random_gate.mean,
+            "rg_std": self.random_gate.std,
+            "site_variance": site_variance,
+            "simplified_correlation":
+                float(self.rg_correlation.simplified),
+        }
+        details.update(extra or {})
         return LeakageEstimate(
-            mean=mean,
-            std=std,
+            mean=float(mean),
+            std=float(std),
             method=method,
-            n_cells=chip.n_cells,
-            signal_probability=self.signal_probability,
-            vt_multiplier=self._vt_multiplier,
-            details={
-                "rows": chip.rows,
-                "cols": chip.cols,
-                "rg_mean": self.random_gate.mean,
-                "rg_std": self.random_gate.std,
-                "site_variance": site_variance,
-                "simplified_correlation":
-                    float(self.rg_correlation.simplified),
-            },
+            n_cells=int(chip.n_cells),
+            signal_probability=float(self.signal_probability),
+            vt_multiplier=float(self._vt_multiplier),
+            details={key: _json_scalar(value)
+                     for key, value in details.items()},
         )

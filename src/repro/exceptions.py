@@ -43,3 +43,12 @@ class NetlistError(ReproError):
 
 class EstimationError(ReproError):
     """Full-chip leakage estimation could not be carried out."""
+
+
+class ServiceError(ReproError):
+    """The estimation service could not accept or complete a job.
+
+    Specific failures (queue backpressure, job timeout/cancellation,
+    job execution errors) are the subclasses defined in
+    :mod:`repro.service.jobs`.
+    """

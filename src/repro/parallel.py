@@ -7,15 +7,23 @@ are published once through ``multiprocessing.shared_memory`` instead of
 being pickled into every task. Workers attach the segments in their pool
 initializer and receive only small task descriptors per call.
 
-:func:`parallel_map` is the single entry point: it degrades to a plain
-in-process loop at ``n_jobs=1`` (no pool, no copies), and otherwise
-guarantees that results come back in task order, so reductions stay
-deterministic regardless of worker scheduling.
+:func:`parallel_map` is the single entry point for data-parallel batch
+work: it degrades to a plain in-process loop at ``n_jobs=1`` (no pool,
+no copies), and otherwise guarantees that results come back in task
+order, so reductions stay deterministic regardless of worker scheduling.
+
+:class:`ThreadWorkerPool` is the long-lived counterpart used by the
+estimation service: a fixed set of named daemon threads that each run a
+caller-supplied drain loop (e.g. pulling jobs off a scheduler queue)
+until the pool is stopped. Threads are the right grain there — the
+numpy-heavy estimator kernels release the GIL, and each job can still
+fan its inner block loop out over :func:`parallel_map` processes.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
@@ -42,6 +50,70 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     if n_jobs <= 0:
         raise ValueError(f"n_jobs must be positive or -1, got {n_jobs!r}")
     return n_jobs
+
+
+class ThreadWorkerPool:
+    """A fixed pool of long-lived worker threads running one drain loop.
+
+    Parameters
+    ----------
+    worker_loop:
+        ``worker_loop(stop: threading.Event)`` — called once per worker
+        thread; expected to loop, polling/waiting for work, until
+        ``stop`` is set. Exceptions escaping the loop terminate only
+        that worker (they are recorded, not re-raised).
+    n_workers:
+        Thread count (see :func:`resolve_n_jobs`; ``-1`` for one per
+        CPU).
+    name:
+        Thread-name prefix, for debuggability.
+
+    The threads are daemonic so a forgotten pool never blocks
+    interpreter shutdown; call :meth:`stop` for an orderly drain.
+    """
+
+    def __init__(self, worker_loop: Callable[[threading.Event], None],
+                 n_workers: int = 2, name: str = "repro-worker") -> None:
+        self._stop = threading.Event()
+        self._failures: List[BaseException] = []
+        self._threads: List[threading.Thread] = []
+        for index in range(resolve_n_jobs(n_workers)):
+            thread = threading.Thread(
+                target=self._run, args=(worker_loop,),
+                name=f"{name}-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _run(self, worker_loop) -> None:
+        try:
+            worker_loop(self._stop)
+        except BaseException as exc:  # noqa: BLE001 - recorded for inspection
+            self._failures.append(exc)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._threads)
+
+    @property
+    def alive_count(self) -> int:
+        """Workers still running their loop."""
+        return sum(thread.is_alive() for thread in self._threads)
+
+    @property
+    def failures(self) -> List[BaseException]:
+        """Exceptions that escaped worker loops (should be empty)."""
+        return list(self._failures)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def stop(self, join: bool = True, timeout: Optional[float] = 5.0) -> None:
+        """Signal every worker to finish and (optionally) join them."""
+        self._stop.set()
+        if join:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
 
 
 def _export_arrays(arrays: Mapping[str, np.ndarray]):

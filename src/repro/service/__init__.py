@@ -1,0 +1,60 @@
+"""Long-running estimation service over the estimator core.
+
+Turns the library's one-shot estimation pipeline into an operable
+serving layer: declarative requests with content-addressed identity
+(:mod:`~repro.service.jobs`), a tiered result cache with optional disk
+persistence (:mod:`~repro.service.cache`), a worker-pool scheduler with
+request coalescing, backpressure, and deadlines
+(:mod:`~repro.service.scheduler`), a stdlib HTTP API
+(:mod:`~repro.service.http`), and Prometheus-format metrics
+(:mod:`~repro.service.metrics`). :class:`ServiceClient` is the
+in-process front-end; ``repro serve`` / ``repro submit`` are the CLI
+entries. See ``docs/SERVICE.md`` for the architecture tour.
+"""
+
+from repro.service.cache import (
+    ResultCache,
+    TIER_CHARACTERIZATION,
+    TIER_ESTIMATE,
+    TIER_RG,
+    cache_stamp,
+)
+from repro.service.client import RemoteClient, ServiceClient
+from repro.service.http import LeakageHTTPServer, create_server, serve
+from repro.service.jobs import (
+    EstimateRequest,
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobState,
+    JobTimeoutError,
+    QueueFullError,
+    TechnologyConfig,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.pipeline import EstimationPipeline
+from repro.service.scheduler import EstimationScheduler
+
+__all__ = [
+    "EstimateRequest",
+    "EstimationPipeline",
+    "EstimationScheduler",
+    "Job",
+    "JobCancelledError",
+    "JobFailedError",
+    "JobState",
+    "JobTimeoutError",
+    "LeakageHTTPServer",
+    "MetricsRegistry",
+    "QueueFullError",
+    "RemoteClient",
+    "ResultCache",
+    "ServiceClient",
+    "TechnologyConfig",
+    "TIER_CHARACTERIZATION",
+    "TIER_ESTIMATE",
+    "TIER_RG",
+    "cache_stamp",
+    "create_server",
+    "serve",
+]

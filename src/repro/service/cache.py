@@ -1,0 +1,266 @@
+"""Content-addressed, tiered result cache for the estimation service.
+
+Three tiers mirror the pipeline's artifact ladder, each keyed by the
+content hash of exactly the request subset it depends on (see
+:class:`~repro.service.jobs.EstimateRequest`):
+
+``characterization``
+    Cell moment fits (eqs. (1)-(5)) per (technology, mode, cell
+    subset) — the expensive stage, shared across every design and
+    usage under one process corner.
+``rg``
+    Random-Gate statistics (eqs. (6)-(11)) per (characterization,
+    usage, signal probability) — shared across die geometries and
+    estimator methods.
+``estimate``
+    Full-chip results (eqs. (15)-(17)) per complete request.
+
+Each tier is an in-memory LRU with a size bound. Tiers whose values
+serialize to JSON (``characterization`` via the store module's
+document, ``estimate`` via ``LeakageEstimate.to_dict``) additionally
+persist to disk when a directory is configured: one file per entry,
+written atomically (unique temp file + ``os.replace``) so concurrent
+writers can never tear an entry, and stamped with the cache schema
+version plus the git revision so entries from another code revision
+are silently invalidated. The ``rg`` tier holds live model objects and
+stays memory-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import threading
+import uuid
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro import __version__
+
+#: Bump when the on-disk entry layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+TIER_CHARACTERIZATION = "characterization"
+TIER_RG = "rg"
+TIER_ESTIMATE = "estimate"
+TIERS = (TIER_CHARACTERIZATION, TIER_RG, TIER_ESTIMATE)
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+_stamp_lock = threading.Lock()
+_stamp_cache: Optional[str] = None
+
+
+def _git_revision() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def cache_stamp() -> str:
+    """Version stamp written into (and required of) disk entries.
+
+    Combines the cache schema version with the git revision when
+    available (falling back to the package version), so entries written
+    by a different code revision — which may compute different numbers —
+    never satisfy a lookup.
+    """
+    global _stamp_cache
+    with _stamp_lock:
+        if _stamp_cache is None:
+            rev = _git_revision() or f"pkg-{__version__}"
+            _stamp_cache = f"v{CACHE_SCHEMA_VERSION}:{rev}"
+        return _stamp_cache
+
+
+class TierStats:
+    """Hit/miss accounting for one tier (thread-safe via the cache lock)."""
+
+    __slots__ = ("hits", "disk_hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "evictions": self.evictions}
+
+
+class ResultCache:
+    """Tiered LRU cache with optional JSON-on-disk persistence.
+
+    Parameters
+    ----------
+    max_entries:
+        Per-tier in-memory entry bound (least recently used evicted).
+    persist_dir:
+        Directory for the disk layer; ``None`` disables persistence.
+        Entries land at ``<persist_dir>/<tier>/<key>.json``.
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`; when
+        given, lookups increment
+        ``repro_cache_requests_total{tier=...,result=hit|disk_hit|miss}``.
+    stamp:
+        Version stamp override (defaults to :func:`cache_stamp`);
+        entries whose stamp differs are treated as absent.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 persist_dir: Optional[str] = None,
+                 metrics=None,
+                 stamp: Optional[str] = None) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = int(max_entries)
+        self.persist_dir = persist_dir
+        self.stamp = cache_stamp() if stamp is None else str(stamp)
+        self._lock = threading.Lock()
+        self._tiers: Dict[str, OrderedDict] = {
+            tier: OrderedDict() for tier in TIERS}
+        self._stats: Dict[str, TierStats] = {
+            tier: TierStats() for tier in TIERS}
+        self._requests = None
+        if metrics is not None:
+            self._requests = metrics.counter(
+                "repro_cache_requests_total",
+                "Cache lookups by artifact tier and outcome.",
+                labelnames=("tier", "result"))
+
+    def _check_tier(self, tier: str) -> None:
+        if tier not in self._tiers:
+            raise KeyError(f"unknown cache tier {tier!r}; one of {TIERS}")
+
+    def _record(self, tier: str, result: str) -> None:
+        if self._requests is not None:
+            self._requests.inc(tier=tier, result=result)
+
+    # -- disk layer -------------------------------------------------------
+
+    def _path(self, tier: str, key: str) -> Optional[str]:
+        if self.persist_dir is None:
+            return None
+        return os.path.join(self.persist_dir, tier, f"{key}.json")
+
+    def _disk_read(self, tier: str, key: str) -> Any:
+        path = self._path(tier, key)
+        if path is None:
+            return MISS
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return MISS
+        if not isinstance(document, dict):
+            return MISS
+        if (document.get("stamp") != self.stamp
+                or document.get("tier") != tier
+                or document.get("key") != key
+                or "payload" not in document):
+            # Stale or foreign entry: drop it so the directory does not
+            # accumulate unreadable files across revisions.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return MISS
+        return document["payload"]
+
+    def _disk_write(self, tier: str, key: str, payload: Any) -> None:
+        path = self._path(tier, key)
+        if path is None:
+            return
+        document = {"stamp": self.stamp, "tier": tier, "key": key,
+                    "payload": payload}
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        # Unique temp name per writer + atomic replace: a concurrent
+        # reader sees either the old complete entry or the new complete
+        # entry, never a torn file.
+        tmp_path = os.path.join(
+            directory, f".{key}.{uuid.uuid4().hex}.tmp")
+        try:
+            with open(tmp_path, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    # -- public API -------------------------------------------------------
+
+    def get(self, tier: str, key: str,
+            revive: Optional[Callable[[Any], Any]] = None) -> Any:
+        """Look up ``key`` in ``tier``; :data:`MISS` when absent.
+
+        Memory first, then disk. A disk hit's JSON payload is passed
+        through ``revive`` (when given) to rebuild the live object,
+        which is then promoted into the memory tier.
+        """
+        self._check_tier(tier)
+        with self._lock:
+            entries = self._tiers[tier]
+            if key in entries:
+                entries.move_to_end(key)
+                self._stats[tier].hits += 1
+                value = entries[key]
+                self._record(tier, "hit")
+                return value
+        payload = self._disk_read(tier, key)
+        if payload is MISS:
+            with self._lock:
+                self._stats[tier].misses += 1
+            self._record(tier, "miss")
+            return MISS
+        value = revive(payload) if revive is not None else payload
+        with self._lock:
+            self._stats[tier].disk_hits += 1
+            self._insert(tier, key, value)
+        self._record(tier, "disk_hit")
+        return value
+
+    def put(self, tier: str, key: str, value: Any,
+            payload: Any = None) -> None:
+        """Store ``value`` in memory and, when ``payload`` is given and a
+        persist directory is configured, its JSON form on disk."""
+        self._check_tier(tier)
+        with self._lock:
+            self._insert(tier, key, value)
+        if payload is not None:
+            self._disk_write(tier, key, payload)
+
+    def _insert(self, tier: str, key: str, value: Any) -> None:
+        entries = self._tiers[tier]
+        entries[key] = value
+        entries.move_to_end(key)
+        while len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self._stats[tier].evictions += 1
+
+    def clear_memory(self) -> None:
+        """Drop every in-memory entry (disk entries survive)."""
+        with self._lock:
+            for entries in self._tiers.values():
+                entries.clear()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier hit/miss/eviction counts plus current entry counts."""
+        with self._lock:
+            report = {}
+            for tier in TIERS:
+                data = self._stats[tier].as_dict()
+                data["entries"] = len(self._tiers[tier])
+                report[tier] = data
+            return report

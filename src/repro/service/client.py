@@ -1,0 +1,193 @@
+"""Batch front-ends: the in-process service and its HTTP twin.
+
+:class:`ServiceClient` wires the whole subsystem together — tiered
+cache, pipeline, scheduler, metrics — behind the same four verbs the
+HTTP API exposes (estimate/submit/wait/job). Sweeps, the CLI ``serve``
+command, the benches, and the tests all drive this one object; the HTTP
+layer is a thin adapter over it.
+
+:class:`RemoteClient` speaks the ``/v1`` HTTP API over
+``urllib.request`` (stdlib only), for scripting against a running
+``repro serve`` instance; ``repro submit`` is a thin wrapper around it.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Union
+
+from repro.core.api import LeakageEstimate
+from repro.exceptions import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.jobs import EstimateRequest, Job
+from repro.service.metrics import MetricsRegistry
+from repro.service.pipeline import EstimationPipeline
+from repro.service.scheduler import EstimationScheduler
+
+RequestLike = Union[EstimateRequest, Dict[str, Any]]
+
+
+def _as_request(request: RequestLike) -> EstimateRequest:
+    if isinstance(request, EstimateRequest):
+        return request
+    return EstimateRequest.from_dict(request)
+
+
+class ServiceClient:
+    """In-process estimation service (cache + pipeline + worker pool).
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (``-1`` for one per CPU).
+    queue_limit:
+        Bounded-queue backpressure limit.
+    cache_dir:
+        Directory for the persistent cache layer (``None`` = memory
+        only).
+    cache_entries:
+        Per-tier in-memory LRU bound.
+    default_timeout:
+        Default per-job deadline in seconds.
+    metrics:
+        A shared :class:`MetricsRegistry`; one is created when omitted.
+    library:
+        Standard-cell library override (mostly for tests).
+    """
+
+    def __init__(self, workers: int = 2, queue_limit: int = 64,
+                 cache_dir: Optional[str] = None, cache_entries: int = 256,
+                 default_timeout: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 library=None) -> None:
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self._submissions = self.metrics.counter(
+            "repro_requests_total",
+            "Estimation requests accepted, by submission mode.",
+            labelnames=("mode",))
+        self.cache = ResultCache(max_entries=cache_entries,
+                                 persist_dir=cache_dir,
+                                 metrics=self.metrics)
+        self.pipeline = EstimationPipeline(cache=self.cache,
+                                           metrics=self.metrics,
+                                           library=library)
+        self.scheduler = EstimationScheduler(
+            self.pipeline, workers=workers, queue_limit=queue_limit,
+            default_timeout=default_timeout, metrics=self.metrics)
+
+    # -- the four verbs ---------------------------------------------------
+
+    def estimate(self, request: Optional[RequestLike] = None,
+                 timeout: Optional[float] = None,
+                 **fields) -> LeakageEstimate:
+        """Synchronous estimate.
+
+        Accepts an :class:`EstimateRequest`, a request dict, or keyword
+        fields (``client.estimate(n_cells=..., width_mm=..., ...)``).
+        """
+        if request is None:
+            request = EstimateRequest(**fields)
+        elif fields:
+            raise TypeError("pass either a request or keyword fields, "
+                            "not both")
+        self._submissions.inc(mode="sync")
+        return self.scheduler.estimate(_as_request(request), timeout=timeout)
+
+    def submit(self, request: RequestLike,
+               timeout: Optional[float] = None) -> Job:
+        """Asynchronous submit; returns the (possibly coalesced) job."""
+        self._submissions.inc(mode="async")
+        return self.scheduler.submit(_as_request(request), timeout=timeout)
+
+    def wait(self, job: Job,
+             timeout: Optional[float] = None) -> LeakageEstimate:
+        return self.scheduler.wait(job, timeout=timeout)
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.scheduler.job(job_id)
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        return self.cache.stats()
+
+    def metrics_text(self) -> str:
+        return self.metrics.render()
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteClient:
+    """Minimal client for a running ``repro serve`` HTTP endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error detail
+                pass
+            raise ServiceError(
+                f"{method} {path} -> HTTP {exc.code}"
+                + (f": {detail}" if detail else ""))
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}")
+        if content_type.startswith("text/plain"):
+            return raw.decode("utf-8")
+        return json.loads(raw)
+
+    def estimate(self, request: RequestLike,
+                 timeout: Optional[float] = None) -> LeakageEstimate:
+        """Synchronous ``POST /v1/estimate``."""
+        body = _as_request(request).to_dict()
+        if timeout is not None:
+            body["timeout"] = timeout
+        document = self._call("POST", "/v1/estimate", body)
+        return LeakageEstimate.from_dict(document["estimate"])
+
+    def submit(self, request: RequestLike,
+               timeout: Optional[float] = None) -> str:
+        """Asynchronous ``POST /v1/estimate?async=1``; returns a job id."""
+        body = _as_request(request).to_dict()
+        body["async"] = True
+        if timeout is not None:
+            body["timeout"] = timeout
+        document = self._call("POST", "/v1/estimate", body)
+        return document["job_id"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — the raw status document."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/v1/healthz")
+
+    def metrics_text(self) -> str:
+        return self._call("GET", "/v1/metrics")

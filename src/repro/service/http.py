@@ -1,0 +1,219 @@
+"""Stdlib HTTP front-end for the estimation service.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no external
+dependencies) exposing:
+
+``POST /v1/estimate``
+    Body: an :class:`~repro.service.jobs.EstimateRequest` JSON document
+    (plus optional ``"timeout"`` seconds). Synchronous by default —
+    responds ``200`` with ``{"job_id", "state", "cached", "estimate"}``.
+    With ``?async=1`` (or ``"async": true`` in the body) it responds
+    ``202`` with the job id immediately; poll the job endpoint.
+``GET /v1/jobs/<id>``
+    Job status snapshot; includes the serialized estimate once done.
+``GET /v1/healthz``
+    ``200`` while worker threads are alive, ``503`` otherwise.
+``GET /v1/metrics``
+    The metrics registry in Prometheus text format.
+
+Error mapping: malformed/invalid requests -> ``400``; unknown job ->
+``404``; queue backpressure -> ``429``; job timeout -> ``504``; job
+failure -> ``502``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__
+from repro.exceptions import ConfigurationError, ReproError
+from repro.service.jobs import (
+    EstimateRequest,
+    JobFailedError,
+    JobTimeoutError,
+    QueueFullError,
+)
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for any request document
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class LeakageHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`ServiceClient`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], client) -> None:
+        super().__init__(address, _Handler)
+        #: The in-process service front-end handling every request.
+        self.client = client
+        self._http_requests = client.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint and status code.",
+            labelnames=("endpoint", "code"))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # metrics replace access logs; keep stdout clean
+
+    def _count(self, endpoint: str, code: int) -> None:
+        self.server._http_requests.inc(endpoint=endpoint, code=str(code))
+
+    def _respond(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, endpoint: str, code: int, document) -> None:
+        self._count(endpoint, code)
+        body = json.dumps(document).encode("utf-8")
+        self._respond(code, body, "application/json")
+
+    def _error(self, endpoint: str, code: int, message: str) -> None:
+        self._json(endpoint, code, {"error": message})
+
+    def _read_body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ConfigurationError(
+                f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigurationError("request body must be a JSON object")
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON body: {exc}")
+        if not isinstance(document, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return document
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["v1", "healthz"]:
+            self._healthz()
+        elif parts == ["v1", "metrics"]:
+            self._metrics()
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._job_status(parts[2])
+        else:
+            self._error("unknown", 404, f"no such endpoint: {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["v1", "estimate"]:
+            self._estimate(url)
+        else:
+            self._error("unknown", 404, f"no such endpoint: {url.path}")
+
+    def _healthz(self) -> None:
+        client = self.server.client
+        workers = client.scheduler.workers_alive
+        document = {
+            "status": "ok" if workers > 0 else "unhealthy",
+            "workers": workers,
+            "queue_depth": client.scheduler.queue_depth,
+            "version": __version__,
+        }
+        self._json("healthz", 200 if workers > 0 else 503, document)
+
+    def _metrics(self) -> None:
+        text = self.server.client.metrics.render()
+        self._count("metrics", 200)
+        self._respond(200, text.encode("utf-8"),
+                      "text/plain; version=0.0.4; charset=utf-8")
+
+    def _job_status(self, job_id: str) -> None:
+        job = self.server.client.job(job_id)
+        if job is None:
+            self._error("jobs", 404, f"unknown job {job_id!r}")
+            return
+        self._json("jobs", 200, job.snapshot())
+
+    def _estimate(self, url) -> None:
+        endpoint = "estimate"
+        client = self.server.client
+        try:
+            body = self._read_body()
+            query = parse_qs(url.query)
+            run_async = (
+                str(query.get("async", ["0"])[0]).lower() in _TRUTHY
+                or bool(body.pop("async", False)))
+            timeout = body.pop("timeout", None)
+            if timeout is not None:
+                timeout = float(timeout)
+            request = EstimateRequest.from_dict(body)
+        except ConfigurationError as exc:
+            self._error(endpoint, 400, str(exc))
+            return
+        except (TypeError, ValueError) as exc:
+            self._error(endpoint, 400, f"invalid request: {exc}")
+            return
+
+        try:
+            job = client.submit(request, timeout=timeout)
+        except QueueFullError as exc:
+            self._error(endpoint, 429, str(exc))
+            return
+
+        if run_async:
+            self._json(endpoint, 202,
+                       {"job_id": job.id, "state": job.state})
+            return
+
+        try:
+            estimate = client.wait(job, timeout=timeout)
+        except JobTimeoutError as exc:
+            self._error(endpoint, 504, str(exc))
+            return
+        except JobFailedError as exc:
+            self._error(endpoint, 502, str(exc))
+            return
+        except ReproError as exc:  # cancelled, or other deliberate failure
+            self._error(endpoint, 502, str(exc))
+            return
+        self._json(endpoint, 200, {
+            "job_id": job.id,
+            "state": job.state,
+            "coalesced": job.coalesced,
+            "estimate": estimate.to_dict(),
+        })
+
+
+def create_server(client, host: str = "127.0.0.1",
+                  port: int = 8080) -> LeakageHTTPServer:
+    """Bind (but do not start) the HTTP front-end.
+
+    ``port=0`` picks a free port; read it back from
+    ``server.server_address``.
+    """
+    return LeakageHTTPServer((host, port), client)
+
+
+def serve(client, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Blocking convenience runner (Ctrl-C to stop)."""
+    server = create_server(client, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

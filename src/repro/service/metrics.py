@@ -1,0 +1,269 @@
+"""Thread-safe metrics registry with Prometheus text exposition.
+
+The estimation service instruments itself with three metric kinds —
+counters, gauges, and fixed-bucket histograms, all optionally labelled —
+and renders them in the Prometheus text format (version 0.0.4) at
+``GET /v1/metrics``. The batch front-end (:class:`ServiceClient`) and
+the throughput bench reuse the same registry, so in-process sweeps and
+the HTTP path report through one instrument set.
+
+No external client library is used: the subset of the exposition format
+needed here (``# HELP``/``# TYPE`` headers, escaped label values,
+cumulative ``_bucket``/``_sum``/``_count`` histogram series) is a few
+dozen lines.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Default latency buckets [s] — microseconds (warm cache hits) through
+#: tens of seconds (cold Monte-Carlo characterization).
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(labelnames: Sequence[str], labelvalues: _LabelKey,
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in zip(labelnames, labelvalues)]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, label schema, sample map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._samples: Dict[_LabelKey, object] = {}
+
+    def _key(self, labels: Mapping[str, str]) -> _LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (requests, hits, errors)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))
+
+    def collect(self) -> Iterable[Tuple[str, float]]:
+        with self._lock:
+            items = list(self._samples.items())
+        for key, value in items:
+            yield _format_labels(self.labelnames, key), float(value)
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, live workers)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))
+
+    def collect(self) -> Iterable[Tuple[str, float]]:
+        with self._lock:
+            items = list(self._samples.items())
+        for key, value in items:
+            yield _format_labels(self.labelnames, key), float(value)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket latency/size distribution.
+
+    Tracks cumulative bucket counts plus the sum and count, which is
+    exactly what the Prometheus text format exposes; quantiles
+    (:meth:`quantile`) are derived from the buckets for in-process
+    consumers like the bench report.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, labelnames)
+        edges = tuple(sorted(float(edge) for edge in buckets))
+        if not edges or any(e <= 0 for e in edges if math.isfinite(e)):
+            raise ConfigurationError("histogram buckets must be positive")
+        if edges and edges[-1] != math.inf:
+            edges = edges + (math.inf,)
+        self.buckets = edges
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            state = self._samples.get(key)
+            if state is None:
+                state = {"counts": [0] * len(self.buckets),
+                         "sum": 0.0, "count": 0}
+                self._samples[key] = state
+            for index, edge in enumerate(self.buckets):
+                if value <= edge:
+                    state["counts"][index] += 1
+                    break
+            state["sum"] += float(value)
+            state["count"] += 1
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            state = self._samples.get(self._key(labels))
+            return 0 if state is None else int(state["count"])
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-resolution quantile (upper edge of the target bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            state = self._samples.get(self._key(labels))
+            if state is None or state["count"] == 0:
+                return math.nan
+            target = q * state["count"]
+            cumulative = 0
+            for edge, count in zip(self.buckets, state["counts"]):
+                cumulative += count
+                if cumulative >= target:
+                    return edge
+            return self.buckets[-1]
+
+    def collect(self):
+        with self._lock:
+            items = [(key, {"counts": list(state["counts"]),
+                            "sum": state["sum"], "count": state["count"]})
+                     for key, state in self._samples.items()]
+        return items
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one text-exposition view.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: components
+    can declare the same instrument independently and share it, as long
+    as the label schema agrees.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labelnames: Sequence[str], **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, labelnames, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}")
+        if metric.labelnames != tuple(labelnames):
+            raise ConfigurationError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.labelnames}, requested {tuple(labelnames)}")
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """The full registry in Prometheus text format (0.0.4)."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: List[str] = []
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, state in metric.collect():
+                    cumulative = 0
+                    for edge, count in zip(metric.buckets, state["counts"]):
+                        cumulative += count
+                        labels = _format_labels(
+                            metric.labelnames, key,
+                            extra=("le", _format_value(edge)))
+                        lines.append(
+                            f"{metric.name}_bucket{labels} {cumulative}")
+                    base = _format_labels(metric.labelnames, key)
+                    lines.append(
+                        f"{metric.name}_sum{base} {repr(state['sum'])}")
+                    lines.append(
+                        f"{metric.name}_count{base} {state['count']}")
+            else:
+                for labels, value in metric.collect():
+                    lines.append(
+                        f"{metric.name}{labels} {_format_value(value)}")
+        return "\n".join(lines) + "\n"

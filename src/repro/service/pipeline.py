@@ -1,0 +1,180 @@
+"""The service's compute path: request -> cached artifacts -> estimate.
+
+One callable, :class:`EstimationPipeline`, executes an
+:class:`~repro.service.jobs.EstimateRequest` through the same stages the
+library API runs — technology construction, library characterization
+(eqs. (1)-(5)), Random-Gate statistics (eqs. (6)-(11)), and the
+full-chip estimator (eqs. (15)-(17)) — consulting one cache tier per
+stage. Results are therefore *bit-identical* to a direct
+:class:`~repro.core.api.FullChipLeakageEstimator` call for the same
+request: cold paths execute exactly the library code, and warm paths
+return either the very object computed earlier (memory tier) or its
+lossless JSON round-trip (disk tier; ``repr``-based float
+serialization is shortest-round-trip exact).
+
+The pipeline is thread-safe and shared by every scheduler worker; the
+cache provides the synchronization. Between stages it polls the job's
+cooperative cancellation/deadline hook, which is what makes scheduler
+timeouts and cancellation effective mid-request.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.cells.library import build_library
+from repro.characterization.characterizer import characterize_library
+from repro.characterization.store import (
+    dump_characterization,
+    parse_characterization,
+)
+from repro.core.api import FullChipLeakageEstimator, LeakageEstimate, \
+    RGComponents
+from repro.core.usage import CellUsage
+from repro.service.cache import (
+    MISS,
+    ResultCache,
+    TIER_CHARACTERIZATION,
+    TIER_ESTIMATE,
+    TIER_RG,
+)
+from repro.service.jobs import EstimateRequest, Job
+
+
+class EstimationPipeline:
+    """Executes estimation requests with tiered artifact reuse.
+
+    Parameters
+    ----------
+    cache:
+        The tiered :class:`~repro.service.cache.ResultCache`; ``None``
+        builds a private memory-only cache.
+    metrics:
+        Optional registry; stage latencies land in
+        ``repro_stage_seconds{stage=...}`` and whole-request latencies
+        in ``repro_request_seconds{method=...}`` labelled by the
+        *concrete* estimator method that produced the result.
+    library:
+        The standard-cell library to characterize; defaults to
+        :func:`repro.cells.library.build_library` (constructed once and
+        shared read-only across workers).
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 metrics=None, library=None) -> None:
+        self.cache = ResultCache() if cache is None else cache
+        self.library = build_library() if library is None else library
+        self._stage_seconds = None
+        self._request_seconds = None
+        self._requests = None
+        if metrics is not None:
+            self._stage_seconds = metrics.histogram(
+                "repro_stage_seconds",
+                "Pipeline stage latency in seconds.",
+                labelnames=("stage",))
+            self._request_seconds = metrics.histogram(
+                "repro_request_seconds",
+                "End-to-end request latency in seconds, by concrete "
+                "estimator method.",
+                labelnames=("method",))
+            self._requests = metrics.counter(
+                "repro_pipeline_requests_total",
+                "Pipeline executions by outcome.",
+                labelnames=("outcome",))
+
+    @contextmanager
+    def _timed(self, stage: str):
+        start = time.perf_counter()
+        yield
+        if self._stage_seconds is not None:
+            self._stage_seconds.observe(time.perf_counter() - start,
+                                        stage=stage)
+
+    def _heartbeat(self, job: Optional[Job]) -> None:
+        if job is not None:
+            job.check_alive()
+
+    # -- stages -----------------------------------------------------------
+
+    def _characterization(self, request: EstimateRequest, technology):
+        key = request.characterization_key()
+        revive = lambda payload: parse_characterization(  # noqa: E731
+            json.dumps(payload), self.library, technology)
+        cached = self.cache.get(TIER_CHARACTERIZATION, key, revive=revive)
+        if cached is not MISS:
+            return cached
+        with self._timed("characterize"):
+            characterization = characterize_library(
+                self.library, technology, mode=request.mode,
+                cells=request.cells)
+        self.cache.put(TIER_CHARACTERIZATION, key, characterization,
+                       payload=json.loads(
+                           dump_characterization(characterization)))
+        return characterization
+
+    def _usage(self, request: EstimateRequest,
+               characterization) -> CellUsage:
+        if request.usage is None:
+            return CellUsage.uniform(characterization.cell_names)
+        return CellUsage(dict(request.usage))
+
+    def _components(self, request: EstimateRequest,
+                    characterization) -> RGComponents:
+        key = request.rg_key()
+        cached = self.cache.get(TIER_RG, key)
+        if cached is not MISS:
+            return cached
+        with self._timed("rg"):
+            components = RGComponents.build(
+                characterization,
+                self._usage(request, characterization),
+                request.signal_probability,
+                simplified_correlation=request.simplified_correlation)
+        # Live model objects; the RG tier is memory-only (no payload).
+        self.cache.put(TIER_RG, key, components)
+        return components
+
+    # -- entry point ------------------------------------------------------
+
+    def __call__(self, request: EstimateRequest,
+                 job: Optional[Job] = None) -> LeakageEstimate:
+        start = time.perf_counter()
+        key = request.key()
+        cached = self.cache.get(TIER_ESTIMATE, key,
+                                revive=LeakageEstimate.from_dict)
+        if cached is not MISS:
+            if self._requests is not None:
+                self._requests.inc(outcome="cached")
+            if self._request_seconds is not None:
+                self._request_seconds.observe(
+                    time.perf_counter() - start, method=cached.method)
+            return cached
+
+        self._heartbeat(job)
+        technology = request.technology.build()
+        characterization = self._characterization(request, technology)
+        self._heartbeat(job)
+        components = self._components(request, characterization)
+        self._heartbeat(job)
+        with self._timed("estimate"):
+            estimator = FullChipLeakageEstimator(
+                characterization,
+                self._usage(request, characterization),
+                request.n_cells,
+                request.width_mm * 1e-3,
+                request.height_mm * 1e-3,
+                components=components)
+            estimate = estimator.estimate(
+                request.method, n_jobs=request.n_jobs,
+                tolerance=request.tolerance)
+        self.cache.put(TIER_ESTIMATE, key, estimate,
+                       payload=estimate.to_dict())
+        if self._requests is not None:
+            self._requests.inc(outcome="computed")
+        if self._request_seconds is not None:
+            self._request_seconds.observe(time.perf_counter() - start,
+                                          method=estimate.method)
+        return estimate

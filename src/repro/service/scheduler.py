@@ -1,0 +1,288 @@
+"""Worker-pool scheduler: priority queue, coalescing, backpressure.
+
+Jobs are drained by a :class:`repro.parallel.ThreadWorkerPool` — threads
+rather than processes, because the estimator kernels are numpy-bound
+(GIL-releasing) and each job can still fan its inner block loops out
+over the shared-memory process pool via the request's ``n_jobs``.
+
+Three serving behaviors live here:
+
+* **request coalescing** — submissions whose content hash matches an
+  in-flight (queued or running) job attach to that job instead of
+  enqueueing a duplicate: N identical concurrent requests perform the
+  computation once and share the result.
+* **bounded-queue backpressure** — the queue holds at most
+  ``queue_limit`` jobs; past that, :meth:`submit` fails fast with
+  :class:`~repro.service.jobs.QueueFullError` so callers can shed load
+  or retry, instead of stacking unbounded memory.
+* **deadlines and cancellation** — a per-job timeout (submit argument
+  or scheduler default) sets a monotonic deadline checked when the job
+  is dequeued and again between pipeline stages; :meth:`cancel` flags a
+  job cooperatively. Waiting with :meth:`wait(timeout=...)` is
+  independent: it bounds the caller's patience without killing the job
+  (coalesced waiters may still want the result).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.api import LeakageEstimate
+from repro.parallel import ThreadWorkerPool
+from repro.service.jobs import (
+    EstimateRequest,
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobState,
+    JobTimeoutError,
+    QueueFullError,
+)
+
+
+class EstimationScheduler:
+    """Bounded priority scheduler over a thread worker pool.
+
+    Parameters
+    ----------
+    compute:
+        ``compute(request, job) -> LeakageEstimate`` — typically an
+        :class:`~repro.service.pipeline.EstimationPipeline`. Must be
+        thread-safe.
+    workers:
+        Worker-thread count (``-1`` for one per CPU).
+    queue_limit:
+        Maximum number of *queued* (not yet running) jobs.
+    default_timeout:
+        Default per-job deadline in seconds; ``None`` means no deadline.
+    metrics:
+        Optional registry for queue-depth gauge and job counters.
+    job_history:
+        How many finished jobs stay resolvable by id for status polls.
+    """
+
+    def __init__(self, compute: Callable[[EstimateRequest, Job],
+                                         LeakageEstimate],
+                 workers: int = 2, queue_limit: int = 64,
+                 default_timeout: Optional[float] = None,
+                 metrics=None, job_history: int = 1024) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit!r}")
+        self._compute = compute
+        self.queue_limit = int(queue_limit)
+        self.default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._inflight: Dict[str, Job] = {}
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._job_history = int(job_history)
+        self._closed = False
+
+        self._queue_depth = None
+        self._jobs_total = None
+        self._coalesced_total = None
+        if metrics is not None:
+            self._queue_depth = metrics.gauge(
+                "repro_queue_depth", "Jobs queued, not yet running.")
+            self._jobs_total = metrics.counter(
+                "repro_jobs_total", "Jobs finished, by terminal state.",
+                labelnames=("state",))
+            self._coalesced_total = metrics.counter(
+                "repro_coalesced_requests_total",
+                "Submissions absorbed by an identical in-flight job.")
+            self._workers_gauge = metrics.gauge(
+                "repro_workers_alive", "Live scheduler worker threads.")
+        else:
+            self._workers_gauge = None
+
+        self._pool = ThreadWorkerPool(self._worker_loop, n_workers=workers,
+                                      name="repro-estimator")
+        self._update_worker_gauge()
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, request: EstimateRequest,
+               timeout: Optional[float] = None) -> Job:
+        """Enqueue ``request`` (or attach to an identical in-flight job).
+
+        ``timeout`` (seconds, default the scheduler's ``default_timeout``)
+        becomes the job's deadline: exceeded in queue -> the job fails
+        without running; exceeded mid-run -> the pipeline aborts at the
+        next stage boundary. Raises :class:`QueueFullError` when the
+        queue is at its limit.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._work_available:
+            if self._closed:
+                raise QueueFullError("scheduler is shut down")
+            existing = self._inflight.get(request.key())
+            if existing is not None and not existing.finished:
+                existing.coalesced += 1
+                if self._coalesced_total is not None:
+                    self._coalesced_total.inc()
+                return existing
+            if len(self._heap) >= self.queue_limit:
+                raise QueueFullError(
+                    f"estimation queue is full ({self.queue_limit} jobs "
+                    "queued); retry later or raise --queue-limit")
+            job = Job(request, deadline=deadline)
+            heapq.heappush(self._heap,
+                           (-job.priority, next(self._seq), job))
+            self._inflight[job.key] = job
+            self._remember(job)
+            self._set_queue_depth()
+            self._work_available.notify()
+            return job
+
+    def estimate(self, request: EstimateRequest,
+                 timeout: Optional[float] = None) -> LeakageEstimate:
+        """Submit and wait: the synchronous one-call path."""
+        job = self.submit(request, timeout=timeout)
+        return self.wait(job, timeout=timeout)
+
+    # -- completion -------------------------------------------------------
+
+    def wait(self, job: Job,
+             timeout: Optional[float] = None) -> LeakageEstimate:
+        """Block until ``job`` finishes and return (or raise) its outcome.
+
+        Raises :class:`JobTimeoutError` when ``timeout`` elapses first —
+        the job itself keeps running (other waiters may be coalesced
+        onto it); cancel it explicitly to stop the computation.
+        """
+        if not job.wait(timeout):
+            raise JobTimeoutError(
+                f"timed out after {timeout:g}s waiting for {job.id} "
+                f"(state {job.state!r}); the job is still in flight")
+        if job.state == JobState.DONE:
+            return job.result
+        if job.state == JobState.CANCELLED:
+            raise JobCancelledError(job.error or f"job {job.id} cancelled")
+        raise JobFailedError(job.error or f"job {job.id} failed")
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """Resolve a job by id (in flight or recently finished)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job: Job) -> None:
+        """Request cooperative cancellation of ``job``."""
+        job.cancel()
+        with self._work_available:
+            # Wake workers so a queued cancelled job is retired promptly.
+            self._work_available.notify_all()
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def workers_alive(self) -> int:
+        return self._pool.alive_count
+
+    @property
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs and drain the worker pool.
+
+        Queued jobs that never started are failed with a shutdown error
+        so no waiter blocks forever.
+        """
+        with self._work_available:
+            self._closed = True
+            pending = [entry[2] for entry in self._heap]
+            self._heap.clear()
+            self._set_queue_depth()
+            self._work_available.notify_all()
+        for job in pending:
+            if not job.finished:
+                self._retire(job, JobState.CANCELLED,
+                             error="scheduler shut down before the job ran")
+        self._pool.stop(join=wait)
+        self._update_worker_gauge()
+
+    def __enter__(self) -> "EstimationScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals --------------------------------------------------------
+
+    def _remember(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        while len(self._jobs) > self._job_history:
+            oldest_id, oldest = next(iter(self._jobs.items()))
+            if not oldest.finished:
+                break  # never forget a live job
+            del self._jobs[oldest_id]
+
+    def _set_queue_depth(self) -> None:
+        if self._queue_depth is not None:
+            self._queue_depth.set(len(self._heap))
+
+    def _update_worker_gauge(self) -> None:
+        if self._workers_gauge is not None:
+            self._workers_gauge.set(self._pool.alive_count)
+
+    def _next_job(self, stop: threading.Event) -> Optional[Job]:
+        with self._work_available:
+            while not stop.is_set():
+                if self._heap:
+                    job = heapq.heappop(self._heap)[2]
+                    self._set_queue_depth()
+                    return job
+                self._work_available.wait(timeout=0.1)
+            return None
+
+    def _retire(self, job: Job, state: str, result=None,
+                error: Optional[str] = None) -> None:
+        job.finish(state, result=result, error=error)
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+        if self._jobs_total is not None:
+            self._jobs_total.inc(state=state)
+
+    def _worker_loop(self, stop: threading.Event) -> None:
+        while True:
+            job = self._next_job(stop)
+            if job is None:
+                return
+            if job.cancel_requested:
+                self._retire(job, JobState.CANCELLED,
+                             error="cancelled while queued")
+                continue
+            if job.deadline is not None and time.monotonic() > job.deadline:
+                self._retire(job, JobState.FAILED,
+                             error="deadline exceeded while queued")
+                continue
+            job.mark_running()
+            try:
+                result = self._compute(job.request, job)
+            except JobCancelledError as exc:
+                self._retire(job, JobState.CANCELLED, error=str(exc))
+            except JobTimeoutError as exc:
+                self._retire(job, JobState.FAILED, error=str(exc))
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                self._retire(job, JobState.FAILED,
+                             error=f"{type(exc).__name__}: {exc}")
+            else:
+                self._retire(job, JobState.DONE, result=result)

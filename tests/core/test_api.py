@@ -118,3 +118,79 @@ class TestQuickEstimate:
         assert result.mean > 0
         assert result.std > 0
         assert result.n_cells == 5000
+
+
+class TestAutoSelection:
+    def test_rule_boundary(self):
+        from repro.core import resolve_auto_method
+        from repro.core.api import AUTO_LINEAR_LIMIT
+
+        assert AUTO_LINEAR_LIMIT == 250_000
+        assert resolve_auto_method(AUTO_LINEAR_LIMIT) == "linear"
+        assert resolve_auto_method(AUTO_LINEAR_LIMIT + 1) == "integral2d"
+        assert resolve_auto_method(1) == "linear"
+
+    def test_concrete_method_surfaced(self, estimator):
+        result = estimator.estimate("auto")
+        assert result.method == "linear"  # never the literal "auto"
+        assert result.details["requested_method"] == "auto"
+
+    def test_explicit_method_recorded_verbatim(self, estimator):
+        result = estimator.estimate("integral2d")
+        assert result.method == "integral2d"
+        assert result.details["requested_method"] == "integral2d"
+
+    def test_exact_records_its_engine(self, characterization, usage):
+        small = FullChipLeakageEstimator(
+            characterization, usage, n_cells=400, width=2e-4, height=2e-4,
+            simplified_correlation=True)
+        result = small.estimate("exact")
+        assert result.method == "exact"
+        assert result.details["exact_engine"] == "lagsum"
+
+
+class TestSerialization:
+    def test_round_trip_is_float_exact(self, estimator):
+        import json
+
+        from repro.core import LeakageEstimate
+
+        original = estimator.estimate("linear")
+        wire = json.loads(json.dumps(original.to_dict()))
+        rebuilt = LeakageEstimate.from_dict(wire)
+        assert rebuilt.mean == original.mean
+        assert rebuilt.std == original.std
+        assert rebuilt.method == original.method
+        assert rebuilt.n_cells == original.n_cells
+        assert rebuilt.details == original.details
+
+    def test_to_dict_coerces_numpy_scalars(self):
+        import json
+
+        from repro.core import LeakageEstimate
+
+        estimate = LeakageEstimate(
+            mean=float(np.float64(1.5)), std=0.25, method="linear",
+            n_cells=100, signal_probability=0.5, vt_multiplier=1.1,
+            details={"rows": np.int64(10), "flag": np.bool_(True),
+                     "ratio": np.float64(0.125),
+                     "scalar": np.array(2.0)})
+        document = estimate.to_dict()
+        json.dumps(document)  # must be serializable as-is
+        assert document["details"]["rows"] == 10
+        assert type(document["details"]["rows"]) is int
+        assert document["details"]["flag"] is True
+        assert type(document["details"]["ratio"]) is float
+        assert document["details"]["scalar"] == 2.0
+
+    def test_from_dict_rejects_garbage(self):
+        from repro.core import LeakageEstimate
+
+        with pytest.raises(EstimationError):
+            LeakageEstimate.from_dict({"mean": 1.0})
+        with pytest.raises(EstimationError):
+            LeakageEstimate.from_dict({"mean": "not-a-number",
+                                       "std": 1.0, "method": "linear",
+                                       "n_cells": 1,
+                                       "signal_probability": 0.5,
+                                       "vt_multiplier": 1.0})

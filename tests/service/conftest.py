@@ -1,0 +1,28 @@
+"""Service-suite fixtures.
+
+A tiny cell subset keeps cold characterization fast, and one module
+setup builds the request everyone reuses; the real library fixture
+comes from the top-level conftest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import EstimateRequest, TechnologyConfig
+
+#: Small, representative characterization subset — cold path in ~100 ms.
+CELLS = ("INV_X1", "NAND2_X1")
+
+
+@pytest.fixture
+def small_request() -> EstimateRequest:
+    return EstimateRequest(
+        n_cells=900,
+        width_mm=0.6,
+        height_mm=0.6,
+        usage={"INV_X1": 0.5, "NAND2_X1": 0.5},
+        cells=CELLS,
+        method="linear",
+        technology=TechnologyConfig(corr_length_mm=0.5),
+    )

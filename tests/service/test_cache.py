@@ -1,0 +1,178 @@
+"""Tiered cache: LRU semantics, disk persistence, concurrency safety."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.service.cache import (
+    MISS,
+    ResultCache,
+    TIER_CHARACTERIZATION,
+    TIER_ESTIMATE,
+    TIER_RG,
+    cache_stamp,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+class TestMemoryTier:
+    def test_get_put_and_stats(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get(TIER_ESTIMATE, "k1") is MISS
+        cache.put(TIER_ESTIMATE, "k1", {"v": 1})
+        assert cache.get(TIER_ESTIMATE, "k1") == {"v": 1}
+        stats = cache.stats()[TIER_ESTIMATE]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_tiers_are_isolated(self):
+        cache = ResultCache()
+        cache.put(TIER_RG, "k", "rg-value")
+        assert cache.get(TIER_ESTIMATE, "k") is MISS
+        assert cache.get(TIER_RG, "k") == "rg-value"
+        with pytest.raises(KeyError):
+            cache.get("nonsense", "k")
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(TIER_ESTIMATE, "a", 1)
+        cache.put(TIER_ESTIMATE, "b", 2)
+        cache.get(TIER_ESTIMATE, "a")  # refresh a; b is now LRU
+        cache.put(TIER_ESTIMATE, "c", 3)
+        assert cache.get(TIER_ESTIMATE, "a") == 1
+        assert cache.get(TIER_ESTIMATE, "b") is MISS
+        assert cache.stats()[TIER_ESTIMATE]["evictions"] == 1
+
+    def test_metrics_integration(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(metrics=registry)
+        cache.get(TIER_ESTIMATE, "k")
+        cache.put(TIER_ESTIMATE, "k", 1)
+        cache.get(TIER_ESTIMATE, "k")
+        counter = registry.get("repro_cache_requests_total")
+        assert counter.value(tier=TIER_ESTIMATE, result="miss") == 1
+        assert counter.value(tier=TIER_ESTIMATE, result="hit") == 1
+
+
+class TestDiskTier:
+    def test_persistence_survives_a_new_cache_instance(self, tmp_path):
+        first = ResultCache(persist_dir=str(tmp_path))
+        first.put(TIER_ESTIMATE, "key1", {"mean": 1.5}, payload={"mean": 1.5})
+        second = ResultCache(persist_dir=str(tmp_path))
+        assert second.get(TIER_ESTIMATE, "key1") == {"mean": 1.5}
+        assert second.stats()[TIER_ESTIMATE]["disk_hits"] == 1
+        # Promoted to memory: the next lookup is a memory hit.
+        assert second.get(TIER_ESTIMATE, "key1") == {"mean": 1.5}
+        assert second.stats()[TIER_ESTIMATE]["hits"] == 1
+
+    def test_revive_rebuilds_live_objects(self, tmp_path):
+        cache = ResultCache(persist_dir=str(tmp_path))
+        cache.put(TIER_ESTIMATE, "k", None, payload={"x": 2})
+        cache.clear_memory()
+        value = cache.get(TIER_ESTIMATE, "k",
+                          revive=lambda payload: payload["x"] * 10)
+        assert value == 20
+
+    def test_no_payload_means_memory_only(self, tmp_path):
+        cache = ResultCache(persist_dir=str(tmp_path))
+        cache.put(TIER_RG, "k", object())
+        assert not os.path.exists(tmp_path / TIER_RG / "k.json")
+
+    def test_stale_stamp_invalidates_and_removes(self, tmp_path):
+        old = ResultCache(persist_dir=str(tmp_path), stamp="v1:old-rev")
+        old.put(TIER_ESTIMATE, "k", 1, payload=1)
+        path = tmp_path / TIER_ESTIMATE / "k.json"
+        assert path.exists()
+        new = ResultCache(persist_dir=str(tmp_path), stamp="v1:new-rev")
+        assert new.get(TIER_ESTIMATE, "k") is MISS
+        assert not path.exists()  # stale entry cleaned up
+
+    def test_torn_or_foreign_files_read_as_miss(self, tmp_path):
+        cache = ResultCache(persist_dir=str(tmp_path))
+        directory = tmp_path / TIER_ESTIMATE
+        directory.mkdir(parents=True)
+        (directory / "torn.json").write_text('{"stamp": "x", "pay')
+        (directory / "foreign.json").write_text(json.dumps([1, 2, 3]))
+        assert cache.get(TIER_ESTIMATE, "torn") is MISS
+        assert cache.get(TIER_ESTIMATE, "foreign") is MISS
+
+    def test_default_stamp_is_versioned(self):
+        assert cache_stamp().startswith("v")
+
+
+class TestConcurrency:
+    def test_parallel_writers_never_tear_disk_entries(self, tmp_path):
+        """Many threads rewriting the same key: readers always see a
+        complete, valid JSON document (atomic temp-file + replace)."""
+        cache = ResultCache(persist_dir=str(tmp_path))
+        payload = {"blob": "x" * 4096}
+        n_writers, rounds = 8, 30
+        errors = []
+        start = threading.Barrier(n_writers + 1)
+
+        def writer():
+            start.wait()
+            for round_index in range(rounds):
+                cache.put(TIER_ESTIMATE, "contested",
+                          {"round": round_index},
+                          payload=dict(payload, round=round_index))
+
+        def reader():
+            start.wait()
+            path = tmp_path / TIER_ESTIMATE / "contested.json"
+            seen = 0
+            while seen < rounds * 2:
+                seen += 1
+                if not path.exists():
+                    continue
+                try:
+                    with open(path) as handle:
+                        document = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    errors.append(exc)
+                    return
+                if document["payload"]["blob"] != payload["blob"]:
+                    errors.append(AssertionError("partial payload"))
+                    return
+
+        threads = ([threading.Thread(target=writer)
+                    for _ in range(n_writers)]
+                   + [threading.Thread(target=reader)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No temp files left behind.
+        leftovers = [name for name in os.listdir(tmp_path / TIER_ESTIMATE)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+        # And the final entry is complete and current.
+        cache.clear_memory()
+        final = cache.get(TIER_ESTIMATE, "contested")
+        assert final["blob"] == payload["blob"]
+
+    def test_parallel_distinct_writers_all_land(self, tmp_path):
+        cache = ResultCache(max_entries=512, persist_dir=str(tmp_path))
+        n_threads, per_thread = 8, 25
+
+        def writer(thread_index):
+            for item in range(per_thread):
+                key = f"k-{thread_index}-{item}"
+                cache.put(TIER_ESTIMATE, key, item, payload=item)
+
+        threads = [threading.Thread(target=writer, args=(index,))
+                   for index in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        cache.clear_memory()
+        for thread_index in range(n_threads):
+            for item in range(per_thread):
+                assert cache.get(
+                    TIER_ESTIMATE, f"k-{thread_index}-{item}") == item

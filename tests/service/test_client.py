@@ -1,0 +1,110 @@
+"""End-to-end service correctness: bit-identical results, cache tiers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cells.library import build_library
+from repro.characterization import characterize_library
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.service import ServiceClient
+from repro.service.cache import TIER_CHARACTERIZATION, TIER_ESTIMATE, TIER_RG
+
+from .conftest import CELLS
+
+
+def direct_estimate(request):
+    """Reference result computed without the service stack."""
+    technology = request.technology.build()
+    characterization = characterize_library(
+        build_library(), technology, mode=request.mode,
+        cells=request.cells)
+    estimator = FullChipLeakageEstimator(
+        characterization,
+        CellUsage(dict(request.usage)),
+        request.n_cells,
+        request.width_mm * 1e-3,
+        request.height_mm * 1e-3,
+        signal_probability=request.signal_probability)
+    return estimator.estimate(request.method, n_jobs=request.n_jobs,
+                              tolerance=request.tolerance)
+
+
+class TestBitIdentical:
+    def test_cold_and_warm_paths_match_direct_estimate(self, small_request):
+        direct = direct_estimate(small_request)
+        with ServiceClient(workers=2) as client:
+            cold = client.estimate(small_request, timeout=120.0)
+            warm = client.estimate(small_request, timeout=120.0)
+        for result in (cold, warm):
+            assert result.mean == direct.mean
+            assert result.std == direct.std
+            assert result.method == direct.method
+
+    def test_disk_warm_path_is_bit_identical(self, small_request, tmp_path):
+        with ServiceClient(workers=1, cache_dir=str(tmp_path)) as client:
+            cold = client.estimate(small_request, timeout=120.0)
+        # A fresh client with an empty memory cache must revive the disk
+        # entry into a float-exact LeakageEstimate.
+        with ServiceClient(workers=1, cache_dir=str(tmp_path)) as client:
+            warm = client.estimate(small_request, timeout=120.0)
+            stats = client.cache_stats()[TIER_ESTIMATE]
+            assert stats["disk_hits"] == 1
+        assert warm.mean == cold.mean
+        assert warm.std == cold.std
+        assert warm.to_dict() == cold.to_dict()
+
+
+class TestTieredReuse:
+    def test_geometry_sweep_reuses_characterization_and_rg(
+            self, small_request):
+        with ServiceClient(workers=1) as client:
+            client.estimate(small_request, timeout=120.0)
+            resized = dataclasses.replace(
+                small_request, n_cells=1600, width_mm=0.8, height_mm=0.8)
+            client.estimate(resized, timeout=120.0)
+            stats = client.cache_stats()
+            assert stats[TIER_CHARACTERIZATION]["hits"] == 1
+            assert stats[TIER_RG]["hits"] == 1
+            assert stats[TIER_ESTIMATE]["hits"] == 0
+
+    def test_identical_request_hits_estimate_tier(self, small_request):
+        with ServiceClient(workers=1) as client:
+            client.estimate(small_request, timeout=120.0)
+            client.estimate(small_request, timeout=120.0)
+            stats = client.cache_stats()
+            assert stats[TIER_ESTIMATE]["hits"] == 1
+
+    def test_metrics_text_exposes_required_families(self, small_request):
+        with ServiceClient(workers=1) as client:
+            client.estimate(small_request, timeout=120.0)
+            text = client.metrics_text()
+        assert "repro_requests_total" in text
+        assert "repro_cache_requests_total" in text
+        assert "repro_queue_depth" in text
+        assert "repro_stage_seconds_bucket" in text
+
+
+class TestAsyncApi:
+    def test_submit_then_wait(self, small_request):
+        with ServiceClient(workers=1) as client:
+            job = client.submit(small_request)
+            result = client.wait(job, timeout=120.0)
+            assert result.mean > 0
+            assert client.job(job.id) is job
+
+    def test_kwargs_and_dict_requests(self):
+        with ServiceClient(workers=1) as client:
+            by_kwargs = client.estimate(
+                n_cells=900, width_mm=0.6, height_mm=0.6,
+                usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+                method="linear", timeout=120.0)
+            by_dict = client.estimate(
+                {"n_cells": 900, "width_mm": 0.6, "height_mm": 0.6,
+                 "usage": {"INV_X1": 0.5, "NAND2_X1": 0.5},
+                 "cells": list(CELLS), "method": "linear"},
+                timeout=120.0)
+        assert by_kwargs.mean == by_dict.mean
+        assert by_kwargs.std == by_dict.std

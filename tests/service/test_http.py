@@ -1,0 +1,133 @@
+"""HTTP API: endpoints, status codes, async flow, metrics scrape."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient, create_server
+
+from .conftest import CELLS
+
+
+@pytest.fixture()
+def server():
+    client = ServiceClient(workers=2)
+    http_server = create_server(client, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{http_server.server_address[1]}"
+    try:
+        yield base
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        thread.join(timeout=5.0)
+        client.close()
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=30.0) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def post(base, path, document, timeout=300.0):
+    data = json.dumps(document).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+ESTIMATE_BODY = {
+    "n_cells": 900,
+    "width_mm": 0.6,
+    "height_mm": 0.6,
+    "usage": {"INV_X1": 0.5, "NAND2_X1": 0.5},
+    "cells": list(CELLS),
+    "method": "linear",
+}
+
+
+class TestEndpoints:
+    def test_healthz_ok_while_workers_live(self, server):
+        status, body = get(server, "/v1/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_sync_estimate_round_trip(self, server):
+        status, document = post(server, "/v1/estimate", ESTIMATE_BODY)
+        assert status == 200
+        assert document["state"] == "done"
+        estimate = document["estimate"]
+        assert estimate["mean"] > 0
+        assert estimate["std"] > 0
+        assert estimate["method"] == "linear"
+
+    def test_async_estimate_and_job_polling(self, server):
+        status, document = post(
+            server, "/v1/estimate", dict(ESTIMATE_BODY, **{"async": 1}))
+        assert status == 202
+        job_id = document["job_id"]
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            status, body = get(server, f"/v1/jobs/{job_id}")
+            assert status == 200
+            snapshot = json.loads(body)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert snapshot["state"] == "done"
+        assert snapshot["estimate"]["mean"] > 0
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v1/jobs/job-does-not-exist")
+        assert excinfo.value.code == 404
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v1/nope")
+        assert excinfo.value.code == 404
+
+
+class TestErrors:
+    def test_invalid_body_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/estimate", {"n_cells": -5, "width_mm": 1,
+                                          "height_mm": 1})
+        assert excinfo.value.code == 400
+        detail = json.loads(excinfo.value.read())
+        assert "error" in detail
+
+    def test_non_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server + "/v1/estimate", data=b"this is not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert excinfo.value.code == 400
+
+
+class TestMetricsScrape:
+    def test_second_identical_request_shows_cache_hit(self, server):
+        post(server, "/v1/estimate", ESTIMATE_BODY)
+        post(server, "/v1/estimate", ESTIMATE_BODY)
+        status, text = get(server, "/v1/metrics")
+        assert status == 200
+        hit_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_cache_requests_total")
+            and 'tier="estimate"' in line and 'result="hit"' in line
+        ]
+        assert hit_lines, "expected an estimate-tier cache hit sample"
+        assert float(hit_lines[0].rsplit(" ", 1)[1]) >= 1
+        assert "repro_http_requests_total" in text
+        assert "repro_request_seconds_bucket" in text
+        assert "repro_queue_depth" in text

@@ -1,0 +1,110 @@
+"""Metrics registry: semantics, exposition format, thread safety."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_counts_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "Hits.",
+                                   labelnames=("tier",))
+        counter.inc(tier="estimate")
+        counter.inc(2, tier="estimate")
+        counter.inc(tier="rg")
+        assert counter.value(tier="estimate") == 3
+        assert counter.value(tier="rg") == 1
+        assert counter.value(tier="never") == 0
+
+    def test_rejects_decrease_and_bad_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "C.", labelnames=("a",))
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1, a="x")
+        with pytest.raises(ConfigurationError):
+            counter.inc(b="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_buckets_sum_count_quantile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", "Latency.",
+                                       buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 10.0
+        assert math.isnan(registry.histogram(
+            "empty_seconds", buckets=(1.0,)).quantile(0.5))
+
+    def test_overflow_goes_to_inf_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "H.", buckets=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.quantile(1.0) == math.inf
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("shared_total", "S.", labelnames=("x",))
+        b = registry.counter("shared_total", "S.", labelnames=("x",))
+        assert a is b
+        with pytest.raises(ConfigurationError):
+            registry.gauge("shared_total")
+        with pytest.raises(ConfigurationError):
+            registry.counter("shared_total", labelnames=("y",))
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests.",
+                                   labelnames=("code",))
+        counter.inc(code='2"00\n')
+        histogram = registry.histogram("lat_seconds", "Latency.",
+                                       buckets=(0.5, 1.0))
+        histogram.observe(0.3)
+        histogram.observe(3.0)
+        text = registry.render()
+        assert "# HELP requests_total Requests.\n" in text
+        assert "# TYPE requests_total counter\n" in text
+        assert 'requests_total{code="2\\"00\\n"} 1' in text
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("par_total", "P.")
+        per_thread, n_threads = 2000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == per_thread * n_threads

@@ -1,0 +1,231 @@
+"""Scheduler semantics: coalescing, backpressure, deadlines, shutdown.
+
+These tests drive the scheduler with stub compute functions — no real
+estimation — so each behavior is isolated and fast.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import (
+    EstimateRequest,
+    JobCancelledError,
+    JobFailedError,
+    JobState,
+    JobTimeoutError,
+    QueueFullError,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import EstimationScheduler
+
+
+def make_request(**overrides):
+    base = dict(n_cells=1000, width_mm=1.0, height_mm=1.0)
+    base.update(overrides)
+    return EstimateRequest(**base)
+
+
+class CountingCompute:
+    """A compute stub that counts invocations and can be gated."""
+
+    def __init__(self, gate: threading.Event = None, result="result"):
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.gate = gate
+        self.result = result
+
+    def __call__(self, request, job):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(10.0)
+        return self.result
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_compute_once(self):
+        """N identical concurrent submissions -> exactly 1 computation."""
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        with EstimationScheduler(compute, workers=4) as scheduler:
+            request = make_request()
+            jobs = [scheduler.submit(request) for _ in range(10)]
+            assert len({job.id for job in jobs}) == 1
+            assert jobs[0].coalesced == 9
+            gate.set()
+            results = [scheduler.wait(job, timeout=10.0) for job in jobs]
+            assert results == ["result"] * 10
+        assert compute.calls == 1
+
+    def test_different_priorities_still_coalesce(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        with EstimationScheduler(compute, workers=2) as scheduler:
+            first = scheduler.submit(make_request(priority=0))
+            second = scheduler.submit(make_request(priority=5))
+            assert first is second
+            gate.set()
+            scheduler.wait(first, timeout=10.0)
+        assert compute.calls == 1
+
+    def test_finished_jobs_do_not_absorb_new_submissions(self):
+        compute = CountingCompute()
+        with EstimationScheduler(compute, workers=2) as scheduler:
+            request = make_request()
+            first = scheduler.submit(request)
+            scheduler.wait(first, timeout=10.0)
+            second = scheduler.submit(request)
+            scheduler.wait(second, timeout=10.0)
+            assert first is not second
+        assert compute.calls == 2
+
+    def test_distinct_requests_do_not_coalesce(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        with EstimationScheduler(compute, workers=4) as scheduler:
+            a = scheduler.submit(make_request(n_cells=1000))
+            b = scheduler.submit(make_request(n_cells=2000))
+            assert a is not b
+            gate.set()
+            scheduler.wait(a, timeout=10.0)
+            scheduler.wait(b, timeout=10.0)
+        assert compute.calls == 2
+
+
+class TestBackpressure:
+    def test_queue_limit_rejects_with_clear_error(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        scheduler = EstimationScheduler(compute, workers=1, queue_limit=2)
+        try:
+            # Occupy the single worker, then fill the queue.
+            running = scheduler.submit(make_request(n_cells=10))
+            deadline = time.monotonic() + 5.0
+            while (scheduler.queue_depth > 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)  # let the worker pick the job up
+            queued = [scheduler.submit(make_request(n_cells=20 + index))
+                      for index in range(2)]
+            with pytest.raises(QueueFullError, match="queue is full"):
+                scheduler.submit(make_request(n_cells=99))
+            gate.set()
+            for job in [running] + queued:
+                scheduler.wait(job, timeout=10.0)
+        finally:
+            gate.set()
+            scheduler.close()
+
+    def test_metrics_track_queue_and_jobs(self):
+        registry = MetricsRegistry()
+        compute = CountingCompute()
+        with EstimationScheduler(compute, workers=2,
+                                 metrics=registry) as scheduler:
+            job = scheduler.submit(make_request())
+            scheduler.wait(job, timeout=10.0)
+            assert registry.get("repro_jobs_total").value(state="done") == 1
+            scheduler.submit(make_request())  # coalesces or reruns
+        assert registry.get("repro_workers_alive") is not None
+
+
+class TestDeadlines:
+    def test_job_times_out_in_queue(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        scheduler = EstimationScheduler(compute, workers=1)
+        try:
+            blocker = scheduler.submit(make_request(n_cells=10))
+            stuck = scheduler.submit(make_request(n_cells=20),
+                                     timeout=0.05)
+            time.sleep(0.2)  # let the deadline lapse while queued
+            gate.set()
+            scheduler.wait(blocker, timeout=10.0)
+            with pytest.raises(JobFailedError, match="deadline"):
+                scheduler.wait(stuck, timeout=10.0)
+            assert stuck.state == JobState.FAILED
+        finally:
+            gate.set()
+            scheduler.close()
+
+    def test_running_job_aborts_at_stage_boundary(self):
+        def compute(request, job):
+            time.sleep(0.1)
+            job.check_alive()  # what the pipeline does between stages
+            return "never"
+
+        with EstimationScheduler(compute, workers=1) as scheduler:
+            job = scheduler.submit(make_request(), timeout=0.02)
+            with pytest.raises(JobFailedError, match="deadline"):
+                scheduler.wait(job, timeout=10.0)
+
+    def test_wait_timeout_leaves_job_running(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        with EstimationScheduler(compute, workers=1) as scheduler:
+            job = scheduler.submit(make_request())
+            with pytest.raises(JobTimeoutError, match="still in flight"):
+                scheduler.wait(job, timeout=0.05)
+            gate.set()
+            assert scheduler.wait(job, timeout=10.0) == "result"
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        scheduler = EstimationScheduler(compute, workers=1)
+        try:
+            blocker = scheduler.submit(make_request(n_cells=10))
+            victim = scheduler.submit(make_request(n_cells=20))
+            scheduler.cancel(victim)
+            gate.set()
+            scheduler.wait(blocker, timeout=10.0)
+            with pytest.raises(JobCancelledError):
+                scheduler.wait(victim, timeout=10.0)
+            assert victim.state == JobState.CANCELLED
+        finally:
+            gate.set()
+            scheduler.close()
+        assert compute.calls == 1  # the cancelled job never ran
+
+
+class TestLifecycle:
+    def test_failures_surface_with_cause(self):
+        def compute(request, job):
+            raise ValueError("synthetic explosion")
+
+        with EstimationScheduler(compute, workers=1) as scheduler:
+            job = scheduler.submit(make_request())
+            with pytest.raises(JobFailedError,
+                               match="ValueError: synthetic explosion"):
+                scheduler.wait(job, timeout=10.0)
+            # One bad job must not kill the worker.
+            assert scheduler.workers_alive == 1
+
+    def test_jobs_resolvable_by_id(self):
+        compute = CountingCompute()
+        with EstimationScheduler(compute, workers=1) as scheduler:
+            job = scheduler.submit(make_request())
+            scheduler.wait(job, timeout=10.0)
+            assert scheduler.job(job.id) is job
+            assert scheduler.job("job-nope") is None
+
+    def test_close_fails_pending_and_rejects_new(self):
+        gate = threading.Event()
+        compute = CountingCompute(gate=gate)
+        scheduler = EstimationScheduler(compute, workers=1)
+        blocker = scheduler.submit(make_request(n_cells=10))
+        pending = scheduler.submit(make_request(n_cells=20))
+        # Release the busy worker only after close() has drained the
+        # queue, so `pending` is guaranteed never to start.
+        releaser = threading.Timer(0.2, gate.set)
+        releaser.start()
+        scheduler.close()
+        releaser.join()
+        assert pending.state == JobState.CANCELLED
+        with pytest.raises(QueueFullError, match="shut down"):
+            scheduler.submit(make_request(n_cells=30))
+        assert blocker.finished
