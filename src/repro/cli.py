@@ -184,29 +184,62 @@ def _technology_config_from_args(args):
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.service.client import ServiceClient
+    from repro.service.faults import FaultInjector, injector_from_env
     from repro.service.http import create_server
 
+    if args.faults:
+        faults = FaultInjector(args.faults, seed=args.faults_seed)
+    else:
+        faults = injector_from_env()
     client = ServiceClient(
         workers=args.workers,
         queue_limit=args.queue_limit,
         cache_dir=args.cache_dir,
         cache_entries=args.cache_entries,
-        default_timeout=args.timeout)
+        default_timeout=args.timeout,
+        faults=faults)
     server = create_server(client, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro estimation service listening on http://{host}:{port} "
           f"({args.workers} workers, queue limit {args.queue_limit}, "
           f"cache {'at ' + args.cache_dir if args.cache_dir else 'in memory'})")
     print("endpoints: POST /v1/estimate  GET /v1/jobs/<id>  "
-          "GET /v1/healthz  GET /v1/metrics")
+          "GET /v1/healthz  GET /v1/readyz  GET /v1/metrics")
+    if faults is not None:
+        print(f"fault injection ACTIVE: {faults!r}")
+
+    # SIGTERM -> graceful drain: readiness flips to 503, in-flight
+    # requests finish (up to --drain-grace seconds), then the accept
+    # loop stops. The drain runs in its own thread because the handler
+    # interrupts serve_forever's thread, which shutdown() must not
+    # block on.
+    drain_started = threading.Event()
+
+    def _graceful(signum, frame):
+        if drain_started.is_set():
+            return
+        drain_started.set()
+        print("\ndraining (finishing in-flight requests)...")
+        threading.Thread(target=server.drain,
+                         kwargs={"grace": args.drain_grace},
+                         name="repro-drain", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:  # not the main thread (embedded use)
+        pass
     try:
         server.serve_forever()
+        print("drained; shutting down")
     except KeyboardInterrupt:
         print("\nshutting down")
-    finally:
         server.shutdown()
         server.server_close()
+    finally:
         client.close()
     return 0
 
@@ -237,7 +270,8 @@ def _cmd_submit(args) -> int:
         tolerance=args.tolerance,
         cells=args.cell or None,
         technology=_technology_config_from_args(args),
-        priority=args.priority)
+        priority=args.priority,
+        allow_degraded=args.allow_degraded)
     remote = RemoteClient(args.url)
 
     if getattr(args, "async_", False):
@@ -257,6 +291,8 @@ def _cmd_submit(args) -> int:
         ["std leakage [mA]", f"{estimate.std * 1e3:.4f}"],
         ["CV", f"{estimate.cv:.4f}"],
     ]
+    if estimate.degraded:
+        rows.append(["DEGRADED", estimate.degradation_reason or "yes"])
     print(format_table(["quantity", "value"], rows,
                        title=f"Service estimate via {args.url}"))
     return 0
@@ -365,6 +401,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-tier in-memory LRU entry bound")
     serve.add_argument("--timeout", type=float, default=None,
                        help="default per-job deadline [s]")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       help="seconds to let in-flight requests finish "
+                            "on SIGTERM before stopping (default 10)")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault-injection spec for chaos testing, "
+                            "e.g. 'worker.crash:0.2:3,cache.read:0.5' "
+                            "(default: REPRO_FAULTS env var, else off)")
+    serve.add_argument("--faults-seed", type=int, default=0,
+                       help="seed for the fault-injection RNG streams")
     serve.set_defaults(handler=_cmd_serve)
 
     submit = commands.add_parser(
@@ -390,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scheduling priority (higher runs first)")
     submit.add_argument("--timeout", type=float, default=None,
                         help="per-job deadline [s]")
+    submit.add_argument("--no-degraded", dest="allow_degraded",
+                        action="store_false",
+                        help="fail instead of accepting the RG fallback "
+                             "when an exact run degrades")
     submit.add_argument("--async", dest="async_", action="store_true",
                         help="return a job id immediately instead of "
                              "waiting for the result")

@@ -9,7 +9,7 @@ full-chip leakage.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
@@ -115,6 +115,35 @@ class LeakageEstimate:
     def cv(self) -> float:
         """Coefficient of variation ``std / mean``."""
         return self.std / self.mean
+
+    @property
+    def degraded(self) -> bool:
+        """True when this is a fallback answer, not the requested method.
+
+        The estimation service substitutes the O(1) Random-Gate closed
+        form for a failed or deadline-bound ``exact`` run (within ~2% on
+        std per Table 1 of the paper); such results are flagged in
+        ``details["degraded"]`` with the cause in
+        :attr:`degradation_reason`.
+        """
+        return bool(self.details.get("degraded", False))
+
+    @property
+    def degradation_reason(self) -> Optional[str]:
+        """Why a degraded result was substituted (``None`` when not)."""
+        reason = self.details.get("degradation_reason")
+        return None if reason is None else str(reason)
+
+    def with_details(self, **extra: Any) -> "LeakageEstimate":
+        """A copy with ``extra`` merged into :attr:`details`.
+
+        Values are coerced to plain JSON scalars, preserving the
+        :meth:`to_dict` round-trip guarantee.
+        """
+        details = dict(self.details)
+        details.update({str(key): _json_scalar(value)
+                        for key, value in extra.items()})
+        return replace(self, details=details)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation (stable service/cache wire format).

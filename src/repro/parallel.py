@@ -53,7 +53,7 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
 
 class ThreadWorkerPool:
-    """A fixed pool of long-lived worker threads running one drain loop.
+    """A supervised pool of long-lived worker threads running one drain loop.
 
     Parameters
     ----------
@@ -67,14 +67,36 @@ class ThreadWorkerPool:
         CPU).
     name:
         Thread-name prefix, for debuggability.
+    restart:
+        When True, a worker whose loop dies on an exception is replaced
+        by a fresh thread (up to ``max_restarts`` total), so one crash
+        never permanently shrinks serving capacity.
+    on_crash:
+        ``on_crash(exc)`` — called *in the dying thread* before the
+        replacement starts; the estimation scheduler uses it to requeue
+        the job the crashed worker was holding.
+    max_restarts:
+        Lifetime cap on replacement threads (crash + :meth:`replace`),
+        a circuit against tight crash loops. When exhausted the pool
+        shrinks and health checks surface it.
 
     The threads are daemonic so a forgotten pool never blocks
     interpreter shutdown; call :meth:`stop` for an orderly drain.
     """
 
     def __init__(self, worker_loop: Callable[[threading.Event], None],
-                 n_workers: int = 2, name: str = "repro-worker") -> None:
+                 n_workers: int = 2, name: str = "repro-worker",
+                 restart: bool = False,
+                 on_crash: Optional[Callable[[BaseException], None]] = None,
+                 max_restarts: int = 100) -> None:
         self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._worker_loop = worker_loop
+        self._name = name
+        self._restart = restart
+        self._on_crash = on_crash
+        self._max_restarts = int(max_restarts)
+        self.restarts = 0
         self._failures: List[BaseException] = []
         self._threads: List[threading.Thread] = []
         for index in range(resolve_n_jobs(n_workers)):
@@ -89,15 +111,76 @@ class ThreadWorkerPool:
             worker_loop(self._stop)
         except BaseException as exc:  # noqa: BLE001 - recorded for inspection
             self._failures.append(exc)
+            if self._on_crash is not None:
+                try:
+                    self._on_crash(exc)
+                except Exception:  # noqa: BLE001 - crash handler isolation
+                    pass
+            if self._restart:
+                self._spawn_replacement(threading.current_thread())
+
+    def _spawn_replacement(
+            self, dead: Optional[threading.Thread]) -> Optional[
+            threading.Thread]:
+        with self._lock:
+            if self._stop.is_set() or self.restarts >= self._max_restarts:
+                return None
+            if dead is not None:
+                try:
+                    self._threads.remove(dead)
+                except ValueError:
+                    return None  # already detached/replaced by someone else
+            self.restarts += 1
+            thread = threading.Thread(
+                target=self._run, args=(self._worker_loop,),
+                name=f"{self._name}-r{self.restarts}", daemon=True)
+            self._threads.append(thread)
+            # Start while still holding the lock: stop() snapshots the
+            # thread list under this lock, and joining a registered but
+            # never-started thread raises RuntimeError.
+            thread.start()
+        return thread
+
+    def replace(self, ident: int) -> Optional[threading.Thread]:
+        """Detach the (hung) worker with thread id ``ident``, start a fresh one.
+
+        The detached thread is left to finish on its own (it is daemonic
+        and no longer tracked, joined, or counted); the replacement
+        restores capacity immediately. Returns the new thread, or None
+        when ``ident`` is unknown, the pool is stopped, or the restart
+        budget is spent.
+        """
+        with self._lock:
+            dead = next((thread for thread in self._threads
+                         if thread.ident == ident), None)
+        if dead is None:
+            return None
+        return self._spawn_replacement(dead)
+
+    def ensure_workers(self) -> int:
+        """Replace tracked threads that died without a crash callback.
+
+        Belt-and-braces sweep for the supervisor loop; returns how many
+        replacements were started.
+        """
+        if not self._restart or self._stop.is_set():
+            return 0
+        with self._lock:
+            dead = [thread for thread in self._threads
+                    if thread.ident is not None and not thread.is_alive()]
+        return sum(
+            1 for thread in dead if self._spawn_replacement(thread))
 
     @property
     def n_workers(self) -> int:
-        return len(self._threads)
+        with self._lock:
+            return len(self._threads)
 
     @property
     def alive_count(self) -> int:
-        """Workers still running their loop."""
-        return sum(thread.is_alive() for thread in self._threads)
+        """Tracked workers still running their loop."""
+        with self._lock:
+            return sum(thread.is_alive() for thread in self._threads)
 
     @property
     def failures(self) -> List[BaseException]:
@@ -111,8 +194,10 @@ class ThreadWorkerPool:
     def stop(self, join: bool = True, timeout: Optional[float] = 5.0) -> None:
         """Signal every worker to finish and (optionally) join them."""
         self._stop.set()
+        with self._lock:
+            threads = list(self._threads)
         if join:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout=timeout)
 
 

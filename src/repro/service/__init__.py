@@ -2,14 +2,19 @@
 
 Turns the library's one-shot estimation pipeline into an operable
 serving layer: declarative requests with content-addressed identity
-(:mod:`~repro.service.jobs`), a tiered result cache with optional disk
-persistence (:mod:`~repro.service.cache`), a worker-pool scheduler with
-request coalescing, backpressure, and deadlines
-(:mod:`~repro.service.scheduler`), a stdlib HTTP API
-(:mod:`~repro.service.http`), and Prometheus-format metrics
-(:mod:`~repro.service.metrics`). :class:`ServiceClient` is the
-in-process front-end; ``repro serve`` / ``repro submit`` are the CLI
-entries. See ``docs/SERVICE.md`` for the architecture tour.
+(:mod:`~repro.service.jobs`), a tiered result cache with checksummed
+disk persistence and quarantine (:mod:`~repro.service.cache`), a
+supervised worker-pool scheduler with request coalescing, backpressure,
+deadlines, and crash/hang recovery (:mod:`~repro.service.scheduler`), a
+stdlib HTTP API with liveness/readiness probes and graceful drain
+(:mod:`~repro.service.http`), a hardened HTTP client with retries and a
+circuit breaker (:mod:`~repro.service.client`), Prometheus-format
+metrics (:mod:`~repro.service.metrics`), and deterministic fault
+injection for chaos testing (:mod:`~repro.service.faults`).
+:class:`ServiceClient` is the in-process front-end; ``repro serve`` /
+``repro submit`` are the CLI entries. See ``docs/SERVICE.md`` for the
+architecture tour and ``docs/RELIABILITY.md`` for the failure-mode
+catalog.
 """
 
 from repro.service.cache import (
@@ -18,10 +23,26 @@ from repro.service.cache import (
     TIER_ESTIMATE,
     TIER_RG,
     cache_stamp,
+    payload_checksum,
 )
-from repro.service.client import RemoteClient, ServiceClient
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    NO_RETRY,
+    RemoteClient,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.service.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    injector_from_env,
+    parse_spec,
+)
 from repro.service.http import LeakageHTTPServer, create_server, serve
 from repro.service.jobs import (
+    DeadlineExceeded,
     EstimateRequest,
     Job,
     JobCancelledError,
@@ -36,9 +57,15 @@ from repro.service.pipeline import EstimationPipeline
 from repro.service.scheduler import EstimationScheduler
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceeded",
     "EstimateRequest",
     "EstimationPipeline",
     "EstimationScheduler",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
     "Job",
     "JobCancelledError",
     "JobFailedError",
@@ -46,9 +73,11 @@ __all__ = [
     "JobTimeoutError",
     "LeakageHTTPServer",
     "MetricsRegistry",
+    "NO_RETRY",
     "QueueFullError",
     "RemoteClient",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "TechnologyConfig",
     "TIER_CHARACTERIZATION",
@@ -56,5 +85,8 @@ __all__ = [
     "TIER_RG",
     "cache_stamp",
     "create_server",
+    "injector_from_env",
+    "parse_spec",
+    "payload_checksum",
     "serve",
 ]

@@ -24,10 +24,19 @@ writers can never tear an entry, and stamped with the cache schema
 version plus the git revision so entries from another code revision
 are silently invalidated. The ``rg`` tier holds live model objects and
 stays memory-only.
+
+Integrity: every disk entry carries a SHA-256 checksum of its canonical
+payload JSON. An entry that fails to parse, fails its checksum, or is
+structurally wrong is **quarantined** — moved to
+``<persist_dir>/quarantine/`` for post-mortem rather than deleted —
+counted in ``repro_cache_corruptions_total{tier=...}``, and reported as
+a miss so the pipeline transparently recomputes. A bad byte on disk can
+therefore delay an answer but never change one.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import subprocess
@@ -37,14 +46,22 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional
 
 from repro import __version__
+from repro.service.faults import (
+    SITE_CACHE_READ,
+    SITE_CACHE_WRITE,
+    FaultInjector,
+)
 
-#: Bump when the on-disk entry layout changes.
-CACHE_SCHEMA_VERSION = 1
+#: Bump when the on-disk entry layout changes (v2: payload checksum).
+CACHE_SCHEMA_VERSION = 2
 
 TIER_CHARACTERIZATION = "characterization"
 TIER_RG = "rg"
 TIER_ESTIMATE = "estimate"
 TIERS = (TIER_CHARACTERIZATION, TIER_RG, TIER_ESTIMATE)
+
+#: Subdirectory of ``persist_dir`` where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 MISS = object()
@@ -81,24 +98,32 @@ def cache_stamp() -> str:
         return _stamp_cache
 
 
+def payload_checksum(payload: Any) -> str:
+    """SHA-256 over the payload's canonical JSON (sorted keys)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class TierStats:
     """Hit/miss accounting for one tier (thread-safe via the cache lock)."""
 
-    __slots__ = ("hits", "disk_hits", "misses", "evictions")
+    __slots__ = ("hits", "disk_hits", "misses", "evictions", "corruptions")
 
     def __init__(self) -> None:
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "disk_hits": self.disk_hits,
-                "misses": self.misses, "evictions": self.evictions}
+                "misses": self.misses, "evictions": self.evictions,
+                "corruptions": self.corruptions}
 
 
 class ResultCache:
-    """Tiered LRU cache with optional JSON-on-disk persistence.
+    """Tiered LRU cache with checksummed JSON-on-disk persistence.
 
     Parameters
     ----------
@@ -106,36 +131,49 @@ class ResultCache:
         Per-tier in-memory entry bound (least recently used evicted).
     persist_dir:
         Directory for the disk layer; ``None`` disables persistence.
-        Entries land at ``<persist_dir>/<tier>/<key>.json``.
+        Entries land at ``<persist_dir>/<tier>/<key>.json``; corrupt
+        ones are moved to ``<persist_dir>/quarantine/``.
     metrics:
         Optional :class:`~repro.service.metrics.MetricsRegistry`; when
         given, lookups increment
-        ``repro_cache_requests_total{tier=...,result=hit|disk_hit|miss}``.
+        ``repro_cache_requests_total{tier=...,result=hit|disk_hit|miss}``
+        and quarantines ``repro_cache_corruptions_total{tier=...}``.
     stamp:
         Version stamp override (defaults to :func:`cache_stamp`);
         entries whose stamp differs are treated as absent.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`; the
+        ``cache.read`` / ``cache.write`` sites corrupt entry bytes on
+        the way in/out of disk (memory tiers are never touched).
     """
 
     def __init__(self, max_entries: int = 256,
                  persist_dir: Optional[str] = None,
                  metrics=None,
-                 stamp: Optional[str] = None) -> None:
+                 stamp: Optional[str] = None,
+                 faults: Optional[FaultInjector] = None) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
         self.max_entries = int(max_entries)
         self.persist_dir = persist_dir
         self.stamp = cache_stamp() if stamp is None else str(stamp)
+        self._faults = faults
         self._lock = threading.Lock()
         self._tiers: Dict[str, OrderedDict] = {
             tier: OrderedDict() for tier in TIERS}
         self._stats: Dict[str, TierStats] = {
             tier: TierStats() for tier in TIERS}
         self._requests = None
+        self._corruptions = None
         if metrics is not None:
             self._requests = metrics.counter(
                 "repro_cache_requests_total",
                 "Cache lookups by artifact tier and outcome.",
                 labelnames=("tier", "result"))
+            self._corruptions = metrics.counter(
+                "repro_cache_corruptions_total",
+                "Disk entries quarantined for failing integrity checks.",
+                labelnames=("tier",))
 
     def _check_tier(self, tier: str) -> None:
         if tier not in self._tiers:
@@ -152,36 +190,71 @@ class ResultCache:
             return None
         return os.path.join(self.persist_dir, tier, f"{key}.json")
 
+    def _quarantine(self, tier: str, key: str, path: str,
+                    cause: str) -> None:
+        """Move a corrupt entry aside (post-mortem) and count it."""
+        destination = os.path.join(
+            self.persist_dir, QUARANTINE_DIR,
+            f"{tier}.{key}.{uuid.uuid4().hex[:8]}.json")
+        try:
+            os.makedirs(os.path.dirname(destination), exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            try:
+                os.unlink(path)  # quarantine failed; at least drop it
+            except OSError:
+                pass
+        with self._lock:
+            self._stats[tier].corruptions += 1
+        if self._corruptions is not None:
+            self._corruptions.inc(tier=tier)
+
     def _disk_read(self, tier: str, key: str) -> Any:
         path = self._path(tier, key)
         if path is None:
             return MISS
         try:
-            with open(path) as handle:
-                document = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
             return MISS
-        if not isinstance(document, dict):
+        if self._faults is not None:
+            raw = self._faults.corrupt(SITE_CACHE_READ, raw)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(tier, key, path, "unparseable")
+            return MISS
+        if not isinstance(document, dict) or "payload" not in document:
+            self._quarantine(tier, key, path, "malformed")
             return MISS
         if (document.get("stamp") != self.stamp
                 or document.get("tier") != tier
-                or document.get("key") != key
-                or "payload" not in document):
-            # Stale or foreign entry: drop it so the directory does not
-            # accumulate unreadable files across revisions.
+                or document.get("key") != key):
+            # Stale or foreign entry — not corruption: drop it so the
+            # directory does not accumulate unreadable files across
+            # revisions.
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return MISS
-        return document["payload"]
+        payload = document["payload"]
+        if document.get("checksum") != payload_checksum(payload):
+            self._quarantine(tier, key, path, "checksum mismatch")
+            return MISS
+        return payload
 
     def _disk_write(self, tier: str, key: str, payload: Any) -> None:
         path = self._path(tier, key)
         if path is None:
             return
         document = {"stamp": self.stamp, "tier": tier, "key": key,
+                    "checksum": payload_checksum(payload),
                     "payload": payload}
+        raw = json.dumps(document).encode("utf-8")
+        if self._faults is not None:
+            raw = self._faults.corrupt(SITE_CACHE_WRITE, raw)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         # Unique temp name per writer + atomic replace: a concurrent
@@ -190,8 +263,8 @@ class ResultCache:
         tmp_path = os.path.join(
             directory, f".{key}.{uuid.uuid4().hex}.tmp")
         try:
-            with open(tmp_path, "w") as handle:
-                json.dump(document, handle)
+            with open(tmp_path, "wb") as handle:
+                handle.write(raw)
             os.replace(tmp_path, path)
         except OSError:
             try:
@@ -256,7 +329,7 @@ class ResultCache:
                 entries.clear()
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-tier hit/miss/eviction counts plus current entry counts."""
+        """Per-tier hit/miss/eviction/corruption counts plus entry counts."""
         with self._lock:
             report = {}
             for tier in TIERS:

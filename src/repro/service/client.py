@@ -9,19 +9,42 @@ layer is a thin adapter over it.
 :class:`RemoteClient` speaks the ``/v1`` HTTP API over
 ``urllib.request`` (stdlib only), for scripting against a running
 ``repro serve`` instance; ``repro submit`` is a thin wrapper around it.
+It is hardened for flaky transports: transient failures (connection
+drops, 429/500/503) are retried under an exponential-backoff
+:class:`RetryPolicy` — safe because estimates are content-addressed and
+therefore idempotent — and repeated *connection-level* failures trip a
+:class:`CircuitBreaker` so a dead server fails fast instead of
+serializing every caller through full retry ladders. Structured error
+bodies from the server (``{"error", "kind"}``) are parsed back into the
+matching typed exception with the HTTP status preserved on the
+exception object.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import threading
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.api import LeakageEstimate
-from repro.exceptions import ServiceError
+from repro.exceptions import ConfigurationError, ServiceError
 from repro.service.cache import ResultCache
-from repro.service.jobs import EstimateRequest, Job
+from repro.service.faults import FaultInjector
+from repro.service.jobs import (
+    DeadlineExceeded,
+    EstimateRequest,
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobTimeoutError,
+    QueueFullError,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.pipeline import EstimationPipeline
 from repro.service.scheduler import EstimationScheduler
@@ -55,27 +78,40 @@ class ServiceClient:
         A shared :class:`MetricsRegistry`; one is created when omitted.
     library:
         Standard-cell library override (mostly for tests).
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`, threaded
+        through to the cache (read/write corruption), the scheduler
+        (worker crashes), and the pipeline (compute hangs). ``None``
+        (the default) leaves every injection point compiled out to a
+        single ``is None`` test.
     """
 
     def __init__(self, workers: int = 2, queue_limit: int = 64,
                  cache_dir: Optional[str] = None, cache_entries: int = 256,
                  default_timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 library=None) -> None:
+                 library=None,
+                 faults: Optional[FaultInjector] = None) -> None:
         self.metrics = MetricsRegistry() if metrics is None else metrics
+        if faults is not None and faults.metrics is None:
+            faults.bind_metrics(self.metrics)
+        self.faults = faults
         self._submissions = self.metrics.counter(
             "repro_requests_total",
             "Estimation requests accepted, by submission mode.",
             labelnames=("mode",))
         self.cache = ResultCache(max_entries=cache_entries,
                                  persist_dir=cache_dir,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics,
+                                 faults=faults)
         self.pipeline = EstimationPipeline(cache=self.cache,
                                            metrics=self.metrics,
-                                           library=library)
+                                           library=library,
+                                           faults=faults)
         self.scheduler = EstimationScheduler(
             self.pipeline, workers=workers, queue_limit=queue_limit,
-            default_timeout=default_timeout, metrics=self.metrics)
+            default_timeout=default_timeout, metrics=self.metrics,
+            faults=faults)
 
     # -- the four verbs ---------------------------------------------------
 
@@ -126,42 +162,270 @@ class ServiceClient:
         self.close()
 
 
-class RemoteClient:
-    """Minimal client for a running ``repro serve`` HTTP endpoint."""
+# -- HTTP client hardening -------------------------------------------------
 
-    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; the call was not attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient HTTP failures.
+
+    Attempt ``k`` (0-based) sleeps ``base * multiplier**k`` seconds,
+    capped at ``max_backoff``, plus a uniform jitter of up to
+    ``jitter * backoff`` to decorrelate competing clients. Retries stop
+    after ``max_attempts`` total attempts. Only ``retry_statuses``
+    (transient server conditions) and connection-level failures are
+    retried; 4xx request errors never are. Retrying ``POST
+    /v1/estimate`` is safe because requests are content-addressed and
+    idempotent.
+    """
+
+    max_attempts: int = 4
+    base: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    retry_statuses: Tuple[int, ...] = (429, 500, 503)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.base < 0 or self.max_backoff < 0 or self.jitter < 0:
+            raise ConfigurationError("backoff parameters must be >= 0")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        delay = min(self.base * self.multiplier ** attempt, self.max_backoff)
+        return delay * (1.0 + self.jitter * rng.random())
+
+    def retriable_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+
+#: A no-retry policy, for callers that want one attempt exactly.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class CircuitBreaker:
+    """Classic closed -> open -> half-open breaker for connection failures.
+
+    After ``failure_threshold`` *consecutive* connection-level failures
+    the breaker opens and every call fails fast with
+    :class:`CircuitOpenError` for ``reset_seconds``. The first call
+    after the cooldown runs as a half-open probe: success closes the
+    breaker, failure reopens it for another full cooldown. HTTP error
+    *responses* do not count — a server answering 5xx is reachable, and
+    tripping on those would turn one bad request into an outage for
+    unrelated callers.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_seconds: float = 10.0,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at: Optional[float] = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._probe_state()
+
+    def _probe_state(self) -> str:
+        if (self._state == self.OPEN
+                and self._clock() - self._opened_at >= self.reset_seconds):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def before_call(self) -> None:
+        """Raise :class:`CircuitOpenError` when calls must not proceed."""
+        with self._lock:
+            if self._probe_state() == self.OPEN:
+                remaining = (self.reset_seconds
+                             - (self._clock() - self._opened_at))
+                raise CircuitOpenError(
+                    "circuit breaker open after "
+                    f"{self._failures} consecutive connection failures; "
+                    f"retry in {max(0.0, remaining):.1f}s")
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (self._state == self.HALF_OPEN
+                    or self._failures >= self.failure_threshold):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+
+#: Server error ``kind`` -> the typed exception the client re-raises.
+_KIND_EXCEPTIONS = {
+    "queue_full": QueueFullError,
+    "deadline": DeadlineExceeded,
+    "timeout": JobTimeoutError,
+    "cancelled": JobCancelledError,
+    "failed": JobFailedError,
+    "bad_request": ConfigurationError,
+}
+
+#: Connection-level exceptions worth retrying (server unreachable or the
+#: connection died mid-flight; includes injected disconnects).
+_RETRIABLE_CONNECTION_ERRORS = (
+    urllib.error.URLError,  # DNS, refused, reset wrapped by urllib
+    http.client.HTTPException,  # truncated/invalid response frames
+    ConnectionError,
+    TimeoutError,
+)
+
+
+def _exception_for(status: int, message: str,
+                   kind: Optional[str]) -> ServiceError:
+    """Build the typed exception for a structured HTTP error reply.
+
+    The returned exception carries ``status`` (the HTTP code) and
+    ``kind`` (the server's error taxonomy, possibly None) attributes.
+    """
+    exc_type = _KIND_EXCEPTIONS.get(kind or "", ServiceError)
+    exc = exc_type(message)
+    exc.status = status
+    exc.kind = kind
+    return exc
+
+
+class RemoteClient:
+    """Hardened client for a running ``repro serve`` HTTP endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``http://127.0.0.1:8080``.
+    timeout:
+        Per-attempt socket timeout in seconds.
+    retry:
+        The :class:`RetryPolicy`; pass :data:`NO_RETRY` to disable.
+    breaker:
+        The :class:`CircuitBreaker`; pass ``None`` to disable.
+    retry_seed:
+        Seed for the jitter RNG, making backoff schedules reproducible
+        in tests and chaos runs.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Union[CircuitBreaker, None, bool] = True,
+                 retry_seed: Optional[int] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = RetryPolicy() if retry is None else retry
+        if breaker is True:
+            breaker = CircuitBreaker()
+        elif breaker is False:
+            breaker = None
+        self.breaker = breaker
+        self._rng = random.Random(retry_seed)
+        #: Retries performed over this client's lifetime (observability).
+        self.retries = 0
+
+    # -- transport --------------------------------------------------------
+
+    def _attempt(self, method: str, url: str, data: Optional[bytes],
+                 headers: Dict[str, str]) -> Tuple[bytes, str]:
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as response:
+            raw = response.read()
+            content_type = response.headers.get("Content-Type", "")
+        return raw, content_type
+
+    @staticmethod
+    def _parse_http_error(exc: urllib.error.HTTPError,
+                          method: str, path: str) -> ServiceError:
+        """Turn an HTTP error response into its typed exception.
+
+        The response body is expected to be the service's structured
+        ``{"error": ..., "kind": ...}`` document; anything else (a
+        proxy's HTML error page, a truncated body) degrades to the
+        generic form — the status code is preserved either way.
+        """
+        detail = ""
+        kind = None
+        try:
+            document = json.loads(exc.read())
+            if isinstance(document, dict):
+                detail = str(document.get("error", ""))
+                kind = document.get("kind")
+        except Exception:  # noqa: BLE001 - body is best-effort diagnostics
+            pass
+        message = (detail if detail
+                   else f"{method} {path} -> HTTP {exc.code}")
+        return _exception_for(exc.code, message, kind)
 
     def _call(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None) -> Any:
+              body: Optional[Dict[str, Any]] = None,
+              policy: Optional[RetryPolicy] = None) -> Any:
         url = f"{self.base_url}{path}"
+        policy = self.retry if policy is None else policy
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers,
-                                         method=method)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                raw = response.read()
-                content_type = response.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as exc:
-            detail = ""
+
+        last_error: Optional[ServiceError] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(policy.backoff(attempt - 1, self._rng))
+            if self.breaker is not None:
+                self.breaker.before_call()
             try:
-                detail = json.loads(exc.read()).get("error", "")
-            except Exception:  # noqa: BLE001 - best-effort error detail
-                pass
-            raise ServiceError(
-                f"{method} {path} -> HTTP {exc.code}"
-                + (f": {detail}" if detail else ""))
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {url}: {exc.reason}")
-        if content_type.startswith("text/plain"):
-            return raw.decode("utf-8")
-        return json.loads(raw)
+                raw, content_type = self._attempt(method, url, data, headers)
+            except urllib.error.HTTPError as exc:
+                # The server answered: the connection works.
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                error = self._parse_http_error(exc, method, path)
+                if not policy.retriable_status(exc.code):
+                    raise error
+                last_error = error
+                continue
+            except _RETRIABLE_CONNECTION_ERRORS as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                reason = getattr(exc, "reason", exc)
+                last_error = _exception_for(
+                    0, f"cannot reach {url}: {reason}", None)
+                last_error.__cause__ = exc
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            if content_type.startswith("text/plain"):
+                return raw.decode("utf-8")
+            return json.loads(raw)
+        raise last_error
+
+    # -- API verbs --------------------------------------------------------
 
     def estimate(self, request: RequestLike,
                  timeout: Optional[float] = None) -> LeakageEstimate:
@@ -187,7 +451,16 @@ class RemoteClient:
         return self._call("GET", f"/v1/jobs/{job_id}")
 
     def healthz(self) -> Dict[str, Any]:
-        return self._call("GET", "/v1/healthz")
+        """``GET /v1/healthz`` — liveness (are workers alive at all).
+
+        Health probes are single-attempt: a 503 *is* the answer, and
+        retrying would only mask the state being probed for.
+        """
+        return self._call("GET", "/v1/healthz", policy=NO_RETRY)
+
+    def readyz(self) -> Dict[str, Any]:
+        """``GET /v1/readyz`` — readiness (can it take traffic *now*)."""
+        return self._call("GET", "/v1/readyz", policy=NO_RETRY)
 
     def metrics_text(self) -> str:
         return self._call("GET", "/v1/metrics")

@@ -12,30 +12,54 @@ dependencies) exposing:
 ``GET /v1/jobs/<id>``
     Job status snapshot; includes the serialized estimate once done.
 ``GET /v1/healthz``
-    ``200`` while worker threads are alive, ``503`` otherwise.
+    Liveness: ``200`` while worker threads are alive, ``503``
+    otherwise. Stays ``200`` during drain — the process is alive.
+``GET /v1/readyz``
+    Readiness: ``200`` only when the server can take new work *now*;
+    ``503`` while draining, while the queue is saturated
+    (backpressure), or with no live workers. Load balancers route on
+    this, not on liveness.
 ``GET /v1/metrics``
     The metrics registry in Prometheus text format.
 
-Error mapping: malformed/invalid requests -> ``400``; unknown job ->
-``404``; queue backpressure -> ``429``; job timeout -> ``504``; job
-failure -> ``502``.
+Every error responds with a structured JSON document
+``{"error": <message>, "kind": <taxonomy>}`` so clients can re-raise
+the matching typed exception; unexpected handler exceptions become a
+``500`` with a generic message (never a traceback). Error mapping:
+malformed/invalid/oversized requests -> ``400`` ``bad_request``;
+unknown job/endpoint -> ``404`` ``not_found``; queue backpressure ->
+``429`` ``queue_full``; draining -> ``503`` ``draining``; job deadline
+-> ``504`` ``deadline``; wait timeout -> ``504`` ``timeout``; job
+failure -> ``502`` ``failed``; cancellation -> ``502`` ``cancelled``.
+
+Graceful drain: :meth:`LeakageHTTPServer.drain` flips the server into
+draining mode (readiness goes 503, new estimates are refused), waits
+for in-flight requests to finish up to a grace period, then stops the
+accept loop and closes the socket. The CLI wires this to SIGTERM.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
 from repro.exceptions import ConfigurationError, ReproError
+from repro.service.faults import SITE_HTTP_DISCONNECT
 from repro.service.jobs import (
+    DeadlineExceeded,
     EstimateRequest,
+    JobCancelledError,
     JobFailedError,
     JobTimeoutError,
     QueueFullError,
 )
+from repro.service.metrics import SIZE_BUCKETS
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for any request document
 
@@ -52,10 +76,75 @@ class LeakageHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         #: The in-process service front-end handling every request.
         self.client = client
-        self._http_requests = client.metrics.counter(
+        #: Fault injector shared with the service (``http.disconnect``).
+        self.faults = getattr(client, "faults", None)
+        self.draining = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        metrics = client.metrics
+        self._http_requests = metrics.counter(
             "repro_http_requests_total",
             "HTTP requests by endpoint and status code.",
             labelnames=("endpoint", "code"))
+        self._http_errors = metrics.counter(
+            "repro_http_errors_total",
+            "HTTP error responses by status class (4xx/5xx).",
+            labelnames=("status_class",))
+        self._request_bytes = metrics.histogram(
+            "repro_http_request_bytes",
+            "Request body sizes in bytes.",
+            buckets=SIZE_BUCKETS)
+        self._draining_gauge = metrics.gauge(
+            "repro_http_draining",
+            "1 while the server is draining (refusing new work).")
+        self._draining_gauge.set(0)
+
+    # -- in-flight tracking / graceful drain ------------------------------
+
+    def request_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def begin_drain(self) -> None:
+        """Refuse new estimates; existing ones keep running."""
+        self.draining = True
+        self._draining_gauge.set(1)
+
+    def await_idle(self, grace: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on grace expiry."""
+        deadline = None if grace is None else time.monotonic() + grace
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._inflight_cv.wait(timeout=remaining)
+        return True
+
+    def drain(self, grace: Optional[float] = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        Returns True when every in-flight request completed within the
+        grace period. Must not be called from the thread running
+        :meth:`serve_forever` (it blocks on that loop stopping) — the
+        CLI's signal handler spawns a thread for it.
+        """
+        self.begin_drain()
+        completed = self.await_idle(grace)
+        self.shutdown()
+        self.server_close()
+        return completed
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -69,8 +158,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _count(self, endpoint: str, code: int) -> None:
         self.server._http_requests.inc(endpoint=endpoint, code=str(code))
+        if code >= 400:
+            self.server._http_errors.inc(
+                status_class=f"{code // 100}xx")
+
+    def _drop_connection(self) -> None:
+        """Injected fault: kill the socket instead of responding."""
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.connection.close()
+        except OSError:
+            pass
 
     def _respond(self, code: int, body: bytes, content_type: str) -> None:
+        faults = self.server.faults
+        if (faults is not None
+                and faults.should_fire(SITE_HTTP_DISCONNECT)):
+            self._drop_connection()
+            return
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -82,15 +191,34 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(document).encode("utf-8")
         self._respond(code, body, "application/json")
 
-    def _error(self, endpoint: str, code: int, message: str) -> None:
-        self._json(endpoint, code, {"error": message})
+    def _error(self, endpoint: str, code: int, message: str,
+               kind: str) -> None:
+        self._json(endpoint, code, {"error": message, "kind": kind})
 
     def _read_body(self) -> Optional[dict]:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ConfigurationError("invalid Content-Length header")
         if length > _MAX_BODY_BYTES:
+            # Drain (bounded) so the peer can finish sending and read
+            # the 400 instead of dying on a broken pipe mid-upload;
+            # past the drain cap the connection is dropped instead.
+            drain_cap = 8 * _MAX_BODY_BYTES
+            if length > drain_cap:
+                self.close_connection = True
+            else:
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 65536))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
             raise ConfigurationError(
-                f"request body too large ({length} bytes)")
+                f"request body too large ({length} bytes; "
+                f"limit {_MAX_BODY_BYTES})")
         raw = self.rfile.read(length) if length else b""
+        self.server._request_bytes.observe(float(len(raw)))
         if not raw:
             raise ConfigurationError("request body must be a JSON object")
         try:
@@ -106,22 +234,42 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
-        if parts == ["v1", "healthz"]:
-            self._healthz()
-        elif parts == ["v1", "metrics"]:
-            self._metrics()
-        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-            self._job_status(parts[2])
-        else:
-            self._error("unknown", 404, f"no such endpoint: {url.path}")
+        try:
+            if parts == ["v1", "healthz"]:
+                self._healthz()
+            elif parts == ["v1", "readyz"]:
+                self._readyz()
+            elif parts == ["v1", "metrics"]:
+                self._metrics()
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                self._job_status(parts[2])
+            else:
+                self._error("unknown", 404,
+                            f"no such endpoint: {url.path}", "not_found")
+        except (ConnectionError, BrokenPipeError):
+            raise  # peer went away mid-response; nothing to answer
+        except Exception:  # noqa: BLE001 - last-resort 500, no traceback
+            self._error("internal", 500, "internal server error",
+                        "internal")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
-        if parts == ["v1", "estimate"]:
-            self._estimate(url)
-        else:
-            self._error("unknown", 404, f"no such endpoint: {url.path}")
+        try:
+            if parts == ["v1", "estimate"]:
+                self.server.request_started()
+                try:
+                    self._estimate(url)
+                finally:
+                    self.server.request_finished()
+            else:
+                self._error("unknown", 404,
+                            f"no such endpoint: {url.path}", "not_found")
+        except (ConnectionError, BrokenPipeError):
+            raise
+        except Exception:  # noqa: BLE001 - last-resort 500, no traceback
+            self._error("internal", 500, "internal server error",
+                        "internal")
 
     def _healthz(self) -> None:
         client = self.server.client
@@ -134,6 +282,31 @@ class _Handler(BaseHTTPRequestHandler):
         }
         self._json("healthz", 200 if workers > 0 else 503, document)
 
+    def _readyz(self) -> None:
+        client = self.server.client
+        workers = client.scheduler.workers_alive
+        draining = self.server.draining
+        saturated = client.scheduler.saturated
+        ready = workers > 0 and not draining and not saturated
+        reasons = []
+        if draining:
+            reasons.append("draining")
+        if saturated:
+            reasons.append("saturated")
+        if workers <= 0:
+            reasons.append("no live workers")
+        document = {
+            "status": "ready" if ready else "unready",
+            "draining": draining,
+            "saturated": saturated,
+            "workers": workers,
+            "queue_depth": client.scheduler.queue_depth,
+            "inflight": self.server.inflight,
+        }
+        if reasons:
+            document["reasons"] = reasons
+        self._json("readyz", 200 if ready else 503, document)
+
     def _metrics(self) -> None:
         text = self.server.client.metrics.render()
         self._count("metrics", 200)
@@ -143,13 +316,19 @@ class _Handler(BaseHTTPRequestHandler):
     def _job_status(self, job_id: str) -> None:
         job = self.server.client.job(job_id)
         if job is None:
-            self._error("jobs", 404, f"unknown job {job_id!r}")
+            self._error("jobs", 404, f"unknown job {job_id!r}",
+                        "not_found")
             return
         self._json("jobs", 200, job.snapshot())
 
     def _estimate(self, url) -> None:
         endpoint = "estimate"
         client = self.server.client
+        if self.server.draining:
+            self._error(endpoint, 503,
+                        "server is draining; not accepting new work",
+                        "draining")
+            return
         try:
             body = self._read_body()
             query = parse_qs(url.query)
@@ -161,16 +340,17 @@ class _Handler(BaseHTTPRequestHandler):
                 timeout = float(timeout)
             request = EstimateRequest.from_dict(body)
         except ConfigurationError as exc:
-            self._error(endpoint, 400, str(exc))
+            self._error(endpoint, 400, str(exc), "bad_request")
             return
         except (TypeError, ValueError) as exc:
-            self._error(endpoint, 400, f"invalid request: {exc}")
+            self._error(endpoint, 400, f"invalid request: {exc}",
+                        "bad_request")
             return
 
         try:
             job = client.submit(request, timeout=timeout)
         except QueueFullError as exc:
-            self._error(endpoint, 429, str(exc))
+            self._error(endpoint, 429, str(exc), "queue_full")
             return
 
         if run_async:
@@ -178,16 +358,27 @@ class _Handler(BaseHTTPRequestHandler):
                        {"job_id": job.id, "state": job.state})
             return
 
+        # Wait past the job's own deadline: a deadline-bound job is
+        # guaranteed to terminate (cooperative abort or supervisor
+        # abandonment), and the caller should see the typed deadline
+        # failure, not this handler's patience running out first.
+        patience = None if timeout is None else timeout + 30.0
         try:
-            estimate = client.wait(job, timeout=timeout)
+            estimate = client.wait(job, timeout=patience)
+        except DeadlineExceeded as exc:
+            self._error(endpoint, 504, str(exc), "deadline")
+            return
         except JobTimeoutError as exc:
-            self._error(endpoint, 504, str(exc))
+            self._error(endpoint, 504, str(exc), "timeout")
+            return
+        except JobCancelledError as exc:
+            self._error(endpoint, 502, str(exc), "cancelled")
             return
         except JobFailedError as exc:
-            self._error(endpoint, 502, str(exc))
+            self._error(endpoint, 502, str(exc), "failed")
             return
-        except ReproError as exc:  # cancelled, or other deliberate failure
-            self._error(endpoint, 502, str(exc))
+        except ReproError as exc:  # other deliberate service failure
+            self._error(endpoint, 502, str(exc), "failed")
             return
         self._json(endpoint, 200, {
             "job_id": job.id,

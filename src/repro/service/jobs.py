@@ -51,6 +51,19 @@ class JobFailedError(ServiceError):
     """A job's computation raised; the message carries the cause."""
 
 
+class DeadlineExceeded(JobTimeoutError, JobFailedError):
+    """The *job's own* deadline lapsed before it produced a result.
+
+    Distinct from a caller's ``wait(timeout=...)`` patience running out
+    (plain :class:`JobTimeoutError`, job still in flight): here the job
+    itself is terminally failed — expired in queue, aborted at a
+    pipeline stage boundary, or abandoned by the supervisor after a
+    hang. Subclasses both :class:`JobTimeoutError` and
+    :class:`JobFailedError` so pre-existing handlers for either keep
+    working; catch ``DeadlineExceeded`` first for the precise case.
+    """
+
+
 class JobState:
     """String states of the job lifecycle."""
 
@@ -160,6 +173,13 @@ class EstimateRequest:
         Scheduling priority (higher runs first). **Not** part of the
         content hash — priority affects *when* a job runs, never what it
         computes — so jobs differing only in priority coalesce.
+    allow_degraded:
+        Whether a failing or deadline-starved ``method="exact"`` run may
+        fall back to the O(1) Random-Gate estimate (marked
+        ``details["degraded"]=True``; see ``docs/RELIABILITY.md``).
+        Also excluded from the content hash: degraded results are never
+        cached, so when no degradation fires the computation is
+        identical either way.
     """
 
     n_cells: int
@@ -175,6 +195,7 @@ class EstimateRequest:
     cells: Optional[Tuple[str, ...]] = None
     simplified_correlation: Optional[bool] = None
     priority: int = 0
+    allow_degraded: bool = True
 
     def __post_init__(self) -> None:
         if int(self.n_cells) < 1:
@@ -234,6 +255,7 @@ class EstimateRequest:
             object.__setattr__(self, "simplified_correlation",
                                bool(self.simplified_correlation))
         object.__setattr__(self, "priority", int(self.priority))
+        object.__setattr__(self, "allow_degraded", bool(self.allow_degraded))
 
     # -- canonicalization / content addressing ---------------------------
 
@@ -296,9 +318,10 @@ class EstimateRequest:
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Wire format: the canonical content plus the priority."""
+        """Wire format: the canonical content plus the non-hashed knobs."""
         document = self.canonical_dict()
         document["priority"] = self.priority
+        document["allow_degraded"] = self.allow_degraded
         return document
 
     @classmethod
@@ -347,12 +370,19 @@ class Job:
         self.finished_at: Optional[float] = None
         self.result = None
         self.error: Optional[str] = None
+        #: Failure taxonomy: ``deadline`` | ``cancelled`` | ``crash`` |
+        #: ``error`` | ``shutdown`` (None while unfinished / on success).
+        #: ``wait()`` callers use it to raise the matching typed error.
+        self.error_kind: Optional[str] = None
         #: Monotonic-clock deadline (``time.monotonic()`` units), or None.
         self.deadline = deadline
         #: How many submissions this job absorbed beyond the first.
         self.coalesced = 0
+        #: How many times a worker crash sent this job back to the queue.
+        self.requeues = 0
         self._done = threading.Event()
         self._cancel = threading.Event()
+        self._finish_lock = threading.Lock()
 
     # -- cooperative cancellation / deadline ------------------------------
 
@@ -369,7 +399,13 @@ class Job:
         if self._cancel.is_set():
             raise JobCancelledError(f"job {self.id} was cancelled")
         if self.deadline is not None and time.monotonic() > self.deadline:
-            raise JobTimeoutError(f"job {self.id} exceeded its deadline")
+            raise DeadlineExceeded(f"job {self.id} exceeded its deadline")
+
+    def time_remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None when the job has none)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
 
     # -- state transitions (driven by the scheduler) ----------------------
 
@@ -377,13 +413,31 @@ class Job:
         self.state = JobState.RUNNING
         self.started_at = time.time()
 
-    def finish(self, state: str, result=None,
-               error: Optional[str] = None) -> None:
-        self.state = state
-        self.result = result
-        self.error = error
-        self.finished_at = time.time()
-        self._done.set()
+    def requeue(self) -> None:
+        """Send the job back to the queue after its worker crashed."""
+        self.state = JobState.QUEUED
+        self.started_at = None
+        self.requeues += 1
+
+    def finish(self, state: str, result=None, error: Optional[str] = None,
+               kind: Optional[str] = None) -> bool:
+        """Finish the job exactly once; False when already finished.
+
+        Idempotence matters under supervision: an abandoned (hung)
+        worker may eventually complete its computation after the
+        supervisor already failed the job — the late outcome must be
+        dropped, not overwrite the terminal state waiters observed.
+        """
+        with self._finish_lock:
+            if self._done.is_set():
+                return False
+            self.state = state
+            self.result = result
+            self.error = error
+            self.error_kind = kind
+            self.finished_at = time.time()
+            self._done.set()
+            return True
 
     @property
     def finished(self) -> bool:
@@ -406,10 +460,13 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "coalesced": self.coalesced,
+            "requeues": self.requeues,
             "request": self.request.to_dict(),
         }
         if self.error is not None:
             document["error"] = self.error
+        if self.error_kind is not None:
+            document["error_kind"] = self.error_kind
         if self.result is not None:
             document["estimate"] = self.result.to_dict()
         return document

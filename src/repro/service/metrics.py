@@ -28,6 +28,13 @@ DEFAULT_BUCKETS = (
     1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
+#: Byte-size buckets — request documents run from a few hundred bytes
+#: (geometry only) through ~1 MiB (full usage histograms); the HTTP
+#: layer caps bodies at 1 MiB, so the top finite bucket marks the cap.
+SIZE_BUCKETS = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+)
+
 _LabelKey = Tuple[str, ...]
 
 

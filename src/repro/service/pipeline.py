@@ -16,11 +16,25 @@ The pipeline is thread-safe and shared by every scheduler worker; the
 cache provides the synchronization. Between stages it polls the job's
 cooperative cancellation/deadline hook, which is what makes scheduler
 timeouts and cancellation effective mid-request.
+
+Graceful degradation: when a ``method="exact"`` request — the O(n^2)
+pairwise cross-check engine — fails mid-estimate or would blow its
+deadline (predicted from an EWMA of recent exact-stage durations), the
+pipeline falls back to the O(1) Random-Gate ``integral2d`` closed form,
+which Table 1 of the paper bounds within ~2% of the exact std. The
+fallback result carries ``details["degraded"] = True`` plus a
+``degradation_reason``, is counted in
+``repro_degraded_results_total{reason=...}``, and is **never cached** —
+the cache only ever holds the true answer for a key. Degradation is
+scoped to ``method="exact"`` (every other method *is* already a
+closed-form RG estimate) and can be refused per-request via
+``allow_degraded=False``.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Optional
@@ -41,7 +55,16 @@ from repro.service.cache import (
     TIER_ESTIMATE,
     TIER_RG,
 )
-from repro.service.jobs import EstimateRequest, Job
+from repro.service.faults import SITE_COMPUTE_HANG, FaultInjector
+from repro.service.jobs import (
+    EstimateRequest,
+    Job,
+    JobCancelledError,
+    JobTimeoutError,
+)
+
+#: The degraded-mode estimator: the O(1) eq. (20) closed form.
+FALLBACK_METHOD = "integral2d"
 
 
 class EstimationPipeline:
@@ -61,15 +84,29 @@ class EstimationPipeline:
         The standard-cell library to characterize; defaults to
         :func:`repro.cells.library.build_library` (constructed once and
         shared read-only across workers).
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`; the
+        ``compute.hang`` site stalls the estimate stage.
+    degrade_safety:
+        Headroom multiplier for the deadline prediction: an exact run
+        is pre-empted when the time remaining is under
+        ``degrade_safety *`` (EWMA of recent exact durations).
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
-                 metrics=None, library=None) -> None:
+                 metrics=None, library=None,
+                 faults: Optional[FaultInjector] = None,
+                 degrade_safety: float = 1.0) -> None:
         self.cache = ResultCache() if cache is None else cache
         self.library = build_library() if library is None else library
+        self.degrade_safety = float(degrade_safety)
+        self._faults = faults
+        self._ewma_lock = threading.Lock()
+        self._exact_seconds_ewma: Optional[float] = None
         self._stage_seconds = None
         self._request_seconds = None
         self._requests = None
+        self._degraded_total = None
         if metrics is not None:
             self._stage_seconds = metrics.histogram(
                 "repro_stage_seconds",
@@ -84,6 +121,11 @@ class EstimationPipeline:
                 "repro_pipeline_requests_total",
                 "Pipeline executions by outcome.",
                 labelnames=("outcome",))
+            self._degraded_total = metrics.counter(
+                "repro_degraded_results_total",
+                "Requests answered by the RG fallback instead of the "
+                "requested exact engine, by cause.",
+                labelnames=("reason",))
 
     @contextmanager
     def _timed(self, stage: str):
@@ -137,6 +179,45 @@ class EstimationPipeline:
         self.cache.put(TIER_RG, key, components)
         return components
 
+    # -- degraded mode ----------------------------------------------------
+
+    def _note_exact_duration(self, seconds: float) -> None:
+        with self._ewma_lock:
+            previous = self._exact_seconds_ewma
+            self._exact_seconds_ewma = (
+                seconds if previous is None
+                else 0.5 * seconds + 0.5 * previous)
+
+    def _predicted_exact_seconds(self) -> Optional[float]:
+        with self._ewma_lock:
+            return self._exact_seconds_ewma
+
+    def _would_blow_deadline(self, request: EstimateRequest,
+                             job: Optional[Job]) -> bool:
+        """Pre-empt an exact run that is predicted to miss its deadline."""
+        if job is None:
+            return False
+        remaining = job.time_remaining()
+        if remaining is None:
+            return False
+        if remaining <= 0:
+            return True
+        predicted = self._predicted_exact_seconds()
+        return (predicted is not None
+                and remaining < predicted * self.degrade_safety)
+
+    def _degraded_estimate(self, estimator: FullChipLeakageEstimator,
+                           request: EstimateRequest, reason: str,
+                           reason_label: str) -> LeakageEstimate:
+        with self._timed("degraded"):
+            estimate = estimator.estimate(FALLBACK_METHOD)
+        if self._degraded_total is not None:
+            self._degraded_total.inc(reason=reason_label)
+        return estimate.with_details(
+            degraded=True,
+            degradation_reason=reason,
+            requested_method=request.method)
+
     # -- entry point ------------------------------------------------------
 
     def __call__(self, request: EstimateRequest,
@@ -159,21 +240,62 @@ class EstimationPipeline:
         self._heartbeat(job)
         components = self._components(request, characterization)
         self._heartbeat(job)
-        with self._timed("estimate"):
-            estimator = FullChipLeakageEstimator(
-                characterization,
-                self._usage(request, characterization),
-                request.n_cells,
-                request.width_mm * 1e-3,
-                request.height_mm * 1e-3,
-                components=components)
-            estimate = estimator.estimate(
-                request.method, n_jobs=request.n_jobs,
-                tolerance=request.tolerance)
-        self.cache.put(TIER_ESTIMATE, key, estimate,
-                       payload=estimate.to_dict())
-        if self._requests is not None:
-            self._requests.inc(outcome="computed")
+        estimator = FullChipLeakageEstimator(
+            characterization,
+            self._usage(request, characterization),
+            request.n_cells,
+            request.width_mm * 1e-3,
+            request.height_mm * 1e-3,
+            components=components)
+
+        may_degrade = request.method == "exact" and request.allow_degraded
+        estimate = None
+        degraded_reason = None
+        degraded_label = None
+        if may_degrade and self._would_blow_deadline(request, job):
+            degraded_reason = ("deadline too tight for the exact engine "
+                               "(predicted to exceed it)")
+            degraded_label = "deadline_predicted"
+        else:
+            try:
+                if self._faults is not None:
+                    self._faults.hang(SITE_COMPUTE_HANG)
+                self._heartbeat(job)
+                stage_start = time.perf_counter()
+                with self._timed("estimate"):
+                    estimate = estimator.estimate(
+                        request.method, n_jobs=request.n_jobs,
+                        tolerance=request.tolerance)
+                if request.method == "exact":
+                    self._note_exact_duration(
+                        time.perf_counter() - stage_start)
+            except JobCancelledError:
+                raise  # an explicit cancel is never answered degraded
+            except JobTimeoutError:
+                if not may_degrade:
+                    raise
+                degraded_reason = ("deadline exceeded before the exact "
+                                   "engine finished")
+                degraded_label = "deadline"
+            except Exception as exc:  # noqa: BLE001 - degradation boundary
+                if not may_degrade:
+                    raise
+                degraded_reason = (f"exact engine failed: "
+                                   f"{type(exc).__name__}: {exc}")
+                degraded_label = "exact_failed"
+
+        if degraded_reason is not None:
+            estimate = self._degraded_estimate(
+                estimator, request, degraded_reason, degraded_label)
+            # Never cached: the entry for this key must only ever hold
+            # the true exact answer.
+            if self._requests is not None:
+                self._requests.inc(outcome="degraded")
+        else:
+            self.cache.put(TIER_ESTIMATE, key, estimate,
+                           payload=estimate.to_dict())
+            if self._requests is not None:
+                self._requests.inc(outcome="computed")
         if self._request_seconds is not None:
             self._request_seconds.observe(time.perf_counter() - start,
                                           method=estimate.method)

@@ -1,11 +1,12 @@
-"""Worker-pool scheduler: priority queue, coalescing, backpressure.
+"""Worker-pool scheduler: priority queue, coalescing, backpressure,
+supervision.
 
 Jobs are drained by a :class:`repro.parallel.ThreadWorkerPool` — threads
 rather than processes, because the estimator kernels are numpy-bound
 (GIL-releasing) and each job can still fan its inner block loops out
 over the shared-memory process pool via the request's ``n_jobs``.
 
-Three serving behaviors live here:
+Serving behaviors that live here:
 
 * **request coalescing** — submissions whose content hash matches an
   in-flight (queued or running) job attach to that job instead of
@@ -17,10 +18,20 @@ Three serving behaviors live here:
   or retry, instead of stacking unbounded memory.
 * **deadlines and cancellation** — a per-job timeout (submit argument
   or scheduler default) sets a monotonic deadline checked when the job
-  is dequeued and again between pipeline stages; :meth:`cancel` flags a
-  job cooperatively. Waiting with :meth:`wait(timeout=...)` is
-  independent: it bounds the caller's patience without killing the job
-  (coalesced waiters may still want the result).
+  is dequeued and again between pipeline stages; exceeding it fails the
+  job with the typed :class:`~repro.service.jobs.DeadlineExceeded`.
+  :meth:`cancel` flags a job cooperatively. Waiting with
+  :meth:`wait(timeout=...)` is independent: it bounds the caller's
+  patience without killing the job (coalesced waiters may still want
+  the result).
+* **worker supervision** — a crashed worker (its loop died on an
+  exception, e.g. an injected ``worker.crash`` fault) requeues the job
+  it held (up to ``max_requeues`` times) and is replaced by a fresh
+  thread; a *hung* worker — one still computing past its job's deadline
+  plus ``hang_grace`` — is abandoned: the job fails with
+  ``DeadlineExceeded`` so no waiter blocks forever, a replacement
+  worker restores capacity, and the stuck thread's eventual late result
+  is dropped by the job's idempotent ``finish``.
 """
 
 from __future__ import annotations
@@ -30,11 +41,13 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.api import LeakageEstimate
 from repro.parallel import ThreadWorkerPool
+from repro.service.faults import SITE_WORKER_CRASH, FaultInjector
 from repro.service.jobs import (
+    DeadlineExceeded,
     EstimateRequest,
     Job,
     JobCancelledError,
@@ -46,7 +59,7 @@ from repro.service.jobs import (
 
 
 class EstimationScheduler:
-    """Bounded priority scheduler over a thread worker pool.
+    """Bounded priority scheduler over a supervised thread worker pool.
 
     Parameters
     ----------
@@ -64,18 +77,40 @@ class EstimationScheduler:
         Optional registry for queue-depth gauge and job counters.
     job_history:
         How many finished jobs stay resolvable by id for status polls.
+    max_requeues:
+        How many times a job survives its worker crashing before it is
+        failed for good (requeues bypass the queue limit — the job
+        already held a slot).
+    hang_grace:
+        Seconds past a job's deadline before the supervisor declares
+        its worker hung and abandons it. Generous by default:
+        abandonment is a last resort, and a worker that lapsed its
+        deadline cooperatively still needs time to finish the degraded
+        RG fallback or unwind cleanly.
+    supervise_interval:
+        Supervisor sweep period in seconds.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`; the
+        ``worker.crash`` site fires between dequeue and compute.
     """
 
     def __init__(self, compute: Callable[[EstimateRequest, Job],
                                          LeakageEstimate],
                  workers: int = 2, queue_limit: int = 64,
                  default_timeout: Optional[float] = None,
-                 metrics=None, job_history: int = 1024) -> None:
+                 metrics=None, job_history: int = 1024,
+                 max_requeues: int = 2,
+                 hang_grace: float = 1.0,
+                 supervise_interval: float = 0.05,
+                 faults: Optional[FaultInjector] = None) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit!r}")
         self._compute = compute
         self.queue_limit = int(queue_limit)
         self.default_timeout = default_timeout
+        self.max_requeues = int(max_requeues)
+        self.hang_grace = float(hang_grace)
+        self._faults = faults
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
         self._heap: List[Tuple[int, int, Job]] = []
@@ -84,10 +119,17 @@ class EstimationScheduler:
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._job_history = int(job_history)
         self._closed = False
+        #: thread ident -> the job that worker is currently computing.
+        self._active: Dict[int, Job] = {}
+        #: idents the supervisor gave up on; their loops exit on return.
+        self._abandoned: Set[int] = set()
 
         self._queue_depth = None
         self._jobs_total = None
         self._coalesced_total = None
+        self._requeued_total = None
+        self._restarts_total = None
+        self._hung_total = None
         if metrics is not None:
             self._queue_depth = metrics.gauge(
                 "repro_queue_depth", "Jobs queued, not yet running.")
@@ -99,12 +141,27 @@ class EstimationScheduler:
                 "Submissions absorbed by an identical in-flight job.")
             self._workers_gauge = metrics.gauge(
                 "repro_workers_alive", "Live scheduler worker threads.")
+            self._requeued_total = metrics.counter(
+                "repro_requeued_jobs_total",
+                "Jobs requeued after their worker crashed.")
+            self._restarts_total = metrics.counter(
+                "repro_worker_restarts_total",
+                "Replacement worker threads started by supervision.")
+            self._hung_total = metrics.counter(
+                "repro_hung_workers_total",
+                "Workers abandoned for computing past a job deadline.")
         else:
             self._workers_gauge = None
 
         self._pool = ThreadWorkerPool(self._worker_loop, n_workers=workers,
-                                      name="repro-estimator")
+                                      name="repro-estimator", restart=True,
+                                      on_crash=self._on_worker_crash)
         self._update_worker_gauge()
+        self._supervision_stop = threading.Event()
+        self._supervise_interval = float(supervise_interval)
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="repro-supervisor", daemon=True)
+        self._supervisor.start()
 
     # -- submission -------------------------------------------------------
 
@@ -157,7 +214,9 @@ class EstimationScheduler:
 
         Raises :class:`JobTimeoutError` when ``timeout`` elapses first —
         the job itself keeps running (other waiters may be coalesced
-        onto it); cancel it explicitly to stop the computation.
+        onto it); cancel it explicitly to stop the computation. A job
+        that failed because *its own* deadline lapsed raises the typed
+        :class:`DeadlineExceeded` instead.
         """
         if not job.wait(timeout):
             raise JobTimeoutError(
@@ -167,6 +226,9 @@ class EstimationScheduler:
             return job.result
         if job.state == JobState.CANCELLED:
             raise JobCancelledError(job.error or f"job {job.id} cancelled")
+        if job.error_kind == "deadline":
+            raise DeadlineExceeded(
+                job.error or f"job {job.id} exceeded its deadline")
         raise JobFailedError(job.error or f"job {job.id} failed")
 
     def job(self, job_id: str) -> Optional[Job]:
@@ -193,9 +255,23 @@ class EstimationScheduler:
         return self._pool.alive_count
 
     @property
+    def worker_restarts(self) -> int:
+        return self._pool.restarts
+
+    @property
     def inflight_count(self) -> int:
         with self._lock:
             return len(self._inflight)
+
+    @property
+    def saturated(self) -> bool:
+        """True while the bounded queue would reject a new submission."""
+        with self._lock:
+            return self._closed or len(self._heap) >= self.queue_limit
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- lifecycle --------------------------------------------------------
 
@@ -214,8 +290,12 @@ class EstimationScheduler:
         for job in pending:
             if not job.finished:
                 self._retire(job, JobState.CANCELLED,
-                             error="scheduler shut down before the job ran")
+                             error="scheduler shut down before the job ran",
+                             kind="shutdown")
+        self._supervision_stop.set()
         self._pool.stop(join=wait)
+        if wait:
+            self._supervisor.join(timeout=5.0)
         self._update_worker_gauge()
 
     def __enter__(self) -> "EstimationScheduler":
@@ -253,13 +333,82 @@ class EstimationScheduler:
             return None
 
     def _retire(self, job: Job, state: str, result=None,
-                error: Optional[str] = None) -> None:
-        job.finish(state, result=result, error=error)
+                error: Optional[str] = None,
+                kind: Optional[str] = None) -> bool:
+        if not job.finish(state, result=result, error=error, kind=kind):
+            return False  # someone (e.g. the supervisor) beat us to it
         with self._lock:
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
         if self._jobs_total is not None:
             self._jobs_total.inc(state=state)
+        return True
+
+    def _requeue_or_fail(self, job: Job, cause: str) -> None:
+        """After a worker crash: give the job another chance, or fail it."""
+        job.requeue()
+        if job.requeues > self.max_requeues:
+            self._retire(
+                job, JobState.FAILED, kind="crash",
+                error=f"worker crashed {job.requeues}x running {job.id} "
+                      f"(last: {cause}); giving up")
+            return
+        with self._work_available:
+            if self._closed:
+                pass  # fall through to retire below
+            else:
+                # Requeues bypass the queue limit: the job already held
+                # a slot, and dropping it would turn one crash into a
+                # lost request.
+                heapq.heappush(self._heap,
+                               (-job.priority, next(self._seq), job))
+                self._set_queue_depth()
+                self._work_available.notify()
+                if self._requeued_total is not None:
+                    self._requeued_total.inc()
+                return
+        self._retire(job, JobState.CANCELLED, kind="shutdown",
+                     error="scheduler shut down while the job was requeued")
+
+    def _on_worker_crash(self, exc: BaseException) -> None:
+        """Pool crash callback — runs in the dying worker thread."""
+        ident = threading.get_ident()
+        with self._lock:
+            job = self._active.pop(ident, None)
+            self._abandoned.discard(ident)
+        if self._restarts_total is not None:
+            self._restarts_total.inc()
+        if job is not None and not job.finished:
+            self._requeue_or_fail(job, f"{type(exc).__name__}: {exc}")
+
+    def _supervise_loop(self) -> None:
+        """Periodic sweep: restart dead workers, abandon hung ones."""
+        while not self._supervision_stop.wait(self._supervise_interval):
+            restarted = self._pool.ensure_workers()
+            if restarted and self._restarts_total is not None:
+                self._restarts_total.inc(restarted)
+            now = time.monotonic()
+            with self._lock:
+                hung = [(ident, job) for ident, job in self._active.items()
+                        if job.deadline is not None
+                        and now > job.deadline + self.hang_grace
+                        and not job.finished]
+            for ident, job in hung:
+                with self._lock:
+                    if self._active.get(ident) is not job:
+                        continue  # the worker just finished it
+                    del self._active[ident]
+                    self._abandoned.add(ident)
+                self._retire(
+                    job, JobState.FAILED, kind="deadline",
+                    error=f"job {job.id} exceeded its deadline; worker "
+                          "unresponsive, abandoned and replaced")
+                if self._hung_total is not None:
+                    self._hung_total.inc()
+                replacement = self._pool.replace(ident)
+                if replacement is not None and self._restarts_total is not None:
+                    self._restarts_total.inc()
+            self._update_worker_gauge()
 
     def _worker_loop(self, stop: threading.Event) -> None:
         while True:
@@ -267,22 +416,44 @@ class EstimationScheduler:
             if job is None:
                 return
             if job.cancel_requested:
-                self._retire(job, JobState.CANCELLED,
+                self._retire(job, JobState.CANCELLED, kind="cancelled",
                              error="cancelled while queued")
                 continue
             if job.deadline is not None and time.monotonic() > job.deadline:
-                self._retire(job, JobState.FAILED,
-                             error="deadline exceeded while queued")
+                self._retire(job, JobState.FAILED, kind="deadline",
+                             error=f"job {job.id} exceeded its deadline "
+                                   "while queued")
                 continue
             job.mark_running()
+            ident = threading.get_ident()
+            with self._lock:
+                self._active[ident] = job
+            if self._faults is not None:
+                # Outside the isolation try-block below: an injected
+                # crash must kill this worker loop the way a real
+                # defect in the drain plumbing would, exercising the
+                # requeue-and-restart path rather than job failure.
+                self._faults.crash(SITE_WORKER_CRASH)
             try:
                 result = self._compute(job.request, job)
             except JobCancelledError as exc:
-                self._retire(job, JobState.CANCELLED, error=str(exc))
+                self._retire(job, JobState.CANCELLED, error=str(exc),
+                             kind="cancelled")
+            except DeadlineExceeded as exc:
+                self._retire(job, JobState.FAILED, error=str(exc),
+                             kind="deadline")
             except JobTimeoutError as exc:
-                self._retire(job, JobState.FAILED, error=str(exc))
+                self._retire(job, JobState.FAILED, error=str(exc),
+                             kind="deadline")
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
-                self._retire(job, JobState.FAILED,
+                self._retire(job, JobState.FAILED, kind="error",
                              error=f"{type(exc).__name__}: {exc}")
             else:
                 self._retire(job, JobState.DONE, result=result)
+            finally:
+                with self._lock:
+                    self._active.pop(ident, None)
+                    abandoned = ident in self._abandoned
+                    self._abandoned.discard(ident)
+            if abandoned:
+                return  # a replacement took over; exit quietly

@@ -176,3 +176,78 @@ class TestConcurrency:
             for item in range(per_thread):
                 assert cache.get(
                     TIER_ESTIMATE, f"k-{thread_index}-{item}") == item
+
+
+class TestIntegrity:
+    """Checksummed disk entries: tampering is detected, quarantined,
+    and answered with a MISS — never with corrupt data."""
+
+    def _edit_entry(self, tmp_path, mutate):
+        path = tmp_path / TIER_ESTIMATE / "k.json"
+        document = json.loads(path.read_text())
+        mutate(document)
+        path.write_text(json.dumps(document))
+
+    def test_tampered_payload_fails_checksum_and_quarantines(self, tmp_path):
+        cache = ResultCache(persist_dir=str(tmp_path))
+        cache.put(TIER_ESTIMATE, "k", {"mean": 1.0}, payload={"mean": 1.0})
+        self._edit_entry(tmp_path, lambda doc: doc["payload"].update(
+            mean=2.0))  # flip a number, keep valid JSON
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, "k") is MISS
+        assert cache.stats()[TIER_ESTIMATE]["corruptions"] == 1
+        quarantine = tmp_path / "quarantine"
+        assert quarantine.exists()
+        quarantined = list(quarantine.iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith(f"{TIER_ESTIMATE}.k.")
+        # The original slot is free for a clean recompute.
+        assert not (tmp_path / TIER_ESTIMATE / "k.json").exists()
+        cache.put(TIER_ESTIMATE, "k", {"mean": 1.0}, payload={"mean": 1.0})
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, "k") == {"mean": 1.0}
+
+    def test_stale_stamp_is_dropped_not_quarantined(self, tmp_path):
+        cache = ResultCache(persist_dir=str(tmp_path))
+        cache.put(TIER_ESTIMATE, "k", {"v": 1}, payload={"v": 1})
+        self._edit_entry(tmp_path, lambda doc: doc.update(
+            stamp="other-revision"))
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, "k") is MISS
+        assert cache.stats()[TIER_ESTIMATE]["corruptions"] == 0
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_injected_torn_write_is_caught_on_read(self, tmp_path):
+        from repro.service.faults import (
+            FaultInjector, FaultRule, SITE_CACHE_WRITE)
+
+        faults = FaultInjector({SITE_CACHE_WRITE: FaultRule(1.0, 1)})
+        cache = ResultCache(persist_dir=str(tmp_path), faults=faults)
+        cache.put(TIER_ESTIMATE, "k", {"v": 1}, payload={"v": 1})  # torn
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, "k") is MISS  # detected, not trusted
+        assert cache.stats()[TIER_ESTIMATE]["corruptions"] == 1
+        cache.put(TIER_ESTIMATE, "k", {"v": 1}, payload={"v": 1})  # clean
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, "k") == {"v": 1}
+
+    def test_injected_read_corruption_quarantines(self, tmp_path):
+        from repro.service.faults import (
+            FaultInjector, FaultRule, SITE_CACHE_READ)
+
+        clean = ResultCache(persist_dir=str(tmp_path))
+        clean.put(TIER_ESTIMATE, "k", {"v": 1}, payload={"v": 1})
+        faults = FaultInjector({SITE_CACHE_READ: FaultRule(1.0, 1)})
+        cache = ResultCache(persist_dir=str(tmp_path), faults=faults,
+                            metrics=(registry := MetricsRegistry()))
+        assert cache.get(TIER_ESTIMATE, "k") is MISS
+        counter = registry.get("repro_cache_corruptions_total")
+        assert counter.value(tier=TIER_ESTIMATE) == 1
+
+    def test_checksum_is_key_order_independent(self):
+        from repro.service.cache import payload_checksum
+
+        assert (payload_checksum({"a": 1, "b": 2})
+                == payload_checksum({"b": 2, "a": 1}))
+        assert (payload_checksum({"a": 1})
+                != payload_checksum({"a": 2}))

@@ -1,0 +1,215 @@
+"""Chaos suite: seeded fault storms through the full service stack.
+
+The contract under injected faults: every request **terminates** —
+within its deadline when it has one — and its answer is either
+bit-identical to the fault-free reference or explicitly flagged
+degraded. Faults may cost retries and latency; they may never silently
+change a number.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, create_server
+from repro.service.cache import TIER_ESTIMATE
+from repro.service.client import RemoteClient, RetryPolicy
+from repro.service.faults import (
+    FaultInjector,
+    FaultRule,
+    SITE_CACHE_READ,
+    SITE_CACHE_WRITE,
+    SITE_HTTP_DISCONNECT,
+    SITE_WORKER_CRASH,
+)
+from repro.service.jobs import EstimateRequest
+
+from .conftest import CELLS
+
+CHAOS_SEED = 1729
+
+
+def chaos_request(n_cells):
+    return EstimateRequest(
+        n_cells=n_cells, width_mm=0.6, height_mm=0.6,
+        usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+        method="linear")
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Fault-free results to compare every chaos answer against."""
+    with ServiceClient(workers=1) as client:
+        return {n: client.estimate(chaos_request(n), timeout=120.0)
+                for n in (900, 1000, 1100)}
+
+
+class TestServiceChaos:
+    def test_crashes_and_cache_corruption_never_change_results(
+            self, reference, tmp_path):
+        """Worker crashes + corrupted cache entries: every request still
+        returns the bit-identical answer (recovery, not wrong data)."""
+        faults = FaultInjector({
+            SITE_WORKER_CRASH: FaultRule(1.0, 2),
+            SITE_CACHE_WRITE: FaultRule(1.0, 1),
+            SITE_CACHE_READ: FaultRule(0.5, 2),
+        }, seed=CHAOS_SEED)
+        with ServiceClient(workers=2, cache_dir=str(tmp_path),
+                           faults=faults) as client:
+            cold = {n: client.estimate(chaos_request(n), timeout=120.0)
+                    for n in (900, 1000, 1100)}
+            warm = {n: client.estimate(chaos_request(n), timeout=120.0)
+                    for n in (900, 1000, 1100)}
+            stats = client.cache_stats()
+        for n, expected in reference.items():
+            assert cold[n].to_dict() == expected.to_dict(), (
+                f"chaos changed the n_cells={n} result")
+            assert warm[n].to_dict() == expected.to_dict()
+        # The storm actually happened: workers crashed and at least one
+        # cache entry was quarantined or torn.
+        assert faults.fires(SITE_WORKER_CRASH) == 2
+        assert faults.fires(SITE_CACHE_WRITE) == 1
+        total_corruptions = sum(tier["corruptions"]
+                                for tier in stats.values())
+        assert total_corruptions >= 0  # reads may hit memory tier first
+        assert stats[TIER_ESTIMATE]["hits"] >= 1  # warm pass served hot
+
+    def test_corrupted_disk_entries_recompute_identically(
+            self, reference, tmp_path):
+        """Every disk read corrupted: all answers recomputed, all
+        bit-identical, every bad entry quarantined not trusted."""
+        seeder = ServiceClient(workers=1, cache_dir=str(tmp_path))
+        try:
+            seeder.estimate(chaos_request(900), timeout=120.0)
+        finally:
+            seeder.close()
+        faults = FaultInjector({SITE_CACHE_READ: FaultRule(1.0, 4)},
+                               seed=CHAOS_SEED)
+        with ServiceClient(workers=1, cache_dir=str(tmp_path),
+                           faults=faults) as client:
+            result = client.estimate(chaos_request(900), timeout=120.0)
+            stats = client.cache_stats()
+        assert result.to_dict() == reference[900].to_dict()
+        total_corruptions = sum(tier["corruptions"]
+                                for tier in stats.values())
+        assert total_corruptions >= 1
+        quarantine = tmp_path / "quarantine"
+        assert quarantine.exists() and any(quarantine.iterdir())
+
+
+@pytest.fixture()
+def flaky_http_server():
+    """A server that drops the first two HTTP responses on the floor."""
+    faults = FaultInjector({SITE_HTTP_DISCONNECT: FaultRule(1.0, 2)},
+                           seed=CHAOS_SEED)
+    client = ServiceClient(workers=2, faults=faults)
+    http_server = create_server(client, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{http_server.server_address[1]}"
+    try:
+        yield base, faults
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        thread.join(timeout=5.0)
+        client.close()
+
+
+class TestHTTPChaos:
+    def test_dropped_connections_are_retried_transparently(
+            self, reference, flaky_http_server):
+        base, faults = flaky_http_server
+        remote = RemoteClient(
+            base, retry=RetryPolicy(max_attempts=5, base=0.01),
+            retry_seed=CHAOS_SEED)
+        result = remote.estimate(chaos_request(1000), timeout=120.0)
+        assert result.to_dict() == reference[1000].to_dict()
+        assert faults.fires(SITE_HTTP_DISCONNECT) == 2
+        assert remote.retries >= 1
+
+    def test_no_retry_client_surfaces_the_disconnect(self, flaky_http_server):
+        from repro.exceptions import ServiceError
+        from repro.service.client import NO_RETRY
+
+        base, _ = flaky_http_server
+        remote = RemoteClient(base, retry=NO_RETRY, breaker=False)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            remote.estimate(chaos_request(1000), timeout=120.0)
+
+
+def exact_request(n_cells=900, **overrides):
+    base = dict(
+        n_cells=n_cells, width_mm=0.6, height_mm=0.6,
+        usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+        method="exact")
+    base.update(overrides)
+    return EstimateRequest(**base)
+
+
+class TestGracefulDegradation:
+    def test_predicted_deadline_miss_falls_back_to_rg(self):
+        """An exact run predicted (EWMA) to blow its deadline is answered
+        by the O(1) RG closed form, flagged, counted, and never cached."""
+        from repro.service.cache import MISS
+
+        with ServiceClient(workers=1) as client:
+            # Teach the predictor that exact runs take ~1000 s.
+            client.pipeline._note_exact_duration(1000.0)
+            request = exact_request()
+            job = client.submit(request, timeout=30.0)
+            degraded = client.wait(job, timeout=120.0)
+            assert degraded.degraded
+            assert degraded.method == "integral2d"
+            assert degraded.details["requested_method"] == "exact"
+            assert "deadline" in degraded.degradation_reason
+            # Never cached: the entry must stay reserved for the true
+            # exact answer.
+            assert client.cache.get(TIER_ESTIMATE, request.key()) is MISS
+            text = client.metrics_text()
+            assert 'repro_degraded_results_total{reason=' in text
+            # The fallback numbers are the genuine RG result.
+            rg = client.estimate(exact_request(method="integral2d"),
+                                 timeout=120.0)
+            assert degraded.mean == rg.mean
+            assert degraded.std == rg.std
+
+    def test_exact_failure_falls_back_with_reason(self, monkeypatch):
+        from repro.core.api import FullChipLeakageEstimator
+
+        original = FullChipLeakageEstimator.estimate
+
+        def flaky(self, method="auto", **kwargs):
+            if method == "exact":
+                raise RuntimeError("synthetic engine fault")
+            return original(self, method, **kwargs)
+
+        monkeypatch.setattr(FullChipLeakageEstimator, "estimate", flaky)
+        with ServiceClient(workers=1) as client:
+            result = client.estimate(exact_request(), timeout=120.0)
+        assert result.degraded
+        assert "synthetic engine fault" in result.degradation_reason
+
+    def test_allow_degraded_false_surfaces_the_failure(self, monkeypatch):
+        from repro.core.api import FullChipLeakageEstimator
+        from repro.service.jobs import JobFailedError
+
+        original = FullChipLeakageEstimator.estimate
+
+        def flaky(self, method="auto", **kwargs):
+            if method == "exact":
+                raise RuntimeError("synthetic engine fault")
+            return original(self, method, **kwargs)
+
+        monkeypatch.setattr(FullChipLeakageEstimator, "estimate", flaky)
+        with ServiceClient(workers=1) as client:
+            with pytest.raises(JobFailedError,
+                               match="synthetic engine fault"):
+                client.estimate(exact_request(allow_degraded=False),
+                                timeout=120.0)
+
+    def test_allow_degraded_does_not_change_the_content_hash(self):
+        assert (exact_request().key()
+                == exact_request(allow_degraded=False).key())

@@ -108,3 +108,194 @@ class TestAsyncApi:
                 timeout=120.0)
         assert by_kwargs.mean == by_dict.mean
         assert by_kwargs.std == by_dict.std
+
+
+# -- retry / backoff / circuit breaker (no sockets: scripted transport) --
+
+import io
+import json as _json
+import urllib.error
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.service.client import (
+    NO_RETRY,
+    CircuitBreaker,
+    CircuitOpenError,
+    RemoteClient,
+    RetryPolicy,
+)
+from repro.service.jobs import DeadlineExceeded
+
+
+def http_error(status, body=None, kind=None):
+    if body is None:
+        body = {"error": f"synthetic {status}", "kind": kind}
+    raw = _json.dumps(body).encode("utf-8")
+    return urllib.error.HTTPError(
+        "http://test/v1/estimate", status, "synthetic", {},
+        io.BytesIO(raw))
+
+
+class ScriptedClient(RemoteClient):
+    """A RemoteClient whose transport replays a scripted outcome list.
+
+    Each entry is either an exception instance (raised) or a dict
+    (returned as the JSON reply).
+    """
+
+    def __init__(self, script, **kwargs):
+        kwargs.setdefault("retry", RetryPolicy(max_attempts=4, base=0.0,
+                                               jitter=0.0))
+        kwargs.setdefault("breaker", False)
+        super().__init__("http://scripted", **kwargs)
+        self.script = list(script)
+        self.attempts = 0
+
+    def _attempt(self, method, url, data, headers):
+        self.attempts += 1
+        outcome = self.script.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return _json.dumps(outcome).encode("utf-8"), "application/json"
+
+
+class TestRetryPolicy:
+    def test_connection_errors_are_retried_to_success(self):
+        client = ScriptedClient([
+            ConnectionResetError("boom"),
+            ConnectionResetError("boom again"),
+            {"ok": True},
+        ])
+        assert client._call("GET", "/v1/jobs") == {"ok": True}
+        assert client.attempts == 3
+        assert client.retries == 2
+
+    def test_retriable_statuses_are_retried(self):
+        client = ScriptedClient([http_error(503, kind="draining"),
+                                 {"ok": True}])
+        assert client._call("GET", "/v1/jobs") == {"ok": True}
+        assert client.attempts == 2
+
+    def test_client_errors_are_never_retried(self):
+        client = ScriptedClient([http_error(400, kind="bad_request"),
+                                 {"never": "reached"}])
+        with pytest.raises(ConfigurationError, match="synthetic 400") as err:
+            client._call("POST", "/v1/estimate", body={})
+        assert err.value.status == 400
+        assert err.value.kind == "bad_request"
+        assert client.attempts == 1
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        client = ScriptedClient([ConnectionResetError(f"try {n}")
+                                 for n in range(4)])
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client._call("GET", "/v1/jobs")
+        assert client.attempts == 4
+
+    def test_structured_error_bodies_map_to_typed_exceptions(self):
+        client = ScriptedClient([http_error(
+            504, body={"error": "deadline exceeded mid-estimate",
+                       "kind": "deadline"})], retry=NO_RETRY)
+        with pytest.raises(DeadlineExceeded,
+                           match="deadline exceeded mid-estimate") as err:
+            client._call("POST", "/v1/estimate", body={})
+        assert err.value.status == 504
+        assert err.value.kind == "deadline"
+
+    def test_unstructured_error_body_preserves_status(self):
+        exc = urllib.error.HTTPError(
+            "http://test/x", 500, "oops", {},
+            io.BytesIO(b"<html>proxy said no</html>"))
+        client = ScriptedClient([exc], retry=NO_RETRY)
+        with pytest.raises(ServiceError, match="HTTP 500") as err:
+            client._call("GET", "/x")
+        assert err.value.status == 500
+
+    def test_backoff_grows_and_caps(self):
+        import random
+
+        policy = RetryPolicy(base=0.1, multiplier=2.0, max_backoff=0.3,
+                             jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff(attempt, rng) for attempt in range(4)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base=-1.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_connection_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_seconds=10.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.before_call()  # still closed
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError, match="3 consecutive"):
+            breaker.before_call()
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now += 10.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.before_call()  # the probe is allowed through
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now += 10.0
+        breaker.before_call()
+        breaker.record_failure()  # single probe failure reopens
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_http_error_responses_do_not_trip_the_breaker(self):
+        client = ScriptedClient(
+            [http_error(500) for _ in range(4)],
+            retry=RetryPolicy(max_attempts=4, base=0.0, jitter=0.0),
+            breaker=CircuitBreaker(failure_threshold=2))
+        with pytest.raises(ServiceError):
+            client._call("GET", "/x")
+        # Four 5xx responses, threshold 2: still closed.
+        assert client.breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_breaker_fails_fast_without_transport(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=60.0,
+                                 clock=clock)
+        client = ScriptedClient([ConnectionResetError("down"),
+                                 {"never": "reached"}],
+                                retry=NO_RETRY, breaker=breaker)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client._call("GET", "/x")
+        with pytest.raises(CircuitOpenError):
+            client._call("GET", "/x")
+        assert client.attempts == 1  # the second call never hit transport
+
+    def test_each_client_gets_its_own_breaker(self):
+        a = RemoteClient("http://a")
+        b = RemoteClient("http://b")
+        assert a.breaker is not b.breaker
+        assert RemoteClient("http://c", breaker=False).breaker is None

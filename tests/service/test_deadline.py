@@ -1,0 +1,167 @@
+"""Deadline semantics end to end: scheduler, pipeline, and HTTP layers.
+
+A job that exceeds its deadline mid-compute must be cancelled
+cooperatively, its worker slot reclaimed, and every waiter must see the
+*typed* :class:`DeadlineExceeded` — at whichever layer it waits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceClient, create_server
+from repro.service.faults import FaultInjector, FaultRule, SITE_COMPUTE_HANG
+from repro.service.jobs import (
+    DeadlineExceeded,
+    EstimateRequest,
+    Job,
+    JobFailedError,
+    JobState,
+    JobTimeoutError,
+)
+from repro.service.pipeline import EstimationPipeline
+from repro.service.scheduler import EstimationScheduler
+
+from .conftest import CELLS
+
+
+def make_request(**overrides):
+    base = dict(n_cells=1000, width_mm=1.0, height_mm=1.0)
+    base.update(overrides)
+    return EstimateRequest(**base)
+
+
+class TestSchedulerLayer:
+    def test_mid_compute_deadline_is_typed_and_slot_reclaimed(self):
+        """Cooperative abort mid-compute -> DeadlineExceeded; the worker
+        survives and serves the next job."""
+
+        def compute(request, job):
+            if request.n_cells == 1000:  # the doomed job: loop forever
+                while True:
+                    time.sleep(0.01)
+                    job.check_alive()
+            return "next-job-ok"
+
+        with EstimationScheduler(compute, workers=1) as scheduler:
+            doomed = scheduler.submit(make_request(), timeout=0.05)
+            with pytest.raises(DeadlineExceeded):
+                scheduler.wait(doomed, timeout=10.0)
+            assert doomed.state == JobState.FAILED
+            assert doomed.error_kind == "deadline"
+            follow_up = scheduler.submit(make_request(n_cells=7))
+            assert scheduler.wait(follow_up, timeout=10.0) == "next-job-ok"
+            assert scheduler.workers_alive >= 1
+
+    def test_typed_error_is_still_both_legacy_types(self):
+        """Backward compatibility: handlers catching either legacy type
+        keep seeing deadline failures."""
+        assert issubclass(DeadlineExceeded, JobTimeoutError)
+        assert issubclass(DeadlineExceeded, JobFailedError)
+
+    def test_wait_patience_is_not_a_deadline(self):
+        """Running out of wait patience raises the plain timeout, never
+        the typed deadline failure."""
+        gate = threading.Event()
+
+        def compute(request, job):
+            assert gate.wait(10.0)
+            return "done"
+
+        with EstimationScheduler(compute, workers=1) as scheduler:
+            job = scheduler.submit(make_request())
+            with pytest.raises(JobTimeoutError) as excinfo:
+                scheduler.wait(job, timeout=0.05)
+            assert not isinstance(excinfo.value, DeadlineExceeded)
+            gate.set()
+            assert scheduler.wait(job, timeout=10.0) == "done"
+
+
+@pytest.fixture(scope="module")
+def warm_pipeline():
+    """A pipeline with characterization/RG tiers pre-warmed, so the
+    stage heartbeats before the estimate stage are effectively instant."""
+    pipeline = EstimationPipeline()
+    pipeline(EstimateRequest(
+        n_cells=900, width_mm=0.6, height_mm=0.6,
+        usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+        method="linear"))
+    return pipeline
+
+
+class TestPipelineLayer:
+    def test_deadline_mid_estimate_raises_typed(self, warm_pipeline):
+        """Without degradation the stalled estimate stage surfaces the
+        typed deadline error (a compute.hang outlasts the deadline)."""
+        warm_pipeline._faults = FaultInjector(
+            {SITE_COMPUTE_HANG: FaultRule(1.0, 1)}, hang_seconds=0.3)
+        try:
+            request = EstimateRequest(
+                n_cells=901, width_mm=0.6, height_mm=0.6,
+                usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+                method="linear")  # linear never degrades
+            job = Job(request, deadline=time.monotonic() + 0.1)
+            with pytest.raises(DeadlineExceeded):
+                warm_pipeline(request, job=job)
+        finally:
+            warm_pipeline._faults = None
+
+    def test_no_deadline_means_no_abort(self, warm_pipeline):
+        request = EstimateRequest(
+            n_cells=902, width_mm=0.6, height_mm=0.6,
+            usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+            method="linear")
+        estimate = warm_pipeline(request, job=Job(request, deadline=None))
+        assert estimate.mean > 0
+
+
+@pytest.fixture()
+def hang_server():
+    """A server whose first two estimates stall 0.6 s in the estimate
+    stage (the warm-up call below consumes the first fire)."""
+    faults = FaultInjector({SITE_COMPUTE_HANG: FaultRule(1.0, 2)},
+                           hang_seconds=0.6)
+    client = ServiceClient(workers=2, faults=faults)
+    http_server = create_server(client, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{http_server.server_address[1]}"
+    try:
+        yield base, client
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        thread.join(timeout=5.0)
+        client.close()
+
+
+class TestHTTPLayer:
+    def test_deadline_maps_to_504_with_typed_kind(self, hang_server):
+        from repro.service.client import NO_RETRY, RemoteClient
+
+        base, service = hang_server
+        # Warm the early stages so the deadline can only lapse inside
+        # the (stalled) estimate stage.
+        warm = EstimateRequest(
+            n_cells=900, width_mm=0.6, height_mm=0.6,
+            usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+            method="linear")
+        service.pipeline(warm)
+
+        remote = RemoteClient(base, retry=NO_RETRY, breaker=False)
+        doomed = EstimateRequest(
+            n_cells=903, width_mm=0.6, height_mm=0.6,
+            usage={"INV_X1": 0.5, "NAND2_X1": 0.5}, cells=CELLS,
+            method="linear")
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            remote.estimate(doomed, timeout=0.15)
+        elapsed = time.monotonic() - start
+        assert excinfo.value.status == 504
+        assert excinfo.value.kind == "deadline"
+        # The request terminated promptly after the stall, not at the
+        # handler's extended patience.
+        assert elapsed < 10.0

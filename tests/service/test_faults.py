@@ -1,0 +1,139 @@
+"""Fault-injection framework: determinism, spec grammar, zero-overhead off."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.faults import (
+    ENV_SEED,
+    ENV_SPEC,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    SITE_CACHE_READ,
+    SITE_COMPUTE_HANG,
+    SITE_WORKER_CRASH,
+    SITES,
+    injector_from_env,
+    parse_spec,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+class TestSpecGrammar:
+    def test_parses_sites_probabilities_and_caps(self):
+        rules = parse_spec("worker.crash:0.25:3, cache.read:1.0")
+        assert rules[SITE_WORKER_CRASH] == FaultRule(0.25, 3)
+        assert rules[SITE_CACHE_READ] == FaultRule(1.0, None)
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            parse_spec("disk.full:0.5")
+
+    def test_rejects_malformed_chunks(self):
+        with pytest.raises(ConfigurationError, match="bad fault spec"):
+            parse_spec("worker.crash")
+        with pytest.raises(ConfigurationError, match="bad fault spec"):
+            parse_spec("worker.crash:not-a-number")
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultRule(1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fire_sequence(self):
+        def draw_sequence(seed):
+            injector = FaultInjector({SITE_WORKER_CRASH: 0.3}, seed=seed)
+            return [injector.should_fire(SITE_WORKER_CRASH)
+                    for _ in range(200)]
+
+        assert draw_sequence(7) == draw_sequence(7)
+        assert draw_sequence(7) != draw_sequence(8)
+
+    def test_sites_have_independent_streams(self):
+        """Adding a second site must not perturb the first's sequence."""
+        solo = FaultInjector({SITE_WORKER_CRASH: 0.3}, seed=1)
+        both = FaultInjector({SITE_WORKER_CRASH: 0.3,
+                              SITE_CACHE_READ: 0.9}, seed=1)
+        solo_seq = [solo.should_fire(SITE_WORKER_CRASH) for _ in range(100)]
+        both_seq = []
+        for _ in range(100):
+            both.should_fire(SITE_CACHE_READ)  # interleave draws
+            both_seq.append(both.should_fire(SITE_WORKER_CRASH))
+        assert solo_seq == both_seq
+
+
+class TestFiringPolicy:
+    def test_unconfigured_site_never_fires(self):
+        injector = FaultInjector({SITE_WORKER_CRASH: 1.0})
+        assert not injector.should_fire(SITE_CACHE_READ)
+        assert not injector.enabled(SITE_CACHE_READ)
+
+    def test_max_fires_caps_total_fires(self):
+        injector = FaultInjector({SITE_WORKER_CRASH: FaultRule(1.0, 2)})
+        fired = [injector.should_fire(SITE_WORKER_CRASH) for _ in range(10)]
+        assert fired == [True, True] + [False] * 8
+        assert injector.fires(SITE_WORKER_CRASH) == 2
+        assert injector.draws(SITE_WORKER_CRASH) == 10
+
+    def test_probability_zero_never_fires(self):
+        injector = FaultInjector({SITE_WORKER_CRASH: 0.0})
+        assert not any(injector.should_fire(SITE_WORKER_CRASH)
+                       for _ in range(100))
+
+    def test_crash_raises_injected_fault(self):
+        injector = FaultInjector({SITE_WORKER_CRASH: 1.0})
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.crash(SITE_WORKER_CRASH)
+        assert excinfo.value.site == SITE_WORKER_CRASH
+
+    def test_hang_sleeps_only_when_fired(self):
+        injector = FaultInjector({SITE_COMPUTE_HANG: 0.0},
+                                 hang_seconds=60.0)
+        injector.hang(SITE_COMPUTE_HANG)  # must return immediately
+
+    def test_corrupt_tears_bytes_deterministically(self):
+        injector = FaultInjector({SITE_CACHE_READ: 1.0})
+        raw = b'{"payload": {"mean": 1.0}}'
+        torn = injector.corrupt(SITE_CACHE_READ, raw)
+        assert torn != raw
+        assert torn.endswith(b"<torn>")
+        again = FaultInjector({SITE_CACHE_READ: 1.0})
+        assert again.corrupt(SITE_CACHE_READ, raw) == torn
+
+    def test_corrupt_passthrough_when_not_fired(self):
+        injector = FaultInjector({SITE_CACHE_READ: 0.0})
+        raw = b"pristine"
+        assert injector.corrupt(SITE_CACHE_READ, raw) is raw
+
+    def test_report_and_metrics(self):
+        registry = MetricsRegistry()
+        injector = FaultInjector({SITE_WORKER_CRASH: 1.0},
+                                 metrics=registry)
+        injector.should_fire(SITE_WORKER_CRASH)
+        report = injector.report()
+        assert report[SITE_WORKER_CRASH] == {"draws": 1, "fires": 1}
+        counter = registry.get("repro_faults_injected_total")
+        assert counter.value(site=SITE_WORKER_CRASH) == 1
+
+
+class TestEnvironment:
+    def test_disabled_without_env(self):
+        assert injector_from_env(environ={}) is None
+
+    def test_spec_seed_and_hang_from_env(self):
+        injector = injector_from_env(environ={
+            ENV_SPEC: "worker.crash:0.5:1,compute.hang:1.0",
+            ENV_SEED: "42",
+        })
+        assert injector is not None
+        assert injector.seed == 42
+        assert injector.enabled(SITE_WORKER_CRASH)
+        assert injector.enabled(SITE_COMPUTE_HANG)
+
+    def test_every_site_name_is_parseable(self):
+        spec = ",".join(f"{site}:0.1" for site in SITES)
+        injector = FaultInjector(spec)
+        assert all(injector.enabled(site) for site in SITES)

@@ -131,3 +131,169 @@ class TestMetricsScrape:
         assert "repro_http_requests_total" in text
         assert "repro_request_seconds_bucket" in text
         assert "repro_queue_depth" in text
+
+
+class TestReadiness:
+    def test_readyz_ok_when_serving(self, server):
+        status, body = get(server, "/v1/readyz")
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "ready"
+        assert document["draining"] is False
+        assert document["saturated"] is False
+
+    def test_saturated_scheduler_reports_unready(self):
+        """Readiness (not liveness) goes 503 while the queue is full."""
+        from repro.service.metrics import MetricsRegistry
+        from repro.service.scheduler import EstimationScheduler
+
+        gate = threading.Event()
+
+        def compute(request, job):
+            assert gate.wait(10.0)
+            return "ok"
+
+        scheduler = EstimationScheduler(compute, workers=1, queue_limit=1)
+
+        class StubClient:
+            metrics = MetricsRegistry()
+            faults = None
+
+            def __init__(self, scheduler):
+                self.scheduler = scheduler
+
+        http_server = create_server(StubClient(scheduler), port=0)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{http_server.server_address[1]}"
+        try:
+            from repro.service.jobs import EstimateRequest
+
+            def submit(n):
+                return scheduler.submit(EstimateRequest(
+                    n_cells=n, width_mm=1.0, height_mm=1.0))
+
+            submit(10)  # occupies the single worker
+            deadline = time.monotonic() + 5.0
+            while (scheduler.queue_depth > 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)  # wait for the worker to claim it
+            submit(20)  # fills the queue (limit 1)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(base, "/v1/readyz")
+            assert excinfo.value.code == 503
+            document = json.loads(excinfo.value.read())
+            assert document["saturated"] is True
+            assert "saturated" in document["reasons"]
+            # Liveness stays green: the process is healthy, just busy.
+            status, _ = get(base, "/v1/healthz")
+            assert status == 200
+            gate.set()
+        finally:
+            gate.set()
+            http_server.shutdown()
+            http_server.server_close()
+            thread.join(timeout=5.0)
+            scheduler.close()
+
+    def test_draining_refuses_new_work_but_stays_alive(self, server_pair):
+        base, http_server = server_pair
+        http_server.begin_drain()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(base, "/v1/readyz")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["draining"] is True
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(base, "/v1/estimate", ESTIMATE_BODY)
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["kind"] == "draining"
+        status, _ = get(base, "/v1/healthz")  # liveness unaffected
+        assert status == 200
+        status, text = get(base, "/v1/metrics")
+        assert "repro_http_draining 1" in text
+
+    def test_drain_waits_for_inflight_requests(self, server_pair):
+        base, http_server = server_pair
+        results = {}
+
+        def slow_post():
+            results["estimate"] = post(base, "/v1/estimate", ESTIMATE_BODY)
+
+        poster = threading.Thread(target=slow_post)
+        poster.start()
+        deadline = time.monotonic() + 10.0
+        while http_server.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        http_server.begin_drain()
+        assert http_server.await_idle(grace=120.0)
+        poster.join(timeout=10.0)
+        status, document = results["estimate"]
+        assert status == 200
+        assert document["estimate"]["mean"] > 0
+
+
+@pytest.fixture()
+def server_pair():
+    """Like ``server`` but also yields the server object for drain tests."""
+    from repro.service import ServiceClient, create_server
+
+    client = ServiceClient(workers=2)
+    http_server = create_server(client, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{http_server.server_address[1]}"
+    try:
+        yield base, http_server
+    finally:
+        if not http_server.draining:
+            http_server.shutdown()
+            http_server.server_close()
+        else:
+            try:
+                http_server.shutdown()
+                http_server.server_close()
+            except Exception:
+                pass
+        thread.join(timeout=5.0)
+        client.close()
+
+
+class TestValidation:
+    def test_unknown_request_field_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/estimate",
+                 dict(ESTIMATE_BODY, surprise_field=1))
+        assert excinfo.value.code == 400
+        document = json.loads(excinfo.value.read())
+        assert document["kind"] == "bad_request"
+        assert "surprise_field" in document["error"]
+
+    def test_oversized_body_is_400(self, server):
+        padded = dict(ESTIMATE_BODY, usage={
+            f"CELL_{i}": 0.0 for i in range(60000)})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/estimate", padded)
+        assert excinfo.value.code == 400
+        document = json.loads(excinfo.value.read())
+        assert "too large" in document["error"]
+
+    def test_empty_body_is_400(self, server):
+        request = urllib.request.Request(
+            server + "/v1/estimate", data=b"",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert excinfo.value.code == 400
+
+    def test_error_responses_feed_the_4xx_counter(self, server):
+        with pytest.raises(urllib.error.HTTPError):
+            get(server, "/v1/nope")
+        with pytest.raises(urllib.error.HTTPError):
+            post(server, "/v1/estimate", {"bad": True})
+        status, text = get(server, "/v1/metrics")
+        lines = [line for line in text.splitlines()
+                 if line.startswith("repro_http_errors_total")
+                 and 'status_class="4xx"' in line]
+        assert lines and float(lines[0].rsplit(" ", 1)[1]) >= 2
+        assert "repro_http_request_bytes_bucket" in text

@@ -229,3 +229,87 @@ class TestLifecycle:
         with pytest.raises(QueueFullError, match="shut down"):
             scheduler.submit(make_request(n_cells=30))
         assert blocker.finished
+
+
+class TestSupervision:
+    """Worker crashes and hangs are contained: jobs are requeued or
+    failed with a typed cause, and the pool replaces dead workers."""
+
+    def _crash_scheduler(self, compute, rules, **kwargs):
+        from repro.service.faults import FaultInjector
+
+        return EstimationScheduler(
+            compute, faults=FaultInjector(rules), **kwargs)
+
+    def test_worker_crash_requeues_job_and_restarts_worker(self):
+        from repro.service.faults import FaultRule, SITE_WORKER_CRASH
+
+        compute = CountingCompute(result="survived")
+        with self._crash_scheduler(
+                compute, {SITE_WORKER_CRASH: FaultRule(1.0, 1)},
+                workers=1) as scheduler:
+            job = scheduler.submit(make_request())
+            assert scheduler.wait(job, timeout=10.0) == "survived"
+            assert job.requeues == 1
+            assert scheduler.worker_restarts >= 1
+            assert scheduler.workers_alive >= 1
+
+    def test_repeated_crashes_fail_the_job_typed(self):
+        from repro.service.faults import FaultRule, SITE_WORKER_CRASH
+
+        compute = CountingCompute()
+        with self._crash_scheduler(
+                compute, {SITE_WORKER_CRASH: FaultRule(1.0, None)},
+                workers=1, max_requeues=1) as scheduler:
+            job = scheduler.submit(make_request())
+            with pytest.raises(JobFailedError, match="crashed"):
+                scheduler.wait(job, timeout=10.0)
+            assert job.error_kind == "crash"
+            assert compute.calls == 0  # every dequeue crashed pre-compute
+
+    def test_hung_worker_is_abandoned_and_replaced(self):
+        """A worker stuck past the job deadline is detached; the job
+        fails typed, and a replacement serves the next job."""
+        release = threading.Event()
+
+        def compute(request, job):
+            if request.n_cells == 1000:  # the hung job: ignore deadline
+                assert release.wait(30.0)
+                return "late"
+            return "fresh-worker-ok"
+
+        with EstimationScheduler(compute, workers=1, hang_grace=0.05,
+                                 supervise_interval=0.02) as scheduler:
+            from repro.service.jobs import DeadlineExceeded
+
+            hung = scheduler.submit(make_request(), timeout=0.1)
+            with pytest.raises(DeadlineExceeded):
+                scheduler.wait(hung, timeout=10.0)
+            assert "abandoned" in str(hung.error)
+            follow_up = scheduler.submit(make_request(n_cells=7))
+            assert (scheduler.wait(follow_up, timeout=10.0)
+                    == "fresh-worker-ok")
+            assert scheduler.worker_restarts >= 1
+            release.set()  # unstick the abandoned thread for teardown
+
+    def test_late_result_from_abandoned_worker_is_dropped(self):
+        """The abandoned worker's eventual return must not overwrite
+        the job's deadline failure."""
+        release = threading.Event()
+
+        def compute(request, job):
+            assert release.wait(30.0)
+            return "late"
+
+        with EstimationScheduler(compute, workers=1, hang_grace=0.05,
+                                 supervise_interval=0.02) as scheduler:
+            from repro.service.jobs import DeadlineExceeded
+
+            hung = scheduler.submit(make_request(), timeout=0.1)
+            with pytest.raises(DeadlineExceeded):
+                scheduler.wait(hung, timeout=10.0)
+            release.set()
+            time.sleep(0.2)  # give the zombie thread time to finish
+            assert hung.state == JobState.FAILED
+            with pytest.raises(DeadlineExceeded):
+                scheduler.wait(hung, timeout=1.0)
