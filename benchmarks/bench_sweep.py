@@ -1,0 +1,114 @@
+"""Batched sweep engine vs the naive per-point loop.
+
+The acceptance workload: a 100-point correlation-length x usage grid on
+a 16,384-gate, 1 x 1 mm die with the full 62-cell characterization. The
+naive loop pays the Random-Gate mixture build (dominated by the exact
+``f_mn`` covariance fit) and the lag-kernel evaluation at every point;
+the sweep engine pays the RG build once per usage mix, the lag geometry
+once, and one kernel evaluation per correlation length — while staying
+bit-identical to the loop at every point (asserted below).
+
+Machine-readable timings land in ``BENCH_sweep.json`` at the repo root
+(one trajectory point per growth PR). Set ``BENCH_QUICK=1`` for a CI
+smoke run over a reduced grid (results go to a separate
+``BENCH_sweep_quick.json`` so the checked-in trajectory stays put).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._common import emit, emit_json
+from repro.analysis import format_table
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.core.api import estimate_sweep
+from repro.core.sweep import correlation_length_axis, usage_axis
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+N_CELLS = 16_384
+WIDTH = HEIGHT = 1e-3
+N_LENGTHS = 6 if QUICK else 20
+N_USAGES = 2 if QUICK else 5
+MIN_SPEEDUP = 2.0 if QUICK else 10.0
+
+
+def full_library_usages(names, count):
+    """Distinct full-library mixes — a real design uses every cell, so
+    the RG mixture spans all ~500 (cell, state) components and its
+    exact covariance-grid fit is the dominant per-point cost a naive
+    loop pays over and over."""
+    rng = np.random.default_rng(20070604)
+    usages = []
+    for _ in range(count):
+        weights = rng.uniform(0.5, 1.5, len(names))
+        weights /= weights.sum()
+        usages.append(CellUsage(dict(zip(names, map(float, weights)))))
+    return usages
+
+
+def test_sweep_vs_loop(library, characterization):
+    technology = characterization.technology
+    lengths = list(np.linspace(0.2e-3, 1.5e-3, N_LENGTHS))
+    length_axis = correlation_length_axis(lengths, technology)
+    usages = full_library_usages(library.names, N_USAGES)
+    mix_axis = usage_axis(usages,
+                          values=tuple(f"mix-{i}"
+                                       for i in range(len(usages))))
+
+    start = time.perf_counter()
+    sweep = estimate_sweep(
+        characterization, None, N_CELLS, WIDTH, HEIGHT,
+        axes=[length_axis, mix_axis], method="linear")
+    t_sweep = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped = []
+    for length_override in length_axis.overrides:
+        for usage in usages:
+            estimator = FullChipLeakageEstimator(
+                characterization, usage, N_CELLS, WIDTH, HEIGHT,
+                correlation=length_override["correlation"])
+            looped.append(estimator.estimate("linear"))
+    t_loop = time.perf_counter() - start
+
+    # The whole point: amortization must not cost a single bit.
+    assert len(sweep) == len(looped) == N_LENGTHS * len(usages)
+    for got, want in zip(sweep, looped):
+        assert got.mean == want.mean
+        assert got.std == want.std
+        assert got.details == want.details
+
+    n_points = len(looped)
+    speedup = t_loop / t_sweep
+    table = format_table(
+        ["path", "total [s]", "per point [ms]"],
+        [
+            ["naive loop", f"{t_loop:.3f}",
+             f"{t_loop / n_points * 1e3:.1f}"],
+            ["batched sweep", f"{t_sweep:.3f}",
+             f"{t_sweep / n_points * 1e3:.1f}"],
+        ],
+        title=f"Sweep engine, {n_points} points at {N_CELLS} gates "
+              f"(speedup {speedup:.1f}x)")
+    ledger = ", ".join(f"{key}={value}"
+                       for key, value in sorted(sweep.stats.items()))
+    emit("sweep", table + f"\nshared-work ledger: {ledger}")
+
+    emit_json("sweep_quick" if QUICK else "sweep", {
+        "quick": QUICK,
+        "n_cells": N_CELLS,
+        "n_points": n_points,
+        "n_lengths": N_LENGTHS,
+        "n_usages": len(usages),
+        "t_loop_s": t_loop,
+        "t_sweep_s": t_sweep,
+        "speedup": speedup,
+        "stats": {key: int(value)
+                  for key, value in sorted(sweep.stats.items())},
+    })
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"sweep speedup {speedup:.1f}x below the {MIN_SPEEDUP:.0f}x "
+        "acceptance floor")

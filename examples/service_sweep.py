@@ -2,17 +2,23 @@
 """Corner and geometry sweeps through the estimation service.
 
 A signoff flow rarely asks one question: it sweeps temperature corners,
-die floorplans, and usage mixes around a baseline. Routing the sweep
-through :class:`repro.service.ServiceClient` makes the repeats nearly
-free — the content-addressed cache reuses each artifact tier exactly
-when its inputs are unchanged:
+die floorplans, and usage mixes around a baseline. This example runs
+the same 12-point corner x die grid two ways:
 
-* one *characterization* per process corner (the expensive stage),
-* one *Random-Gate* bundle per (corner, usage mix),
-* one *estimate* per complete request — repeats are cache hits.
+* **per-request path** — one ``estimate`` call per point, the way a
+  driver script would loop. Each point is a separate job: its own
+  submission, queue slot, and deadline; the content-addressed cache
+  still amortizes the upstream tiers (one characterization per corner,
+  one Random-Gate bundle per mix).
+* **batched ``/v1/sweep``** — the whole grid as *one* job. The server
+  expands the cartesian product itself, runs every point through the
+  identical pipeline (results are bit-identical to the loop), and
+  back-fills the estimate tier — later single-point requests hit a
+  warm cache for free.
 
 The same sweep against a running ``repro serve`` instance is one
-substitution (``RemoteClient`` for ``ServiceClient``).
+substitution (``RemoteClient`` for ``ServiceClient``); the request
+document is what ``POST /v1/sweep`` accepts on the wire.
 
 Run:  python examples/service_sweep.py
 """
@@ -20,58 +26,72 @@ Run:  python examples/service_sweep.py
 import time
 
 from repro.analysis import format_table
-from repro.service import EstimateRequest, ServiceClient, TechnologyConfig
+from repro.service import (EstimateRequest, ServiceClient, SweepRequest,
+                           TechnologyConfig)
 
 # A compact library subset keeps this demo snappy; drop `cells` to
 # characterize the full library.
 CELLS = ("INV_X1", "NAND2_X1", "NOR2_X1")
 USAGE = {"INV_X1": 0.4, "NAND2_X1": 0.4, "NOR2_X1": 0.2}
 
+BASE = EstimateRequest(
+    n_cells=50_000, width_mm=0.8, height_mm=0.8,
+    usage=USAGE, cells=CELLS, method="linear",
+    technology=TechnologyConfig(temperature_c=25.0))
 
-def request_for(temperature_c, n_cells=50_000, die_mm=0.8):
-    return EstimateRequest(
-        n_cells=n_cells, width_mm=die_mm, height_mm=die_mm,
-        usage=USAGE, cells=CELLS, method="linear",
-        technology=TechnologyConfig(temperature_c=temperature_c))
+SWEEP = SweepRequest(base=BASE, axes=[
+    {"name": "temperature_c", "values": [25.0, 85.0, 125.0]},
+    {"name": "die", "values": [[0.6, 0.6], [0.8, 0.8],
+                               [1.0, 1.0], [1.4, 1.4]]},
+])
 
 
 def main():
+    points = SWEEP.expand()
+
+    # -- old path: one request per point ------------------------------
     with ServiceClient(workers=2) as client:
-        # -- temperature corners: one characterization each ------------
-        rows = []
-        for temperature_c in (25.0, 85.0, 125.0):
-            start = time.perf_counter()
-            estimate = client.estimate(request_for(temperature_c),
-                                       timeout=600.0)
-            elapsed = time.perf_counter() - start
-            rows.append([f"{temperature_c:.0f} C",
-                         f"{estimate.mean_with_vt * 1e3:.3f} mA",
-                         f"{100 * estimate.cv:.1f}%",
-                         f"{elapsed:.3f} s"])
-        print(format_table(
-            ["corner", "mean leakage", "CV", "latency"], rows,
-            title="Temperature corners (cold: one characterization each)"))
-
-        # -- geometry sweep at 85 C: upstream tiers stay warm ----------
-        rows = []
-        for die_mm in (0.6, 0.8, 1.0, 1.4):
-            start = time.perf_counter()
-            estimate = client.estimate(
-                request_for(85.0, n_cells=50_000, die_mm=die_mm),
-                timeout=600.0)
-            elapsed = time.perf_counter() - start
-            rows.append([f"{die_mm:.1f} x {die_mm:.1f} mm",
-                         f"{estimate.mean_with_vt * 1e3:.3f} mA",
-                         f"{100 * estimate.cv:.1f}%",
-                         f"{elapsed * 1e3:.1f} ms"])
-        print(format_table(
-            ["die", "mean leakage", "CV", "latency"], rows,
-            title="Die-size sweep at 85 C (warm characterization + RG)"))
-
-        # -- repeat of the baseline: pure estimate-tier hit ------------
         start = time.perf_counter()
-        client.estimate(request_for(85.0), timeout=600.0)
-        print(f"\nrepeat of the 85 C baseline: "
+        looped = [client.estimate(point, timeout=600.0)
+                  for point in points]
+        t_loop = time.perf_counter() - start
+
+    # -- batched path: the whole grid as one job ----------------------
+    with ServiceClient(workers=2) as client:
+        start = time.perf_counter()
+        response = client.sweep(SWEEP, timeout=600.0)
+        t_sweep = time.perf_counter() - start
+
+        assert all(got.mean == want.mean and got.std == want.std
+                   for got, want in zip(response.estimates, looped))
+
+        rows = []
+        for (temperature_c, die), estimate in zip(
+                ((t, d) for t in SWEEP.axes[0].values
+                 for d in SWEEP.axes[1].values),
+                response.estimates):
+            rows.append([f"{temperature_c:.0f} C",
+                         f"{die[0]:.1f} x {die[1]:.1f} mm",
+                         f"{estimate.mean_with_vt * 1e3:.3f} mA",
+                         f"{100 * estimate.cv:.1f}%"])
+        print(format_table(
+            ["corner", "die", "mean leakage", "CV"], rows,
+            title=f"Corner x die grid via /v1/sweep "
+                  f"({len(response)} points, one job)"))
+
+        n = len(points)
+        print(format_table(
+            ["path", "jobs", "total [s]", "per point [ms]"],
+            [["per-request loop", f"{n}", f"{t_loop:.3f}",
+              f"{t_loop / n * 1e3:.1f}"],
+             ["batched /v1/sweep", "1", f"{t_sweep:.3f}",
+              f"{t_sweep / n * 1e3:.1f}"]],
+            title="Same grid, same results — amortized latency"))
+
+        # -- backfill: any grid point is now an estimate-tier hit ------
+        start = time.perf_counter()
+        client.estimate(points[5], timeout=600.0)
+        print(f"\nsingle-point repeat after the sweep: "
               f"{(time.perf_counter() - start) * 1e6:.0f} us (cache hit)")
 
         stats = client.cache_stats()
@@ -79,7 +99,7 @@ def main():
             ["tier", "hits", "misses", "entries"],
             [[tier, data["hits"], data["misses"], data["entries"]]
              for tier, data in stats.items()],
-            title="Cache tiers after the sweep"))
+            title="Cache tiers after the batched sweep"))
 
 
 if __name__ == "__main__":

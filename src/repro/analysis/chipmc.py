@@ -91,6 +91,46 @@ def _sample_wid_field(
                         cholesky_limit=max(positions.shape[0], 3000))
 
 
+def _wid_sampler(
+    positions: np.ndarray,
+    correlation: SpatialCorrelation,
+    grid: Union[str, None, Tuple[int, int]],
+):
+    """Build the WID sampler once; returns ``draw(count, rng)``.
+
+    The chunked Monte-Carlo path uses this so the expensive setup (the
+    circulant embedding eigendecomposition or the Cholesky factor) is
+    paid once rather than per chunk, with the same dispatch rules as
+    :func:`_sample_wid_field`.
+    """
+    from repro.process.field import (
+        CholeskyFieldSampler,
+        CirculantFieldSampler,
+        grid_points,
+    )
+
+    info = None
+    if grid == "auto":
+        info = detect_grid(positions)
+    elif grid is not None:
+        rows, cols = grid
+        info = detect_grid(positions, rows=rows, cols=cols)
+    if info is not None:
+        if info.rows * info.cols > 3000:
+            sampler = CirculantFieldSampler(
+                info.rows, info.cols, info.pitch_x, info.pitch_y,
+                correlation)
+        else:
+            sampler = CholeskyFieldSampler(
+                grid_points(info.rows, info.cols, info.pitch_x,
+                            info.pitch_y), correlation)
+        index = info.row_index * info.cols + info.col_index
+        return lambda count, rng: sampler.sample(count, rng)[:, index]
+    point_sampler = CholeskyFieldSampler(
+        np.asarray(positions, dtype=float), correlation)
+    return lambda count, rng: point_sampler.sample(count, rng)
+
+
 def chip_monte_carlo(
     realization: DesignRealization,
     technology: Technology,
@@ -99,6 +139,7 @@ def chip_monte_carlo(
     include_vt: bool = False,
     wid_correlation: Optional[SpatialCorrelation] = None,
     grid: Union[str, None, Tuple[int, int]] = "auto",
+    sample_chunk: Optional[int] = None,
 ) -> ChipMCResult:
     """Monte-Carlo the total leakage of a realized design.
 
@@ -121,6 +162,18 @@ def chip_monte_carlo(
         O(n log n) circulant sampler; a ``(rows, cols)`` tuple hints the
         lattice shape; ``None`` disables detection and always uses the
         dense Cholesky sampler over the gate positions.
+    sample_chunk:
+        ``None`` (default) materializes the full ``(n_samples, n)``
+        field and leakage matrices at once — the historical behaviour,
+        draw-for-draw identical to earlier releases. A positive value
+        processes at most that many samples at a time, bounding peak
+        memory at roughly ``5 * sample_chunk * n`` floats while paying
+        the sampler setup (circulant eigendecomposition / Cholesky
+        factor) exactly once. The chunked path has its own
+        deterministic draw order (the D2D offsets are drawn up front,
+        then WID and Vt per chunk), so its samples differ from the
+        default's for the same ``rng`` seed — but the statistics agree
+        within Monte-Carlo error.
     """
     if realization.fits is None:
         raise EstimationError(
@@ -136,25 +189,55 @@ def chip_monte_carlo(
     b = np.array([fit.b for fit in realization.fits])
     c = np.array([fit.c for fit in realization.fits])
 
-    if length.sigma_wid > 0:
-        wid = _sample_wid_field(realization.positions, correlation,
-                                n_samples, rng, grid) * length.sigma_wid
-    else:
-        wid = np.zeros((n_samples, n))
-    d2d = (rng.standard_normal(n_samples)[:, None] * length.sigma_d2d
-           if length.sigma_d2d > 0 else 0.0)
-    lengths = length.nominal + wid + d2d
-
-    gate_leakage = a[None, :] * np.exp(b[None, :] * lengths
-                                       + c[None, :] * lengths ** 2)
+    log_sigma = 0.0
     if include_vt:
         n_vt = (technology.subthreshold_swing_factor
                 * technology.thermal_voltage)
         log_sigma = technology.vt.sigma / n_vt
-        factors = np.exp(log_sigma * rng.standard_normal((n_samples, n)))
-        factors /= lognormal_mean_factor(log_sigma)
-        # Normalized so the factor's mean is 1: include_vt then isolates
-        # the *variance* contribution of RDF, the quantity the paper
-        # argues is negligible at chip scale.
-        gate_leakage = gate_leakage * factors
-    return ChipMCResult(samples=gate_leakage.sum(axis=1))
+
+    def leakage_of(lengths: np.ndarray,
+                   vt_draws: Optional[np.ndarray]) -> np.ndarray:
+        gate_leakage = a[None, :] * np.exp(b[None, :] * lengths
+                                           + c[None, :] * lengths ** 2)
+        if vt_draws is not None:
+            factors = np.exp(log_sigma * vt_draws)
+            factors /= lognormal_mean_factor(log_sigma)
+            # Normalized so the factor's mean is 1: include_vt then
+            # isolates the *variance* contribution of RDF, the quantity
+            # the paper argues is negligible at chip scale.
+            gate_leakage = gate_leakage * factors
+        return gate_leakage.sum(axis=1)
+
+    if sample_chunk is None:
+        if length.sigma_wid > 0:
+            wid = _sample_wid_field(realization.positions, correlation,
+                                    n_samples, rng, grid) * length.sigma_wid
+        else:
+            wid = np.zeros((n_samples, n))
+        d2d = (rng.standard_normal(n_samples)[:, None] * length.sigma_d2d
+               if length.sigma_d2d > 0 else 0.0)
+        lengths = length.nominal + wid + d2d
+        vt_draws = (rng.standard_normal((n_samples, n)) if include_vt
+                    else None)
+        return ChipMCResult(samples=leakage_of(lengths, vt_draws))
+
+    if sample_chunk < 1:
+        raise EstimationError(
+            f"sample_chunk must be positive, got {sample_chunk!r}")
+    draw_wid = (_wid_sampler(realization.positions, correlation, grid)
+                if length.sigma_wid > 0 else None)
+    d2d_offsets = (rng.standard_normal(n_samples) * length.sigma_d2d
+                   if length.sigma_d2d > 0 else np.zeros(n_samples))
+    samples = np.empty(n_samples)
+    for start in range(0, n_samples, sample_chunk):
+        count = min(sample_chunk, n_samples - start)
+        if draw_wid is not None:
+            wid = draw_wid(count, rng) * length.sigma_wid
+        else:
+            wid = np.zeros((count, n))
+        lengths = (length.nominal + wid
+                   + d2d_offsets[start:start + count, None])
+        vt_draws = (rng.standard_normal((count, n)) if include_vt
+                    else None)
+        samples[start:start + count] = leakage_of(lengths, vt_draws)
+    return ChipMCResult(samples=samples)

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.cells.library import StandardCellLibrary
-from repro.characterization.characterizer import characterize_library
-from repro.core.api import FullChipLeakageEstimator, LeakageEstimate
+from repro.core.api import LeakageEstimate, estimate_sweep
+from repro.core.sweep import temperature_axis
 from repro.core.usage import CellUsage
 from repro.exceptions import EstimationError
 from repro.process.technology import Technology
@@ -48,18 +48,21 @@ def temperature_sweep(
 
     Each point re-characterizes the (usage-relevant subset of the)
     library at that temperature; the process variation description is
-    shared.
+    shared. Runs through the batched sweep engine
+    (:func:`repro.core.api.estimate_sweep`), which evaluates the lag
+    geometry and the correlation kernel once for the whole curve —
+    temperature only moves the per-state moments, not the placement or
+    the correlation — while staying bit-identical to the historical
+    per-temperature loop.
     """
     if not temperatures:
         raise EstimationError("provide at least one temperature")
-    points = []
-    for temperature in temperatures:
-        tech_t = technology.at_temperature(float(temperature))
-        characterization = characterize_library(library, tech_t,
-                                                cells=usage.names)
-        estimate = FullChipLeakageEstimator(
-            characterization, usage, n_cells, width, height,
-            signal_probability=signal_probability).estimate(method)
-        points.append(TemperaturePoint(temperature=float(temperature),
-                                       estimate=estimate))
-    return points
+    axis = temperature_axis([float(t) for t in temperatures], library,
+                            technology, cells=usage.names)
+    sweep = estimate_sweep(None, usage, n_cells, width, height,
+                           axes=[axis],
+                           signal_probability=signal_probability,
+                           method=method)
+    return [TemperaturePoint(temperature=temperature, estimate=estimate)
+            for temperature, estimate in zip(axis.values,
+                                             sweep.estimates)]

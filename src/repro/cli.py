@@ -298,6 +298,89 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+#: CLI axis name -> builder. Each builder takes (values: List[str],
+#: context) and returns a core SweepAxis; context carries the library,
+#: technology, and usage already resolved from the other arguments.
+_SWEEP_AXES = ("corr-length-mm", "d2d-fraction", "signal-probability",
+               "cells", "temperature-c")
+
+
+def _parse_sweep_axis(entry: str, library, technology, usage):
+    from repro.core.sweep import (
+        cell_count_axis,
+        correlation_length_axis,
+        d2d_split_axis,
+        signal_probability_axis,
+        temperature_axis,
+    )
+
+    name, _, raw = entry.partition("=")
+    name = name.strip().lower().replace("_", "-")
+    values = [value for value in raw.split(",") if value.strip()]
+    if not values:
+        raise ReproError(
+            f"--axis entries must be NAME=V1,V2,..., got {entry!r}")
+    if name == "corr-length-mm":
+        return correlation_length_axis(
+            [float(value) * 1e-3 for value in values], technology)
+    if name == "d2d-fraction":
+        return d2d_split_axis(technology,
+                              [float(value) for value in values])
+    if name == "signal-probability":
+        return signal_probability_axis([float(value) for value in values])
+    if name == "cells":
+        return cell_count_axis([int(value) for value in values])
+    if name == "temperature-c":
+        return temperature_axis(
+            [float(value) + 273.15 for value in values], library,
+            technology, cells=usage.names)
+    raise ReproError(
+        f"unknown sweep axis {name!r}; choose one of {_SWEEP_AXES}")
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.core.api import estimate_sweep
+
+    technology = _technology_from_args(args)
+    library = build_library()
+    usage = _parse_usage(args.usage, library)
+    axes = [_parse_sweep_axis(entry, library, technology, usage)
+            for entry in args.axis]
+
+    # A temperature axis re-characterizes per point and therefore
+    # supplies the characterization itself; otherwise characterize the
+    # base technology once up front.
+    has_temperature = any(axis.name == "temperature" for axis in axes)
+    characterization = (None if has_temperature
+                        else characterize_library(library, technology))
+
+    sweep = estimate_sweep(
+        characterization, usage, args.cells_base,
+        args.width_mm * 1e-3, args.height_mm * 1e-3,
+        axes=axes, signal_probability=args.signal_probability,
+        method=args.method, n_jobs=args.n_jobs)
+
+    if args.json:
+        print(json.dumps(sweep.to_dict(), indent=1))
+        return 0
+    rows = []
+    for index, estimate in enumerate(sweep):
+        coords = sweep.coords(index)
+        rows.append(
+            [str(coords[name]) for name in sweep.axes]
+            + [f"{estimate.mean * 1e3:.4f}", f"{estimate.std * 1e3:.4f}",
+               f"{estimate.cv:.4f}"])
+    print(format_table(
+        list(sweep.axes) + ["mean [mA]", "std [mA]", "CV"], rows,
+        title=f"Batched sweep — {len(sweep)} points"))
+    stats = ", ".join(f"{key}={value}"
+                      for key, value in sorted(sweep.stats.items()))
+    print(f"shared-work ledger: {stats}")
+    return 0
+
+
 def _cmd_selfcheck(args) -> int:
     from repro.selfcheck import run_selfcheck
 
@@ -362,6 +445,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stored characterization JSON "
                                "(default: characterize on the fly)")
     estimate.set_defaults(handler=_cmd_estimate)
+
+    sweep = commands.add_parser(
+        "sweep", help="batched parameter sweep of the full-chip estimate")
+    _add_technology_arguments(sweep)
+    sweep.add_argument("--cells", dest="cells_base", type=int, required=True,
+                       help="base number of cells (a 'cells' axis "
+                            "overrides this per point)")
+    sweep.add_argument("--width-mm", type=float, required=True)
+    sweep.add_argument("--height-mm", type=float, required=True)
+    sweep.add_argument("--usage", action="append", metavar="NAME=FRAC",
+                       help="usage fraction (repeatable; default uniform)")
+    sweep.add_argument("--axis", action="append", required=True,
+                       metavar="NAME=V1,V2,...",
+                       help="sweep axis (repeatable; axes form a "
+                            f"cartesian grid); names: {', '.join(_SWEEP_AXES)}")
+    sweep.add_argument("--signal-probability", type=float, default=0.5)
+    sweep.add_argument("--method", default="auto",
+                       choices=["auto", "linear", "integral2d", "polar",
+                                "exact"])
+    sweep.add_argument("--n-jobs", type=int, default=1,
+                       help="process fan-out across geometry groups")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the raw sweep JSON")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     selfcheck = commands.add_parser(
         "selfcheck", help="validate the installation in a few seconds")

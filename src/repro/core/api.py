@@ -412,3 +412,61 @@ class FullChipLeakageEstimator:
             details={key: _json_scalar(value)
                      for key, value in details.items()},
         )
+
+
+def estimate_sweep(
+    characterization: Optional[LibraryCharacterization],
+    usage: Optional[CellUsage],
+    n_cells: int,
+    width: float,
+    height: float,
+    *,
+    axes,
+    signal_probability: float = 0.5,
+    method: str = "auto",
+    correlation: Optional[SpatialCorrelation] = None,
+    simplified_correlation: Optional[bool] = None,
+    state_weights=None,
+    n_jobs: int = 1,
+    tolerance: float = 0.0,
+):
+    """Evaluate a grid of estimation scenarios with shared precomputation.
+
+    ``axes`` is a sequence of :class:`repro.core.sweep.SweepAxis`
+    objects (built with the ``*_axis`` factories in
+    :mod:`repro.core.sweep`); the full cartesian product of their points
+    is evaluated and returned as a
+    :class:`~repro.core.sweep.SweepResult` in C (row-major) grid order.
+    The non-axis arguments are the base scenario every point starts
+    from; an axis may override the characterization (temperature), the
+    usage mix, the correlation model, the signal probability, or the
+    geometry (``n_cells``, die size). ``characterization``/``usage``
+    may be ``None`` only when an axis supplies them for every point.
+
+    **Bit-identical guarantee**: every grid point equals — to the last
+    bit of ``mean``, ``std``, and every ``details`` entry — the
+    single-point call
+
+    ``FullChipLeakageEstimator(characterization, usage, n_cells, width,
+    height, signal_probability=p, correlation=c,
+    simplified_correlation=..., state_weights=...).estimate(method,
+    tolerance=...)``
+
+    with that point's parameters substituted. The speedup comes only
+    from *sharing* work across points, never from reformulating it: the
+    lag histogram of the placement is computed once per floorplan, the
+    correlation kernel once per distinct model (family-batched along
+    correlation axes), and the RG mixture moments once per distinct
+    (characterization, usage, signal probability). Axes that change the
+    floorplan fan out through :func:`repro.parallel.parallel_map` when
+    ``n_jobs > 1``; the returned grid order is independent of worker
+    scheduling.
+    """
+    from repro.core.sweep import run_sweep
+
+    return run_sweep(
+        characterization, usage, n_cells, width, height, axes=axes,
+        signal_probability=signal_probability, method=method,
+        correlation=correlation,
+        simplified_correlation=simplified_correlation,
+        state_weights=state_weights, n_jobs=n_jobs, tolerance=tolerance)

@@ -10,6 +10,13 @@ times (eq. 16). The ``(0, 0)`` entry counts exactly the ``n`` self-pairs
 and contributes the full RG variance; every other entry uses the
 distinct-site covariance. The transform is exact — no approximation
 relative to eq. (15) on a grid.
+
+The transform splits cleanly into a *geometry* half and a *parameter*
+half: the lag vectors and their multiplicities depend only on the
+placement grid, while the correlation kernel and the RG covariance
+mapping depend only on process/usage parameters. :class:`LagGeometry`
+holds the geometry half so parameter sweeps reuse it;
+:func:`linear_variance` composes both halves for a single point.
 """
 
 from __future__ import annotations
@@ -19,6 +26,72 @@ import numpy as np
 from repro.core.rg_correlation import RGCorrelation
 from repro.exceptions import EstimationError
 from repro.process.correlation import SpatialCorrelation
+
+
+class LagGeometry:
+    """Geometry-only half of the eq. (17) lag transform.
+
+    Precomputes, for a ``rows x cols`` site grid, the distance-vector
+    (lag) coordinate arrays and the multiplicity table
+    ``n_ij = (cols - |i|) * (rows - |j|)`` — everything in the transform
+    that depends only on the placement. The parameter-dependent half
+    enters through :meth:`rho` (the correlation kernel at the lags) and
+    :meth:`variance_from_rho` (the RG covariance mapping and the final
+    weighted sum), so a sweep over correlation or usage parameters pays
+    for the geometry once.
+
+    ``variance_from_rho(rho(c), rg)`` is, by construction, the exact
+    sequence of array operations :func:`linear_variance` historically
+    performed — sharing a cached ``rho`` across points is bit-identical
+    to recomputing it, because the kernel evaluation is a pure function
+    of the lag coordinates.
+    """
+
+    def __init__(self, rows: int, cols: int, pitch_x: float,
+                 pitch_y: float) -> None:
+        if rows <= 0 or cols <= 0:
+            raise EstimationError("grid dimensions must be positive")
+        if pitch_x <= 0 or pitch_y <= 0:
+            raise EstimationError("site pitches must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.pitch_x = float(pitch_x)
+        self.pitch_y = float(pitch_y)
+        i = np.arange(-(cols - 1), cols)
+        j = np.arange(-(rows - 1), rows)
+        count_x = cols - np.abs(i)
+        count_y = rows - np.abs(j)
+        #: Lag displacement components [m]; (2m-1,) and (2k-1,).
+        self.x = i * pitch_x
+        self.y = j * pitch_y
+        #: Pair multiplicities n_ij (eq. 16); (2m-1) x (2k-1).
+        self.counts = count_x[:, None] * count_y[None, :]
+        #: Index of the (0, 0) lag — the n self-pairs.
+        self.zero_lag = (cols - 1, rows - 1)
+
+    @property
+    def n_lags(self) -> int:
+        """Number of distinct lag vectors, ``(2m-1)(2k-1)``."""
+        return self.counts.size
+
+    def rho(self, correlation: SpatialCorrelation) -> np.ndarray:
+        """``rho_L`` at every lag — the correlation half of eq. (17).
+
+        ``evaluate_xy`` keeps anisotropic correlation models exact.
+        """
+        return correlation.evaluate_xy(self.x[:, None], self.y[None, :])
+
+    def variance_from_rho(self, rho: np.ndarray,
+                          rg_correlation: RGCorrelation) -> float:
+        """Complete eq. (17) from a (possibly cached) lag correlation.
+
+        ``rho`` is never mutated (the covariance mapping allocates), so
+        one cached array may serve many RG correlation models.
+        """
+        cov = rg_correlation.covariance(rho)
+        # The zero-lag entry is the n self-pairs: full RG variance (eq. 11).
+        cov[self.zero_lag] = rg_correlation.same_site_covariance
+        return float(np.sum(self.counts * cov))
 
 
 def linear_variance(
@@ -42,24 +115,6 @@ def linear_variance(
     rg_correlation:
         The RG covariance structure.
     """
-    if rows <= 0 or cols <= 0:
-        raise EstimationError("grid dimensions must be positive")
-    if pitch_x <= 0 or pitch_y <= 0:
-        raise EstimationError("site pitches must be positive")
-
-    i = np.arange(-(cols - 1), cols)
-    j = np.arange(-(rows - 1), rows)
-    count_x = cols - np.abs(i)
-    count_y = rows - np.abs(j)
-    # Correlation over all (i, j) lags; (2m-1) x (2k-1) entries.
-    # evaluate_xy keeps anisotropic correlation models exact.
-    x = i * pitch_x
-    y = j * pitch_y
-    cov = rg_correlation.covariance(
-        correlation.evaluate_xy(x[:, None], y[None, :]))
-    # The zero-lag entry is the n self-pairs: full RG variance (eq. 11).
-    zero_i = cols - 1
-    zero_j = rows - 1
-    cov[zero_i, zero_j] = rg_correlation.same_site_covariance
-    counts = count_x[:, None] * count_y[None, :]
-    return float(np.sum(counts * cov))
+    geometry = LagGeometry(rows, cols, pitch_x, pitch_y)
+    return geometry.variance_from_rho(geometry.rho(correlation),
+                                      rg_correlation)

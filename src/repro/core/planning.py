@@ -12,9 +12,13 @@ questions before a netlist exists:
 from __future__ import annotations
 
 import math
+from typing import Optional
+
 from repro.analysis.distribution import LOGNORMAL, LeakageDistribution
 from repro.characterization.characterizer import LibraryCharacterization
-from repro.core.api import FullChipLeakageEstimator
+from repro.core.api import (FullChipLeakageEstimator, RGComponents,
+                            estimate_sweep)
+from repro.core.sweep import usage_axis
 from repro.core.usage import CellUsage
 from repro.exceptions import EstimationError
 
@@ -29,11 +33,16 @@ def leakage_at_percentile(
     signal_probability: float = 0.5,
     model: str = LOGNORMAL,
     include_vt: bool = True,
+    components: Optional[RGComponents] = None,
 ) -> float:
     """Total leakage [A] not exceeded by ``percentile`` of dies.
 
     The die grows with the design at fixed density: its area is
-    ``n_cells * site_area`` with the given aspect ratio.
+    ``n_cells * site_area`` with the given aspect ratio. ``components``
+    optionally supplies a prebuilt :class:`RGComponents` bundle (it must
+    match ``characterization``/``usage``/``signal_probability``); the
+    inverse solvers below use it to pay for the mixture expansion once
+    across their many probes.
     """
     if not 0.0 < percentile < 1.0:
         raise EstimationError(
@@ -43,7 +52,7 @@ def leakage_at_percentile(
     height = math.sqrt(n_cells * site_area / aspect)
     estimator = FullChipLeakageEstimator(
         characterization, usage, n_cells, aspect * height, height,
-        signal_probability=signal_probability)
+        signal_probability=signal_probability, components=components)
     estimate = estimator.estimate("auto")
     distribution = LeakageDistribution.from_estimate(
         estimate, model=model, include_vt=include_vt)
@@ -72,10 +81,16 @@ def max_cells_for_budget(
     if budget <= 0:
         raise EstimationError(f"budget must be positive, got {budget!r}")
 
+    # The RG mixture is geometry-independent: build it once and share
+    # it across every probe of the search (bit-identical to rebuilding,
+    # since the estimator uses a prebuilt bundle verbatim).
+    components = RGComponents.build(characterization, usage,
+                                    signal_probability)
+
     def percentile_leakage(n: int) -> float:
         return leakage_at_percentile(
             characterization, usage, n, site_area, percentile, aspect,
-            signal_probability, model, include_vt)
+            signal_probability, model, include_vt, components=components)
 
     if percentile_leakage(1) > budget:
         return 0
@@ -108,13 +123,16 @@ def leakage_headroom(
     Returns a dict with the mean/std of both mixes and the relative
     savings of ``candidate`` over ``baseline`` — the what-if a planner
     runs when trading drive strengths or architectural alternatives.
+    Both mixes run through one :func:`repro.core.api.estimate_sweep`
+    call, sharing the lag geometry and kernel evaluation (bit-identical
+    to two standalone estimates).
     """
-    results = {}
-    for label, usage in (("baseline", baseline), ("candidate", candidate)):
-        estimate = FullChipLeakageEstimator(
-            characterization, usage, n_cells, width, height,
-            signal_probability=signal_probability).estimate("auto")
-        results[label] = estimate
+    axis = usage_axis([baseline, candidate],
+                      values=("baseline", "candidate"))
+    sweep = estimate_sweep(characterization, None, n_cells, width, height,
+                           axes=[axis],
+                           signal_probability=signal_probability)
+    results = dict(zip(axis.values, sweep.estimates))
     base = results["baseline"]
     cand = results["candidate"]
     return {

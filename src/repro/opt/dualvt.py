@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.analysis.distribution import LOGNORMAL, LeakageDistribution
 from repro.cells.library import StandardCellLibrary
@@ -29,7 +29,8 @@ from repro.characterization.characterizer import (
     StateCharacterization,
     characterize_library,
 )
-from repro.core.api import FullChipLeakageEstimator
+from repro.core.api import FullChipLeakageEstimator, estimate_sweep
+from repro.core.sweep import SweepAxis
 from repro.core.usage import CellUsage
 from repro.exceptions import ConfigurationError, EstimationError
 from repro.process.parameters import VtSpec
@@ -142,6 +143,37 @@ def dual_vt_usage(usage: CellUsage,
     return CellUsage(fractions)
 
 
+def hvt_fraction_axis(usage: CellUsage,
+                      fractions: Sequence[float]) -> SweepAxis:
+    """A sweep axis over global HVT fractions of a base usage histogram.
+
+    Each point replaces the usage with :func:`dual_vt_usage` at that
+    fraction, so :func:`repro.core.api.estimate_sweep` over this axis is
+    bit-identical to estimating each mixed usage in a loop.
+    """
+    values = tuple(float(f) for f in fractions)
+    return SweepAxis(
+        name="hvt_fraction",
+        values=values,
+        overrides=tuple({"usage": dual_vt_usage(usage, f)}
+                        for f in values))
+
+
+def _dyadic_candidates(lo: float, hi: float, depth: int) -> List[float]:
+    """Every midpoint bisection over ``(lo, hi)`` can visit within
+    ``depth`` iterations.
+
+    Reproduces the solver's literal ``0.5 * (lo + hi)`` arithmetic so
+    prefetched fractions compare equal (``==`` on floats) to the ones
+    the bisection loop computes.
+    """
+    if depth <= 0:
+        return []
+    mid = 0.5 * (lo + hi)
+    return ([mid] + _dyadic_candidates(lo, mid, depth - 1)
+            + _dyadic_candidates(mid, hi, depth - 1))
+
+
 def optimize_hvt_fraction(
     dual: DualVtCharacterization,
     usage: CellUsage,
@@ -155,6 +187,7 @@ def optimize_hvt_fraction(
     max_hvt_fraction: float = 1.0,
     tolerance: float = 1e-3,
     include_vt: bool = False,
+    prefetch_depth: int = 1,
 ) -> Tuple[float, LeakageDistribution]:
     """Smallest global HVT fraction meeting a statistical leakage budget.
 
@@ -164,6 +197,14 @@ def optimize_hvt_fraction(
     derived). Returns ``(fraction, distribution)``; raises if even
     ``max_hvt_fraction`` cannot meet the budget (the design needs more
     than Vt-swapping).
+
+    The bracket endpoints plus the first ``prefetch_depth`` levels of
+    the bisection tree are evaluated up front through one
+    :func:`repro.core.api.estimate_sweep` call, which amortizes the lag
+    geometry, the correlation kernel, and (across fractions that share
+    it) the RG mixture work; the bisection itself then runs unchanged,
+    hitting the prefetched quantiles by exact float lookup. Results are
+    bit-identical to the historical one-estimate-per-probe loop.
     """
     if budget <= 0:
         raise EstimationError(f"budget must be positive, got {budget!r}")
@@ -171,7 +212,24 @@ def optimize_hvt_fraction(
         raise EstimationError(
             f"max_hvt_fraction must be in (0, 1], got {max_hvt_fraction!r}")
 
+    fractions = [0.0, max_hvt_fraction]
+    fractions += [f for f in _dyadic_candidates(0.0, max_hvt_fraction,
+                                                prefetch_depth)
+                  if f not in fractions]
+    axis = hvt_fraction_axis(usage, fractions)
+    sweep = estimate_sweep(dual.characterization, None, n_cells, width,
+                           height, axes=[axis],
+                           signal_probability=signal_probability)
+    cache: Dict[float, Tuple[float, LeakageDistribution]] = {}
+    for f, estimate in zip(axis.values, sweep.estimates):
+        distribution = LeakageDistribution.from_estimate(
+            estimate, model, include_vt=include_vt)
+        cache[f] = (float(distribution.quantile(percentile)), distribution)
+
     def quantile_at(f: float) -> Tuple[float, LeakageDistribution]:
+        hit = cache.get(f)
+        if hit is not None:
+            return hit
         mixed = dual_vt_usage(usage, f)
         estimate = FullChipLeakageEstimator(
             dual.characterization, mixed, n_cells, width, height,

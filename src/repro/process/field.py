@@ -127,23 +127,50 @@ class CirculantFieldSampler:
         return self.rows * self.cols
 
     def sample(self, n_samples: int,
-               rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Draw ``(n_samples, rows*cols)`` field realizations."""
+               rng: Optional[np.random.Generator] = None, *,
+               pair_chunk: Optional[int] = None) -> np.ndarray:
+        """Draw ``(n_samples, rows*cols)`` field realizations.
+
+        The complex draws and their FFTs run batched, ``pair_chunk``
+        sample pairs at a time. The batching is bit-identical to the
+        historical one-pair-at-a-time loop: a C-order
+        ``(count, 2, p, q)`` normal draw consumes the RNG stream in
+        exactly the real-block-then-imaginary-block-per-pair order the
+        loop did, and a batched ``fft2`` over the trailing axes
+        transforms each slice identically to a standalone call.
+
+        ``pair_chunk=None`` (default) sizes batches so one batch's
+        spectra stay within ~2 MiB — large batches of big embeddings
+        fall out of cache and get *slower*, while small embeddings gain
+        most from amortizing per-call overhead over many pairs.
+        """
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples!r}")
+        if pair_chunk is None:
+            pair_chunk = max(1, (2 << 20) // (16 * self._p * self._q))
+        elif pair_chunk <= 0:
+            raise ValueError(
+                f"pair_chunk must be positive, got {pair_chunk!r}")
         rng = np.random.default_rng() if rng is None else rng
         out = np.empty((n_samples, self.n_points))
         # Each complex draw yields two independent real fields.
         n_pairs = (n_samples + 1) // 2
-        for pair in range(n_pairs):
-            noise = (rng.standard_normal((self._p, self._q))
-                     + 1j * rng.standard_normal((self._p, self._q)))
-            spectrum = np.fft.fft2(self._amplitude * noise)
-            block_re = spectrum.real[: self.rows, : self.cols]
-            out[2 * pair] = block_re.ravel()
-            if 2 * pair + 1 < n_samples:
-                block_im = spectrum.imag[: self.rows, : self.cols]
-                out[2 * pair + 1] = block_im.ravel()
+        for start in range(0, n_pairs, pair_chunk):
+            count = min(pair_chunk, n_pairs - start)
+            draws = rng.standard_normal((count, 2, self._p, self._q))
+            noise = draws[:, 0] + 1j * draws[:, 1]
+            spectra = np.fft.fft2(self._amplitude[None] * noise,
+                                  axes=(-2, -1))
+            blocks = spectra[:, : self.rows, : self.cols]
+            first = 2 * start
+            # Even sample indices take the real parts, odd the imaginary;
+            # the final pair of an odd n_samples drops its imaginary half.
+            out[first:first + 2 * count:2] = \
+                blocks.real.reshape(count, self.n_points)
+            stop = min(first + 2 * count, n_samples)
+            n_im = (stop - first) // 2
+            out[first + 1:stop:2] = \
+                blocks.imag.reshape(count, self.n_points)[:n_im]
         return out
 
 

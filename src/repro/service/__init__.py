@@ -55,6 +55,13 @@ from repro.service.jobs import (
 from repro.service.metrics import MetricsRegistry
 from repro.service.pipeline import EstimationPipeline
 from repro.service.scheduler import EstimationScheduler
+from repro.service.sweep import (
+    MAX_SWEEP_POINTS,
+    SWEEP_AXES,
+    SweepAxisSpec,
+    SweepRequest,
+    SweepResponse,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -72,13 +79,18 @@ __all__ = [
     "JobState",
     "JobTimeoutError",
     "LeakageHTTPServer",
+    "MAX_SWEEP_POINTS",
     "MetricsRegistry",
     "NO_RETRY",
     "QueueFullError",
     "RemoteClient",
     "ResultCache",
     "RetryPolicy",
+    "SWEEP_AXES",
     "ServiceClient",
+    "SweepAxisSpec",
+    "SweepRequest",
+    "SweepResponse",
     "TechnologyConfig",
     "TIER_CHARACTERIZATION",
     "TIER_ESTIMATE",

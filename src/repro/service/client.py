@@ -48,14 +48,22 @@ from repro.service.jobs import (
 from repro.service.metrics import MetricsRegistry
 from repro.service.pipeline import EstimationPipeline
 from repro.service.scheduler import EstimationScheduler
+from repro.service.sweep import SweepRequest, SweepResponse
 
 RequestLike = Union[EstimateRequest, Dict[str, Any]]
+SweepLike = Union[SweepRequest, Dict[str, Any]]
 
 
 def _as_request(request: RequestLike) -> EstimateRequest:
     if isinstance(request, EstimateRequest):
         return request
     return EstimateRequest.from_dict(request)
+
+
+def _as_sweep(request: SweepLike) -> SweepRequest:
+    if isinstance(request, SweepRequest):
+        return request
+    return SweepRequest.from_dict(request)
 
 
 class ServiceClient:
@@ -109,9 +117,15 @@ class ServiceClient:
                                            library=library,
                                            faults=faults)
         self.scheduler = EstimationScheduler(
-            self.pipeline, workers=workers, queue_limit=queue_limit,
+            self._compute, workers=workers, queue_limit=queue_limit,
             default_timeout=default_timeout, metrics=self.metrics,
             faults=faults)
+
+    def _compute(self, request, job=None):
+        """Scheduler compute hook: dispatch on the request type."""
+        if isinstance(request, SweepRequest):
+            return self.pipeline.sweep(request, job)
+        return self.pipeline(request, job)
 
     # -- the four verbs ---------------------------------------------------
 
@@ -136,6 +150,31 @@ class ServiceClient:
         """Asynchronous submit; returns the (possibly coalesced) job."""
         self._submissions.inc(mode="async")
         return self.scheduler.submit(_as_request(request), timeout=timeout)
+
+    def sweep(self, request: Optional[SweepLike] = None,
+              timeout: Optional[float] = None, **fields) -> SweepResponse:
+        """Synchronous batched sweep: one job for a whole parameter grid.
+
+        Accepts a :class:`SweepRequest`, a request dict, or keyword
+        fields (``client.sweep(base=..., axes=[...])``). Per-point
+        estimates are bit-identical to :meth:`estimate` calls for the
+        derived requests; the shared artifacts are computed once and
+        each point back-fills the estimate cache tier.
+        """
+        if request is None:
+            request = SweepRequest(**fields)
+        elif fields:
+            raise TypeError("pass either a request or keyword fields, "
+                            "not both")
+        self._submissions.inc(mode="sweep")
+        job = self.scheduler.submit(_as_sweep(request), timeout=timeout)
+        return self.scheduler.wait(job, timeout=timeout)
+
+    def submit_sweep(self, request: SweepLike,
+                     timeout: Optional[float] = None) -> Job:
+        """Asynchronous sweep submit; poll/wait the returned job."""
+        self._submissions.inc(mode="sweep_async")
+        return self.scheduler.submit(_as_sweep(request), timeout=timeout)
 
     def wait(self, job: Job,
              timeout: Optional[float] = None) -> LeakageEstimate:
@@ -445,6 +484,20 @@ class RemoteClient:
             body["timeout"] = timeout
         document = self._call("POST", "/v1/estimate", body)
         return document["job_id"]
+
+    def sweep(self, request: SweepLike,
+              timeout: Optional[float] = None) -> SweepResponse:
+        """Synchronous ``POST /v1/sweep``: one job, a grid of results.
+
+        Safe to retry for the same reason single estimates are: the
+        sweep is content-addressed, and identical in-flight sweeps
+        coalesce server-side.
+        """
+        body = _as_sweep(request).to_dict()
+        if timeout is not None:
+            body["timeout"] = timeout
+        document = self._call("POST", "/v1/sweep", body)
+        return SweepResponse.from_dict(document["sweep"])
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/<id>`` — the raw status document."""

@@ -9,6 +9,14 @@ dependencies) exposing:
     responds ``200`` with ``{"job_id", "state", "cached", "estimate"}``.
     With ``?async=1`` (or ``"async": true`` in the body) it responds
     ``202`` with the job id immediately; poll the job endpoint.
+``POST /v1/sweep``
+    Body: a :class:`~repro.service.sweep.SweepRequest` JSON document —
+    a base estimate request plus ``axes`` varying request fields — run
+    as **one** job for the whole grid. Responds ``200`` with
+    ``{"job_id", "state", "coalesced", "sweep"}`` where ``sweep`` carries
+    the per-point estimates (C-order) and amortized-latency stats.
+    Supports ``?async=1`` / ``"async": true`` like the estimate
+    endpoint. Every grid point back-fills the estimate cache tier.
 ``GET /v1/jobs/<id>``
     Job status snapshot; includes the serialized estimate once done.
 ``GET /v1/healthz``
@@ -60,6 +68,7 @@ from repro.service.jobs import (
     QueueFullError,
 )
 from repro.service.metrics import SIZE_BUCKETS
+from repro.service.sweep import SweepRequest
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for any request document
 
@@ -262,6 +271,12 @@ class _Handler(BaseHTTPRequestHandler):
                     self._estimate(url)
                 finally:
                     self.server.request_finished()
+            elif parts == ["v1", "sweep"]:
+                self.server.request_started()
+                try:
+                    self._sweep(url)
+                finally:
+                    self.server.request_finished()
             else:
                 self._error("unknown", 404,
                             f"no such endpoint: {url.path}", "not_found")
@@ -321,14 +336,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._json("jobs", 200, job.snapshot())
 
-    def _estimate(self, url) -> None:
-        endpoint = "estimate"
-        client = self.server.client
+    def _parse_submission(self, endpoint: str, url, parser):
+        """Shared request parsing for the submission endpoints.
+
+        Returns ``(request, run_async, timeout)`` after responding with
+        the appropriate error (and returning None) on bad input or
+        while draining.
+        """
         if self.server.draining:
             self._error(endpoint, 503,
                         "server is draining; not accepting new work",
                         "draining")
-            return
+            return None
         try:
             body = self._read_body()
             query = parse_qs(url.query)
@@ -338,14 +357,47 @@ class _Handler(BaseHTTPRequestHandler):
             timeout = body.pop("timeout", None)
             if timeout is not None:
                 timeout = float(timeout)
-            request = EstimateRequest.from_dict(body)
+            request = parser(body)
         except ConfigurationError as exc:
             self._error(endpoint, 400, str(exc), "bad_request")
-            return
+            return None
         except (TypeError, ValueError) as exc:
             self._error(endpoint, 400, f"invalid request: {exc}",
                         "bad_request")
+            return None
+        return request, run_async, timeout
+
+    def _await_job(self, endpoint: str, job, timeout) -> Optional[object]:
+        """Wait for ``job``, mapping failures to their HTTP responses.
+
+        Waits past the job's own deadline: a deadline-bound job is
+        guaranteed to terminate (cooperative abort or supervisor
+        abandonment), and the caller should see the typed deadline
+        failure, not this handler's patience running out first.
+        """
+        patience = None if timeout is None else timeout + 30.0
+        try:
+            return self.server.client.wait(job, timeout=patience)
+        except DeadlineExceeded as exc:
+            self._error(endpoint, 504, str(exc), "deadline")
+        except JobTimeoutError as exc:
+            self._error(endpoint, 504, str(exc), "timeout")
+        except JobCancelledError as exc:
+            self._error(endpoint, 502, str(exc), "cancelled")
+        except JobFailedError as exc:
+            self._error(endpoint, 502, str(exc), "failed")
+        except ReproError as exc:  # other deliberate service failure
+            self._error(endpoint, 502, str(exc), "failed")
+        return None
+
+    def _estimate(self, url) -> None:
+        endpoint = "estimate"
+        client = self.server.client
+        parsed = self._parse_submission(endpoint, url,
+                                        EstimateRequest.from_dict)
+        if parsed is None:
             return
+        request, run_async, timeout = parsed
 
         try:
             job = client.submit(request, timeout=timeout)
@@ -358,33 +410,44 @@ class _Handler(BaseHTTPRequestHandler):
                        {"job_id": job.id, "state": job.state})
             return
 
-        # Wait past the job's own deadline: a deadline-bound job is
-        # guaranteed to terminate (cooperative abort or supervisor
-        # abandonment), and the caller should see the typed deadline
-        # failure, not this handler's patience running out first.
-        patience = None if timeout is None else timeout + 30.0
-        try:
-            estimate = client.wait(job, timeout=patience)
-        except DeadlineExceeded as exc:
-            self._error(endpoint, 504, str(exc), "deadline")
-            return
-        except JobTimeoutError as exc:
-            self._error(endpoint, 504, str(exc), "timeout")
-            return
-        except JobCancelledError as exc:
-            self._error(endpoint, 502, str(exc), "cancelled")
-            return
-        except JobFailedError as exc:
-            self._error(endpoint, 502, str(exc), "failed")
-            return
-        except ReproError as exc:  # other deliberate service failure
-            self._error(endpoint, 502, str(exc), "failed")
+        estimate = self._await_job(endpoint, job, timeout)
+        if estimate is None:
             return
         self._json(endpoint, 200, {
             "job_id": job.id,
             "state": job.state,
             "coalesced": job.coalesced,
             "estimate": estimate.to_dict(),
+        })
+
+    def _sweep(self, url) -> None:
+        endpoint = "sweep"
+        client = self.server.client
+        parsed = self._parse_submission(endpoint, url,
+                                        SweepRequest.from_dict)
+        if parsed is None:
+            return
+        request, run_async, timeout = parsed
+
+        try:
+            job = client.submit_sweep(request, timeout=timeout)
+        except QueueFullError as exc:
+            self._error(endpoint, 429, str(exc), "queue_full")
+            return
+
+        if run_async:
+            self._json(endpoint, 202,
+                       {"job_id": job.id, "state": job.state})
+            return
+
+        result = self._await_job(endpoint, job, timeout)
+        if result is None:
+            return
+        self._json(endpoint, 200, {
+            "job_id": job.id,
+            "state": job.state,
+            "coalesced": job.coalesced,
+            "sweep": result.to_dict(),
         })
 
 

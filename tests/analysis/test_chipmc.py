@@ -66,3 +66,84 @@ class TestChipMonteCarlo:
         result = chip_monte_carlo(realization, technology, n_samples=500,
                                   rng=rng)
         assert 0 < result.std_standard_error() < result.std
+
+
+class TestSampleChunk:
+    """Memory-bounded chunked sampling."""
+
+    def test_default_is_historical_draw_order(self, realization,
+                                              technology):
+        """``sample_chunk=None`` must replay the original implementation
+        draw-for-draw: full WID field, then D2D, then Vt."""
+        from repro.analysis.chipmc import _sample_wid_field
+        from repro.characterization.moments import lognormal_mean_factor
+
+        def original(n_samples, rng, include_vt):
+            length = technology.length
+            n = realization.n_gates
+            a = np.array([fit.a for fit in realization.fits])
+            b = np.array([fit.b for fit in realization.fits])
+            c = np.array([fit.c for fit in realization.fits])
+            wid = _sample_wid_field(
+                realization.positions, technology.wid_correlation,
+                n_samples, rng, "auto") * length.sigma_wid
+            d2d = (rng.standard_normal(n_samples)[:, None]
+                   * length.sigma_d2d)
+            lengths = length.nominal + wid + d2d
+            leak = a[None, :] * np.exp(b[None, :] * lengths
+                                       + c[None, :] * lengths ** 2)
+            if include_vt:
+                n_vt = (technology.subthreshold_swing_factor
+                        * technology.thermal_voltage)
+                log_sigma = technology.vt.sigma / n_vt
+                factors = np.exp(
+                    log_sigma * rng.standard_normal((n_samples, n)))
+                factors /= lognormal_mean_factor(log_sigma)
+                leak = leak * factors
+            return leak.sum(axis=1)
+
+        for include_vt in (False, True):
+            want = original(64, np.random.default_rng(17), include_vt)
+            got = chip_monte_carlo(realization, technology, n_samples=64,
+                                   rng=np.random.default_rng(17),
+                                   include_vt=include_vt)
+            assert np.array_equal(got.samples, want)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 500, 5000])
+    def test_chunked_statistics_agree(self, realization, technology,
+                                      chunk):
+        base = chip_monte_carlo(realization, technology, n_samples=2000,
+                                rng=np.random.default_rng(11))
+        chunked = chip_monte_carlo(realization, technology,
+                                   n_samples=2000,
+                                   rng=np.random.default_rng(11),
+                                   sample_chunk=chunk)
+        assert chunked.n_samples == 2000
+        assert np.all(chunked.samples > 0)
+        assert chunked.mean == pytest.approx(base.mean, rel=0.05)
+        assert chunked.std == pytest.approx(base.std, rel=0.25)
+
+    def test_chunked_with_vt(self, realization, technology):
+        base = chip_monte_carlo(realization, technology, n_samples=1500,
+                                rng=np.random.default_rng(23),
+                                include_vt=True)
+        chunked = chip_monte_carlo(realization, technology,
+                                   n_samples=1500,
+                                   rng=np.random.default_rng(23),
+                                   include_vt=True, sample_chunk=200)
+        assert chunked.mean == pytest.approx(base.mean, rel=0.05)
+
+    def test_chunked_is_deterministic(self, realization, technology):
+        first = chip_monte_carlo(realization, technology, n_samples=300,
+                                 rng=np.random.default_rng(3),
+                                 sample_chunk=64)
+        second = chip_monte_carlo(realization, technology, n_samples=300,
+                                  rng=np.random.default_rng(3),
+                                  sample_chunk=64)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_rejects_non_positive_chunk(self, realization, technology,
+                                        rng):
+        with pytest.raises(EstimationError):
+            chip_monte_carlo(realization, technology, n_samples=10,
+                             rng=rng, sample_chunk=0)

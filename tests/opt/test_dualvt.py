@@ -125,3 +125,78 @@ class TestOptimize:
             optimize_hvt_fraction(dual, usage, self.N, self.W, self.H,
                                   budget=0.8 * all_svt,
                                   max_hvt_fraction=0.05)
+
+
+class TestOptimizeSweepRegression:
+    """The sweep-prefetched optimizer must match the historical
+    one-estimate-per-probe loop bit-for-bit: same fraction, same
+    distribution, same bisection trajectory."""
+
+    N, W, H = 10_000, 6e-4, 6e-4
+
+    def original_optimize(self, dual, usage, budget, percentile=0.99,
+                          signal_probability=0.5,
+                          max_hvt_fraction=1.0, tolerance=1e-3,
+                          include_vt=False):
+        """Verbatim replay of the pre-sweep implementation."""
+        from repro.analysis import LeakageDistribution
+
+        def quantile_at(f):
+            mixed = dual_vt_usage(usage, f)
+            estimate = FullChipLeakageEstimator(
+                dual.characterization, mixed, self.N, self.W, self.H,
+                signal_probability=signal_probability).estimate("auto")
+            distribution = LeakageDistribution.from_estimate(
+                estimate, include_vt=include_vt)
+            return float(distribution.quantile(percentile)), distribution
+
+        q0, dist0 = quantile_at(0.0)
+        if q0 <= budget:
+            return 0.0, dist0
+        q_max, dist_max = quantile_at(max_hvt_fraction)
+        if q_max > budget:
+            raise EstimationError("unreachable")
+        lo, hi = 0.0, max_hvt_fraction
+        dist = dist_max
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            q_mid, dist_mid = quantile_at(mid)
+            if q_mid <= budget:
+                hi, dist = mid, dist_mid
+            else:
+                lo = mid
+        return hi, dist
+
+    def budget(self, dual, usage):
+        def quantile(mixed):
+            from repro.analysis import LeakageDistribution
+            estimate = FullChipLeakageEstimator(
+                dual.characterization, mixed, self.N, self.W, self.H
+            ).estimate("linear")
+            return float(LeakageDistribution.from_estimate(
+                estimate).quantile(0.99))
+        return math.sqrt(quantile(usage)
+                         * quantile(dual_vt_usage(usage, 1.0)))
+
+    @pytest.mark.parametrize("prefetch_depth", [0, 1, 3])
+    def test_bit_identical_to_looped(self, dual, usage, prefetch_depth):
+        budget = self.budget(dual, usage)
+        want_f, want_dist = self.original_optimize(dual, usage, budget)
+        got_f, got_dist = optimize_hvt_fraction(
+            dual, usage, self.N, self.W, self.H, budget,
+            prefetch_depth=prefetch_depth)
+        assert got_f == want_f
+        assert got_dist.mean == want_dist.mean
+        assert got_dist.std == want_dist.std
+        assert got_dist.model == want_dist.model
+
+    def test_include_vt_bit_identical(self, dual, usage):
+        budget = 1.3 * self.budget(dual, usage)
+        want_f, want_dist = self.original_optimize(dual, usage, budget,
+                                                   include_vt=True)
+        got_f, got_dist = optimize_hvt_fraction(
+            dual, usage, self.N, self.W, self.H, budget,
+            include_vt=True)
+        assert got_f == want_f
+        assert got_dist.mean == want_dist.mean
+        assert got_dist.std == want_dist.std

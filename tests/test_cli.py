@@ -38,6 +38,62 @@ class TestEstimateCommand:
         assert mean_of(hot) > 5 * mean_of(cold)
 
 
+class TestSweepCommand:
+    BASE = ["sweep", "--cells", "1000", "--width-mm", "0.2",
+            "--height-mm", "0.2", "--usage", "INV_X1=0.5",
+            "--usage", "NAND2_X1=0.5", "--method", "linear"]
+
+    def test_grid_table(self, capsys):
+        code = main(self.BASE + [
+            "--axis", "corr-length-mm=0.3,0.5,0.9",
+            "--axis", "signal-probability=0.4,0.6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Batched sweep — 6 points" in out
+        assert "correlation_length" in out
+        assert "signal_probability" in out
+        # The amortization ledger: one floorplan, three kernels.
+        assert "chip_models=1" in out
+        assert "rho_kernel_evaluations=3" in out
+
+    def test_json_output_matches_library(self, capsys):
+        import json as json_module
+        code = main(self.BASE + ["--axis", "d2d-fraction=0.1,0.5",
+                                 "--json"])
+        assert code == 0
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["shape"] == [2]
+        assert len(document["estimates"]) == 2
+        assert all(e["mean"] > 0 for e in document["estimates"])
+
+    def test_matches_estimate_command(self, capsys):
+        code = main(self.BASE + ["--axis", "cells=1000"])
+        assert code == 0
+        sweep_out = capsys.readouterr().out
+        main(["estimate", "--cells", "1000", "--width-mm", "0.2",
+              "--height-mm", "0.2", "--usage", "INV_X1=0.5",
+              "--usage", "NAND2_X1=0.5", "--method", "linear"])
+        single_out = capsys.readouterr().out
+
+        def mean_of(text):
+            for line in text.splitlines():
+                if "mean leakage" in line:
+                    return float(line.split()[-1])
+            raise AssertionError(text)
+
+        # Both tables print mA with four decimals; they must agree.
+        row = [line for line in sweep_out.splitlines()
+               if line.strip().startswith("1000")][0]
+        sweep_mean_ma = float(row.split()[1])
+        assert sweep_mean_ma == pytest.approx(mean_of(single_out),
+                                              rel=1e-4, abs=1e-4)
+
+    def test_bad_axis_is_reported(self, capsys):
+        code = main(self.BASE + ["--axis", "frequency=1,2"])
+        assert code == 2
+        assert "unknown sweep axis" in capsys.readouterr().err
+
+
 class TestCharacterizeRoundTrip:
     def test_characterize_then_estimate(self, tmp_path, capsys):
         char_path = str(tmp_path / "char.json")
