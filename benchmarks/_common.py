@@ -40,6 +40,28 @@ def git_revision() -> Optional[str]:
     return rev if proc.returncode == 0 and rev else None
 
 
+def stage_summary(trace: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Compact per-stage breakdown of a trace for JSON payloads.
+
+    Keeps the trajectory files small: per stage only the self time, the
+    total wall time, and the call count (plus the worker-process flag
+    when set).
+    """
+    if not trace:
+        return {}
+    summary: Dict[str, Any] = {}
+    for stage, entry in sorted(trace.get("stages", {}).items()):
+        row = {
+            "self_s": entry["self_s"],
+            "wall_s": entry["wall_s"],
+            "count": entry["count"],
+        }
+        if entry.get("remote"):
+            row["remote"] = True
+        summary[stage] = row
+    return summary
+
+
 def emit_json(name: str, payload: Dict[str, Any]) -> str:
     """Persist machine-readable results as ``BENCH_<name>.json``.
 

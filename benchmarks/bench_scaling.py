@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import emit, emit_json, stage_summary
 from repro.analysis import format_table
 from repro.core import CellUsage, FullChipModel, RandomGate, RGCorrelation, \
     expand_mixture
@@ -86,6 +86,19 @@ def test_scaling(benchmark, characterization, rng):
             grid=(side, side)))
         point["t_fast_exact_s"] = t_fast
         point["fast_exact_std"] = fast_std
+
+        if n == DENSE_LIMIT or (QUICK and side == SIDES[-1]):
+            # One traced run: where does the fast exact path spend its
+            # time? Tracing must not perturb the answer.
+            from repro.obs import Tracer
+
+            tracer = Tracer("bench.fast_exact")
+            with tracer, tracer.span("bench.fast_exact", gates=n):
+                _, traced_std = exact_moments(
+                    positions, means, stds, correlation, method="lagsum",
+                    grid=(side, side))
+            assert traced_std == fast_std
+            point["stages"] = stage_summary(tracer.export())
         if dense_std is not None:
             rel_err = abs(fast_std - dense_std) / dense_std
             point["fast_vs_dense_rel_err"] = rel_err

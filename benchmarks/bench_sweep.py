@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import emit, emit_json, stage_summary
 from repro.analysis import format_table
 from repro.core import CellUsage, FullChipLeakageEstimator
 from repro.core.api import estimate_sweep
@@ -80,6 +80,20 @@ def test_sweep_vs_loop(library, characterization):
         assert got.std == want.std
         assert got.details == want.details
 
+    # Traced re-run: per-stage attribution for the trajectory file.
+    # Tracing must not cost a single bit either (asserted here) nor
+    # meaningful time (asserted in tests/obs/test_overhead.py).
+    start = time.perf_counter()
+    traced = estimate_sweep(
+        characterization, None, N_CELLS, WIDTH, HEIGHT,
+        axes=[length_axis, mix_axis], method="linear", trace=True)
+    t_traced = time.perf_counter() - start
+    assert traced.trace is not None
+    for got, want in zip(traced, sweep):
+        assert got.mean == want.mean
+        assert got.std == want.std
+        assert got.details == want.details
+
     n_points = len(looped)
     speedup = t_loop / t_sweep
     table = format_table(
@@ -104,9 +118,11 @@ def test_sweep_vs_loop(library, characterization):
         "n_usages": len(usages),
         "t_loop_s": t_loop,
         "t_sweep_s": t_sweep,
+        "t_sweep_traced_s": t_traced,
         "speedup": speedup,
         "stats": {key: int(value)
                   for key, value in sorted(sweep.stats.items())},
+        "stages": stage_summary(traced.trace),
     })
 
     assert speedup >= MIN_SPEEDUP, (

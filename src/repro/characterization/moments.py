@@ -96,10 +96,19 @@ def moments_numeric(a: float, b: float, c: float, mu: float, sigma: float,
     Integrates ``X^t * phi(L)`` over ``mu ± span*sigma`` with an adaptive
     rule; used by the test suite to confirm the closed-form MGF.
     """
+    norm = sigma * math.sqrt(2 * math.pi)
+    log_a = math.log(a)
+
     def integrand(length: float, t: float) -> float:
-        x = a * math.exp(b * length + c * length * length)
+        # One combined exponent: evaluating x**t first would overflow
+        # where the Gaussian weight cancels it (far tails under
+        # positive curvature).
         z = (length - mu) / sigma
-        return (x ** t) * math.exp(-0.5 * z * z) / (sigma * math.sqrt(2 * math.pi))
+        exponent = (t * (log_a + b * length + c * length * length)
+                    - 0.5 * z * z)
+        if exponent < -745.0:  # exp underflows to 0 anyway
+            return 0.0
+        return math.exp(exponent) / norm
 
     lo, hi = mu - span * sigma, mu + span * sigma
     # Leakage magnitudes are ~1e-10 A; quadpack's default *absolute*

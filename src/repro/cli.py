@@ -67,6 +67,39 @@ def _add_technology_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: characterization temperature)")
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="profile the run and print the per-stage "
+                             "breakdown (see docs/OBSERVABILITY.md)")
+    parser.add_argument("--trace-json", default=None, metavar="PATH",
+                        help="write the full trace document as JSON to "
+                             "PATH ('-' for stdout); implies tracing")
+
+
+def _trace_requested(args) -> bool:
+    return bool(args.trace or args.trace_json)
+
+
+def _emit_trace(document, args) -> None:
+    """Print/serialize a finished trace per the --trace* flags."""
+    from repro.obs import render_stages, to_json
+
+    if document is None:
+        print("no trace captured", file=sys.stderr)
+        return
+    if args.trace:
+        print()
+        print(render_stages(document))
+    if args.trace_json:
+        text = to_json(document)
+        if args.trace_json == "-":
+            print(text)
+        else:
+            with open(args.trace_json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"trace written to {args.trace_json}")
+
+
 def _parse_usage(entries: Optional[Sequence[str]],
                  library) -> CellUsage:
     if not entries:
@@ -106,7 +139,8 @@ def _cmd_estimate(args) -> int:
         characterization, usage, args.cells,
         args.width_mm * 1e-3, args.height_mm * 1e-3,
         signal_probability=args.signal_probability)
-    estimate = estimator.estimate(args.method)
+    estimate = estimator.estimate(args.method,
+                                  trace=_trace_requested(args))
     distribution = LeakageDistribution.from_estimate(estimate,
                                                      include_vt=True)
     rows = [
@@ -122,6 +156,8 @@ def _cmd_estimate(args) -> int:
     ]
     print(format_table(["quantity", "value"], rows,
                        title="Full-chip leakage estimate"))
+    if _trace_requested(args):
+        _emit_trace(estimate.details.get("trace"), args)
     return 0
 
 
@@ -271,7 +307,8 @@ def _cmd_submit(args) -> int:
         cells=args.cell or None,
         technology=_technology_config_from_args(args),
         priority=args.priority,
-        allow_degraded=args.allow_degraded)
+        allow_degraded=args.allow_degraded,
+        trace=_trace_requested(args))
     remote = RemoteClient(args.url)
 
     if getattr(args, "async_", False):
@@ -295,6 +332,8 @@ def _cmd_submit(args) -> int:
         rows.append(["DEGRADED", estimate.degradation_reason or "yes"])
     print(format_table(["quantity", "value"], rows,
                        title=f"Service estimate via {args.url}"))
+    if _trace_requested(args):
+        _emit_trace(estimate.details.get("trace"), args)
     return 0
 
 
@@ -360,7 +399,8 @@ def _cmd_sweep(args) -> int:
         characterization, usage, args.cells_base,
         args.width_mm * 1e-3, args.height_mm * 1e-3,
         axes=axes, signal_probability=args.signal_probability,
-        method=args.method, n_jobs=args.n_jobs)
+        method=args.method, n_jobs=args.n_jobs,
+        trace=_trace_requested(args))
 
     if args.json:
         print(json.dumps(sweep.to_dict(), indent=1))
@@ -378,6 +418,8 @@ def _cmd_sweep(args) -> int:
     stats = ", ".join(f"{key}={value}"
                       for key, value in sorted(sweep.stats.items()))
     print(f"shared-work ledger: {stats}")
+    if _trace_requested(args):
+        _emit_trace(sweep.trace, args)
     return 0
 
 
@@ -444,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--char", default=None,
                           help="stored characterization JSON "
                                "(default: characterize on the fly)")
+    _add_trace_arguments(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
     sweep = commands.add_parser(
@@ -468,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process fan-out across geometry groups")
     sweep.add_argument("--json", action="store_true",
                        help="print the raw sweep JSON")
+    _add_trace_arguments(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     selfcheck = commands.add_parser(
@@ -551,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "waiting for the result")
     submit.add_argument("--json", action="store_true",
                         help="print the raw estimate JSON")
+    _add_trace_arguments(submit)
     submit.set_defaults(handler=_cmd_submit)
     return parser
 

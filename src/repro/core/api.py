@@ -25,6 +25,7 @@ from repro.core.random_gate import RandomGate, expand_mixture
 from repro.core.rg_correlation import RGCorrelation
 from repro.core.usage import CellUsage
 from repro.exceptions import EstimationError
+from repro.obs import Tracer, span
 from repro.process.correlation import SpatialCorrelation
 
 #: Grid-size threshold below which ``method="auto"`` uses the exact
@@ -219,20 +220,21 @@ class RGComponents:
         """Derive the RG bundle from a characterized library + usage."""
         technology = characterization.technology
         signal_probability = float(signal_probability)
-        mixture = expand_mixture(characterization, usage,
-                                 signal_probability,
-                                 state_weights=state_weights)
-        random_gate = RandomGate(mixture)
-        rg_correlation = RGCorrelation(
-            random_gate,
-            mu_l=technology.length.nominal,
-            sigma_l=technology.length.sigma,
-            simplified=simplified_correlation,
-        )
-        return cls(random_gate=random_gate,
-                   rg_correlation=rg_correlation,
-                   vt_multiplier=vt_mean_multiplier(technology),
-                   signal_probability=signal_probability)
+        with span("api.rg_build"):
+            mixture = expand_mixture(characterization, usage,
+                                     signal_probability,
+                                     state_weights=state_weights)
+            random_gate = RandomGate(mixture)
+            rg_correlation = RGCorrelation(
+                random_gate,
+                mu_l=technology.length.nominal,
+                sigma_l=technology.length.sigma,
+                simplified=simplified_correlation,
+            )
+            return cls(random_gate=random_gate,
+                       rg_correlation=rg_correlation,
+                       vt_multiplier=vt_mean_multiplier(technology),
+                       signal_probability=signal_probability)
 
 
 class FullChipLeakageEstimator:
@@ -285,7 +287,8 @@ class FullChipLeakageEstimator:
         technology = characterization.technology
         self.correlation = (technology.total_correlation
                             if correlation is None else correlation)
-        self.chip = FullChipModel.from_design(n_cells, width, height)
+        with span("api.chip_model", n_cells=int(n_cells)):
+            self.chip = FullChipModel.from_design(n_cells, width, height)
         if components is None:
             components = RGComponents.build(
                 characterization, usage, signal_probability,
@@ -298,7 +301,8 @@ class FullChipLeakageEstimator:
         self._vt_multiplier = components.vt_multiplier
 
     def estimate(self, method: str = "auto", *, n_jobs: int = 1,
-                 tolerance: float = 0.0) -> LeakageEstimate:
+                 tolerance: float = 0.0,
+                 trace: bool = False) -> LeakageEstimate:
         """Estimate full-chip leakage mean and standard deviation.
 
         ``method`` is one of ``"auto"``, ``"linear"``, ``"integral2d"``,
@@ -318,31 +322,49 @@ class FullChipLeakageEstimator:
         records ``details["exact_engine"]`` (always ``"lagsum"``: the RG
         site grid is a lattice, so the engine takes the FFT lag
         transform).
+
+        ``trace=True`` profiles the run: the estimate's
+        ``details["trace"]`` carries the span tree and per-stage wall
+        times (``docs/OBSERVABILITY.md``). Numeric results are
+        bit-identical with tracing on or off — spans only read clocks.
         """
+        if not trace:
+            return self._estimate(method, n_jobs=n_jobs,
+                                  tolerance=tolerance)
+        tracer = Tracer("core/api.estimate")
+        with tracer:
+            with tracer.span("core/api.estimate", method=method):
+                result = self._estimate(method, n_jobs=n_jobs,
+                                        tolerance=tolerance)
+        return result.with_details(trace=tracer.export())
+
+    def _estimate(self, method: str, *, n_jobs: int,
+                  tolerance: float) -> LeakageEstimate:
         chip = self.chip
         requested = method
         if method == "auto":
             method = resolve_auto_method(chip.n_sites)
 
-        if method == "linear":
-            site_variance = linear_variance(
-                chip.rows, chip.cols, chip.pitch_x, chip.pitch_y,
-                self.correlation, self.rg_correlation)
-        elif method == "integral2d":
-            site_variance = integral2d_variance(
-                chip.n_sites, chip.width, chip.height,
-                self.correlation, self.rg_correlation)
-        elif method == "polar":
-            site_variance = polar_variance(
-                chip.n_sites, chip.width, chip.height,
-                self.correlation, self.rg_correlation)
-        elif method == "exact":
-            site_variance = self._exact_site_variance(
-                n_jobs=n_jobs, tolerance=tolerance)
-        else:
-            raise EstimationError(
-                f"unknown method {method!r}; choose auto, linear, "
-                "integral2d, polar, or exact")
+        with span("api.variance", method=method):
+            if method == "linear":
+                site_variance = linear_variance(
+                    chip.rows, chip.cols, chip.pitch_x, chip.pitch_y,
+                    self.correlation, self.rg_correlation)
+            elif method == "integral2d":
+                site_variance = integral2d_variance(
+                    chip.n_sites, chip.width, chip.height,
+                    self.correlation, self.rg_correlation)
+            elif method == "polar":
+                site_variance = polar_variance(
+                    chip.n_sites, chip.width, chip.height,
+                    self.correlation, self.rg_correlation)
+            elif method == "exact":
+                site_variance = self._exact_site_variance(
+                    n_jobs=n_jobs, tolerance=tolerance)
+            else:
+                raise EstimationError(
+                    f"unknown method {method!r}; choose auto, linear, "
+                    "integral2d, polar, or exact")
 
         extra = {"requested_method": requested}
         if method == "exact":
@@ -371,12 +393,17 @@ class FullChipLeakageEstimator:
         chip = self.chip
         n_sites = chip.n_sites
         rg = self.random_gate
+        with span("api.site_arrays", n_sites=n_sites):
+            positions = chip.site_positions()
+            site_means = np.full(n_sites, rg.mean)
+            site_stds = np.full(n_sites, rg.std)
+            site_corr_stds = np.full(n_sites, rg.mean_of_stds)
         _, site_std = exact_moments(
-            chip.site_positions(),
-            np.full(n_sites, rg.mean),
-            np.full(n_sites, rg.std),
+            positions,
+            site_means,
+            site_stds,
             self.correlation,
-            corr_stds=np.full(n_sites, rg.mean_of_stds),
+            corr_stds=site_corr_stds,
             method="lagsum",
             grid=(chip.rows, chip.cols),
             n_jobs=n_jobs,
@@ -386,6 +413,11 @@ class FullChipLeakageEstimator:
 
     def _package(self, method: str, site_variance: float,
                  extra: Optional[Dict[str, Any]] = None) -> LeakageEstimate:
+        with span("api.package"):
+            return self._package_inner(method, site_variance, extra)
+
+    def _package_inner(self, method: str, site_variance: float,
+                       extra: Optional[Dict[str, Any]]) -> LeakageEstimate:
         chip = self.chip
         # Grid statistics are for n_sites gates; rescale to the actual
         # cell count (mean ~ n, std ~ n for strongly correlated sums).
@@ -429,6 +461,7 @@ def estimate_sweep(
     state_weights=None,
     n_jobs: int = 1,
     tolerance: float = 0.0,
+    trace: bool = False,
 ):
     """Evaluate a grid of estimation scenarios with shared precomputation.
 
@@ -461,6 +494,11 @@ def estimate_sweep(
     floorplan fan out through :func:`repro.parallel.parallel_map` when
     ``n_jobs > 1``; the returned grid order is independent of worker
     scheduling.
+
+    ``trace=True`` profiles the sweep (shared-precompute vs per-point
+    stages, worker spans aggregated per stage) into
+    ``SweepResult.trace``; every estimate stays bit-identical to the
+    untraced run.
     """
     from repro.core.sweep import run_sweep
 
@@ -469,4 +507,5 @@ def estimate_sweep(
         signal_probability=signal_probability, method=method,
         correlation=correlation,
         simplified_correlation=simplified_correlation,
-        state_weights=state_weights, n_jobs=n_jobs, tolerance=tolerance)
+        state_weights=state_weights, n_jobs=n_jobs, tolerance=tolerance,
+        trace=trace)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.characterization.fitting import LeakageFit
 from repro.exceptions import EstimationError, MomentExistenceError
+from repro.obs import span
 from repro.process.correlation import SpatialCorrelation
 
 
@@ -180,35 +181,37 @@ def exact_moments(
         return _finish(mean_total, variance)
 
     variance = 0.0
-    for start_i in range(0, n, block_size):
-        end_i = min(start_i + block_size, n)
-        pos_i = positions[start_i:end_i]
-        for start_j in range(start_i, n, block_size):
-            end_j = min(start_j + block_size, n)
-            pos_j = positions[start_j:end_j]
-            delta = pos_i[:, None, :] - pos_j[None, :, :]
-            rho = correlation.evaluate_xy(delta[..., 0], delta[..., 1])
-            if pair_params is None:
-                block = (corr_stds[start_i:end_i, None]
-                         * corr_stds[None, start_j:end_j] * rho)
-            else:
-                a, h, k = pair_params
-                cross = _pair_cross_moment(
-                    a[start_i:end_i, None], h[start_i:end_i, None],
-                    k[start_i:end_i, None],
-                    a[None, start_j:end_j], h[None, start_j:end_j],
-                    k[None, start_j:end_j], rho)
-                block = cross - (means[start_i:end_i, None]
-                                 * means[None, start_j:end_j])
-            total = float(block.sum())
-            if start_j == start_i:
-                variance += total
-            else:
-                variance += 2.0 * total  # symmetric off-diagonal block
-    if pair_params is None:
-        # Replace the diagonal's correlatable variance with each gate's
-        # full variance (they coincide when corr_stds is stds).
-        variance += float((stds ** 2).sum() - (corr_stds ** 2).sum())
+    with span("exact.dense", n=n, block_size=block_size):
+        for start_i in range(0, n, block_size):
+            end_i = min(start_i + block_size, n)
+            pos_i = positions[start_i:end_i]
+            for start_j in range(start_i, n, block_size):
+                end_j = min(start_j + block_size, n)
+                pos_j = positions[start_j:end_j]
+                delta = pos_i[:, None, :] - pos_j[None, :, :]
+                rho = correlation.evaluate_xy(delta[..., 0], delta[..., 1])
+                if pair_params is None:
+                    block = (corr_stds[start_i:end_i, None]
+                             * corr_stds[None, start_j:end_j] * rho)
+                else:
+                    a, h, k = pair_params
+                    cross = _pair_cross_moment(
+                        a[start_i:end_i, None], h[start_i:end_i, None],
+                        k[start_i:end_i, None],
+                        a[None, start_j:end_j], h[None, start_j:end_j],
+                        k[None, start_j:end_j], rho)
+                    block = cross - (means[start_i:end_i, None]
+                                     * means[None, start_j:end_j])
+                total = float(block.sum())
+                if start_j == start_i:
+                    variance += total
+                else:
+                    variance += 2.0 * total  # symmetric off-diagonal block
+        if pair_params is None:
+            # Replace the diagonal's correlatable variance with each
+            # gate's full variance (they coincide when corr_stds is
+            # stds).
+            variance += float((stds ** 2).sum() - (corr_stds ** 2).sum())
     return _finish(mean_total, variance)
 
 

@@ -41,6 +41,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import CorrelationError, EstimationError
+from repro.obs import span
 from repro.parallel import parallel_map, resolve_n_jobs
 from repro.process.correlation import SpatialCorrelation, TotalCorrelation
 
@@ -230,23 +231,26 @@ def _dense_block_worker(task, arrays, payload) -> float:
     start_i, end_i, start_j, end_j = task
     positions = arrays["positions"]
     correlation = payload["correlation"]
-    delta = positions[start_i:end_i, None, :] - positions[None, start_j:end_j, :]
-    rho = correlation.evaluate_xy(delta[..., 0], delta[..., 1])
-    if payload["pair_mode"]:
-        a, h, k = arrays["a"], arrays["h"], arrays["k"]
-        means = arrays["means"]
-        cross = _pair_cross_moment(
-            a[start_i:end_i, None], h[start_i:end_i, None],
-            k[start_i:end_i, None],
-            a[None, start_j:end_j], h[None, start_j:end_j],
-            k[None, start_j:end_j], rho)
-        block = cross - (means[start_i:end_i, None]
-                         * means[None, start_j:end_j])
-    else:
-        csig = arrays["corr_stds"]
-        block = csig[start_i:end_i, None] * csig[None, start_j:end_j] * rho
-    total = float(block.sum())
-    return total if start_i == start_j else 2.0 * total
+    with span("exact.block"):
+        delta = (positions[start_i:end_i, None, :]
+                 - positions[None, start_j:end_j, :])
+        rho = correlation.evaluate_xy(delta[..., 0], delta[..., 1])
+        if payload["pair_mode"]:
+            a, h, k = arrays["a"], arrays["h"], arrays["k"]
+            means = arrays["means"]
+            cross = _pair_cross_moment(
+                a[start_i:end_i, None], h[start_i:end_i, None],
+                k[start_i:end_i, None],
+                a[None, start_j:end_j], h[None, start_j:end_j],
+                k[None, start_j:end_j], rho)
+            block = cross - (means[start_i:end_i, None]
+                             * means[None, start_j:end_j])
+        else:
+            csig = arrays["corr_stds"]
+            block = (csig[start_i:end_i, None]
+                     * csig[None, start_j:end_j] * rho)
+        total = float(block.sum())
+        return total if start_i == start_j else 2.0 * total
 
 
 def dense_variance_parallel(
@@ -336,14 +340,18 @@ def _bucket_tasks(positions: np.ndarray, cutoff: float, block_size: int):
 
 def _pruned_chunk_worker(task, arrays, payload) -> float:
     """Partial variance over a contiguous range of bucket-pair blocks."""
+    lo, hi = task
+    with span("exact.pruned_chunk", n_blocks=hi - lo):
+        return _pruned_chunk_sum(
+            int(lo), int(hi), arrays["blocks"], arrays["positions"],
+            payload["decaying"], payload["floor"], payload["pair_mode"],
+            arrays)
+
+
+def _pruned_chunk_sum(lo, hi, blocks, positions, decaying, floor,
+                      pair_mode, arrays) -> float:
     from repro.core.estimators.exact import _pair_cross_moment
 
-    lo, hi = task
-    blocks = arrays["blocks"]
-    positions = arrays["positions"]
-    decaying = payload["decaying"]
-    floor = payload["floor"]
-    pair_mode = payload["pair_mode"]
     total = 0.0
     for row in range(lo, hi):
         sa, ca, sb, cb = (int(v) for v in blocks[row])
@@ -390,7 +398,8 @@ def pruned_variance(
     extent = float(np.ptp(positions, axis=0).max()) if positions.size else 0.0
     cutoff = min(cutoff, max(extent, cutoff * 1e-9))
 
-    order, blocks = _bucket_tasks(positions, cutoff, block_size)
+    with span("exact.prune_buckets"):
+        order, blocks = _bucket_tasks(positions, cutoff, block_size)
     arrays = {"positions": positions[order], "blocks": blocks}
     if pair_params is not None:
         a, h, k = pair_params
@@ -431,9 +440,10 @@ def _lag_correlation(grid: GridInfo,
                      correlation: SpatialCorrelation) -> np.ndarray:
     """``rho`` at every lattice lag vector; shape
     ``(2*rows - 1, 2*cols - 1)`` indexed ``[rows-1+di, cols-1+dj]``."""
-    dj = np.arange(-(grid.cols - 1), grid.cols) * grid.pitch_x
-    di = np.arange(-(grid.rows - 1), grid.rows) * grid.pitch_y
-    return correlation.evaluate_xy(dj[None, :], di[:, None])
+    with span("exact.lag_kernel", rows=grid.rows, cols=grid.cols):
+        dj = np.arange(-(grid.cols - 1), grid.cols) * grid.pitch_x
+        di = np.arange(-(grid.rows - 1), grid.rows) * grid.pitch_y
+        return correlation.evaluate_xy(dj[None, :], di[:, None])
 
 
 def _lag_crosscorr(spectrum_a: np.ndarray, spectrum_b: np.ndarray,
@@ -475,13 +485,17 @@ def lagsum_variance(
     shape = (2 * rows, 2 * cols)
 
     if pair_params is None:
-        sigma_grid = np.zeros((rows, cols))
-        np.add.at(sigma_grid, (grid.row_index, grid.col_index), corr_stds)
-        spectrum = np.fft.rfft2(sigma_grid, s=shape)
-        auto = _lag_crosscorr(spectrum, spectrum, rows, cols)
-        variance = float((auto * rho).sum())
-        variance += float((stds ** 2).sum() - (corr_stds ** 2).sum())
-        return variance
+        with span("exact.sigma_grid"):
+            sigma_grid = np.zeros((rows, cols))
+            np.add.at(sigma_grid, (grid.row_index, grid.col_index),
+                      corr_stds)
+        with span("exact.fft", shape=f"{shape[0]}x{shape[1]}"):
+            spectrum = np.fft.rfft2(sigma_grid, s=shape)
+            auto = _lag_crosscorr(spectrum, spectrum, rows, cols)
+        with span("exact.reduce"):
+            variance = float((auto * rho).sum())
+            variance += float((stds ** 2).sum() - (corr_stds ** 2).sum())
+            return variance
 
     from repro.core.estimators.exact import _pair_cross_moment
 
@@ -491,37 +505,43 @@ def lagsum_variance(
     n_types = params.shape[0]
     counts = np.bincount(type_of, minlength=n_types).astype(float)
     spectra = []
-    for t in range(n_types):
-        occupancy = np.zeros((rows, cols))
-        members = type_of == t
-        np.add.at(occupancy,
-                  (grid.row_index[members], grid.col_index[members]), 1.0)
-        spectra.append(np.fft.rfft2(occupancy, s=shape))
+    with span("exact.fft", n_types=n_types,
+              shape=f"{shape[0]}x{shape[1]}"):
+        for t in range(n_types):
+            occupancy = np.zeros((rows, cols))
+            members = type_of == t
+            np.add.at(
+                occupancy,
+                (grid.row_index[members], grid.col_index[members]), 1.0)
+            spectra.append(np.fft.rfft2(occupancy, s=shape))
 
     floor, _ = floor_split(correlation)
     active = (rho - floor) > tolerance if tolerance > 0 else None
 
     variance = 0.0
-    for t in range(n_types):
-        at, ht, kt = params[t]
-        for u in range(t, n_types):
-            au, hu, ku = params[u]
-            weight = 1.0 if u == t else 2.0
-            multiplicity = np.rint(
-                _lag_crosscorr(spectra[t], spectra[u], rows, cols))
-            if active is None:
-                cross = _pair_cross_moment(at, ht, kt, au, hu, ku, rho)
-                variance += weight * float((multiplicity * cross).sum())
-            else:
-                cross_floor = float(_pair_cross_moment(
-                    at, ht, kt, au, hu, ku, floor))
-                cross = _pair_cross_moment(at, ht, kt, au, hu, ku,
-                                           rho[active])
-                near = float((multiplicity[active]
-                              * (cross - cross_floor)).sum())
-                variance += weight * (near + counts[t] * counts[u]
-                                      * cross_floor)
-    return variance - float(means.sum()) ** 2
+    with span("exact.reduce", n_types=n_types):
+        for t in range(n_types):
+            at, ht, kt = params[t]
+            for u in range(t, n_types):
+                au, hu, ku = params[u]
+                weight = 1.0 if u == t else 2.0
+                multiplicity = np.rint(
+                    _lag_crosscorr(spectra[t], spectra[u], rows, cols))
+                if active is None:
+                    cross = _pair_cross_moment(at, ht, kt, au, hu, ku,
+                                               rho)
+                    variance += weight * float(
+                        (multiplicity * cross).sum())
+                else:
+                    cross_floor = float(_pair_cross_moment(
+                        at, ht, kt, au, hu, ku, floor))
+                    cross = _pair_cross_moment(at, ht, kt, au, hu, ku,
+                                               rho[active])
+                    near = float((multiplicity[active]
+                                  * (cross - cross_floor)).sum())
+                    variance += weight * (near + counts[t] * counts[u]
+                                          * cross_floor)
+        return variance - float(means.sum()) ** 2
 
 
 # ---------------------------------------------------------------------------

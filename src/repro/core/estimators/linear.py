@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.rg_correlation import RGCorrelation
 from repro.exceptions import EstimationError
+from repro.obs import span
 from repro.process.correlation import SpatialCorrelation
 
 
@@ -57,17 +58,18 @@ class LagGeometry:
         self.cols = int(cols)
         self.pitch_x = float(pitch_x)
         self.pitch_y = float(pitch_y)
-        i = np.arange(-(cols - 1), cols)
-        j = np.arange(-(rows - 1), rows)
-        count_x = cols - np.abs(i)
-        count_y = rows - np.abs(j)
-        #: Lag displacement components [m]; (2m-1,) and (2k-1,).
-        self.x = i * pitch_x
-        self.y = j * pitch_y
-        #: Pair multiplicities n_ij (eq. 16); (2m-1) x (2k-1).
-        self.counts = count_x[:, None] * count_y[None, :]
-        #: Index of the (0, 0) lag — the n self-pairs.
-        self.zero_lag = (cols - 1, rows - 1)
+        with span("linear.geometry", rows=self.rows, cols=self.cols):
+            i = np.arange(-(cols - 1), cols)
+            j = np.arange(-(rows - 1), rows)
+            count_x = cols - np.abs(i)
+            count_y = rows - np.abs(j)
+            #: Lag displacement components [m]; (2m-1,) and (2k-1,).
+            self.x = i * pitch_x
+            self.y = j * pitch_y
+            #: Pair multiplicities n_ij (eq. 16); (2m-1) x (2k-1).
+            self.counts = count_x[:, None] * count_y[None, :]
+            #: Index of the (0, 0) lag — the n self-pairs.
+            self.zero_lag = (cols - 1, rows - 1)
 
     @property
     def n_lags(self) -> int:
@@ -79,7 +81,9 @@ class LagGeometry:
 
         ``evaluate_xy`` keeps anisotropic correlation models exact.
         """
-        return correlation.evaluate_xy(self.x[:, None], self.y[None, :])
+        with span("linear.kernel", n_lags=self.n_lags):
+            return correlation.evaluate_xy(self.x[:, None],
+                                           self.y[None, :])
 
     def variance_from_rho(self, rho: np.ndarray,
                           rg_correlation: RGCorrelation) -> float:
@@ -88,10 +92,12 @@ class LagGeometry:
         ``rho`` is never mutated (the covariance mapping allocates), so
         one cached array may serve many RG correlation models.
         """
-        cov = rg_correlation.covariance(rho)
-        # The zero-lag entry is the n self-pairs: full RG variance (eq. 11).
-        cov[self.zero_lag] = rg_correlation.same_site_covariance
-        return float(np.sum(self.counts * cov))
+        with span("linear.reduce"):
+            cov = rg_correlation.covariance(rho)
+            # The zero-lag entry is the n self-pairs: full RG variance
+            # (eq. 11).
+            cov[self.zero_lag] = rg_correlation.same_site_covariance
+            return float(np.sum(self.counts * cov))
 
 
 def linear_variance(

@@ -65,6 +65,7 @@ from repro.core.chip_model import FullChipModel
 from repro.core.estimators.linear import LagGeometry
 from repro.core.usage import CellUsage
 from repro.exceptions import EstimationError
+from repro.obs import Tracer, span
 from repro.parallel import parallel_map, resolve_n_jobs
 from repro.process.correlation import (
     AnisotropicCorrelation,
@@ -229,7 +230,9 @@ class SweepResult:
     ``axes``/``shape``/``values`` describe the grid; ``estimates[i]``
     belongs to the multi-index ``np.unravel_index(i, shape)``. ``stats``
     counts the shared-stage work actually performed (RG builds, kernel
-    evaluations, geometries) — the amortization ledger.
+    evaluations, geometries) — the amortization ledger. ``trace`` is the
+    profiling document of a ``trace=True`` run (``None`` otherwise; see
+    ``docs/OBSERVABILITY.md``).
     """
 
     axes: Tuple[str, ...]
@@ -237,6 +240,7 @@ class SweepResult:
     values: Tuple[Tuple[Any, ...], ...]
     estimates: Tuple[LeakageEstimate, ...]
     stats: Dict[str, int] = field(default_factory=dict)
+    trace: Optional[Dict[str, Any]] = None
 
     def __len__(self) -> int:
         return len(self.estimates)
@@ -264,7 +268,7 @@ class SweepResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation (service wire format)."""
-        return {
+        document = {
             "axes": list(self.axes),
             "shape": list(self.shape),
             "values": [list(axis_values) for axis_values in self.values],
@@ -272,6 +276,9 @@ class SweepResult:
                           for estimate in self.estimates],
             "stats": {str(k): int(v) for k, v in self.stats.items()},
         }
+        if self.trace is not None:
+            document["trace"] = self.trace
+        return document
 
 
 @dataclass(frozen=True)
@@ -414,68 +421,75 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
     resolved = []
     rho_needs: Dict[Tuple[Any, ...],
                     Dict[Tuple[Any, ...], SpatialCorrelation]] = {}
-    for index in indices:
-        (characterization, usage, n_cells, width, height, p,
-         correlation) = _resolve_config(spec.configs[index])
-        chip_key = (n_cells, width, height)
-        chip = chip_cache.get(chip_key)
-        if chip is None:
-            chip = FullChipModel.from_design(n_cells, width, height)
-            chip_cache[chip_key] = chip
-        method = (resolve_auto_method(chip.n_sites)
-                  if spec.method == "auto" else spec.method)
-        resolved.append((characterization, usage, n_cells, width, height,
-                         p, correlation, chip, method))
-        if method == "linear":
-            geometry_key = (chip.rows, chip.cols, chip.pitch_x,
-                            chip.pitch_y)
-            rho_needs.setdefault(geometry_key, {})[
-                _correlation_key(correlation)] = correlation
+    with span("sweep.resolve", n_points=len(indices)):
+        for index in indices:
+            (characterization, usage, n_cells, width, height, p,
+             correlation) = _resolve_config(spec.configs[index])
+            chip_key = (n_cells, width, height)
+            chip = chip_cache.get(chip_key)
+            if chip is None:
+                chip = FullChipModel.from_design(n_cells, width, height)
+                chip_cache[chip_key] = chip
+            method = (resolve_auto_method(chip.n_sites)
+                      if spec.method == "auto" else spec.method)
+            resolved.append((characterization, usage, n_cells, width,
+                             height, p, correlation, chip, method))
+            if method == "linear":
+                geometry_key = (chip.rows, chip.cols, chip.pitch_x,
+                                chip.pitch_y)
+                rho_needs.setdefault(geometry_key, {})[
+                    _correlation_key(correlation)] = correlation
 
     # Batched kernel evaluation: one pass per geometry over all distinct
     # correlation models its points use.
-    for geometry_key, correlations in rho_needs.items():
-        geometry = LagGeometry(*geometry_key)
-        geometry_cache[geometry_key] = geometry
-        for corr_key, rho in _batched_lag_rho(geometry, correlations,
-                                              stats).items():
-            rho_cache[(geometry_key, corr_key)] = rho
+    with span("sweep.kernels", n_geometries=len(rho_needs)):
+        for geometry_key, correlations in rho_needs.items():
+            geometry = LagGeometry(*geometry_key)
+            geometry_cache[geometry_key] = geometry
+            for corr_key, rho in _batched_lag_rho(geometry, correlations,
+                                                  stats).items():
+                rho_cache[(geometry_key, corr_key)] = rho
 
     estimates: List[LeakageEstimate] = []
-    for (characterization, usage, n_cells, width, height, p, correlation,
-         chip, method) in resolved:
-        components_key = (id(characterization), _usage_key(usage), p,
-                          spec.simplified_correlation,
-                          id(spec.state_weights)
-                          if spec.state_weights is not None else None)
-        components = components_cache.get(components_key)
-        if components is None:
-            components = RGComponents.build(
-                characterization, usage, p,
+    with span("sweep.points", n_points=len(resolved)):
+        for (characterization, usage, n_cells, width, height, p,
+             correlation, chip, method) in resolved:
+            components_key = (id(characterization), _usage_key(usage), p,
+                              spec.simplified_correlation,
+                              id(spec.state_weights)
+                              if spec.state_weights is not None else None)
+            components = components_cache.get(components_key)
+            if components is None:
+                with span("sweep.rg"):
+                    components = RGComponents.build(
+                        characterization, usage, p,
+                        simplified_correlation=
+                        spec.simplified_correlation,
+                        state_weights=spec.state_weights)
+                components_cache[components_key] = components
+                stats["rg_builds"] = stats.get("rg_builds", 0) + 1
+            estimator = FullChipLeakageEstimator(
+                characterization, usage, n_cells, width, height,
+                signal_probability=p, correlation=correlation,
                 simplified_correlation=spec.simplified_correlation,
-                state_weights=spec.state_weights)
-            components_cache[components_key] = components
-            stats["rg_builds"] = stats.get("rg_builds", 0) + 1
-        estimator = FullChipLeakageEstimator(
-            characterization, usage, n_cells, width, height,
-            signal_probability=p, correlation=correlation,
-            simplified_correlation=spec.simplified_correlation,
-            state_weights=spec.state_weights, components=components)
-        if method == "linear":
-            geometry_key = (chip.rows, chip.cols, chip.pitch_x,
-                            chip.pitch_y)
-            geometry = geometry_cache[geometry_key]
-            rho = rho_cache[(geometry_key, _correlation_key(correlation))]
-            site_variance = geometry.variance_from_rho(
-                rho, estimator.rg_correlation)
-            # Same packaging as estimate(): details carry the concrete
-            # method plus what was requested before "auto" resolution.
-            estimates.append(estimator._package(
-                "linear", site_variance,
-                {"requested_method": spec.method}))
-        else:
-            estimates.append(estimator.estimate(
-                spec.method, tolerance=spec.tolerance))
+                state_weights=spec.state_weights, components=components)
+            if method == "linear":
+                geometry_key = (chip.rows, chip.cols, chip.pitch_x,
+                                chip.pitch_y)
+                geometry = geometry_cache[geometry_key]
+                rho = rho_cache[(geometry_key,
+                                 _correlation_key(correlation))]
+                site_variance = geometry.variance_from_rho(
+                    rho, estimator.rg_correlation)
+                # Same packaging as estimate(): details carry the
+                # concrete method plus what was requested before "auto"
+                # resolution.
+                estimates.append(estimator._package(
+                    "linear", site_variance,
+                    {"requested_method": spec.method}))
+            else:
+                estimates.append(estimator.estimate(
+                    spec.method, tolerance=spec.tolerance))
     stats["geometries"] = len(geometry_cache)
     stats["chip_models"] = len(chip_cache)
     return estimates, stats
@@ -503,11 +517,15 @@ def run_sweep(
     state_weights=None,
     n_jobs: int = 1,
     tolerance: float = 0.0,
+    trace: bool = False,
 ) -> SweepResult:
     """Evaluate the full cartesian grid of the given axes.
 
     See :func:`repro.core.api.estimate_sweep` for the documented entry
-    point and the bit-identical guarantee.
+    point and the bit-identical guarantee. ``trace=True`` profiles the
+    run (spans propagate across ``parallel_map`` workers) and attaches
+    the document as :attr:`SweepResult.trace`; estimates are
+    bit-identical either way.
     """
     axes = tuple(axes)
     if not axes:
@@ -546,6 +564,31 @@ def run_sweep(
                       state_weights=state_weights,
                       tolerance=float(tolerance))
 
+    tracer = Tracer("core/api.estimate_sweep") if trace else None
+    if tracer is not None:
+        with tracer:
+            with tracer.span("core/api.estimate_sweep",
+                             n_points=len(configs)):
+                estimates, stats = _execute_grid(spec, configs, n_jobs)
+        trace_document = tracer.export()
+    else:
+        estimates, stats = _execute_grid(spec, configs, n_jobs)
+        trace_document = None
+
+    return SweepResult(
+        axes=tuple(names),
+        shape=tuple(len(axis) for axis in axes),
+        values=tuple(axis.values for axis in axes),
+        estimates=tuple(estimates),
+        stats=stats,
+        trace=trace_document,
+    )
+
+
+def _execute_grid(spec: _SweepSpec, configs: Sequence[Mapping[str, Any]],
+                  n_jobs: int) -> Tuple[List[LeakageEstimate],
+                                        Dict[str, int]]:
+    """Evaluate every grid point, fanning geometry groups out to workers."""
     n_jobs = resolve_n_jobs(n_jobs)
     groups: List[List[int]] = []
     if n_jobs > 1:
@@ -571,11 +614,4 @@ def run_sweep(
         stats["fanout_groups"] = len(groups)
     else:
         estimates, stats = _evaluate_points(spec, range(len(configs)))
-
-    return SweepResult(
-        axes=tuple(names),
-        shape=tuple(len(axis) for axis in axes),
-        values=tuple(axis.values for axis in axes),
-        estimates=tuple(estimates),
-        stats=stats,
-    )
+    return estimates, stats

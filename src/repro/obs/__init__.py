@@ -1,0 +1,34 @@
+"""Observability: tracing, stage profiling, exporters.
+
+See ``docs/OBSERVABILITY.md``. The one import most code needs::
+
+    from repro.obs import span
+
+    with span("mylayer.stage"):
+        ...
+
+which is free (a shared no-op) unless a :class:`Tracer` is active in
+the current thread.
+"""
+
+from repro.obs.export import (observe_stages, render_stages, render_tree,
+                              to_json)
+from repro.obs.trace import (Span, Tracer, TraceRegistry, current_tracer,
+                             global_registry, merge_remote_spans, span,
+                             stage_totals, tracing_active)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceRegistry",
+    "current_tracer",
+    "global_registry",
+    "merge_remote_spans",
+    "observe_stages",
+    "render_stages",
+    "render_tree",
+    "span",
+    "stage_totals",
+    "to_json",
+    "tracing_active",
+]

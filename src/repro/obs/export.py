@@ -1,0 +1,135 @@
+"""Trace exporters: tree rendering, JSON, Prometheus histogram bridge.
+
+A finished trace (``Tracer.export()``) is a plain-JSON document::
+
+    {"name": "core/api.estimate",
+     "spans": [{"name": ..., "wall_s": ..., "cpu_s": ...,
+                "children": [...]}, ...],
+     "stages": {"linear.kernel": {"count": 1, "wall_s": ...,
+                "self_s": ..., "cpu_s": ..., "remote": False}, ...}}
+
+This module turns such documents into a human-readable tree
+(:func:`render_tree`), a compact per-stage table
+(:func:`render_stages`), and Prometheus histogram observations
+(:func:`observe_stages`) against the existing
+:class:`repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.trace import stage_totals
+
+__all__ = [
+    "observe_stages",
+    "render_stages",
+    "render_tree",
+    "to_json",
+]
+
+# Stage-latency buckets: the engine spans sub-millisecond kernel evals
+# up to multi-second exact sums; service queue waits can reach deadline
+# scale. Log-spaced from 100 us to 60 s.
+STAGE_BUCKETS = (1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0)
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "live"
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def _format_bytes(value: int) -> str:
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f} MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f} KiB"
+    return f"{value} B"
+
+
+def _render_span(document: Dict[str, Any], depth: int,
+                 lines: List[str]) -> None:
+    indent = "  " * depth
+    parts = [f"{indent}{document['name']}:",
+             _format_seconds(document.get("wall_s"))]
+    cpu = document.get("cpu_s")
+    if cpu is not None:
+        parts.append(f"(cpu {_format_seconds(cpu)})")
+    count = document.get("count")
+    if count is not None and count > 1:
+        parts.append(f"x{count}")
+    if document.get("remote"):
+        parts.append("[workers]")
+    peak = document.get("alloc_peak_bytes")
+    if peak is not None:
+        parts.append(f"peak {_format_bytes(int(peak))}")
+    attrs = document.get("attrs")
+    if attrs:
+        rendered = ", ".join(f"{key}={value}"
+                             for key, value in sorted(attrs.items()))
+        parts.append(f"{{{rendered}}}")
+    lines.append(" ".join(parts))
+    for child in document.get("children", ()):
+        _render_span(child, depth + 1, lines)
+
+
+def render_tree(trace: Dict[str, Any]) -> str:
+    """Human-readable indented tree of a trace document."""
+    lines: List[str] = [f"trace {trace.get('name', '?')}"]
+    for document in trace.get("spans", ()):
+        _render_span(document, 1, lines)
+    return "\n".join(lines)
+
+
+def render_stages(trace: Dict[str, Any]) -> str:
+    """Per-stage summary table (self time, total wall, calls)."""
+    stages = trace.get("stages") or stage_totals(trace)
+    rows = sorted(stages.items(), key=lambda item: -item[1]["self_s"])
+    width = max([len(name) for name, _ in rows] or [5])
+    lines = [f"{'stage'.ljust(width)}  {'self':>10}  {'wall':>10}  "
+             f"{'cpu':>10}  {'calls':>6}"]
+    for name, entry in rows:
+        marker = "*" if entry.get("remote") else " "
+        lines.append(
+            f"{name.ljust(width)}  {_format_seconds(entry['self_s']):>10}  "
+            f"{_format_seconds(entry['wall_s']):>10}  "
+            f"{_format_seconds(entry['cpu_s']):>10}  "
+            f"{entry['count']:>5}{marker}")
+    if any(entry.get("remote") for _, entry in rows):
+        lines.append("* ran (at least partly) in worker processes; wall "
+                     "time overlaps the parent span")
+    return "\n".join(lines)
+
+
+def to_json(trace: Dict[str, Any], indent: int = 2) -> str:
+    """The trace document serialized as JSON text."""
+    return json.dumps(trace, indent=indent, sort_keys=True)
+
+
+def observe_stages(trace: Dict[str, Any], metrics: Any,
+                   name: str = "repro_stage_seconds",
+                   stages: Optional[Iterable[str]] = None) -> None:
+    """Feed a trace's per-stage self times into a Prometheus histogram.
+
+    ``metrics`` is a :class:`repro.service.metrics.MetricsRegistry`;
+    the histogram family is get-or-created with a ``stage`` label so
+    repeated calls share one family. When ``stages`` is given, only
+    those stage names are observed (the service restricts itself to its
+    pipeline stages to keep the label set bounded); otherwise every
+    stage in the trace is.
+    """
+    histogram = metrics.histogram(
+        name, "Per-stage self time of traced operations.",
+        labelnames=("stage",), buckets=STAGE_BUCKETS)
+    wanted = set(stages) if stages is not None else None
+    totals = trace.get("stages") or stage_totals(trace)
+    for stage, entry in totals.items():
+        if wanted is not None and stage not in wanted:
+            continue
+        histogram.observe(float(entry["self_s"]), stage=stage)

@@ -26,9 +26,12 @@ import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
 
 import numpy as np
+
+from repro.obs.trace import (Tracer, current_tracer, merge_remote_spans,
+                             span, tracing_active)
 
 # Worker-side state, populated by the pool initializer.
 _WORKER_ARRAYS: Dict[str, np.ndarray] = {}
@@ -256,8 +259,27 @@ def _WORKER_PAYLOAD_SET(payload) -> None:
     _WORKER_PAYLOAD = payload
 
 
+class _TracedResult(NamedTuple):
+    """Worker result plus its finished span forest (tracing only).
+
+    A distinct type (not a bare tuple) so unwrapping in the parent can
+    never mistake a caller's tuple-shaped result for trace plumbing.
+    """
+
+    result: Any
+    spans: List[Dict[str, Any]]
+
+
 def _worker_call(item):
-    fn, task = item
+    fn, task = item[0], item[1]
+    if len(item) > 2 and item[2]:
+        # The parent traces: run under a fresh per-call tracer and ship
+        # the finished spans home alongside the result. The fn itself is
+        # untouched — bit-identity holds because spans only read clocks.
+        tracer = Tracer("worker")
+        with tracer:
+            result = fn(task, _WORKER_ARRAYS, _WORKER_PAYLOAD)
+        return _TracedResult(result, tracer.export()["spans"])
     return fn(task, _WORKER_ARRAYS, _WORKER_PAYLOAD)
 
 
@@ -291,6 +313,13 @@ def parallel_map(
     -------
     The list of per-task results, in task order — independent of worker
     scheduling, so floating-point reductions over it are deterministic.
+
+    When a tracer is active in the calling thread, worker processes run
+    each task under a private tracer and return their finished spans
+    with the result; the parent aggregates them per span name
+    (:func:`repro.obs.merge_remote_spans`) and nests them — flagged as
+    remote, since their wall time overlaps — under a ``parallel.map``
+    span here. Results themselves are untouched either way.
     """
     arrays = dict(arrays or {})
     n_jobs = resolve_n_jobs(n_jobs)
@@ -298,16 +327,24 @@ def parallel_map(
     if n_jobs == 1 or len(tasks) <= 1:
         return [fn(task, arrays, payload) for task in tasks]
 
+    traced = tracing_active()
     specs, segments = _export_arrays(arrays)
     try:
         chunksize = max(1, len(tasks) // (4 * n_jobs))
-        with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(tasks)),
-                initializer=_worker_init,
-                initargs=(specs, payload, _tracker_pid())) as pool:
-            results = list(pool.map(_worker_call,
-                                    [(fn, task) for task in tasks],
-                                    chunksize=chunksize))
+        with span("parallel.map", n_jobs=n_jobs,
+                  n_tasks=len(tasks)) as map_span:
+            with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(tasks)),
+                    initializer=_worker_init,
+                    initargs=(specs, payload, _tracker_pid())) as pool:
+                results = list(pool.map(
+                    _worker_call,
+                    [(fn, task, traced) for task in tasks],
+                    chunksize=chunksize))
+            if traced:
+                map_span.add_remote_children(merge_remote_spans(
+                    item.spans for item in results))
+                results = [item.result for item in results]
     finally:
         for segment in segments:
             segment.close()

@@ -180,6 +180,14 @@ class EstimateRequest:
         Also excluded from the content hash: degraded results are never
         cached, so when no degradation fires the computation is
         identical either way.
+    trace:
+        Request a per-stage trace of the computation. Excluded from the
+        content hash — tracing observes clocks but never changes the
+        numeric result (asserted in ``tests/obs/``) — so traced and
+        untraced requests coalesce and share cache entries. The trace
+        document lands in ``details["trace"]`` of the returned estimate
+        and on the job snapshot (``GET /v1/jobs/<id>``); cached entries
+        never store traces.
     """
 
     n_cells: int
@@ -196,6 +204,7 @@ class EstimateRequest:
     simplified_correlation: Optional[bool] = None
     priority: int = 0
     allow_degraded: bool = True
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if int(self.n_cells) < 1:
@@ -256,6 +265,7 @@ class EstimateRequest:
                                bool(self.simplified_correlation))
         object.__setattr__(self, "priority", int(self.priority))
         object.__setattr__(self, "allow_degraded", bool(self.allow_degraded))
+        object.__setattr__(self, "trace", bool(self.trace))
 
     # -- canonicalization / content addressing ---------------------------
 
@@ -322,6 +332,7 @@ class EstimateRequest:
         document = self.canonical_dict()
         document["priority"] = self.priority
         document["allow_degraded"] = self.allow_degraded
+        document["trace"] = self.trace
         return document
 
     @classmethod
@@ -380,6 +391,9 @@ class Job:
         self.coalesced = 0
         #: How many times a worker crash sent this job back to the queue.
         self.requeues = 0
+        #: The finished per-stage trace document (set by the pipeline
+        #: for every computed job; surfaced on the snapshot).
+        self.trace: Optional[Dict[str, Any]] = None
         self._done = threading.Event()
         self._cancel = threading.Event()
         self._finish_lock = threading.Lock()
@@ -469,6 +483,8 @@ class Job:
             document["error_kind"] = self.error_kind
         if self.result is not None:
             document["estimate"] = self.result.to_dict()
+        if self.trace is not None:
+            document["trace"] = self.trace
         return document
 
     def __repr__(self) -> str:

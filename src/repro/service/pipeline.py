@@ -34,10 +34,10 @@ closed-form RG estimate) and can be refused per-request via
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
-from contextlib import contextmanager
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.cells.library import build_library
 from repro.characterization.characterizer import characterize_library
@@ -48,6 +48,15 @@ from repro.characterization.store import (
 from repro.core.api import FullChipLeakageEstimator, LeakageEstimate, \
     RGComponents
 from repro.core.usage import CellUsage
+from repro.obs import (
+    Tracer,
+    global_registry,
+    observe_stages,
+    render_stages,
+    span,
+    tracing_active,
+)
+from repro.obs.export import STAGE_BUCKETS
 from repro.service.cache import (
     MISS,
     ResultCache,
@@ -66,6 +75,11 @@ from repro.service.sweep import SweepRequest, SweepResponse
 
 #: The degraded-mode estimator: the O(1) eq. (20) closed form.
 FALLBACK_METHOD = "integral2d"
+
+#: Default slow-request log threshold [s].
+DEFAULT_SLOW_REQUEST_SECONDS = 5.0
+
+_LOG = logging.getLogger("repro.service.pipeline")
 
 
 class EstimationPipeline:
@@ -97,14 +111,17 @@ class EstimationPipeline:
     def __init__(self, cache: Optional[ResultCache] = None,
                  metrics=None, library=None,
                  faults: Optional[FaultInjector] = None,
-                 degrade_safety: float = 1.0) -> None:
+                 degrade_safety: float = 1.0,
+                 slow_request_seconds: float =
+                 DEFAULT_SLOW_REQUEST_SECONDS) -> None:
         self.cache = ResultCache() if cache is None else cache
         self.library = build_library() if library is None else library
         self.degrade_safety = float(degrade_safety)
+        self.slow_request_seconds = float(slow_request_seconds)
         self._faults = faults
+        self._metrics = metrics
         self._ewma_lock = threading.Lock()
         self._exact_seconds_ewma: Optional[float] = None
-        self._stage_seconds = None
         self._request_seconds = None
         self._requests = None
         self._degraded_total = None
@@ -112,10 +129,14 @@ class EstimationPipeline:
         self._sweep_points = None
         self._sweep_point_seconds = None
         if metrics is not None:
-            self._stage_seconds = metrics.histogram(
+            # Register the stage-latency family up front so /metrics
+            # shows it before the first request; the tracer bridge
+            # (observe_stages) get-or-creates the same family per
+            # finished request.
+            metrics.histogram(
                 "repro_stage_seconds",
-                "Pipeline stage latency in seconds.",
-                labelnames=("stage",))
+                "Per-stage self time of traced operations.",
+                labelnames=("stage",), buckets=STAGE_BUCKETS)
             self._request_seconds = metrics.histogram(
                 "repro_request_seconds",
                 "End-to-end request latency in seconds, by concrete "
@@ -140,14 +161,6 @@ class EstimationPipeline:
                 "repro_sweep_point_seconds",
                 "Per-point amortized latency inside a batched sweep.")
 
-    @contextmanager
-    def _timed(self, stage: str):
-        start = time.perf_counter()
-        yield
-        if self._stage_seconds is not None:
-            self._stage_seconds.observe(time.perf_counter() - start,
-                                        stage=stage)
-
     def _heartbeat(self, job: Optional[Job]) -> None:
         if job is not None:
             job.check_alive()
@@ -161,7 +174,7 @@ class EstimationPipeline:
         cached = self.cache.get(TIER_CHARACTERIZATION, key, revive=revive)
         if cached is not MISS:
             return cached
-        with self._timed("characterize"):
+        with span("characterize", mode=request.mode):
             characterization = characterize_library(
                 self.library, technology, mode=request.mode,
                 cells=request.cells)
@@ -182,7 +195,7 @@ class EstimationPipeline:
         cached = self.cache.get(TIER_RG, key)
         if cached is not MISS:
             return cached
-        with self._timed("rg"):
+        with span("rg"):
             components = RGComponents.build(
                 characterization,
                 self._usage(request, characterization),
@@ -222,7 +235,7 @@ class EstimationPipeline:
     def _degraded_estimate(self, estimator: FullChipLeakageEstimator,
                            request: EstimateRequest, reason: str,
                            reason_label: str) -> LeakageEstimate:
-        with self._timed("degraded"):
+        with span("degraded", reason=reason_label):
             estimate = estimator.estimate(FALLBACK_METHOD)
         if self._degraded_total is not None:
             self._degraded_total.inc(reason=reason_label)
@@ -233,12 +246,76 @@ class EstimationPipeline:
 
     # -- entry point ------------------------------------------------------
 
+    #: Stage names the service observes into ``repro_stage_seconds``.
+    #: Restricting the bridge to this set keeps the label cardinality
+    #: bounded no matter how finely the engine underneath is
+    #: instrumented (engine-level stages stay visible in the trace
+    #: itself — ``/v1/jobs/<id>`` and ``details["trace"]``).
+    SERVICE_STAGES = (
+        "service.request", "service.sweep", "queue_wait", "cache_lookup",
+        "characterize", "rg", "estimate", "degraded", "serialize",
+        "sweep.point",
+    )
+
+    def _finish_trace(self, tracer: Tracer, job: Optional[Job],
+                      operation: str) -> Dict[str, Any]:
+        """Export a finished request trace and fan it out.
+
+        Injects the scheduler queue wait as a synthetic stage (it
+        happened before the pipeline ran, so no span saw it), feeds the
+        per-stage self times into ``repro_stage_seconds``, records the
+        document in the process-wide trace registry, surfaces it on the
+        job snapshot, and emits the slow-request log line when the
+        end-to-end wall time crosses the configured threshold.
+        """
+        document = tracer.export()
+        if job is not None and job.started_at is not None:
+            queue_wait = max(0.0, job.started_at - job.created_at)
+            document["stages"]["queue_wait"] = {
+                "count": 1, "wall_s": queue_wait, "self_s": queue_wait,
+                "cpu_s": 0.0, "remote": True}
+        if self._metrics is not None:
+            observe_stages(document, self._metrics,
+                           stages=self.SERVICE_STAGES)
+        global_registry().record(document)
+        if job is not None:
+            job.trace = document
+        roots = document.get("spans")
+        wall = float(roots[0].get("wall_s") or 0.0) if roots else 0.0
+        if wall >= self.slow_request_seconds:
+            _LOG.warning(
+                "slow %s: %.3f s (threshold %.3f s)%s\n%s",
+                operation, wall, self.slow_request_seconds,
+                f" job={job.id}" if job is not None else "",
+                render_stages(document))
+        return document
+
     def __call__(self, request: EstimateRequest,
                  job: Optional[Job] = None) -> LeakageEstimate:
+        if tracing_active():
+            # Nested under an outer tracer (a sweep, or a caller's own
+            # trace): record spans into it and let the outer layer
+            # export once.
+            return self._run(request, job)
+        tracer = Tracer("service.request")
+        with tracer:
+            with tracer.span("service.request", method=request.method):
+                estimate = self._run(request, job)
+        document = self._finish_trace(tracer, job, "request")
+        if request.trace:
+            # Attached *after* the cache write inside _run: cached
+            # entries never carry traces (a revived hit would replay a
+            # stale profile).
+            estimate = estimate.with_details(trace=document)
+        return estimate
+
+    def _run(self, request: EstimateRequest,
+             job: Optional[Job] = None) -> LeakageEstimate:
         start = time.perf_counter()
         key = request.key()
-        cached = self.cache.get(TIER_ESTIMATE, key,
-                                revive=LeakageEstimate.from_dict)
+        with span("cache_lookup", tier=TIER_ESTIMATE):
+            cached = self.cache.get(TIER_ESTIMATE, key,
+                                    revive=LeakageEstimate.from_dict)
         if cached is not MISS:
             if self._requests is not None:
                 self._requests.inc(outcome="cached")
@@ -275,7 +352,8 @@ class EstimationPipeline:
                     self._faults.hang(SITE_COMPUTE_HANG)
                 self._heartbeat(job)
                 stage_start = time.perf_counter()
-                with self._timed("estimate"):
+                with span("estimate", method=request.method,
+                          n_cells=request.n_cells):
                     estimate = estimator.estimate(
                         request.method, n_jobs=request.n_jobs,
                         tolerance=request.tolerance)
@@ -305,8 +383,9 @@ class EstimationPipeline:
             if self._requests is not None:
                 self._requests.inc(outcome="degraded")
         else:
-            self.cache.put(TIER_ESTIMATE, key, estimate,
-                           payload=estimate.to_dict())
+            with span("serialize"):
+                payload = estimate.to_dict()
+            self.cache.put(TIER_ESTIMATE, key, estimate, payload=payload)
             if self._requests is not None:
                 self._requests.inc(outcome="computed")
         if self._request_seconds is not None:
@@ -320,7 +399,7 @@ class EstimationPipeline:
               job: Optional[Job] = None) -> SweepResponse:
         """Run a whole parameter grid as one job.
 
-        Each point executes through :meth:`__call__` — the identical
+        Each point executes through :meth:`_run` — the identical
         code path a standalone request takes — so per-point results are
         bit-identical to single-point requests while the cache tiers
         amortize the shared work (one characterization per distinct
@@ -332,23 +411,31 @@ class EstimationPipeline:
         start = time.perf_counter()
         points = request.expand()
         estimates = []
-        for point in points:
-            self._heartbeat(job)
-            point_start = time.perf_counter()
-            estimates.append(self(point, job))
-            if self._sweep_point_seconds is not None:
-                self._sweep_point_seconds.observe(
-                    time.perf_counter() - point_start)
+        tracer = Tracer("service.sweep")
+        with tracer:
+            with tracer.span("service.sweep", n_points=len(points)):
+                for point in points:
+                    self._heartbeat(job)
+                    point_start = time.perf_counter()
+                    with span("sweep.point"):
+                        estimates.append(self._run(point, job))
+                    if self._sweep_point_seconds is not None:
+                        self._sweep_point_seconds.observe(
+                            time.perf_counter() - point_start)
+        document = self._finish_trace(tracer, job, "sweep")
         if self._sweep_jobs is not None:
             self._sweep_jobs.inc()
         if self._sweep_points is not None:
             self._sweep_points.inc(len(points))
         elapsed = time.perf_counter() - start
+        stats = {
+            "points": len(points),
+            "seconds": elapsed,
+            "seconds_per_point": elapsed / len(points),
+        }
+        if request.base.trace:
+            stats["trace"] = document
         return SweepResponse(
             axes=request.axes,
             estimates=estimates,
-            stats={
-                "points": len(points),
-                "seconds": elapsed,
-                "seconds_per_point": elapsed / len(points),
-            })
+            stats=stats)

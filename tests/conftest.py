@@ -48,3 +48,15 @@ def small_characterization(library, technology):
 @pytest.fixture
 def rng():
     return np.random.default_rng(20070604)  # DAC 2007 started June 4
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current results "
+             "instead of comparing against them")
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")

@@ -41,6 +41,7 @@ class TestEstimate:
             height=5e-3)
         assert big.estimate("auto").method == "integral2d"
 
+    @pytest.mark.slow
     def test_polar_method(self, characterization, usage):
         est = FullChipLeakageEstimator(
             characterization, usage, n_cells=10_000, width=2e-3,

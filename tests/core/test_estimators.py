@@ -104,6 +104,7 @@ class TestIntegralConvergence:
 
 
 class TestPolar:
+    @pytest.mark.slow
     def test_matches_2d_with_compact_support_wid_only(self, rgc):
         corr = LinearCorrelation(3e-4)
         i2d = integral2d_variance(10_000, 1e-3, 1e-3, corr, rgc)

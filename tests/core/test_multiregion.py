@@ -58,6 +58,7 @@ class TestConsistencyWithSingleRegion:
 
 
 class TestCrossRegionStructure:
+    @pytest.mark.slow
     def test_far_apart_wid_only_regions_decouple(self,
                                                  small_characterization,
                                                  logic_usage, other_usage):

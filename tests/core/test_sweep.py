@@ -107,6 +107,7 @@ class TestAxisEquivalence:
         run_case(small_characterization, usage, [axis], method,
                  simplified_correlation=simplified)
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("method", ["linear", "integral2d"])
     def test_d2d_split_axis(self, small_characterization, usage,
                             technology, method):

@@ -1,0 +1,243 @@
+"""Unit tests for the tracing core: spans, aggregation, exporters."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    Span,
+    Tracer,
+    TraceRegistry,
+    current_tracer,
+    global_registry,
+    merge_remote_spans,
+    observe_stages,
+    render_stages,
+    render_tree,
+    span,
+    stage_totals,
+    to_json,
+    tracing_active,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestNullPath:
+    def test_span_without_tracer_is_shared_noop(self):
+        assert not tracing_active()
+        assert current_tracer() is None
+        first = span("anything", attr=1)
+        second = span("else")
+        assert first is second is _NULL_SPAN
+        with first as handle:
+            handle.annotate(ignored=True)  # must not raise or record
+
+    def test_nothing_recorded_while_inactive(self):
+        tracer = Tracer("t")
+        with span("outside"):
+            pass
+        assert tracer.export()["spans"] == []
+
+
+class TestNesting:
+    def test_tree_structure_and_timing(self):
+        tracer = Tracer("op")
+        with tracer:
+            assert tracing_active()
+            assert current_tracer() is tracer
+            with tracer.span("root", kind="demo") as root:
+                with span("child.a"):
+                    time.sleep(0.01)
+                with span("child.b"):
+                    with span("grandchild"):
+                        pass
+                root.annotate(points=3)
+        assert not tracing_active()
+
+        document = tracer.export()
+        assert document["name"] == "op"
+        (root_doc,) = document["spans"]
+        assert root_doc["name"] == "root"
+        assert root_doc["attrs"] == {"kind": "demo", "points": 3}
+        names = [child["name"] for child in root_doc["children"]]
+        assert names == ["child.a", "child.b"]
+        (grand,) = root_doc["children"][1]["children"]
+        assert grand["name"] == "grandchild"
+        # Wall clocks nest: parent >= sum of children.
+        child_wall = sum(c["wall_s"] for c in root_doc["children"])
+        assert root_doc["wall_s"] >= child_wall > 0.0
+
+    def test_activation_is_reentrant(self):
+        outer, inner = Tracer("outer"), Tracer("inner")
+        with outer:
+            with inner:
+                assert current_tracer() is inner
+                with span("in.inner"):
+                    pass
+            assert current_tracer() is outer
+            with span("in.outer"):
+                pass
+        assert current_tracer() is None
+        assert [s["name"] for s in inner.export()["spans"]] == ["in.inner"]
+        assert [s["name"] for s in outer.export()["spans"]] == ["in.outer"]
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer("t")
+        with tracer:
+            with pytest.raises(ValueError):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        (doc,) = tracer.export()["spans"]
+        assert doc["name"] == "failing"
+        assert doc["wall_s"] is not None
+
+
+class TestStageTotals:
+    @staticmethod
+    def _trace():
+        tracer = Tracer("op")
+        with tracer:
+            with tracer.span("root"):
+                for _ in range(3):
+                    with span("stage.a"):
+                        pass
+                with span("stage.b"):
+                    with span("stage.a"):
+                        pass
+        return tracer.export()
+
+    def test_counts_aggregate_per_name(self):
+        stages = self._trace()["stages"]
+        assert stages["stage.a"]["count"] == 4
+        assert stages["stage.b"]["count"] == 1
+        assert stages["root"]["count"] == 1
+
+    def test_local_self_times_partition_root_wall(self):
+        document = self._trace()
+        stages = document["stages"]
+        total_self = sum(entry["self_s"] for entry in stages.values()
+                         if not entry["remote"])
+        root_wall = document["spans"][0]["wall_s"]
+        # Every traced moment belongs to exactly one innermost span.
+        assert total_self == pytest.approx(root_wall, rel=1e-6)
+
+    def test_remote_children_not_subtracted_from_self(self):
+        tracer = Tracer("op")
+        with tracer:
+            with tracer.span("root") as root:
+                time.sleep(0.01)
+                # A worker's 1000 s cannot make local self time negative.
+                root.add_remote_children([
+                    {"name": "worker.stage", "wall_s": 1000.0,
+                     "cpu_s": 900.0, "count": 7}])
+        stages = tracer.export()["stages"]
+        assert stages["root"]["self_s"] >= 0.009
+        assert stages["worker.stage"]["remote"] is True
+        assert stages["worker.stage"]["count"] == 7
+        assert stages["root"]["remote"] is False
+
+
+class TestMergeRemoteSpans:
+    def test_aggregates_per_name_across_workers(self):
+        worker = lambda wall: [{  # noqa: E731 - terse fixture
+            "name": "points", "wall_s": wall, "cpu_s": wall / 2,
+            "children": [{"name": "kernel", "wall_s": wall / 4,
+                          "cpu_s": wall / 8}],
+        }]
+        merged = merge_remote_spans([worker(1.0), worker(3.0)])
+        (entry,) = merged
+        assert entry["name"] == "points"
+        assert entry["wall_s"] == pytest.approx(4.0)
+        assert entry["count"] == 2
+        (child,) = entry["children"]
+        assert child["name"] == "kernel"
+        assert child["wall_s"] == pytest.approx(1.0)
+        assert child["count"] == 2
+
+    def test_merged_spans_round_trip_through_stage_totals(self):
+        tracer = Tracer("op")
+        with tracer:
+            with tracer.span("map") as map_span:
+                map_span.add_remote_children(merge_remote_spans([
+                    [{"name": "w.stage", "wall_s": 2.0, "cpu_s": 1.0}],
+                    [{"name": "w.stage", "wall_s": 2.0, "cpu_s": 1.0}],
+                ]))
+        stages = tracer.export()["stages"]
+        assert stages["w.stage"]["count"] == 2
+        assert stages["w.stage"]["wall_s"] == pytest.approx(4.0)
+        assert stages["w.stage"]["remote"] is True
+
+
+class TestRegistry:
+    def test_record_retain_and_cumulate(self):
+        registry = TraceRegistry(max_traces=2)
+        for index in range(3):
+            tracer = Tracer(f"op{index}")
+            with tracer, tracer.span("stage"):
+                pass
+            registry.record(tracer.export())
+        names = [t["name"] for t in registry.traces()]
+        assert names == ["op1", "op2"]  # oldest evicted
+        # Cumulative totals survive eviction.
+        assert registry.stages()["stage"]["count"] == 3
+        registry.clear()
+        assert registry.traces() == []
+        assert registry.stages() == {}
+
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestExporters:
+    @staticmethod
+    def _document():
+        tracer = Tracer("op")
+        with tracer, tracer.span("root", n=2):
+            with span("inner"):
+                pass
+        return tracer.export()
+
+    def test_render_tree_shows_nesting(self):
+        text = render_tree(self._document())
+        assert "root" in text and "inner" in text
+        assert text.index("root") < text.index("inner")
+
+    def test_render_stages_is_a_table(self):
+        text = render_stages(self._document())
+        assert "self" in text
+        assert "root" in text and "inner" in text
+
+    def test_to_json_round_trips(self):
+        blob = to_json(self._document())
+        parsed = json.loads(blob)
+        assert parsed["name"] == "op"
+        assert parsed["stages"]["inner"]["count"] == 1
+
+    def test_observe_stages_feeds_histogram(self):
+        from repro.service.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        observe_stages(self._document(), metrics)
+        rendered = metrics.render()
+        assert "repro_stage_seconds" in rendered
+        assert 'stage="inner"' in rendered
+
+    def test_observe_stages_filter(self):
+        from repro.service.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        observe_stages(self._document(), metrics, stages=("root",))
+        rendered = metrics.render()
+        assert 'stage="root"' in rendered
+        assert 'stage="inner"' not in rendered
+
+
+class TestSpanRepr:
+    def test_live_and_finished(self):
+        tracer = Tracer("t")
+        live = Span(tracer, "x")
+        assert "live" in repr(live)
+        with tracer, tracer.span("y"):
+            pass
+        assert "children" in repr(tracer.roots[0])

@@ -119,6 +119,7 @@ class TestVectorization:
 
 
 class TestAllLibraryStatesSolve:
+    @pytest.mark.slow
     def test_every_state_positive_and_finite(self, library, device_model,
                                              technology):
         for cell in library:

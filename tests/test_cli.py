@@ -3,6 +3,44 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _memoized_characterization():
+    """Share characterizations across the module's ``main([...])`` calls.
+
+    Every CLI invocation re-characterizes the full library (~2 s), which
+    dominates this module's wall time. Characterization is a pure
+    function of (technology, mode, cells) — ``repr(technology)`` is a
+    complete, stable fingerprint (all fields are primitives or have
+    value reprs) — so identical requests can share one result. The CLI
+    behaves identically; only redundant recomputation is skipped.
+    """
+    import repro.characterization.characterizer as characterizer
+    import repro.cli as cli
+
+    real = characterizer.characterize_library
+    cache = {}
+
+    def memoized(library, technology, mode="analytical", cells=None,
+                 **kwargs):
+        if kwargs:  # non-default fit options: stay out of the way
+            return real(library, technology, mode=mode, cells=cells,
+                        **kwargs)
+        key = (repr(technology), mode,
+               tuple(cells) if cells is not None else None)
+        if key not in cache:
+            cache[key] = real(library, technology, mode=mode, cells=cells)
+        return cache[key]
+
+    patched = [(characterizer, real), (cli, cli.characterize_library)]
+    for module, _ in patched:
+        module.characterize_library = memoized
+    try:
+        yield
+    finally:
+        for module, original in patched:
+            module.characterize_library = original
+
+
 class TestEstimateCommand:
     def test_estimate_with_usage(self, capsys):
         code = main(["estimate", "--cells", "2000", "--width-mm", "0.2",

@@ -26,11 +26,13 @@ def run_example(name: str, timeout: int = 240) -> str:
 
 
 class TestExamples:
+    @pytest.mark.slow
     def test_quickstart(self):
         out = run_example("quickstart.py")
         assert "mean total leakage" in out
         assert "3-sigma corner" in out
 
+    @pytest.mark.slow
     def test_file_based_flow(self):
         out = run_example("file_based_flow.py")
         assert "round-trip agreement" in out

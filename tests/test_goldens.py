@@ -1,0 +1,169 @@
+"""Golden regression suite: canonical scenarios pinned to stored JSON.
+
+Each test computes one end-to-end scenario — an estimator run, a sweep,
+a characterization slice, the Random-Gate statistics — and compares the
+resulting document against ``tests/goldens/<name>.json``. The documents
+are pure model outputs (no timings, no environment), so any diff is a
+*numeric behavior change* that must be either a bug or an intentional,
+explained update.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+    git diff tests/goldens/   # review every changed digit!
+
+Floats are compared at rel=1e-9: bit-exact on the machine that wrote
+the golden, while tolerating last-ulp differences across BLAS builds.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.core import CellUsage
+from repro.core.api import FullChipLeakageEstimator, estimate_sweep
+from repro.core.sweep import cell_count_axis, correlation_length_axis
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+#: Relative tolerance for float comparison (see module docstring).
+REL_TOL = 1e-9
+
+
+def _compare(got, want, path=""):
+    """Recursive comparison with float tolerance; returns diff strings."""
+    diffs = []
+    if isinstance(want, dict):
+        if not isinstance(got, dict):
+            return [f"{path}: expected object, got {type(got).__name__}"]
+        for key in sorted(set(want) | set(got)):
+            if key not in got:
+                diffs.append(f"{path}.{key}: missing from result")
+            elif key not in want:
+                diffs.append(f"{path}.{key}: not in golden")
+            else:
+                diffs.extend(_compare(got[key], want[key], f"{path}.{key}"))
+    elif isinstance(want, list):
+        if not isinstance(got, list) or len(got) != len(want):
+            return [f"{path}: list shape differs "
+                    f"({len(got) if isinstance(got, list) else got!r} "
+                    f"vs {len(want)})"]
+        for index, (g, w) in enumerate(zip(got, want)):
+            diffs.extend(_compare(g, w, f"{path}[{index}]"))
+    elif isinstance(want, float) and isinstance(got, (int, float)):
+        if not math.isclose(float(got), want, rel_tol=REL_TOL,
+                            abs_tol=0.0):
+            diffs.append(f"{path}: {got!r} != golden {want!r}")
+    elif got != want:
+        diffs.append(f"{path}: {got!r} != golden {want!r}")
+    return diffs
+
+
+def check_golden(name, document, update):
+    """Compare ``document`` to the stored golden (or rewrite it)."""
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    if update:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        pytest.skip(f"golden {name} updated")
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden {name} missing; run with --update-goldens to create "
+            f"it, then review and commit {os.path.relpath(path)}")
+    with open(path, encoding="utf-8") as handle:
+        want = json.load(handle)
+    diffs = _compare(document, want)
+    assert not diffs, (
+        f"result diverged from golden {name} "
+        f"(if intentional: --update-goldens and review the diff):\n  "
+        + "\n  ".join(diffs[:20]))
+
+
+@pytest.fixture(scope="module")
+def estimator(small_characterization):
+    usage = CellUsage.uniform(small_characterization.cell_names)
+    return FullChipLeakageEstimator(
+        small_characterization, usage, 10_000, 1e-3, 1e-3)
+
+
+class TestEstimatorGoldens:
+    @pytest.mark.parametrize("method", ["linear", "integral2d"])
+    def test_closed_form_methods(self, estimator, method, update_goldens):
+        estimate = estimator.estimate(method)
+        check_golden(f"estimate_{method}", estimate.to_dict(),
+                     update_goldens)
+
+    def test_polar(self, small_characterization, update_goldens):
+        # The polar approximation needs the correlation support to fit
+        # inside the die, hence the larger geometry.
+        usage = CellUsage.uniform(small_characterization.cell_names)
+        estimator = FullChipLeakageEstimator(
+            small_characterization, usage, 250_000, 5e-3, 5e-3)
+        estimate = estimator.estimate("polar")
+        check_golden("estimate_polar", estimate.to_dict(), update_goldens)
+
+    def test_exact_lagsum(self, small_characterization, update_goldens):
+        usage = CellUsage.uniform(small_characterization.cell_names)
+        estimator = FullChipLeakageEstimator(
+            small_characterization, usage, 1024, 0.5e-3, 0.5e-3,
+            simplified_correlation=True)
+        estimate = estimator.estimate("exact")
+        check_golden("estimate_exact", estimate.to_dict(), update_goldens)
+
+
+class TestSweepGolden:
+    def test_linear_sweep(self, small_characterization, update_goldens):
+        technology = small_characterization.technology
+        usage = CellUsage.uniform(small_characterization.cell_names)
+        sweep = estimate_sweep(
+            small_characterization, usage, 4096, 1e-3, 1e-3,
+            axes=[
+                correlation_length_axis([0.3e-3, 0.6e-3], technology),
+                cell_count_axis([4096, 16384]),
+            ],
+            method="linear")
+        document = {
+            "axes": list(sweep.axes),
+            "shape": list(sweep.shape),
+            "values": [list(map(str, values)) for values in sweep.values],
+            "points": [{"mean": e.mean, "std": e.std, "cv": e.cv}
+                       for e in sweep],
+        }
+        check_golden("sweep_linear", document, update_goldens)
+
+
+class TestModelGoldens:
+    def test_characterized_moments(self, small_characterization,
+                                   update_goldens):
+        document = {}
+        for name in small_characterization.cell_names:
+            cell = small_characterization[name]
+            document[name] = [
+                {
+                    "fit": {"a": state.fit.a, "b": state.fit.b,
+                            "c": state.fit.c},
+                    "mean": state.mean,
+                    "std": state.std,
+                }
+                for state in cell.states
+            ]
+        check_golden("characterization_moments", document, update_goldens)
+
+    def test_random_gate_statistics(self, small_characterization,
+                                    update_goldens):
+        from repro.core import RandomGate, expand_mixture
+
+        usage = CellUsage.uniform(small_characterization.cell_names)
+        rg = RandomGate(expand_mixture(small_characterization, usage, 0.5))
+        document = {
+            "mean": rg.mean,
+            "std": rg.std,
+            "mean_of_stds": rg.mean_of_stds,
+        }
+        check_golden("random_gate", document, update_goldens)

@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Zero-dependency line coverage for ``src/repro`` with a ratcheted floor.
+
+Runs the test suite in-process under :func:`sys.settrace` and reports,
+per module, the fraction of *executable* lines (from the compiled code
+objects' ``co_lines()`` tables) that actually executed. The tracer
+installs a local trace function only for frames whose code lives under
+``src/repro`` — every other frame is rejected at call time, so numpy /
+scipy / pytest internals run untraced.
+
+The checked-in floor (``tools/coverage_floor.json``) is a ratchet: the
+gate fails when total coverage drops below it, and intentional
+improvements are banked with ``--update-floor``. This keeps the gate
+honest without requiring pytest-cov in the image.
+
+Usage::
+
+    PYTHONPATH=src python tools/coverage.py            # gate vs floor
+    PYTHONPATH=src python tools/coverage.py -m "not slow"   # faster run
+    PYTHONPATH=src python tools/coverage.py --update-floor  # bank gains
+    PYTHONPATH=src python tools/coverage.py --json cov.json # machine out
+
+Pytest arguments pass through verbatim after the tool's own flags.
+
+Limitations (documented, deliberate): subprocesses (the runnable
+examples, spawned workers) are not traced, and ``if TYPE_CHECKING:``
+bodies count as executable-but-unexecuted. Both depress the number
+uniformly over time, which is fine for a ratchet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO, "src")
+PACKAGE_ROOT = os.path.join(SRC_ROOT, "repro")
+FLOOR_PATH = os.path.join(REPO, "tools", "coverage_floor.json")
+
+
+def executable_lines(path: str) -> set:
+    """Executable line numbers of ``path`` from compiled ``co_lines()``.
+
+    Walks the module code object and every nested code constant
+    (functions, classes, comprehensions) so the universe matches what
+    the line tracer can possibly report.
+    """
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    lines = set()
+    stack = [compile(source, path, "exec")]
+    code_type = type(stack[0])
+    while stack:
+        code = stack.pop()
+        for _start, _end, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if isinstance(const, code_type):
+                stack.append(const)
+    return lines
+
+
+class Collector:
+    """Global trace hook recording executed lines under one prefix."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix + os.sep
+        self.executed = {}
+
+    def global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.prefix):
+            return None  # frame (and its lines) stays untraced
+        lines = self.executed.get(filename)
+        if lines is None:
+            lines = self.executed.setdefault(filename, set())
+        lines.add(frame.f_code.co_firstlineno)
+
+        def local_trace(frame, event, arg, add=lines.add):
+            if event == "line":
+                add(frame.f_lineno)
+            return local_trace
+
+        return local_trace
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def measure(pytest_args):
+    """Run pytest under the collector; return (exit_code, report)."""
+    sys.path.insert(0, SRC_ROOT)
+    collector = Collector(PACKAGE_ROOT)
+    collector.install()
+    try:
+        import pytest
+
+        exit_code = pytest.main(list(pytest_args))
+    finally:
+        collector.uninstall()
+
+    modules = {}
+    total_executable = total_executed = 0
+    for dirpath, _dirnames, filenames in os.walk(PACKAGE_ROOT):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            universe = executable_lines(path)
+            if not universe:
+                continue
+            hit = collector.executed.get(path, set()) & universe
+            name = os.path.relpath(path, SRC_ROOT).replace(os.sep, "/")
+            modules[name] = {
+                "executable": len(universe),
+                "executed": len(hit),
+                "percent": 100.0 * len(hit) / len(universe),
+            }
+            total_executable += len(universe)
+            total_executed += len(hit)
+    report = {
+        "total": {
+            "executable": total_executable,
+            "executed": total_executed,
+            "percent": (100.0 * total_executed / total_executable
+                        if total_executable else 0.0),
+        },
+        "modules": modules,
+    }
+    return exit_code, report
+
+
+def render(report, worst: int = 15) -> str:
+    rows = sorted(report["modules"].items(),
+                  key=lambda item: item[1]["percent"])
+    width = max(len(name) for name, _ in rows)
+    out = [f"{'module'.ljust(width)}  exec'd/able   %",
+           "-" * (width + 20)]
+    for name, entry in rows[:worst]:
+        out.append(f"{name.ljust(width)}  "
+                   f"{entry['executed']:5d}/{entry['executable']:<5d} "
+                   f"{entry['percent']:5.1f}")
+    total = report["total"]
+    out.append("-" * (width + 20))
+    out.append(f"{'TOTAL'.ljust(width)}  "
+               f"{total['executed']:5d}/{total['executable']:<5d} "
+               f"{total['percent']:5.1f}")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="Unrecognized arguments pass through to pytest.")
+    parser.add_argument("--update-floor", action="store_true",
+                        help="rewrite the ratchet floor from this run")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full report as JSON")
+    parser.add_argument("--worst", type=int, default=15,
+                        help="how many least-covered modules to list")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    exit_code, report = measure(pytest_args or ["-q"])
+    if exit_code != 0:
+        print("coverage: test run failed; not gating", file=sys.stderr)
+        return int(exit_code)
+
+    print(render(report, worst=args.worst))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+
+    total = report["total"]["percent"]
+    if args.update_floor:
+        # Bank to one decimal, rounded *down*: re-running the same
+        # suite can never trip the gate it just set.
+        floor = {"total_percent": int(total * 10) / 10.0}
+        with open(FLOOR_PATH, "w", encoding="utf-8") as handle:
+            json.dump(floor, handle, indent=2)
+            handle.write("\n")
+        print(f"floor updated to {floor['total_percent']:.1f}%")
+        return 0
+
+    if not os.path.exists(FLOOR_PATH):
+        print(f"no floor at {FLOOR_PATH}; run with --update-floor first",
+              file=sys.stderr)
+        return 1
+    with open(FLOOR_PATH, encoding="utf-8") as handle:
+        floor = json.load(handle)["total_percent"]
+    if total < floor:
+        print(f"coverage gate FAILED: {total:.2f}% < floor {floor:.1f}%",
+              file=sys.stderr)
+        return 1
+    print(f"coverage gate ok: {total:.2f}% >= floor {floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
