@@ -1,0 +1,64 @@
+"""Pluggable compiled-kernel backends for the estimator hot paths.
+
+The numeric kernels that dominate estimation time — the Random-Gate
+mixture covariance grid (eqs. 8-13), the lag-weighted reductions of the
+linear and fast-exact estimators (eqs. 16-17), and the modulation step
+of batched circulant field sampling — live behind a small backend
+interface instead of being inlined in the estimators:
+
+* :class:`~repro.backend.numpy_backend.NumpyBackend` (``"numpy"``) —
+  the default and the *reference*: a pure refactor of the historical
+  inline code, bit-identical to it.
+* :class:`~repro.backend.numba_backend.NumbaBackend` (``"numba"``) —
+  optional, JIT-compiled ``@njit(parallel=True, cache=True)`` kernels
+  with a :func:`set_threads` knob. Reductions re-associate under
+  parallelism, so its parity contract is ``rtol``-bounded rather than
+  bitwise (see :data:`~repro.backend.base.KERNELS`).
+
+Selection: pass ``backend="numba"`` to ``estimate()`` /
+``estimate_sweep()`` / ``exact_moments()``, or set the
+``REPRO_BACKEND`` environment variable. Requesting an unavailable
+backend falls back to numpy with a one-time log line — a missing
+optional dependency never breaks an entry point. Dispatch is
+registry-based (:mod:`repro.backend.registry`), so a future GPU or
+C-extension backend is a new module plus one ``register_backend``
+call, not a refactor.
+
+See ``docs/PERFORMANCE.md`` for selection, threading, expected
+speedups, and the per-kernel parity guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import KERNELS, KernelBackend, KernelSpec
+from repro.backend.dispatch import kernel_family, lattice_rho
+from repro.backend.registry import (
+    BackendUnavailable,
+    available_backends,
+    backend_status,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    set_default_backend,
+    set_threads,
+    warmup_backend,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelBackend",
+    "KernelSpec",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "kernel_family",
+    "lattice_rho",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend_name",
+    "set_default_backend",
+    "set_threads",
+    "warmup_backend",
+]

@@ -1,0 +1,188 @@
+"""The kernel-backend interface and its parity contracts.
+
+A backend owns the handful of numeric kernels the estimators spend
+their time in. Every kernel has a *parity contract* against the numpy
+reference implementation, declared in :data:`KERNELS`:
+
+* ``rtol == 0.0`` — **bit-compatible**: the kernel is a fixed sequence
+  of elementwise IEEE operations with no reductions and no
+  transcendentals whose libm/SIMD implementations could differ, so any
+  conforming backend must reproduce the reference bit for bit;
+* ``rtol > 0.0`` — **tolerance-bounded**: the kernel contains a
+  reduction (whose summation order a parallel/JIT backend may
+  re-associate) or a transcendental (whose last-ulp behavior differs
+  between numpy's SIMD loops and libm), so backends must agree within
+  ``rtol`` relative error.
+
+The contracts are asserted by the randomized parity suite in
+``tests/backend/`` and re-asserted at the measured sizes inside
+``benchmarks/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declared contract of one backend kernel.
+
+    ``rtol`` bounds the allowed relative deviation from the numpy
+    reference (``0.0`` means bit-compatible); ``doc`` is a one-line
+    description for reports and benches.
+    """
+
+    name: str
+    rtol: float
+    doc: str
+
+
+#: Every kernel a backend must provide, with its parity contract.
+KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec for spec in (
+        KernelSpec(
+            "rg_covariance_grid", 1e-9,
+            "RG mixture pairwise-moment covariance grid (eqs. 8-13); "
+            "mixture-pair reduction per grid point"),
+        KernelSpec(
+            "lag_reduce", 1e-10,
+            "fused covariance mapping + multiplicity-weighted lag sum "
+            "(eq. 17); full-grid reduction"),
+        KernelSpec(
+            "weighted_sum", 1e-10,
+            "sum(a * b) over aligned arrays (lagsum reduce, eq. 16); "
+            "full-grid reduction"),
+        KernelSpec(
+            "exp_lag_rho", 1e-12,
+            "exponential/Gaussian (+D2D floor) correlation at lattice "
+            "lags; elementwise with transcendentals"),
+        KernelSpec(
+            "modulate_noise", 0.0,
+            "circulant-embedding spectrum modulation "
+            "amplitude * (re + i*im); pure elementwise arithmetic"),
+    )
+}
+
+
+class KernelBackend:
+    """Interface every registered backend implements.
+
+    Subclasses provide the kernels named in :data:`KERNELS` plus the
+    lifecycle hooks below. All array arguments are numpy ndarrays; all
+    kernels are pure functions of their inputs.
+    """
+
+    #: Registry name (``"numpy"``, ``"numba"``, ...).
+    name: str = "abstract"
+
+    # -- kernels ----------------------------------------------------------
+
+    def rg_covariance_grid(self, alphas: np.ndarray, a: np.ndarray,
+                           h: np.ndarray, k: np.ndarray, grid: np.ndarray,
+                           mean_total: float) -> np.ndarray:
+        """RG covariance ``C_XI(rho_L)`` on a grid of ``rho_L`` values.
+
+        For each grid point ``rho``: the alpha-weighted sum of the
+        closed-form pairwise cross moments of all mixture-component
+        pairs, minus ``mean_total**2`` (paper eqs. 9-10 through the
+        standardized ``(a, h, k)`` parameters). Raises
+        :class:`~repro.exceptions.MomentExistenceError` when any pair's
+        cross moment does not exist at some grid point.
+        """
+        raise NotImplementedError
+
+    def lag_reduce(self, counts: np.ndarray, rho: np.ndarray,
+                   zero_lag: Tuple[int, int], same_site: float,
+                   scale: Optional[float],
+                   grid: Optional[np.ndarray],
+                   values: Optional[np.ndarray]) -> float:
+        """Eq. (17): map lag correlations to RG covariances and reduce.
+
+        ``cov = scale * rho`` (simplified model, ``scale`` given) or
+        ``cov = interp(rho, grid, values)`` (exact mapping); the
+        ``zero_lag`` entry is replaced by ``same_site`` (the eq. 11
+        same-site variance); returns ``sum(counts * cov)``.
+        """
+        raise NotImplementedError
+
+    def weighted_sum(self, weights: np.ndarray,
+                     values: np.ndarray) -> float:
+        """``sum(weights * values)`` over aligned arrays."""
+        raise NotImplementedError
+
+    def exp_lag_rho(self, x: np.ndarray, y: np.ndarray, length: float,
+                    floor: float, scale: float,
+                    gaussian: bool) -> np.ndarray:
+        """Correlation at every ``(x_i, y_j)`` lag for the exponential /
+        Gaussian families with an optional D2D floor.
+
+        ``rho[i, j] = floor + scale * f(hypot(x_i, y_j) / length)`` with
+        ``f = exp(-u)`` (exponential) or ``exp(-u**2)`` (Gaussian);
+        ``floor=0, scale=1`` is the bare WID kernel.
+        """
+        raise NotImplementedError
+
+    def modulate_noise(self, draws: np.ndarray,
+                       amplitude: np.ndarray) -> np.ndarray:
+        """Circulant-sampler spectrum modulation.
+
+        ``draws`` is ``(count, 2, p, q)`` (real and imaginary normal
+        blocks); returns the complex ``(count, p, q)`` array
+        ``amplitude * (draws[:, 0] + 1j * draws[:, 1])``.
+        """
+        raise NotImplementedError
+
+    # -- lifecycle --------------------------------------------------------
+
+    def warmup(self) -> float:
+        """Run every kernel once on a tiny problem; returns seconds.
+
+        For JIT backends this triggers (or loads from cache) the
+        compilation of every kernel so the first real request does not
+        pay multi-second compile latency. A no-op-sized problem for
+        eager backends.
+        """
+        import time
+
+        start = time.perf_counter()
+        alphas = np.array([0.6, 0.4])
+        a = np.array([0.01, 0.02])
+        h = np.array([0.1, -0.2])
+        k = np.array([-1.0, -1.5])
+        grid = np.linspace(-1.0, 1.0, 5)
+        self.rg_covariance_grid(alphas, a, h, k, grid, 0.5)
+        counts = np.arange(1.0, 10.0).reshape(3, 3)
+        rho = np.linspace(0.0, 0.9, 9).reshape(3, 3)
+        self.lag_reduce(counts, rho, (1, 1), 2.0, 1.5, None, None)
+        self.lag_reduce(counts, rho, (1, 1), 2.0, None, grid,
+                        np.linspace(-0.5, 0.5, 5))
+        self.weighted_sum(counts, rho)
+        self.exp_lag_rho(np.linspace(-1e-3, 1e-3, 3),
+                         np.linspace(-1e-3, 1e-3, 3), 5e-4, 0.3, 0.7,
+                         False)
+        self.exp_lag_rho(np.linspace(-1e-3, 1e-3, 3),
+                         np.linspace(-1e-3, 1e-3, 3), 5e-4, 0.0, 1.0,
+                         True)
+        self.modulate_noise(np.zeros((1, 2, 4, 4)), np.ones((4, 4)))
+        return time.perf_counter() - start
+
+    def set_threads(self, n_threads: int) -> int:
+        """Set the kernel thread count; returns the effective value.
+
+        The numpy backend is single-threaded per kernel call (BLAS
+        threading is orthogonal and left alone), so this is a no-op
+        there; the numba backend forwards to
+        ``numba.set_num_threads``.
+        """
+        return 1
+
+    def status(self) -> Dict[str, object]:
+        """Introspection document for ``repro selfcheck`` and benches."""
+        return {"name": self.name, "compiled": False, "threads": 1}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,85 @@
+"""Mapping model objects onto backend kernels.
+
+The ``exp_lag_rho`` kernel covers the exponential / Gaussian WID
+families (optionally wrapped in a D2D floor or a constant scale) — the
+models every paper experiment uses. :func:`lattice_rho` recognises
+those shapes structurally and routes them to the backend; anything else
+(composite, anisotropic, user-defined) falls back to the model's own
+``evaluate_xy``, which is always correct, just not acceleratable.
+
+Recognition is deliberately exact-type-based: a subclass overriding
+``_evaluate`` must not be silently replaced by the stock kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backend.base import KernelBackend
+
+
+def kernel_family(correlation) -> Optional[Tuple[float, float, float, bool]]:
+    """``(length, floor, scale, gaussian)`` when ``correlation`` is a
+    recognised exponential/Gaussian shape, else ``None``.
+
+    The parameters reproduce the model's own arithmetic exactly:
+    ``rho = floor + scale * f(d / length)`` with the same scalar
+    ``scale`` the model would multiply by, so the numpy backend stays
+    bit-identical to ``evaluate_xy``.
+    """
+    from repro.process.correlation import (
+        ExponentialCorrelation,
+        GaussianCorrelation,
+        ScaledCorrelation,
+        TotalCorrelation,
+    )
+
+    kind = type(correlation)
+    if kind is ExponentialCorrelation:
+        return (correlation.length, 0.0, 1.0, False)
+    if kind is GaussianCorrelation:
+        return (correlation.length, 0.0, 1.0, True)
+    if kind is TotalCorrelation:
+        wid = type(correlation.wid)
+        if wid is ExponentialCorrelation:
+            return (correlation.wid.length, correlation.rho_floor,
+                    1.0 - correlation.rho_floor, False)
+        if wid is GaussianCorrelation:
+            return (correlation.wid.length, correlation.rho_floor,
+                    1.0 - correlation.rho_floor, True)
+        return None
+    if kind is ScaledCorrelation:
+        base = type(correlation.base)
+        if base is ExponentialCorrelation:
+            return (correlation.base.length, 0.0, correlation.scale, False)
+        if base is GaussianCorrelation:
+            return (correlation.base.length, 0.0, correlation.scale, True)
+        return None
+    return None
+
+
+def lattice_rho(backend: KernelBackend, correlation, dx: np.ndarray,
+                dy: np.ndarray, dx_axis: int = 0) -> np.ndarray:
+    """Correlation at every lattice lag ``(dx_i, dy_j)``.
+
+    ``dx``/``dy`` are the 1-D physical x/y lag arrays; ``dx_axis`` says
+    which output axis the x lags vary along (the linear estimator puts
+    them on axis 0, the lagsum estimator on axis 1). Routes recognised
+    families through ``backend.exp_lag_rho`` — exact regardless of axis
+    order because the lag metric is ``hypot``, symmetric in its
+    arguments — while other models (e.g. anisotropic) evaluate through
+    their own ``evaluate_xy`` broadcast with the axes mapped correctly.
+    """
+    family = kernel_family(correlation)
+    if family is None:
+        dx = np.asarray(dx, dtype=float)
+        dy = np.asarray(dy, dtype=float)
+        if dx_axis == 0:
+            return correlation.evaluate_xy(dx[:, None], dy[None, :])
+        return correlation.evaluate_xy(dx[None, :], dy[:, None])
+    length, floor, scale, gaussian = family
+    first, second = (dx, dy) if dx_axis == 0 else (dy, dx)
+    return backend.exp_lag_rho(first, second, length, floor, scale,
+                               gaussian)

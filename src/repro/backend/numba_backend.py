@@ -1,0 +1,227 @@
+"""The numba backend — JIT-compiled, parallel kernels.
+
+Importing this module requires numba (an *optional* dependency); the
+registry only calls the factory after its availability probe succeeds,
+so a numpy-only install never reaches this file. Kernels are
+``@njit(parallel=True, cache=True)``: ``parallel=True`` threads the
+outer loops via ``prange`` (thread count settable through
+:meth:`NumbaBackend.set_threads`), ``cache=True`` persists compiled
+machine code next to this module so only the first process ever pays
+compile latency.
+
+Parity: reductions here re-associate summation order across threads and
+``exp``/``hypot`` go through libm rather than numpy's SIMD loops, so
+every kernel with a reduction or transcendental matches the numpy
+reference to the ``rtol`` declared in
+:data:`repro.backend.base.KERNELS` rather than bit for bit;
+``modulate_noise`` is pure elementwise arithmetic and stays
+bit-compatible.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numba import config as _numba_config
+from numba import get_num_threads, njit, prange, set_num_threads
+
+from repro.backend.base import KernelBackend
+from repro.exceptions import MomentExistenceError
+
+
+@njit(parallel=True, cache=True)
+def _rg_covariance_grid(alphas, a, h, k, grid, mean_total):
+    q = alphas.shape[0]
+    values = np.empty(grid.shape[0])
+    for g in prange(grid.shape[0]):
+        rho = grid[g]
+        rho_sq = rho * rho
+        total = 0.0
+        failed = False
+        for i in range(q):
+            one_i = 1.0 - 2.0 * a[i]
+            h_sq_i = h[i] * h[i]
+            row = 0.0
+            for j in range(q):
+                one_j = 1.0 - 2.0 * a[j]
+                det = one_i * one_j - 4.0 * rho_sq * a[i] * a[j]
+                if det <= 0.0:
+                    failed = True
+                    break
+                p0 = h_sq_i * one_j + h[j] * h[j] * one_i
+                p2 = 2.0 * (h_sq_i * a[j] + h[j] * h[j] * a[i])
+                p1 = 2.0 * h[i] * h[j]
+                quad = (p0 + rho * p1 + rho_sq * p2) / det
+                cross = det ** -0.5 * math.exp(k[i] + k[j] + 0.5 * quad)
+                row += alphas[j] * cross
+            if failed:
+                break
+            total += alphas[i] * row
+        # NaN marks a non-existent moment for the python wrapper (the
+        # legitimate value is always finite-or-inf, never NaN).
+        values[g] = np.nan if failed else total - mean_total * mean_total
+    return values
+
+
+@njit(parallel=True, cache=True)
+def _lag_reduce_scale(counts, rho, zero_i, zero_j, same_site, scale):
+    total = 0.0
+    for i in prange(counts.shape[0]):
+        part = 0.0
+        for j in range(counts.shape[1]):
+            if i == zero_i and j == zero_j:
+                part += counts[i, j] * same_site
+            else:
+                part += counts[i, j] * (scale * rho[i, j])
+        total += part
+    return total
+
+
+@njit(parallel=True, cache=True)
+def _lag_reduce_interp(counts, rho, zero_i, zero_j, same_site, grid,
+                       values):
+    total = 0.0
+    for i in prange(counts.shape[0]):
+        cov = np.interp(rho[i], grid, values)
+        if i == zero_i:
+            cov[zero_j] = same_site
+        part = 0.0
+        for j in range(counts.shape[1]):
+            part += counts[i, j] * cov[j]
+        total += part
+    return total
+
+
+@njit(parallel=True, cache=True)
+def _weighted_sum(weights, values):
+    total = 0.0
+    for i in prange(weights.shape[0]):
+        total += weights[i] * values[i]
+    return total
+
+
+@njit(parallel=True, cache=True)
+def _exp_lag_rho(x, y, length, floor, scale, gaussian):
+    out = np.empty((x.shape[0], y.shape[0]))
+    for i in prange(x.shape[0]):
+        xi = x[i]
+        for j in range(y.shape[0]):
+            u = math.hypot(xi, y[j]) / length
+            if gaussian:
+                u = u * u
+            out[i, j] = floor + scale * math.exp(-u)
+    return out
+
+
+@njit(parallel=True, cache=True)
+def _modulate_noise(draws, amplitude):
+    count = draws.shape[0]
+    p = draws.shape[2]
+    q = draws.shape[3]
+    out = np.empty((count, p, q), dtype=np.complex128)
+    for c in prange(count):
+        for i in range(p):
+            for j in range(q):
+                amp = amplitude[i, j]
+                out[c, i, j] = complex(amp * draws[c, 0, i, j],
+                                       amp * draws[c, 1, i, j])
+    return out
+
+
+class NumbaBackend(KernelBackend):
+    """JIT kernels behind the standard backend interface."""
+
+    name = "numba"
+
+    def rg_covariance_grid(self, alphas: np.ndarray, a: np.ndarray,
+                           h: np.ndarray, k: np.ndarray, grid: np.ndarray,
+                           mean_total: float) -> np.ndarray:
+        values = _rg_covariance_grid(
+            np.ascontiguousarray(alphas, dtype=np.float64),
+            np.ascontiguousarray(a, dtype=np.float64),
+            np.ascontiguousarray(h, dtype=np.float64),
+            np.ascontiguousarray(k, dtype=np.float64),
+            np.ascontiguousarray(grid, dtype=np.float64),
+            float(mean_total))
+        missing = np.isnan(values)
+        if missing.any():
+            bad = int(np.argmax(missing))
+            raise MomentExistenceError(
+                "pairwise cross moment does not exist at "
+                f"rho_L = {grid[bad]:.3f}")
+        return values
+
+    def lag_reduce(self, counts: np.ndarray, rho: np.ndarray,
+                   zero_lag: Tuple[int, int], same_site: float,
+                   scale: Optional[float],
+                   grid: Optional[np.ndarray],
+                   values: Optional[np.ndarray]) -> float:
+        counts = np.ascontiguousarray(counts, dtype=np.float64)
+        rho = np.ascontiguousarray(rho, dtype=np.float64)
+        zero_i, zero_j = int(zero_lag[0]), int(zero_lag[1])
+        if scale is not None:
+            return float(_lag_reduce_scale(
+                counts, rho, zero_i, zero_j, float(same_site),
+                float(scale)))
+        return float(_lag_reduce_interp(
+            counts, rho, zero_i, zero_j, float(same_site),
+            np.ascontiguousarray(grid, dtype=np.float64),
+            np.ascontiguousarray(values, dtype=np.float64)))
+
+    def weighted_sum(self, weights: np.ndarray,
+                     values: np.ndarray) -> float:
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        return float(_weighted_sum(weights.reshape(-1),
+                                   values.reshape(-1)))
+
+    def exp_lag_rho(self, x: np.ndarray, y: np.ndarray, length: float,
+                    floor: float, scale: float,
+                    gaussian: bool) -> np.ndarray:
+        return _exp_lag_rho(
+            np.ascontiguousarray(x, dtype=np.float64),
+            np.ascontiguousarray(y, dtype=np.float64),
+            float(length), float(floor), float(scale), bool(gaussian))
+
+    def modulate_noise(self, draws: np.ndarray,
+                       amplitude: np.ndarray) -> np.ndarray:
+        return _modulate_noise(
+            np.ascontiguousarray(draws, dtype=np.float64),
+            np.ascontiguousarray(amplitude, dtype=np.float64))
+
+    def set_threads(self, n_threads: int) -> int:
+        limit = int(_numba_config.NUMBA_NUM_THREADS)
+        if n_threads <= 0:
+            n_threads = limit
+        set_num_threads(min(int(n_threads), limit))
+        return int(get_num_threads())
+
+    def status(self) -> Dict[str, object]:
+        import numba
+
+        return {
+            "name": self.name,
+            "compiled": True,
+            "threads": int(get_num_threads()),
+            "max_threads": int(_numba_config.NUMBA_NUM_THREADS),
+            "numba": numba.__version__,
+            "compile_cache": compile_cache_status(),
+        }
+
+
+def compile_cache_status() -> Dict[str, object]:
+    """Report the on-disk ``cache=True`` artifact state for this module.
+
+    ``entries`` counts persisted machine-code files; ``warm`` is True
+    once at least one kernel has a cached compilation, meaning future
+    processes load instead of compiling.
+    """
+    cache_dir = Path(__file__).resolve().parent / "__pycache__"
+    stem = Path(__file__).stem
+    entries = sorted(p.name for p in cache_dir.glob(f"{stem}*.nb[ci]")) \
+        if cache_dir.is_dir() else []
+    return {"directory": str(cache_dir), "entries": len(entries),
+            "warm": any(name.endswith(".nbc") for name in entries)}

@@ -1,0 +1,264 @@
+"""Registry-based backend dispatch.
+
+Backends register a *factory* plus an *availability probe*; nothing is
+imported (and no JIT toolchain touched) until a backend is actually
+resolved. Resolution order for :func:`get_backend` /
+:func:`resolve_backend_name`:
+
+1. the explicit ``backend=...`` argument,
+2. a process-wide default installed with :func:`set_default_backend`
+   (the CLI ``--backend`` flag uses this),
+3. the ``REPRO_BACKEND`` environment variable (read at resolution time,
+   not import time, so tests and subprocesses can toggle it),
+4. ``"numpy"``.
+
+A registered-but-unavailable request (numba not installed) falls back
+to numpy with a one-time log line on the ``repro.backend`` logger — a
+missing optional dependency never breaks an entry point. An *unknown*
+explicit name raises :class:`~repro.exceptions.ConfigurationError`
+(typo protection); an unknown name arriving via the environment only
+warns and falls back, so a stale env var cannot brick the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.backend.base import KernelBackend
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend_name",
+    "set_default_backend",
+    "set_threads",
+    "warmup_backend",
+]
+
+#: Environment variable naming the default backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_FALLBACK = "numpy"
+
+logger = logging.getLogger("repro.backend")
+
+
+class BackendUnavailable(ConfigurationError):
+    """Raised by factories/probes when a backend cannot be constructed."""
+
+
+_lock = threading.Lock()
+_factories: Dict[str, Callable[[], KernelBackend]] = {}
+_probes: Dict[str, Callable[[], bool]] = {}
+_instances: Dict[str, KernelBackend] = {}
+_default_override: Optional[str] = None
+_warned: set = set()
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend],
+                     available: Optional[Callable[[], bool]] = None) -> None:
+    """Register ``factory`` under ``name``.
+
+    ``available`` is a cheap probe (e.g. an ``importlib`` spec check)
+    called before the factory; omitted means always available.
+    Re-registering a name replaces it and drops any cached instance.
+    """
+    with _lock:
+        _factories[name] = factory
+        _probes[name] = available if available is not None else lambda: True
+        _instances.pop(name, None)
+        _warned.discard(name)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """All registered backend names, available or not."""
+    with _lock:
+        return tuple(sorted(_factories))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends whose availability probe passes right now."""
+    with _lock:
+        names = sorted(_factories)
+        probes = dict(_probes)
+    return tuple(n for n in names if _probe(probes[n]))
+
+
+def _probe(probe: Callable[[], bool]) -> bool:
+    try:
+        return bool(probe())
+    except Exception:
+        return False
+
+
+def set_default_backend(name: Optional[str]) -> Optional[str]:
+    """Install a process-wide default (``None`` resets to env/numpy).
+
+    Returns the previous override. The name must be registered;
+    availability is still checked lazily at resolution so setting
+    ``"numba"`` on a numpy-only install keeps the graceful fallback.
+    """
+    global _default_override
+    with _lock:
+        if name is not None and name not in _factories:
+            raise ConfigurationError(
+                f"unknown backend {name!r}; registered: "
+                f"{', '.join(sorted(_factories))}")
+        previous = _default_override
+        _default_override = name
+    return previous
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve a request to the backend name that would actually run.
+
+    Applies the documented precedence (argument > process default >
+    ``REPRO_BACKEND`` > numpy) *and* the graceful-fallback rule, so the
+    returned name is always available. Unknown explicit names raise;
+    unknown environment values warn once and fall back.
+    """
+    explicit = name if name is not None else _default_override
+    if explicit is not None:
+        if explicit not in _factories:
+            raise ConfigurationError(
+                f"unknown backend {explicit!r}; registered: "
+                f"{', '.join(registered_backends())}")
+        requested = explicit
+    else:
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        if env and env not in _factories:
+            _warn_once(
+                env,
+                f"{BACKEND_ENV_VAR}={env!r} names an unknown backend "
+                f"(registered: {', '.join(registered_backends())}); "
+                f"using {_FALLBACK!r}")
+            return _FALLBACK
+        requested = env or _FALLBACK
+    if requested != _FALLBACK and not _probe(_probes[requested]):
+        _warn_once(
+            requested,
+            f"backend {requested!r} requested but unavailable "
+            f"(optional dependency not installed); falling back to "
+            f"{_FALLBACK!r}")
+        return _FALLBACK
+    return requested
+
+
+def _warn_once(key: str, message: str) -> None:
+    with _lock:
+        if key in _warned:
+            return
+        _warned.add(key)
+    logger.warning(message)
+
+
+def get_backend(
+        backend: Optional[Union[str, KernelBackend]] = None) -> KernelBackend:
+    """Return a ready :class:`KernelBackend` instance.
+
+    Accepts a backend name, ``None`` (resolve via precedence), or an
+    already-constructed instance (returned unchanged — lets plumbing
+    resolve once and pass the object down). Instances are cached per
+    name; construction failures degrade to numpy with a one-time log.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    name = resolve_backend_name(backend)
+    with _lock:
+        instance = _instances.get(name)
+        if instance is not None:
+            return instance
+        factory = _factories[name]
+    try:
+        instance = factory()
+    except Exception as exc:
+        if name == _FALLBACK:
+            raise
+        _warn_once(name, f"backend {name!r} failed to initialise "
+                         f"({exc}); falling back to {_FALLBACK!r}")
+        return get_backend(_FALLBACK)
+    with _lock:
+        instance = _instances.setdefault(name, instance)
+    return instance
+
+
+def set_threads(n_threads: int,
+                backend: Optional[Union[str, KernelBackend]] = None) -> int:
+    """Set the kernel thread count on the resolved backend.
+
+    Returns the effective count (always 1 on the numpy backend).
+    """
+    return get_backend(backend).set_threads(n_threads)
+
+
+def warmup_backend(
+        backend: Optional[Union[str, KernelBackend]] = None,
+) -> Tuple[str, float]:
+    """Resolve a backend and run every kernel once on tiny inputs.
+
+    On the numba backend this triggers JIT compilation (or loads the
+    on-disk compile cache), so the first real request never pays it;
+    on numpy it costs microseconds. Returns ``(name, seconds)``. The
+    HTTP server calls this at bind time and ``repro serve`` reports
+    the result.
+    """
+    instance = get_backend(backend)
+    return instance.name, instance.warmup()
+
+
+def backend_status() -> Dict[str, Dict[str, object]]:
+    """Status document for every registered backend.
+
+    Per backend: availability, whether an instance is live, and the
+    instance's own :meth:`KernelBackend.status` when constructed. Used
+    by ``repro selfcheck`` and the kernel bench.
+    """
+    with _lock:
+        names = sorted(_factories)
+        probes = dict(_probes)
+        live = dict(_instances)
+    active = resolve_backend_name()
+    report: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        entry: Dict[str, object] = {
+            "available": _probe(probes[name]),
+            "active": name == active,
+            "initialised": name in live,
+        }
+        if name in live:
+            entry["status"] = live[name].status()
+        report[name] = entry
+    return report
+
+
+def _numpy_factory() -> KernelBackend:
+    from repro.backend.numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
+def _numba_available() -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec("numba") is not None
+
+
+def _numba_factory() -> KernelBackend:
+    if not _numba_available():
+        raise BackendUnavailable("numba is not installed")
+    from repro.backend.numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("numba", _numba_factory, available=_numba_available)

@@ -216,8 +216,14 @@ class RGComponents:
         signal_probability: float = 0.5,
         simplified_correlation: Optional[bool] = None,
         state_weights=None,
+        backend=None,
     ) -> "RGComponents":
-        """Derive the RG bundle from a characterized library + usage."""
+        """Derive the RG bundle from a characterized library + usage.
+
+        ``backend`` names the kernel backend for the exact RG covariance
+        grid (the hot part of this stage); the built bundle itself is
+        backend-free and picklable.
+        """
         technology = characterization.technology
         signal_probability = float(signal_probability)
         with span("api.rg_build"):
@@ -230,6 +236,7 @@ class RGComponents:
                 mu_l=technology.length.nominal,
                 sigma_l=technology.length.sigma,
                 simplified=simplified_correlation,
+                backend=backend,
             )
             return cls(random_gate=random_gate,
                        rg_correlation=rg_correlation,
@@ -267,6 +274,12 @@ class FullChipLeakageEstimator:
         ``signal_probability`` / ``simplified_correlation`` /
         ``state_weights`` arguments must have produced it — and the
         mixture expansion is skipped entirely.
+    backend:
+        Default kernel backend (name or instance) for this estimator's
+        numeric hot paths; individual :meth:`estimate` calls may
+        override it. ``None`` defers to the process default
+        (``REPRO_BACKEND`` env var, else numpy). See
+        ``docs/PERFORMANCE.md``.
     """
 
     def __init__(
@@ -281,9 +294,11 @@ class FullChipLeakageEstimator:
         simplified_correlation: Optional[bool] = None,
         state_weights=None,
         components: Optional[RGComponents] = None,
+        backend=None,
     ) -> None:
         self.characterization = characterization
         self.usage = usage
+        self.backend = backend
         technology = characterization.technology
         self.correlation = (technology.total_correlation
                             if correlation is None else correlation)
@@ -293,7 +308,7 @@ class FullChipLeakageEstimator:
             components = RGComponents.build(
                 characterization, usage, signal_probability,
                 simplified_correlation=simplified_correlation,
-                state_weights=state_weights)
+                state_weights=state_weights, backend=backend)
         self.components = components
         self.signal_probability = components.signal_probability
         self.random_gate = components.random_gate
@@ -301,8 +316,8 @@ class FullChipLeakageEstimator:
         self._vt_multiplier = components.vt_multiplier
 
     def estimate(self, method: str = "auto", *, n_jobs: int = 1,
-                 tolerance: float = 0.0,
-                 trace: bool = False) -> LeakageEstimate:
+                 tolerance: float = 0.0, trace: bool = False,
+                 backend=None) -> LeakageEstimate:
         """Estimate full-chip leakage mean and standard deviation.
 
         ``method`` is one of ``"auto"``, ``"linear"``, ``"integral2d"``,
@@ -323,23 +338,36 @@ class FullChipLeakageEstimator:
         site grid is a lattice, so the engine takes the FFT lag
         transform).
 
+        ``backend`` selects the kernel backend for this call (falling
+        back to the estimator-level default, then the process default).
+        Backend choice never changes *what* is computed — the numpy
+        backend is bit-identical to the historical inline code, and
+        compiled backends agree within the per-kernel parity contracts
+        of :data:`repro.backend.KERNELS`.
+
         ``trace=True`` profiles the run: the estimate's
         ``details["trace"]`` carries the span tree and per-stage wall
         times (``docs/OBSERVABILITY.md``). Numeric results are
         bit-identical with tracing on or off — spans only read clocks.
         """
+        from repro.backend import get_backend
+
+        kernels = get_backend(backend if backend is not None
+                              else self.backend)
         if not trace:
             return self._estimate(method, n_jobs=n_jobs,
-                                  tolerance=tolerance)
+                                  tolerance=tolerance, kernels=kernels)
         tracer = Tracer("core/api.estimate")
         with tracer:
-            with tracer.span("core/api.estimate", method=method):
+            with tracer.span("core/api.estimate", method=method,
+                             backend=kernels.name):
                 result = self._estimate(method, n_jobs=n_jobs,
-                                        tolerance=tolerance)
+                                        tolerance=tolerance,
+                                        kernels=kernels)
         return result.with_details(trace=tracer.export())
 
-    def _estimate(self, method: str, *, n_jobs: int,
-                  tolerance: float) -> LeakageEstimate:
+    def _estimate(self, method: str, *, n_jobs: int, tolerance: float,
+                  kernels=None) -> LeakageEstimate:
         chip = self.chip
         requested = method
         if method == "auto":
@@ -349,7 +377,8 @@ class FullChipLeakageEstimator:
             if method == "linear":
                 site_variance = linear_variance(
                     chip.rows, chip.cols, chip.pitch_x, chip.pitch_y,
-                    self.correlation, self.rg_correlation)
+                    self.correlation, self.rg_correlation,
+                    backend=kernels)
             elif method == "integral2d":
                 site_variance = integral2d_variance(
                     chip.n_sites, chip.width, chip.height,
@@ -360,7 +389,7 @@ class FullChipLeakageEstimator:
                     self.correlation, self.rg_correlation)
             elif method == "exact":
                 site_variance = self._exact_site_variance(
-                    n_jobs=n_jobs, tolerance=tolerance)
+                    n_jobs=n_jobs, tolerance=tolerance, kernels=kernels)
             else:
                 raise EstimationError(
                     f"unknown method {method!r}; choose auto, linear, "
@@ -374,7 +403,8 @@ class FullChipLeakageEstimator:
         return self._package(method, site_variance, extra)
 
     def _exact_site_variance(self, n_jobs: int = 1,
-                             tolerance: float = 0.0) -> float:
+                             tolerance: float = 0.0,
+                             kernels=None) -> float:
         """Site-grid variance through the placed-design pairwise engine.
 
         Every site carries the Random Gate: the full RG sigma on the
@@ -408,6 +438,7 @@ class FullChipLeakageEstimator:
             grid=(chip.rows, chip.cols),
             n_jobs=n_jobs,
             tolerance=tolerance,
+            backend=kernels,
         )
         return site_std ** 2
 
@@ -462,6 +493,7 @@ def estimate_sweep(
     n_jobs: int = 1,
     tolerance: float = 0.0,
     trace: bool = False,
+    backend: Optional[str] = None,
 ):
     """Evaluate a grid of estimation scenarios with shared precomputation.
 
@@ -499,6 +531,11 @@ def estimate_sweep(
     stages, worker spans aggregated per stage) into
     ``SweepResult.trace``; every estimate stays bit-identical to the
     untraced run.
+
+    ``backend`` names the kernel backend every point (and every worker)
+    uses; with the numpy default and with any other backend the sweep
+    stays bit-identical to the corresponding single-point loop on that
+    same backend.
     """
     from repro.core.sweep import run_sweep
 
@@ -508,4 +545,4 @@ def estimate_sweep(
         correlation=correlation,
         simplified_correlation=simplified_correlation,
         state_weights=state_weights, n_jobs=n_jobs, tolerance=tolerance,
-        trace=trace)
+        trace=trace, backend=backend)

@@ -47,10 +47,16 @@ class RGCorrelation:
         exact when fits are available, simplified otherwise.
     n_grid:
         Grid resolution for the precomputed exact mapping on [-1, 1].
+    backend:
+        Kernel backend (name or instance) used to build the exact grid;
+        resolved through :func:`repro.backend.get_backend`. The backend
+        is only used during construction — the built object holds no
+        reference to it, so instances stay picklable.
     """
 
     def __init__(self, random_gate: RandomGate, mu_l: float, sigma_l: float,
-                 simplified: Optional[bool] = None, n_grid: int = 65) -> None:
+                 simplified: Optional[bool] = None, n_grid: int = 65,
+                 backend=None) -> None:
         mixture = random_gate.mixture
         if simplified is None:
             simplified = not mixture.has_fits
@@ -69,12 +75,14 @@ class RGCorrelation:
         else:
             self._grid = np.linspace(-1.0, 1.0, n_grid)
             self._values = self._exact_covariance_grid(
-                mixture, mu_l, sigma_l, self._grid)
+                mixture, mu_l, sigma_l, self._grid, backend=backend)
             self._scale = None
 
     @staticmethod
     def _exact_covariance_grid(mixture, mu_l: float, sigma_l: float,
-                               grid: np.ndarray) -> np.ndarray:
+                               grid: np.ndarray, backend=None) -> np.ndarray:
+        from repro.backend import get_backend
+
         alphas = mixture.alphas
         a = np.array([fit.c for fit in mixture.fits]) * sigma_l ** 2
         if np.any(1.0 - 2.0 * a <= 0):
@@ -85,28 +93,27 @@ class RGCorrelation:
                       for fit in mixture.fits])
         k = np.array([math.log(fit.a) + fit.b * mu_l + fit.c * mu_l ** 2
                       for fit in mixture.fits])
-        # Pairwise building blocks, cached once (q x q each).
-        one = 1.0 - 2.0 * a
-        d0 = np.outer(one, one)
-        aa = np.outer(a, a)
-        h_sq = h * h
-        p0 = h_sq[:, None] * one[None, :] + h_sq[None, :] * one[:, None]
-        p2 = 2.0 * (h_sq[:, None] * a[None, :] + h_sq[None, :] * a[:, None])
-        p1 = 2.0 * np.outer(h, h)
-        k_sum = k[:, None] + k[None, :]
         mean_total = float(alphas @ mixture.means)
+        return get_backend(backend).rg_covariance_grid(
+            alphas, a, h, k, grid, mean_total)
 
-        values = np.empty_like(grid)
-        for idx, rho in enumerate(grid):
-            det = d0 - 4.0 * rho * rho * aa
-            if np.any(det <= 0):
-                raise MomentExistenceError(
-                    "pairwise cross moment does not exist at "
-                    f"rho_L = {rho:.3f}")
-            quad = (p0 + rho * p1 + rho * rho * p2) / det
-            cross = det ** -0.5 * np.exp(k_sum + 0.5 * quad)
-            values[idx] = float(alphas @ cross @ alphas) - mean_total ** 2
-        return values
+    @property
+    def covariance_scale(self) -> Optional[float]:
+        """Simplified-mode slope ``(sum_i alpha_i sigma_i)^2``, or
+        ``None`` in exact mode. With :attr:`covariance_grid` /
+        :attr:`covariance_values` this exposes the covariance mapping in
+        the exact representation kernel backends consume."""
+        return self._scale
+
+    @property
+    def covariance_grid(self) -> Optional[np.ndarray]:
+        """Exact-mode ``rho_L`` interpolation grid, or ``None``."""
+        return self._grid
+
+    @property
+    def covariance_values(self) -> Optional[np.ndarray]:
+        """Exact-mode ``C_XI`` values on :attr:`covariance_grid`."""
+        return self._values
 
     def covariance(self, rho_l) -> np.ndarray:
         """``C_XI`` between two *distinct* sites with length correlation

@@ -290,6 +290,9 @@ class _SweepSpec:
     simplified_correlation: Optional[bool]
     state_weights: Any
     tolerance: float
+    # Kernel-backend *name* (never an instance): the spec crosses
+    # process boundaries via pickle, so each worker re-resolves it.
+    backend: Optional[str] = None
 
 
 def _correlation_key(correlation: SpatialCorrelation) -> Tuple[Any, ...]:
@@ -333,8 +336,9 @@ def _usage_key(usage: CellUsage) -> Tuple[Any, ...]:
 def _batched_lag_rho(geometry: LagGeometry,
                      correlations: Mapping[Tuple[Any, ...],
                                            SpatialCorrelation],
-                     stats: Dict[str, int]) -> Dict[Tuple[Any, ...],
-                                                    np.ndarray]:
+                     stats: Dict[str, int],
+                     backend=None) -> Dict[Tuple[Any, ...],
+                                           np.ndarray]:
     """``rho_L`` at the lags for every distinct kernel, family-batched.
 
     Shares the axis-invariant part of the evaluation across the whole
@@ -343,11 +347,26 @@ def _batched_lag_rho(geometry: LagGeometry,
     families — and applies each point's parameters elementwise. Each
     batched expression reproduces the corresponding ``evaluate_xy``
     verbatim on identical operand values, so every returned array is
-    bit-identical to ``geometry.rho(correlation)``.
+    bit-identical to ``geometry.rho(correlation)`` on the numpy backend.
+
+    On a non-numpy backend the distance-grid sharing is skipped: each
+    distinct kernel evaluates through ``geometry.rho(corr, backend)``,
+    keeping the sweep bit-identical to that backend's single-point loop
+    (and letting the compiled kernel do the heavy lifting).
     """
+    from repro.backend import get_backend
+
+    kernels = get_backend(backend)
     out: Dict[Tuple[Any, ...], np.ndarray] = {}
     items = list(correlations.items())
     kinds = {type(c) for _, c in items}
+
+    if kernels.name != "numpy":
+        for key, corr in items:
+            out[key] = geometry.rho(corr, kernels)
+            stats["rho_kernel_evaluations"] = \
+                stats.get("rho_kernel_evaluations", 0) + 1
+        return out
 
     if kinds == {TotalCorrelation}:
         # rho = floor + (1 - floor) * wid_rho: evaluate each distinct WID
@@ -357,7 +376,7 @@ def _batched_lag_rho(geometry: LagGeometry,
         wids: Dict[Tuple[Any, ...], SpatialCorrelation] = {}
         for _, corr in items:
             wids.setdefault(_correlation_key(corr.wid), corr.wid)
-        wid_rhos = _batched_lag_rho(geometry, wids, stats)
+        wid_rhos = _batched_lag_rho(geometry, wids, stats, kernels)
         for key, corr in items:
             wid_rho = wid_rhos[_correlation_key(corr.wid)]
             out[key] = corr.rho_floor + (1.0 - corr.rho_floor) * wid_rho
@@ -378,7 +397,7 @@ def _batched_lag_rho(geometry: LagGeometry,
         return out
 
     for key, corr in items:
-        out[key] = geometry.rho(corr)
+        out[key] = geometry.rho(corr, kernels)
         stats["rho_kernel_evaluations"] = \
             stats.get("rho_kernel_evaluations", 0) + 1
     return out
@@ -412,6 +431,9 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
     geometry-only and parameter-only stages computed once per distinct
     value instead of once per point.
     """
+    from repro.backend import get_backend
+
+    kernels = get_backend(spec.backend)
     stats: Dict[str, int] = {"points": len(indices)}
     chip_cache: Dict[Tuple[Any, ...], FullChipModel] = {}
     geometry_cache: Dict[Tuple[Any, ...], LagGeometry] = {}
@@ -447,7 +469,8 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
             geometry = LagGeometry(*geometry_key)
             geometry_cache[geometry_key] = geometry
             for corr_key, rho in _batched_lag_rho(geometry, correlations,
-                                                  stats).items():
+                                                  stats,
+                                                  kernels).items():
                 rho_cache[(geometry_key, corr_key)] = rho
 
     estimates: List[LeakageEstimate] = []
@@ -465,14 +488,16 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
                         characterization, usage, p,
                         simplified_correlation=
                         spec.simplified_correlation,
-                        state_weights=spec.state_weights)
+                        state_weights=spec.state_weights,
+                        backend=kernels)
                 components_cache[components_key] = components
                 stats["rg_builds"] = stats.get("rg_builds", 0) + 1
             estimator = FullChipLeakageEstimator(
                 characterization, usage, n_cells, width, height,
                 signal_probability=p, correlation=correlation,
                 simplified_correlation=spec.simplified_correlation,
-                state_weights=spec.state_weights, components=components)
+                state_weights=spec.state_weights, components=components,
+                backend=spec.backend)
             if method == "linear":
                 geometry_key = (chip.rows, chip.cols, chip.pitch_x,
                                 chip.pitch_y)
@@ -480,7 +505,7 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
                 rho = rho_cache[(geometry_key,
                                  _correlation_key(correlation))]
                 site_variance = geometry.variance_from_rho(
-                    rho, estimator.rg_correlation)
+                    rho, estimator.rg_correlation, kernels)
                 # Same packaging as estimate(): details carry the
                 # concrete method plus what was requested before "auto"
                 # resolution.
@@ -489,7 +514,8 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
                     {"requested_method": spec.method}))
             else:
                 estimates.append(estimator.estimate(
-                    spec.method, tolerance=spec.tolerance))
+                    spec.method, tolerance=spec.tolerance,
+                    backend=kernels))
     stats["geometries"] = len(geometry_cache)
     stats["chip_models"] = len(chip_cache)
     return estimates, stats
@@ -518,6 +544,7 @@ def run_sweep(
     n_jobs: int = 1,
     tolerance: float = 0.0,
     trace: bool = False,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Evaluate the full cartesian grid of the given axes.
 
@@ -559,16 +586,21 @@ def run_sweep(
             config.update(override)
         configs.append(config)
 
+    from repro.backend import resolve_backend_name
+
     spec = _SweepSpec(configs=tuple(configs), method=method,
                       simplified_correlation=simplified_correlation,
                       state_weights=state_weights,
-                      tolerance=float(tolerance))
+                      tolerance=float(tolerance),
+                      backend=(None if backend is None
+                               else str(backend)))
 
     tracer = Tracer("core/api.estimate_sweep") if trace else None
     if tracer is not None:
         with tracer:
             with tracer.span("core/api.estimate_sweep",
-                             n_points=len(configs)):
+                             n_points=len(configs),
+                             backend=resolve_backend_name(spec.backend)):
                 estimates, stats = _execute_grid(spec, configs, n_jobs)
         trace_document = tracer.export()
     else:

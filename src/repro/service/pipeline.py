@@ -39,6 +39,7 @@ import threading
 import time
 from typing import Any, Dict, Optional
 
+from repro.backend import resolve_backend_name
 from repro.cells.library import build_library
 from repro.characterization.characterizer import characterize_library
 from repro.characterization.store import (
@@ -200,7 +201,8 @@ class EstimationPipeline:
                 characterization,
                 self._usage(request, characterization),
                 request.signal_probability,
-                simplified_correlation=request.simplified_correlation)
+                simplified_correlation=request.simplified_correlation,
+                backend=request.backend)
         # Live model objects; the RG tier is memory-only (no payload).
         self.cache.put(TIER_RG, key, components)
         return components
@@ -299,7 +301,8 @@ class EstimationPipeline:
             return self._run(request, job)
         tracer = Tracer("service.request")
         with tracer:
-            with tracer.span("service.request", method=request.method):
+            with tracer.span("service.request", method=request.method,
+                             backend=resolve_backend_name(request.backend)):
                 estimate = self._run(request, job)
         document = self._finish_trace(tracer, job, "request")
         if request.trace:
@@ -336,7 +339,8 @@ class EstimationPipeline:
             request.n_cells,
             request.width_mm * 1e-3,
             request.height_mm * 1e-3,
-            components=components)
+            components=components,
+            backend=request.backend)
 
         may_degrade = request.method == "exact" and request.allow_degraded
         estimate = None

@@ -1,0 +1,246 @@
+"""Backend plumbing through the public entry points.
+
+The invariant under test everywhere: routing through the (default)
+numpy backend is a pure refactor — estimates, sweeps, samplers, and
+service requests answer bit-identically with and without an explicit
+``backend=`` argument, and the service cache key ignores the knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, lattice_rho, get_backend
+from repro.backend.registry import BACKEND_ENV_VAR
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.core.api import estimate_sweep
+from repro.core.estimators import exact_moments
+from repro.core.estimators.linear import LagGeometry
+from repro.core.sweep import correlation_length_axis
+from repro.exceptions import ConfigurationError
+from repro.process.correlation import (
+    AnisotropicCorrelation,
+    ExponentialCorrelation,
+)
+from repro.process.field import sample_field
+from repro.service.jobs import EstimateRequest
+
+USAGE = CellUsage({"INV_X1": 0.5, "NAND2_X1": 0.5})
+
+
+@pytest.fixture(autouse=True)
+def clean_selection(monkeypatch):
+    from repro.backend import set_default_backend
+
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    previous = set_default_backend(None)
+    yield
+    set_default_backend(previous)
+
+
+def estimator(small_characterization, **kwargs):
+    return FullChipLeakageEstimator(
+        small_characterization, USAGE, 400, 2e-4, 2e-4, **kwargs)
+
+
+def test_explicit_numpy_backend_is_bit_identical(small_characterization):
+    base = estimator(small_characterization).estimate("linear")
+    routed = estimator(small_characterization,
+                       backend="numpy").estimate("linear")
+    assert routed.mean == base.mean
+    assert routed.std == base.std
+    assert routed.details == base.details
+
+
+def test_backend_argument_on_estimate_call(small_characterization):
+    base = estimator(small_characterization).estimate("linear")
+    routed = estimator(small_characterization).estimate(
+        "linear", backend="numpy")
+    assert (routed.mean, routed.std) == (base.mean, base.std)
+
+
+def test_numba_request_matches_default(small_characterization):
+    """Missing numba must degrade to the identical numpy answer; an
+    installed numba must agree within the reduction contract."""
+    base = estimator(small_characterization).estimate("linear")
+    routed = estimator(small_characterization,
+                       backend="numba").estimate("linear")
+    if "numba" in available_backends():
+        assert routed.std == pytest.approx(base.std, rel=1e-8)
+        assert routed.mean == base.mean
+    else:
+        assert (routed.mean, routed.std) == (base.mean, base.std)
+
+
+def test_env_variable_flow(small_characterization, monkeypatch):
+    base = estimator(small_characterization).estimate("linear")
+    monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+    routed = estimator(small_characterization).estimate("linear")
+    assert (routed.mean, routed.std) == (base.mean, base.std)
+
+
+def test_backend_recorded_on_trace_root(small_characterization):
+    traced = estimator(small_characterization).estimate(
+        "linear", trace=True, backend="numpy")
+    root = traced.details["trace"]["spans"][0]
+    assert root["attrs"]["backend"] == "numpy"
+
+
+def test_exact_lagsum_backend_is_bit_identical(technology, rng):
+    side = 12
+    pitch = 2e-6
+    cc, rr = np.meshgrid(np.arange(side), np.arange(side))
+    positions = np.column_stack([cc.ravel() * pitch, rr.ravel() * pitch])
+    n = side * side
+    means = rng.uniform(1e-9, 5e-9, n)
+    stds = rng.uniform(1e-10, 5e-10, n)
+    correlation = technology.total_correlation
+    base = exact_moments(positions, means, stds, correlation,
+                         method="lagsum", grid=(side, side))
+    routed = exact_moments(positions, means, stds, correlation,
+                           method="lagsum", grid=(side, side),
+                           backend="numpy")
+    assert routed == base
+
+
+def test_sweep_backend_matches_loop(small_characterization):
+    technology = small_characterization.technology
+    lengths = [0.3e-3, 0.6e-3]
+    axis = correlation_length_axis(lengths, technology)
+    sweep = estimate_sweep(
+        small_characterization, USAGE, 400, 2e-4, 2e-4, axes=[axis],
+        method="linear", backend="numpy")
+    looped = []
+    for override in axis.overrides:
+        looped.append(FullChipLeakageEstimator(
+            small_characterization, USAGE, 400, 2e-4, 2e-4,
+            correlation=override["correlation"],
+            backend="numpy").estimate("linear"))
+    assert len(sweep) == len(looped)
+    for got, want in zip(sweep, looped):
+        assert got.mean == want.mean
+        assert got.std == want.std
+        assert got.details == want.details
+
+
+def test_sweep_default_equals_explicit_numpy(small_characterization):
+    technology = small_characterization.technology
+    axis = correlation_length_axis([0.4e-3, 0.8e-3], technology)
+    base = estimate_sweep(small_characterization, USAGE, 400, 2e-4, 2e-4,
+                          axes=[axis], method="linear")
+    routed = estimate_sweep(small_characterization, USAGE, 400, 2e-4,
+                            2e-4, axes=[axis], method="linear",
+                            backend="numpy")
+    for got, want in zip(routed, base):
+        assert (got.mean, got.std) == (want.mean, want.std)
+
+
+def test_field_sampler_backend_is_bit_identical(technology):
+    correlation = technology.wid_correlation
+    grid = (80, 80, 2e-6, 2e-6)  # above the Cholesky limit -> FFT path
+    base = sample_field(correlation, 5, grid=grid,
+                        rng=np.random.default_rng(11))
+    routed = sample_field(correlation, 5, grid=grid,
+                          rng=np.random.default_rng(11), backend="numpy")
+    assert np.array_equal(base, routed)
+
+
+def test_lattice_rho_axis_mapping_for_anisotropic_fallback():
+    """The fallback path must map x/y lags onto the correct axes in
+    both the linear (x on axis 0) and lagsum (x on axis 1) layouts."""
+    correlation = AnisotropicCorrelation(
+        ExponentialCorrelation(0.5e-3), scale_x=2.0, scale_y=0.5)
+    backend = get_backend("numpy")
+    x = np.linspace(-1e-3, 1e-3, 7)
+    y = np.linspace(-2e-3, 2e-3, 5)
+    linear_layout = lattice_rho(backend, correlation, x, y, dx_axis=0)
+    assert linear_layout.shape == (7, 5)
+    assert np.array_equal(linear_layout,
+                          correlation.evaluate_xy(x[:, None], y[None, :]))
+    lagsum_layout = lattice_rho(backend, correlation, x, y, dx_axis=1)
+    assert lagsum_layout.shape == (5, 7)
+    assert np.array_equal(lagsum_layout,
+                          correlation.evaluate_xy(x[None, :], y[:, None]))
+
+
+def test_lattice_rho_kernel_path_matches_model(technology):
+    """The recognised-family kernel path must equal evaluate_xy bit for
+    bit (same hypot/exp sequence) in both axis layouts."""
+    correlation = technology.total_correlation
+    backend = get_backend("numpy")
+    x = np.linspace(-1e-3, 1e-3, 9)
+    y = np.linspace(-5e-4, 5e-4, 11)
+    assert np.array_equal(
+        lattice_rho(backend, correlation, x, y, dx_axis=0),
+        correlation.evaluate_xy(x[:, None], y[None, :]))
+    assert np.array_equal(
+        lattice_rho(backend, correlation, x, y, dx_axis=1),
+        correlation.evaluate_xy(x[None, :], y[:, None]))
+
+
+def test_geometry_rho_matches_evaluate_xy(technology):
+    geometry = LagGeometry(6, 8, 2e-6, 3e-6)
+    want = technology.total_correlation.evaluate_xy(
+        geometry.x[:, None], geometry.y[None, :])
+    assert np.array_equal(geometry.rho(technology.total_correlation), want)
+
+
+def test_unknown_backend_name_raises_everywhere(small_characterization):
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        estimator(small_characterization).estimate(
+            "linear", backend="no-such-backend")
+
+
+# -- service request plumbing ---------------------------------------------
+
+
+def test_request_key_ignores_backend():
+    base = EstimateRequest(n_cells=1000, width_mm=1.0, height_mm=1.0)
+    routed = EstimateRequest(n_cells=1000, width_mm=1.0, height_mm=1.0,
+                             backend="numba")
+    assert base.key() == routed.key()
+    assert base.canonical_dict() == routed.canonical_dict()
+
+
+def test_request_round_trips_backend():
+    request = EstimateRequest(n_cells=1000, width_mm=1.0, height_mm=1.0,
+                              backend="numpy")
+    document = request.to_dict()
+    assert document["backend"] == "numpy"
+    revived = EstimateRequest.from_dict(document)
+    assert revived.backend == "numpy"
+    assert revived.key() == request.key()
+
+
+def test_request_rejects_unregistered_backend():
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        EstimateRequest(n_cells=1000, width_mm=1.0, height_mm=1.0,
+                        backend="no-such-backend")
+
+
+# -- CLI flag plumbing ----------------------------------------------------
+
+
+def test_cli_backend_flags_install_process_default():
+    from repro.backend import resolve_backend_name
+    from repro.cli import _apply_backend_args, build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["estimate", "--cells", "100", "--width-mm", "1",
+         "--height-mm", "1", "--backend", "numpy",
+         "--kernel-threads", "2"])
+    _apply_backend_args(args)
+    assert resolve_backend_name() == "numpy"
+
+
+def test_cli_unknown_backend_rejected():
+    from repro.cli import _apply_backend_args, build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["estimate", "--cells", "100", "--width-mm", "1",
+         "--height-mm", "1", "--backend", "not-a-backend"])
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        _apply_backend_args(args)

@@ -1,0 +1,166 @@
+"""Backend registry semantics: precedence, fallback, caching."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BackendUnavailable,
+    available_backends,
+    backend_status,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    set_default_backend,
+    set_threads,
+    warmup_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import BACKEND_ENV_VAR
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def clean_selection(monkeypatch):
+    """Isolate every test from the ambient selection state."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    previous = set_default_backend(None)
+    yield
+    set_default_backend(previous)
+
+
+class _AltBackend(NumpyBackend):
+    name = "test-alt"
+
+
+def test_default_resolution_is_numpy():
+    assert resolve_backend_name() == "numpy"
+    assert get_backend().name == "numpy"
+
+
+def test_unknown_explicit_name_raises():
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        resolve_backend_name("no-such-backend")
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        get_backend("no-such-backend")
+
+
+def test_unknown_env_name_warns_once_and_falls_back(monkeypatch, caplog):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "bogus-env-backend")
+    with caplog.at_level(logging.WARNING, logger="repro.backend"):
+        assert resolve_backend_name() == "numpy"
+        assert resolve_backend_name() == "numpy"
+    warnings = [r for r in caplog.records
+                if "bogus-env-backend" in r.getMessage()]
+    assert len(warnings) == 1  # one-time, not once per call
+
+
+def test_env_variable_selects_registered_backend(monkeypatch):
+    register_backend("test-alt-env", _AltBackend)
+    monkeypatch.setenv(BACKEND_ENV_VAR, "test-alt-env")
+    assert resolve_backend_name() == "test-alt-env"
+
+
+def test_explicit_argument_beats_env(monkeypatch):
+    register_backend("test-alt-arg", _AltBackend)
+    monkeypatch.setenv(BACKEND_ENV_VAR, "test-alt-arg")
+    assert resolve_backend_name("numpy") == "numpy"
+
+
+def test_default_override_beats_env(monkeypatch):
+    register_backend("test-alt-override", _AltBackend)
+    monkeypatch.setenv(BACKEND_ENV_VAR, "test-alt-override")
+    previous = set_default_backend("numpy")
+    assert previous is None
+    assert resolve_backend_name() == "numpy"
+    set_default_backend(None)
+    assert resolve_backend_name() == "test-alt-override"
+
+
+def test_set_default_backend_rejects_unknown_names():
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        set_default_backend("no-such-backend")
+
+
+def test_unavailable_backend_falls_back_with_one_time_log(caplog):
+    register_backend("test-unavailable", _AltBackend,
+                     available=lambda: False)
+    with caplog.at_level(logging.WARNING, logger="repro.backend"):
+        assert resolve_backend_name("test-unavailable") == "numpy"
+        assert get_backend("test-unavailable").name == "numpy"
+    warnings = [r for r in caplog.records
+                if "test-unavailable" in r.getMessage()]
+    assert len(warnings) == 1
+
+
+def test_factory_failure_degrades_to_numpy(caplog):
+    def broken():
+        raise BackendUnavailable("deliberately broken")
+
+    register_backend("test-broken", broken)
+    with caplog.at_level(logging.WARNING, logger="repro.backend"):
+        instance = get_backend("test-broken")
+    assert instance.name == "numpy"
+    assert any("test-broken" in r.getMessage() for r in caplog.records)
+
+
+def test_instances_are_cached_and_passed_through():
+    first = get_backend("numpy")
+    assert get_backend("numpy") is first
+    assert get_backend(first) is first  # instance pass-through
+
+
+def test_registered_and_available_listings():
+    names = registered_backends()
+    assert "numpy" in names and "numba" in names
+    usable = available_backends()
+    assert "numpy" in usable
+    # numba availability must track the import probe, never crash.
+    import importlib.util
+
+    expected = importlib.util.find_spec("numba") is not None
+    assert ("numba" in usable) == expected
+
+
+def test_numba_request_degrades_gracefully_when_missing():
+    instance = get_backend("numba")
+    if "numba" in available_backends():
+        assert instance.name == "numba"
+    else:
+        assert instance.name == "numpy"
+
+
+def test_set_threads_reports_effective_count():
+    assert set_threads(4, backend="numpy") == 1  # numpy is sequential
+
+
+def test_warmup_backend_runs_every_kernel():
+    name, seconds = warmup_backend("numpy")
+    assert name == "numpy"
+    assert seconds > 0.0
+
+
+def test_backend_status_document():
+    report = backend_status()
+    assert report["numpy"]["available"] is True
+    assert report["numpy"]["active"] is True  # selection state is clean
+    assert "numba" in report
+    assert isinstance(report["numba"]["available"], bool)
+    # The live numpy entry carries the instance's own status document.
+    get_backend("numpy")
+    status = backend_status()["numpy"].get("status")
+    assert status is not None and status["name"] == "numpy"
+    assert status["numpy"] == np.__version__
+
+
+def test_custom_backend_round_trip():
+    register_backend("test-custom", _AltBackend)
+    instance = get_backend("test-custom")
+    assert isinstance(instance, _AltBackend)
+    weights = np.arange(6.0).reshape(2, 3)
+    assert instance.weighted_sum(weights, weights) == float(
+        (weights * weights).sum())
