@@ -1,0 +1,164 @@
+"""Incremental (delta) estimation vs fresh re-estimation.
+
+The acceptance workload for the delta engine: a 16,384-gate, 1 x 1 mm
+die over the full 62-cell characterization, edited by ECO-sized cell
+swaps that move <= 1% of the cells. A naive what-if loop re-runs the
+whole estimator per edit — re-expanding the ~500-component RG mixture
+and re-fitting its exact covariance grid; the delta engine answers
+from the :class:`~repro.delta.BaseEstimate` snapshot in o(n_affected),
+touching only the swapped cells' mixture rows and reusing the lag
+ledger outright. Every delta answer is asserted against its fresh
+counterpart within the engine's documented tolerance
+(``DELTA_MEAN_RTOL`` / ``DELTA_STD_RTOL``).
+
+Machine-readable timings land in ``BENCH_delta.json`` at the repo root
+(one trajectory point per growth PR). Run ``python
+benchmarks/bench_delta.py --quick`` (or set ``BENCH_QUICK=1`` under
+pytest) for a CI smoke run with a relaxed speedup floor; quick results
+go to ``BENCH_delta_quick.json`` so the trajectory stays put.
+"""
+
+import math
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks._common import emit, emit_json
+from repro.analysis import format_table
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.delta import (
+    DELTA_MEAN_RTOL,
+    DELTA_STD_RTOL,
+    BaseEstimate,
+    CellSwapEdit,
+    estimate_delta,
+)
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+N_CELLS = 16_384
+WIDTH = HEIGHT = 1e-3
+EDIT_FRACTION = 0.01  # <= 1% of cells move per what-if
+
+
+def make_edits(names, count):
+    """ECO-sized swaps between random cell pairs (deterministic)."""
+    rng = np.random.default_rng(20070604)
+    edits = []
+    for _ in range(count):
+        src, dst = rng.choice(len(names), size=2, replace=False)
+        edits.append(CellSwapEdit(from_cell=names[src], to_cell=names[dst],
+                                  fraction=EDIT_FRACTION))
+    return edits
+
+
+def folded_usage(base, edit):
+    fractions = dict(base.fractions)
+    edit.apply(fractions, base.chip.n_cells)
+    return CellUsage(fractions)
+
+
+def run(characterization, names, quick):
+    n_edits = 3 if quick else 10
+    min_speedup = 5.0 if quick else 10.0
+    usage = CellUsage.uniform(names)
+
+    start = time.perf_counter()
+    base = BaseEstimate.build(characterization, usage,
+                              N_CELLS, WIDTH, HEIGHT)
+    t_base = time.perf_counter() - start
+
+    edits = make_edits(list(base.fractions), n_edits)
+
+    start = time.perf_counter()
+    fresh = []
+    for edit in edits:
+        estimator = FullChipLeakageEstimator(
+            characterization, folded_usage(base, edit),
+            N_CELLS, WIDTH, HEIGHT)
+        fresh.append(estimator.estimate("linear"))
+    t_fresh = time.perf_counter() - start
+
+    start = time.perf_counter()
+    deltas = [estimate_delta(base, edit) for edit in edits]
+    t_delta = time.perf_counter() - start
+
+    worst_mean = worst_std = 0.0
+    for got, want in zip(deltas, fresh):
+        assert math.isclose(got.mean, want.mean, rel_tol=DELTA_MEAN_RTOL)
+        assert math.isclose(got.std, want.std, rel_tol=DELTA_STD_RTOL)
+        worst_mean = max(worst_mean, abs(got.mean / want.mean - 1.0))
+        worst_std = max(worst_std, abs(got.std / want.std - 1.0))
+
+    speedup = (t_fresh / n_edits) / (t_delta / n_edits)
+    ledger = deltas[0].details["delta"]
+
+    rows = [
+        ["gates", f"{N_CELLS:,}"],
+        ["edit size", f"{EDIT_FRACTION:.0%} cell swap"],
+        ["what-if edits", str(n_edits)],
+        ["base build [s]", f"{t_base:.3f}"],
+        ["fresh estimate [ms/edit]", f"{t_fresh / n_edits * 1e3:.1f}"],
+        ["delta estimate [ms/edit]", f"{t_delta / n_edits * 1e3:.2f}"],
+        ["speedup", f"{speedup:.1f}x"],
+        ["worst |mean rel err|", f"{worst_mean:.2e}"],
+        ["worst |std rel err|", f"{worst_std:.2e}"],
+        ["mixture support / components",
+         f"{ledger['support']} / {base.n_components}"],
+        ["lags reused", str(ledger["lags_reused"])],
+    ]
+    emit("delta", format_table(
+        ["quantity", "value"], rows,
+        title="Incremental what-if vs fresh re-estimation"))
+
+    assert speedup >= min_speedup, (
+        f"delta speedup {speedup:.1f}x below the {min_speedup:.0f}x floor")
+
+    emit_json("delta_quick" if quick else "delta", {
+        "n_cells": N_CELLS,
+        "edit_fraction": EDIT_FRACTION,
+        "n_edits": n_edits,
+        "base_build_s": t_base,
+        "fresh_per_edit_s": t_fresh / n_edits,
+        "delta_per_edit_s": t_delta / n_edits,
+        "speedup": speedup,
+        "worst_mean_rel_err": worst_mean,
+        "worst_std_rel_err": worst_std,
+        "mean_rtol": DELTA_MEAN_RTOL,
+        "std_rtol": DELTA_STD_RTOL,
+        "min_speedup": min_speedup,
+    })
+    return speedup
+
+
+def test_delta_vs_fresh(library, characterization):
+    run(characterization, library.names, QUICK)
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.cells import build_library
+    from repro.characterization import characterize_library
+    from repro.process import synthetic_90nm
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced edit count and a 5x speedup floor "
+                             "(CI smoke)")
+    args = parser.parse_args(argv)
+
+    technology = synthetic_90nm(correlation_length=0.5e-3,
+                                d2d_fraction=0.5)
+    library = build_library()
+    characterization = characterize_library(library, technology)
+    run(characterization, library.names, args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

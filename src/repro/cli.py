@@ -363,6 +363,80 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_whatif(args) -> int:
+    import json
+
+    from repro.service.client import RemoteClient
+    from repro.service.whatif import WhatIfRequest
+
+    edits = []
+    for entry in args.edit or []:
+        try:
+            document = json.loads(entry)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"--edit entries must be JSON documents, got {entry!r} "
+                f"({exc})") from exc
+        edits.append(document)
+    for swap in args.swap or []:
+        parts = swap.split(":")
+        if len(parts) not in (2, 3):
+            raise ReproError(
+                "--swap entries must be FROM:TO[:FRACTION], "
+                f"got {swap!r}")
+        edit = {"type": "cell_swap",
+                "from_cell": parts[0].strip(),
+                "to_cell": parts[1].strip()}
+        if len(parts) == 3:
+            edit["fraction"] = float(parts[2])
+        edits.append(edit)
+    if args.cells is not None or args.width_mm is not None \
+            or args.height_mm is not None:
+        edit = {"type": "floorplan_resize"}
+        if args.cells is not None:
+            edit["n_cells"] = args.cells
+        if args.width_mm is not None:
+            edit["width"] = args.width_mm * 1e-3
+        if args.height_mm is not None:
+            edit["height"] = args.height_mm * 1e-3
+        edits.append(edit)
+    if not edits:
+        raise ReproError(
+            "what-if needs at least one edit: --edit JSON, "
+            "--swap FROM:TO[:FRACTION], --cells/--width-mm/--height-mm")
+
+    request = WhatIfRequest(base=args.base, edits=edits,
+                            priority=args.priority)
+    remote = RemoteClient(args.url)
+    estimate = remote.whatif(request, timeout=args.timeout)
+    if args.json:
+        print(json.dumps(estimate.to_dict(), indent=1))
+        return 0
+    rows = [
+        ["base", args.base[:16]],
+        ["edits", str(len(edits))],
+        ["cells", f"{estimate.n_cells:,}"],
+        ["method", estimate.method],
+        ["mean leakage [mA]", f"{estimate.mean * 1e3:.4f}"],
+        ["std leakage [mA]", f"{estimate.std * 1e3:.4f}"],
+        ["CV", f"{estimate.cv:.4f}"],
+    ]
+    delta = estimate.details.get("delta") or {}
+    if delta.get("fallback"):
+        rows.append(["delta fallback",
+                     delta.get("fallback_reason", "yes")])
+    elif delta:
+        rows.append(["delta mode", str(delta.get("mode", "?"))])
+        if "moments_recomputed" in delta:
+            rows.append(["moments recomputed",
+                         str(delta["moments_recomputed"])])
+        if "lags_reused" in delta:
+            rows.append(["lags reused", str(delta["lags_reused"])])
+    print(format_table(["quantity", "value"], rows,
+                       title=f"Incremental what-if via {args.url}"))
+    return 0
+
+
 #: CLI axis name -> builder. Each builder takes (values: List[str],
 #: context) and returns a core SweepAxis; context carries the library,
 #: technology, and usage already resolved from the other arguments.
@@ -631,6 +705,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the raw estimate JSON")
     _add_trace_arguments(submit)
     submit.set_defaults(handler=_cmd_submit)
+
+    whatif = commands.add_parser(
+        "whatif", help="incremental what-if estimate against a recorded "
+                       "base (delta engine)")
+    whatif.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="service base URL")
+    whatif.add_argument("--base", required=True,
+                        help="content hash of a previously served "
+                             "estimate (the 'key' of its request)")
+    whatif.add_argument("--edit", action="append", metavar="JSON",
+                        help="edit document, e.g. "
+                             "'{\"type\": \"cell_swap\", \"from_cell\": "
+                             "\"INV_X1\", \"to_cell\": \"INV_X2\", "
+                             "\"fraction\": 0.1}' (repeatable)")
+    whatif.add_argument("--swap", action="append",
+                        metavar="FROM:TO[:FRACTION]",
+                        help="shorthand for a cell_swap edit (repeatable)")
+    whatif.add_argument("--cells", type=int, default=None,
+                        help="floorplan_resize: new cell count")
+    whatif.add_argument("--width-mm", type=float, default=None,
+                        help="floorplan_resize: new die width [mm]")
+    whatif.add_argument("--height-mm", type=float, default=None,
+                        help="floorplan_resize: new die height [mm]")
+    whatif.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (higher runs first)")
+    whatif.add_argument("--timeout", type=float, default=None,
+                        help="per-job deadline [s]")
+    whatif.add_argument("--json", action="store_true",
+                        help="print the raw estimate JSON")
+    whatif.set_defaults(handler=_cmd_whatif)
     return parser
 
 

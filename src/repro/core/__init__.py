@@ -10,6 +10,10 @@ from repro.core.api import (
     FullChipLeakageEstimator,
     LeakageEstimate,
     RGComponents,
+    build_base,
+    estimate_delta,
+    export_base,
+    import_base,
     resolve_auto_method,
 )
 from repro.core.multiregion import (
@@ -39,5 +43,9 @@ __all__ = [
     "FullChipLeakageEstimator",
     "LeakageEstimate",
     "RGComponents",
+    "build_base",
+    "estimate_delta",
+    "export_base",
+    "import_base",
     "resolve_auto_method",
 ]

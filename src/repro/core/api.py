@@ -546,3 +546,77 @@ def estimate_sweep(
         simplified_correlation=simplified_correlation,
         state_weights=state_weights, n_jobs=n_jobs, tolerance=tolerance,
         trace=trace, backend=backend)
+
+
+# -- incremental (delta) estimation ----------------------------------------
+
+
+def build_base(
+    characterization: LibraryCharacterization,
+    usage: CellUsage,
+    n_cells: int,
+    width: float,
+    height: float,
+    *,
+    signal_probability: float = 0.5,
+    correlation: Optional[SpatialCorrelation] = None,
+    simplified_correlation: Optional[bool] = None,
+    state_weights=None,
+    backend=None,
+):
+    """Run a fresh linear-transform estimate and snapshot it as a
+    :class:`~repro.delta.BaseEstimate` for incremental what-if edits.
+
+    The returned base holds the fresh estimate (``base.estimate``) plus
+    every reusable artifact — lag geometry and kernel values, the
+    eq. (16)-(17) occupancy ledger, and the RG mixture's cross-moment
+    summaries — so :func:`estimate_delta` can answer edited scenarios
+    in ``o(n_affected)``. See ``docs/API.md`` ("Incremental
+    estimation").
+    """
+    from repro.delta import BaseEstimate
+
+    return BaseEstimate.build(
+        characterization, usage, n_cells, width, height,
+        signal_probability=signal_probability, correlation=correlation,
+        simplified_correlation=simplified_correlation,
+        state_weights=state_weights, backend=backend)
+
+
+def estimate_delta(base, edits, *, trace: bool = False) -> LeakageEstimate:
+    """Estimate an edited scenario incrementally from a base snapshot.
+
+    ``base`` is a :class:`~repro.delta.BaseEstimate` (from
+    :func:`build_base` or :func:`import_base`); ``edits`` is one edit,
+    a sequence, or their dict wire forms
+    (:mod:`repro.delta.edits`). The result matches a fresh
+    ``estimate("linear")`` of the edited scenario within the documented
+    bounds (``DELTA_MEAN_RTOL`` / ``DELTA_STD_RTOL`` in
+    :mod:`repro.delta.engine`; exact where the algebra is exact) and
+    records reused vs recomputed work in ``details["delta"]``.
+    """
+    from repro.delta import estimate_delta as _delta
+
+    return _delta(base, edits, trace=trace)
+
+
+def export_base(base) -> Dict[str, Any]:
+    """Serialize a base artifact to its plain-JSON document form."""
+    return base.to_dict()
+
+
+def import_base(document: Mapping[str, Any],
+                characterization: Optional[LibraryCharacterization] = None,
+                correlation: Optional[SpatialCorrelation] = None):
+    """Rebuild a base artifact from :func:`export_base` output.
+
+    Pass the characterization (and optionally a correlation model) to
+    re-attach the live references the document cannot carry; without
+    them, edits that need new cell characterizations or a re-kerneled
+    floorplan raise
+    :class:`~repro.exceptions.DeltaIncompatibleError`.
+    """
+    from repro.delta import BaseEstimate
+
+    return BaseEstimate.from_dict(document, characterization=characterization,
+                                  correlation=correlation)

@@ -12,7 +12,7 @@ questions before a netlist exists:
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional
 
 from repro.analysis.distribution import LOGNORMAL, LeakageDistribution
 from repro.characterization.characterizer import LibraryCharacterization
@@ -20,7 +20,7 @@ from repro.core.api import (FullChipLeakageEstimator, RGComponents,
                             estimate_sweep)
 from repro.core.sweep import usage_axis
 from repro.core.usage import CellUsage
-from repro.exceptions import EstimationError
+from repro.exceptions import ConfigurationError, DeltaError, EstimationError
 
 
 def leakage_at_percentile(
@@ -70,6 +70,7 @@ def max_cells_for_budget(
     model: str = LOGNORMAL,
     include_vt: bool = True,
     n_max: int = 100_000_000,
+    probe: str = "delta",
 ) -> int:
     """Largest cell count whose ``percentile`` leakage stays within
     ``budget`` [A], at fixed placement density.
@@ -77,9 +78,24 @@ def max_cells_for_budget(
     Bisects on the cell count; the percentile leakage is monotone in
     ``n`` (mean scales ~n, std ~n for correlated variation), so the
     answer is exact to the integer.
+
+    Probes in the linear-estimator regime run through the delta engine:
+    the first such probe snapshots a
+    :class:`~repro.delta.base.BaseEstimate` and every later cell count
+    becomes a :class:`~repro.delta.edits.FloorplanResizeEdit` against
+    it, reusing the RG mixture moments and (when the resize crops)
+    the correlation kernel (``docs/API.md``, "Incremental estimation").
+    Probes outside the delta regime — small counts the auto policy
+    sends to the exact estimator — fall back to fresh estimates, as
+    does ``probe="fresh"``.
     """
     if budget <= 0:
         raise EstimationError(f"budget must be positive, got {budget!r}")
+    if site_area <= 0:
+        raise EstimationError(f"site_area must be positive, got {site_area!r}")
+    if probe not in ("delta", "fresh"):
+        raise ConfigurationError(
+            f"probe must be 'delta' or 'fresh', got {probe!r}")
 
     # The RG mixture is geometry-independent: build it once and share
     # it across every probe of the search (bit-identical to rebuilding,
@@ -87,7 +103,39 @@ def max_cells_for_budget(
     components = RGComponents.build(characterization, usage,
                                     signal_probability)
 
+    delta_state: List = [None]  # lazily built BaseEstimate
+
+    def delta_leakage(n: int) -> Optional[float]:
+        from repro.delta import BaseEstimate, FloorplanResizeEdit
+        from repro.delta import estimate_delta as delta_estimate
+
+        height = math.sqrt(n * site_area / aspect)
+        width = aspect * height
+        try:
+            if delta_state[0] is None:
+                delta_state[0] = BaseEstimate.build(
+                    characterization, usage, n, width, height,
+                    signal_probability=signal_probability,
+                    components=components)
+                estimate = delta_state[0].estimate
+            else:
+                estimate = delta_estimate(
+                    delta_state[0],
+                    FloorplanResizeEdit(n_cells=n, width=width,
+                                        height=height))
+        except DeltaError:
+            # This count is outside the linear (delta-capable) regime;
+            # retry delta at the next probe rather than disabling it.
+            return None
+        distribution = LeakageDistribution.from_estimate(
+            estimate, model=model, include_vt=include_vt)
+        return float(distribution.quantile(percentile))
+
     def percentile_leakage(n: int) -> float:
+        if probe == "delta":
+            quantile = delta_leakage(n)
+            if quantile is not None:
+                return quantile
         return leakage_at_percentile(
             characterization, usage, n, site_area, percentile, aspect,
             signal_probability, model, include_vt, components=components)

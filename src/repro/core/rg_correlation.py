@@ -78,6 +78,26 @@ class RGCorrelation:
                 mixture, mu_l, sigma_l, self._grid, backend=backend)
             self._scale = None
 
+    @classmethod
+    def from_values(cls, random_gate: RandomGate, grid: np.ndarray,
+                    values: np.ndarray) -> "RGCorrelation":
+        """Exact-mode instance from a precomputed covariance mapping.
+
+        ``grid``/``values`` must be the exact mapping for this random
+        gate's mixture (e.g. produced by a cached
+        :class:`repro.delta.moments.CrossMomentTable` contraction,
+        which is bit-identical to a fresh backend build). Skips the
+        O(grid x q^2) moment pass entirely.
+        """
+        instance = cls.__new__(cls)
+        instance.random_gate = random_gate
+        instance.simplified = False
+        instance.variance = random_gate.variance
+        instance._scale = None
+        instance._grid = np.asarray(grid, dtype=float)
+        instance._values = np.asarray(values, dtype=float)
+        return instance
+
     @staticmethod
     def _exact_covariance_grid(mixture, mu_l: float, sigma_l: float,
                                grid: np.ndarray, backend=None) -> np.ndarray:

@@ -421,6 +421,75 @@ def _resolve_config(config: Mapping[str, Any]) -> Tuple[Any, ...]:
             float(config["signal_probability"]), correlation)
 
 
+def _build_components(spec: "_SweepSpec", characterization, usage, p,
+                      kernels, cross_tables: Dict[Tuple[Any, ...], Any],
+                      stats: Dict[str, int]) -> RGComponents:
+    """RGComponents for a point, reusing the delta engine's cross-moment
+    table when points differ only in usage weights.
+
+    The exact RG covariance grid is ``alphas @ M_g @ alphas -
+    mu_tot**2`` with a weight-independent pairwise tensor ``M``. When a
+    second point shares the same component set (same characterization,
+    same (cell, state) labels — the usual usage-axis shape), the tensor
+    is cached (:class:`repro.delta.moments.CrossMomentTable`) and later
+    points pay only the O(grid x q) contraction instead of the
+    O(grid x q^2) moment build. The contraction replicates the numpy
+    backend's terminal ops verbatim, so reused points stay
+    **bit-identical** to a fresh ``RGComponents.build`` (asserted in
+    ``tests/delta/test_sweep_reuse.py``); non-numpy backends and
+    simplified-mode mixtures take the normal path unconditionally.
+    """
+    if kernels.name == "numpy":
+        from repro.characterization.vt import vt_mean_multiplier
+        from repro.core.random_gate import RandomGate, expand_mixture
+        from repro.core.rg_correlation import RGCorrelation
+        from repro.delta.moments import CrossMomentTable
+
+        mixture = expand_mixture(characterization, usage, p,
+                                 state_weights=spec.state_weights)
+        simplified = spec.simplified_correlation
+        if simplified is None:
+            simplified = not mixture.has_fits
+        if not simplified and mixture.has_fits:
+            technology = characterization.technology
+            key = (id(characterization), mixture.labels)
+            table = cross_tables.get(key)
+            if table is None:
+                # First sighting of this component set: remember it and
+                # take the normal path — a table only pays off when a
+                # second usage shows up over the same components.
+                cross_tables[key] = 1
+            elif isinstance(table, CrossMomentTable) or table == 1:
+                if table == 1:
+                    table = CrossMomentTable.build(
+                        mixture.fits, technology.length.nominal,
+                        technology.length.sigma,
+                        np.linspace(-1.0, 1.0, 65))
+                    if table is None:  # over the memory bound
+                        cross_tables[key] = 0
+                    else:
+                        cross_tables[key] = table
+                        stats["cross_tables"] = \
+                            stats.get("cross_tables", 0) + 1
+                if isinstance(table, CrossMomentTable):
+                    random_gate = RandomGate(mixture)
+                    values = table.contract(
+                        mixture.alphas, float(mixture.alphas
+                                              @ mixture.means))
+                    stats["delta_rg_reuses"] = \
+                        stats.get("delta_rg_reuses", 0) + 1
+                    return RGComponents(
+                        random_gate=random_gate,
+                        rg_correlation=RGCorrelation.from_values(
+                            random_gate, table.grid, values),
+                        vt_multiplier=vt_mean_multiplier(technology),
+                        signal_probability=float(p))
+    return RGComponents.build(
+        characterization, usage, p,
+        simplified_correlation=spec.simplified_correlation,
+        state_weights=spec.state_weights, backend=kernels)
+
+
 def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
                      ) -> Tuple[List[LeakageEstimate], Dict[str, int]]:
     """Serial staged evaluation of the given grid points.
@@ -439,6 +508,10 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
     geometry_cache: Dict[Tuple[Any, ...], LagGeometry] = {}
     components_cache: Dict[Tuple[Any, ...], RGComponents] = {}
     rho_cache: Dict[Tuple[Any, ...], np.ndarray] = {}
+    # Cross-moment tables for the delta path: points that differ only
+    # in usage weights over the same component set reuse one pairwise
+    # moment tensor (see _build_components).
+    cross_tables: Dict[Tuple[Any, ...], Any] = {}
 
     resolved = []
     rho_needs: Dict[Tuple[Any, ...],
@@ -484,12 +557,9 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
             components = components_cache.get(components_key)
             if components is None:
                 with span("sweep.rg"):
-                    components = RGComponents.build(
-                        characterization, usage, p,
-                        simplified_correlation=
-                        spec.simplified_correlation,
-                        state_weights=spec.state_weights,
-                        backend=kernels)
+                    components = _build_components(
+                        spec, characterization, usage, p, kernels,
+                        cross_tables, stats)
                 components_cache[components_key] = components
                 stats["rg_builds"] = stats.get("rg_builds", 0) + 1
             estimator = FullChipLeakageEstimator(

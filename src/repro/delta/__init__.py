@@ -1,0 +1,45 @@
+"""Incremental (delta) estimation for interactive what-if traffic.
+
+The paper's eq. (16)-(17) multiplicity transform is linear in site
+occupancy, and the exact RG covariance is a quadratic form in the
+mixture weights — so a localized chip edit changes the full-chip
+mean/variance by an exactly composable delta. This package snapshots
+the reusable state of a full estimate (:class:`BaseEstimate`), models
+edits as typed, serializable objects (:class:`CellSwapEdit`,
+:class:`UsageHistogramEdit`, :class:`FloorplanResizeEdit`), and applies
+them in ``o(n_affected)`` (:func:`estimate_delta`, :class:`DeltaProbe`).
+
+See ``docs/API.md`` ("Incremental estimation") for the closeness
+contract and ``docs/SERVICE.md`` for the HTTP ``base=`` protocol.
+"""
+
+from repro.delta.base import BASE_SCHEMA_VERSION, BaseEstimate
+from repro.delta.edits import (
+    CellSwapEdit,
+    FloorplanResizeEdit,
+    UsageHistogramEdit,
+    edit_from_dict,
+    edits_from_documents,
+)
+from repro.delta.engine import (
+    DELTA_MEAN_RTOL,
+    DELTA_STD_RTOL,
+    DeltaProbe,
+    estimate_delta,
+)
+from repro.delta.moments import CrossMomentTable
+
+__all__ = [
+    "BASE_SCHEMA_VERSION",
+    "BaseEstimate",
+    "CellSwapEdit",
+    "CrossMomentTable",
+    "DELTA_MEAN_RTOL",
+    "DELTA_STD_RTOL",
+    "DeltaProbe",
+    "FloorplanResizeEdit",
+    "UsageHistogramEdit",
+    "edit_from_dict",
+    "edits_from_documents",
+    "estimate_delta",
+]

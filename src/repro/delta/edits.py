@@ -1,0 +1,243 @@
+"""Typed chip edits for incremental (delta) estimation.
+
+An edit is a small, serializable description of a what-if change to a
+chip scenario. Edits are *folded* onto a base scenario by
+:func:`repro.delta.engine.estimate_delta`: usage-type edits compose
+into one final usage histogram (so a sequence of edits costs one
+incremental update), and floorplan edits compose into one final
+geometry.
+
+Three edit types cover the interactive ECO loop:
+
+* :class:`CellSwapEdit` — replace some share of one cell type with
+  another, specified as a usage fraction, an instance count, a die
+  region, or an explicit cell-id set. Under the paper's homogeneous
+  Random-Gate model sites are exchangeable, so *which* instances swap
+  only determines the count — the region/id forms are conveniences that
+  reduce to a fraction of the usage mass (documented, not hidden).
+* :class:`UsageHistogramEdit` — replace the usage histogram outright.
+* :class:`FloorplanResizeEdit` — change the cell count and/or die
+  dimensions.
+
+Every edit round-trips through ``to_dict``/:func:`edit_from_dict` — the
+wire format the service's ``base=`` protocol and the ``repro whatif``
+CLI use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Sum drift tolerated on a folded usage histogram before the delta
+#: path refuses it. Swaps move mass exactly (one subtract, one add per
+#: edit), so drift stays within a few ulp; renormalizing instead would
+#: perturb *every* cell's fraction and blow the edit support up to the
+#: whole mixture.
+USAGE_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class CellSwapEdit:
+    """Swap a share of ``from_cell`` instances to ``to_cell``.
+
+    Exactly one of the share specifiers may be given:
+
+    ``fraction``
+        Share of the *total* cell count to move (0..1].
+    ``count``
+        Number of instances to move (converted to a fraction of the
+        base scenario's ``n_cells``).
+    ``region``
+        ``(x0, y0, x1, y1)`` in die-fraction coordinates; the moved
+        share is ``area(region) * usage[from_cell]`` — the expected
+        ``from_cell`` population of the region under the model's
+        uniform placement.
+    ``cell_ids``
+        Explicit instance ids; only ``len(cell_ids)`` matters to the
+        homogeneous model (equivalent to ``count=len(cell_ids)``).
+
+    With no specifier, the edit swaps *all* ``from_cell`` usage. The
+    moved share is clipped to the ``from_cell`` mass actually present.
+    """
+
+    from_cell: str
+    to_cell: str
+    fraction: Optional[float] = None
+    count: Optional[int] = None
+    region: Optional[Tuple[float, float, float, float]] = None
+    cell_ids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.from_cell == self.to_cell:
+            raise ConfigurationError(
+                f"cell swap must change the cell type, got "
+                f"{self.from_cell!r} -> {self.to_cell!r}")
+        given = [spec for spec in (self.fraction, self.count, self.region,
+                                   self.cell_ids) if spec is not None]
+        if len(given) > 1:
+            raise ConfigurationError(
+                "give at most one of fraction/count/region/cell_ids")
+        if self.fraction is not None and not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"swap fraction must be in (0, 1], got {self.fraction!r}")
+        if self.count is not None and self.count <= 0:
+            raise ConfigurationError(
+                f"swap count must be positive, got {self.count!r}")
+        if self.region is not None:
+            x0, y0, x1, y1 = self.region
+            if not (0.0 <= x0 < x1 <= 1.0 and 0.0 <= y0 < y1 <= 1.0):
+                raise ConfigurationError(
+                    "region must be (x0, y0, x1, y1) die fractions with "
+                    f"x0 < x1 and y0 < y1, got {self.region!r}")
+        if self.cell_ids is not None and not self.cell_ids:
+            raise ConfigurationError("cell_ids must be non-empty")
+
+    def moved_fraction(self, from_share: float, n_cells: int) -> float:
+        """The usage mass this edit moves, given the current
+        ``from_cell`` share and the scenario cell count."""
+        if self.fraction is not None:
+            moved = float(self.fraction)
+        elif self.count is not None:
+            moved = self.count / n_cells
+        elif self.cell_ids is not None:
+            moved = len(self.cell_ids) / n_cells
+        elif self.region is not None:
+            x0, y0, x1, y1 = self.region
+            moved = (x1 - x0) * (y1 - y0) * from_share
+        else:
+            moved = from_share
+        return min(moved, from_share)
+
+    def apply(self, fractions: Dict[str, float], n_cells: int) -> None:
+        """Fold this swap into a mutable usage-fraction dict in place."""
+        from_share = fractions.get(self.from_cell, 0.0)
+        if from_share <= 0.0:
+            raise ConfigurationError(
+                f"cell swap source {self.from_cell!r} has no usage in "
+                "the edited scenario")
+        moved = self.moved_fraction(from_share, n_cells)
+        remaining = from_share - moved
+        if remaining > 0.0:
+            fractions[self.from_cell] = remaining
+        else:
+            fractions.pop(self.from_cell)
+        fractions[self.to_cell] = fractions.get(self.to_cell, 0.0) + moved
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"type": "cell_swap",
+                               "from_cell": self.from_cell,
+                               "to_cell": self.to_cell}
+        if self.fraction is not None:
+            doc["fraction"] = float(self.fraction)
+        if self.count is not None:
+            doc["count"] = int(self.count)
+        if self.region is not None:
+            doc["region"] = [float(v) for v in self.region]
+        if self.cell_ids is not None:
+            doc["cell_ids"] = [int(v) for v in self.cell_ids]
+        return doc
+
+
+@dataclass(frozen=True)
+class UsageHistogramEdit:
+    """Replace the usage histogram with ``fractions`` (normalized)."""
+
+    fractions: Tuple[Tuple[str, float], ...]
+
+    def __init__(self, fractions: Mapping[str, float]) -> None:
+        if not fractions:
+            raise ConfigurationError("usage histogram must be non-empty")
+        items = tuple(sorted((str(name), float(value))
+                             for name, value in fractions.items()))
+        total = sum(value for _, value in items)
+        if any(value < 0 for _, value in items) or total <= 0:
+            raise ConfigurationError(
+                "usage fractions must be non-negative with positive sum")
+        # Normalize here, once, so folding never renormalizes and later
+        # swaps keep their o(edited) support.
+        object.__setattr__(self, "fractions", tuple(
+            (name, value / total) for name, value in items if value > 0))
+
+    def apply(self, fractions: Dict[str, float], n_cells: int) -> None:
+        fractions.clear()
+        fractions.update(self.fractions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "usage_histogram",
+                "fractions": {name: value for name, value in self.fractions}}
+
+
+@dataclass(frozen=True)
+class FloorplanResizeEdit:
+    """Change cell count and/or die dimensions (``None`` keeps a value)."""
+
+    n_cells: Optional[int] = None
+    width: Optional[float] = None
+    height: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.n_cells is None and self.width is None
+                and self.height is None):
+            raise ConfigurationError(
+                "floorplan resize must change at least one dimension")
+        if self.n_cells is not None and self.n_cells <= 0:
+            raise ConfigurationError(
+                f"n_cells must be positive, got {self.n_cells!r}")
+        for label, value in (("width", self.width), ("height", self.height)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"{label} must be positive, got {value!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"type": "floorplan_resize"}
+        if self.n_cells is not None:
+            doc["n_cells"] = int(self.n_cells)
+        if self.width is not None:
+            doc["width"] = float(self.width)
+        if self.height is not None:
+            doc["height"] = float(self.height)
+        return doc
+
+
+_EDIT_TYPES = {
+    "cell_swap": CellSwapEdit,
+    "usage_histogram": UsageHistogramEdit,
+    "floorplan_resize": FloorplanResizeEdit,
+}
+
+
+def edit_from_dict(document: Mapping[str, Any]):
+    """Rebuild an edit from its ``to_dict`` wire form."""
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            f"edit document must be a mapping, got {type(document).__name__}")
+    doc = dict(document)
+    kind = doc.pop("type", None)
+    cls = _EDIT_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown edit type {kind!r}; choose one of "
+            f"{sorted(_EDIT_TYPES)}")
+    try:
+        if cls is UsageHistogramEdit:
+            return UsageHistogramEdit(doc.pop("fractions"))
+        if cls is CellSwapEdit:
+            region = doc.get("region")
+            if region is not None:
+                doc["region"] = tuple(float(v) for v in region)
+            cell_ids = doc.get("cell_ids")
+            if cell_ids is not None:
+                doc["cell_ids"] = tuple(int(v) for v in cell_ids)
+        return cls(**doc)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid {kind!r} edit: {exc}") from exc
+
+
+def edits_from_documents(documents: Sequence[Mapping[str, Any]]):
+    """Parse a sequence of edit documents (the service/CLI wire form)."""
+    if not documents:
+        raise ConfigurationError("what-if request needs at least one edit")
+    return tuple(edit_from_dict(doc) for doc in documents)

@@ -52,3 +52,24 @@ class ServiceError(ReproError):
     job execution errors) are the subclasses defined in
     :mod:`repro.service.jobs`.
     """
+
+
+class DeltaError(EstimationError):
+    """Incremental (delta) estimation could not be carried out."""
+
+
+class DeltaIncompatibleError(DeltaError):
+    """An edit cannot be applied incrementally to this base artifact.
+
+    Raised when the base lacks state a delta update needs (e.g. an
+    imported artifact without its characterization applying an edit
+    that introduces a new cell, or a Monte-Carlo-characterized mixture
+    asked for an exact-mode update). The service layer catches this and
+    falls back to a full recompute, recording the reason in
+    ``details["delta"]["fallback_reason"]``.
+    """
+
+
+class UnknownBaseError(ServiceError):
+    """A ``base=<hash>`` what-if request named a base the server does
+    not hold; surfaced as a typed HTTP 404."""

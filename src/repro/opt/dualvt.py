@@ -32,7 +32,7 @@ from repro.characterization.characterizer import (
 from repro.core.api import FullChipLeakageEstimator, estimate_sweep
 from repro.core.sweep import SweepAxis
 from repro.core.usage import CellUsage
-from repro.exceptions import ConfigurationError, EstimationError
+from repro.exceptions import ConfigurationError, DeltaError, EstimationError
 from repro.process.parameters import VtSpec
 from repro.process.technology import Technology
 
@@ -188,6 +188,7 @@ def optimize_hvt_fraction(
     tolerance: float = 1e-3,
     include_vt: bool = False,
     prefetch_depth: int = 1,
+    probe: str = "delta",
 ) -> Tuple[float, LeakageDistribution]:
     """Smallest global HVT fraction meeting a statistical leakage budget.
 
@@ -203,14 +204,28 @@ def optimize_hvt_fraction(
     :func:`repro.core.api.estimate_sweep` call, which amortizes the lag
     geometry, the correlation kernel, and (across fractions that share
     it) the RG mixture work; the bisection itself then runs unchanged,
-    hitting the prefetched quantiles by exact float lookup. Results are
-    bit-identical to the historical one-estimate-per-probe loop.
+    hitting the prefetched quantiles by exact float lookup.
+
+    Bisection probes *outside* the prefetched set ride the delta
+    engine: the HVT fraction moves the mixture weights along a line in
+    component space, so a single
+    :class:`~repro.delta.engine.DeltaProbe` setup answers every
+    subsequent probe in O(grid) instead of one full RG moment build
+    each (``docs/API.md``, "Incremental estimation"). Probe quantiles
+    carry the delta closeness bound (~1e-8 relative — far below the
+    ``tolerance`` of the fraction search); the *returned* distribution
+    is always re-evaluated freshly, so the result stays bit-identical
+    to the historical one-estimate-per-probe loop. ``probe="fresh"``
+    forces full estimates for every probe (the pre-delta behaviour).
     """
     if budget <= 0:
         raise EstimationError(f"budget must be positive, got {budget!r}")
     if not 0.0 < max_hvt_fraction <= 1.0:
         raise EstimationError(
             f"max_hvt_fraction must be in (0, 1], got {max_hvt_fraction!r}")
+    if probe not in ("delta", "fresh"):
+        raise ConfigurationError(
+            f"probe must be 'delta' or 'fresh', got {probe!r}")
 
     fractions = [0.0, max_hvt_fraction]
     fractions += [f for f in _dyadic_candidates(0.0, max_hvt_fraction,
@@ -226,7 +241,7 @@ def optimize_hvt_fraction(
             estimate, model, include_vt=include_vt)
         cache[f] = (float(distribution.quantile(percentile)), distribution)
 
-    def quantile_at(f: float) -> Tuple[float, LeakageDistribution]:
+    def fresh_quantile(f: float) -> Tuple[float, LeakageDistribution]:
         hit = cache.get(f)
         if hit is not None:
             return hit
@@ -238,10 +253,38 @@ def optimize_hvt_fraction(
             estimate, model, include_vt=include_vt)
         return float(distribution.quantile(percentile)), distribution
 
-    q0, dist0 = quantile_at(0.0)
+    delta_state: List = [None]  # None = not built, False = unavailable
+
+    def delta_quantile(f: float) -> Tuple[float, LeakageDistribution]:
+        """Probe through the delta line; falls back to fresh estimates
+        when the scenario is outside the delta engine's regime."""
+        hit = cache.get(f)
+        if hit is not None:
+            return hit
+        if delta_state[0] is None and probe == "delta":
+            from repro.delta import BaseEstimate, DeltaProbe
+
+            try:
+                base = BaseEstimate.build(
+                    dual.characterization, usage, n_cells, width, height,
+                    signal_probability=signal_probability)
+                delta_state[0] = DeltaProbe(
+                    base, dual_vt_usage(usage, 1.0))
+            except DeltaError:
+                delta_state[0] = False
+        if not delta_state[0]:
+            return fresh_quantile(f)
+        estimate = delta_state[0].probe(f)
+        distribution = LeakageDistribution.from_estimate(
+            estimate, model, include_vt=include_vt)
+        return float(distribution.quantile(percentile)), distribution
+
+    probe_at = fresh_quantile if probe == "fresh" else delta_quantile
+
+    q0, dist0 = fresh_quantile(0.0)
     if q0 <= budget:
         return 0.0, dist0
-    q_max, dist_max = quantile_at(max_hvt_fraction)
+    q_max, dist_max = fresh_quantile(max_hvt_fraction)
     if q_max > budget:
         raise EstimationError(
             f"budget {budget:.3e} A unreachable: even at HVT fraction "
@@ -250,11 +293,19 @@ def optimize_hvt_fraction(
 
     lo, hi = 0.0, max_hvt_fraction
     dist = dist_max
+    probed_hi = False
     while hi - lo > tolerance:
         mid = 0.5 * (lo + hi)
-        q_mid, dist_mid = quantile_at(mid)
+        q_mid, dist_mid = probe_at(mid)
         if q_mid <= budget:
             hi, dist = mid, dist_mid
+            probed_hi = mid not in cache and probe_at is delta_quantile \
+                and bool(delta_state[0])
         else:
             lo = mid
+    if probed_hi:
+        # Pin the returned distribution to the fresh path (bit-identical
+        # to the historical loop; the delta probes only steered the
+        # search).
+        _, dist = fresh_quantile(hi)
     return hi, dist

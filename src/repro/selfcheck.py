@@ -113,6 +113,44 @@ def _checks() -> List[Tuple[str, Callable[[], bool]]]:
         return (abs(estimate.mean / mc.mean - 1) < 0.10
                 and abs(estimate.std / mc.std - 1) < 0.25)
 
+    def check_delta_engine() -> bool:
+        from repro.core import FullChipLeakageEstimator
+        from repro.delta import (
+            DELTA_MEAN_RTOL,
+            DELTA_STD_RTOL,
+            BaseEstimate,
+            CellSwapEdit,
+            estimate_delta,
+        )
+
+        base = BaseEstimate.build(characterization, usage, 400, 8e-5, 8e-5)
+        edit = CellSwapEdit(from_cell="INV_X1", to_cell="NOR2_X1",
+                            fraction=0.05)
+        delta = estimate_delta(base, edit)
+        fractions = dict(base.fractions)
+        edit.apply(fractions, base.chip.n_cells)
+        fresh = FullChipLeakageEstimator(
+            characterization, CellUsage(fractions), 400, 8e-5,
+            8e-5).estimate("linear")
+        return (math.isclose(delta.mean, fresh.mean,
+                             rel_tol=DELTA_MEAN_RTOL)
+                and math.isclose(delta.std, fresh.std,
+                                 rel_tol=DELTA_STD_RTOL)
+                and delta.details["delta"]["moments_recomputed"] > 0)
+
+    def check_result_cache() -> bool:
+        from repro.service.cache import MISS, TIER_ESTIMATE, ResultCache
+
+        cache = ResultCache(max_entries=4)
+        cache.put(TIER_ESTIMATE, "selfcheck",
+                  {"mean": 1.0}, payload={"mean": 1.0})
+        hit = cache.get(TIER_ESTIMATE, "selfcheck")
+        miss = cache.get(TIER_ESTIMATE, "absent")
+        stats = cache.stats()[TIER_ESTIMATE]
+        return (hit == {"mean": 1.0} and miss is MISS
+                and stats["entries"] == 1 and stats["bytes"] > 0
+                and stats["hits"] == 1 and stats["misses"] == 1)
+
     def check_backend() -> bool:
         from repro.backend import get_backend, warmup_backend
 
@@ -135,6 +173,10 @@ def _checks() -> List[Tuple[str, Callable[[], bool]]]:
         ("constant-time integral converges to the transform",
          check_integral_converges),
         ("estimator agrees with full-chip Monte Carlo", check_monte_carlo),
+        ("delta engine matches a fresh estimate within tolerance",
+         check_delta_engine),
+        ("result cache accounts entries, bytes, and hit/miss traffic",
+         check_result_cache),
     ]
 
 

@@ -62,6 +62,7 @@ from repro.service.sweep import (
     SweepRequest,
     SweepResponse,
 )
+from repro.service.whatif import WhatIfRequest
 
 __all__ = [
     "CircuitBreaker",
@@ -95,6 +96,7 @@ __all__ = [
     "TIER_CHARACTERIZATION",
     "TIER_ESTIMATE",
     "TIER_RG",
+    "WhatIfRequest",
     "cache_stamp",
     "create_server",
     "injector_from_env",

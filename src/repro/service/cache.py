@@ -122,6 +122,27 @@ class TierStats:
                 "corruptions": self.corruptions}
 
 
+def _entry_nbytes(value: Any, payload: Any = None) -> int:
+    """Approximate in-memory footprint of one cache entry.
+
+    Entries with a JSON payload are sized by their serialized form (the
+    exact figure the disk layer writes); live-object tiers (``rg``) fall
+    back to a shallow ``sys.getsizeof`` — an order-of-magnitude figure,
+    which is what capacity planning off ``/v1/healthz`` needs.
+    """
+    import sys
+
+    if payload is not None:
+        try:
+            return len(json.dumps(payload))
+        except (TypeError, ValueError):
+            pass
+    try:
+        return int(sys.getsizeof(value))
+    except TypeError:
+        return 0
+
+
 class ResultCache:
     """Tiered LRU cache with checksummed JSON-on-disk persistence.
 
@@ -163,6 +184,8 @@ class ResultCache:
             tier: OrderedDict() for tier in TIERS}
         self._stats: Dict[str, TierStats] = {
             tier: TierStats() for tier in TIERS}
+        self._sizes: Dict[str, Dict[str, int]] = {
+            tier: {} for tier in TIERS}
         self._requests = None
         self._corruptions = None
         if metrics is not None:
@@ -300,7 +323,8 @@ class ResultCache:
         value = revive(payload) if revive is not None else payload
         with self._lock:
             self._stats[tier].disk_hits += 1
-            self._insert(tier, key, value)
+            self._insert(tier, key, value,
+                         nbytes=_entry_nbytes(value, payload))
         self._record(tier, "disk_hit")
         return value
 
@@ -309,17 +333,21 @@ class ResultCache:
         """Store ``value`` in memory and, when ``payload`` is given and a
         persist directory is configured, its JSON form on disk."""
         self._check_tier(tier)
+        nbytes = _entry_nbytes(value, payload)
         with self._lock:
-            self._insert(tier, key, value)
+            self._insert(tier, key, value, nbytes=nbytes)
         if payload is not None:
             self._disk_write(tier, key, payload)
 
-    def _insert(self, tier: str, key: str, value: Any) -> None:
+    def _insert(self, tier: str, key: str, value: Any,
+                nbytes: int = 0) -> None:
         entries = self._tiers[tier]
         entries[key] = value
         entries.move_to_end(key)
+        self._sizes[tier][key] = int(nbytes)
         while len(entries) > self.max_entries:
-            entries.popitem(last=False)
+            evicted, _ = entries.popitem(last=False)
+            self._sizes[tier].pop(evicted, None)
             self._stats[tier].evictions += 1
 
     def clear_memory(self) -> None:
@@ -327,13 +355,17 @@ class ResultCache:
         with self._lock:
             for entries in self._tiers.values():
                 entries.clear()
+            for sizes in self._sizes.values():
+                sizes.clear()
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-tier hit/miss/eviction/corruption counts plus entry counts."""
+        """Per-tier hit/miss/eviction/corruption counts plus entry count
+        and approximate resident bytes (see :func:`_entry_nbytes`)."""
         with self._lock:
             report = {}
             for tier in TIERS:
                 data = self._stats[tier].as_dict()
                 data["entries"] = len(self._tiers[tier])
+                data["bytes"] = sum(self._sizes[tier].values())
                 report[tier] = data
             return report

@@ -33,7 +33,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.api import LeakageEstimate
-from repro.exceptions import ConfigurationError, ServiceError
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceError,
+    UnknownBaseError,
+)
 from repro.service.cache import ResultCache
 from repro.service.faults import FaultInjector
 from repro.service.jobs import (
@@ -49,9 +53,11 @@ from repro.service.metrics import MetricsRegistry
 from repro.service.pipeline import EstimationPipeline
 from repro.service.scheduler import EstimationScheduler
 from repro.service.sweep import SweepRequest, SweepResponse
+from repro.service.whatif import WhatIfRequest
 
 RequestLike = Union[EstimateRequest, Dict[str, Any]]
 SweepLike = Union[SweepRequest, Dict[str, Any]]
+WhatIfLike = Union[WhatIfRequest, Dict[str, Any]]
 
 
 def _as_request(request: RequestLike) -> EstimateRequest:
@@ -64,6 +70,12 @@ def _as_sweep(request: SweepLike) -> SweepRequest:
     if isinstance(request, SweepRequest):
         return request
     return SweepRequest.from_dict(request)
+
+
+def _as_whatif(request: WhatIfLike) -> WhatIfRequest:
+    if isinstance(request, WhatIfRequest):
+        return request
+    return WhatIfRequest.from_dict(request)
 
 
 class ServiceClient:
@@ -125,6 +137,8 @@ class ServiceClient:
         """Scheduler compute hook: dispatch on the request type."""
         if isinstance(request, SweepRequest):
             return self.pipeline.sweep(request, job)
+        if isinstance(request, WhatIfRequest):
+            return self.pipeline.whatif(request, job)
         return self.pipeline(request, job)
 
     # -- the four verbs ---------------------------------------------------
@@ -175,6 +189,35 @@ class ServiceClient:
         """Asynchronous sweep submit; poll/wait the returned job."""
         self._submissions.inc(mode="sweep_async")
         return self.scheduler.submit(_as_sweep(request), timeout=timeout)
+
+    def whatif(self, request: Optional[WhatIfLike] = None,
+               timeout: Optional[float] = None,
+               **fields) -> LeakageEstimate:
+        """Synchronous what-if (delta) estimate against a held base.
+
+        Accepts a :class:`WhatIfRequest`, a request dict, or keyword
+        fields (``client.whatif(base=key, edits=[...])``). The base is
+        the content hash of a previously served estimate request; see
+        ``docs/SERVICE.md``, "Incremental estimation".
+        """
+        if request is None:
+            request = WhatIfRequest(**fields)
+        elif fields:
+            raise TypeError("pass either a request or keyword fields, "
+                            "not both")
+        self._submissions.inc(mode="whatif")
+        job = self.scheduler.submit(_as_whatif(request), timeout=timeout)
+        return self.scheduler.wait(job, timeout=timeout)
+
+    def submit_whatif(self, request: WhatIfLike,
+                      timeout: Optional[float] = None) -> Job:
+        """Asynchronous what-if submit; poll/wait the returned job."""
+        self._submissions.inc(mode="whatif_async")
+        return self.scheduler.submit(_as_whatif(request), timeout=timeout)
+
+    def has_base(self, key: str) -> bool:
+        """Whether the pipeline holds the base for a what-if request."""
+        return self.pipeline.has_base(key)
 
     def wait(self, job: Job,
              timeout: Optional[float] = None) -> LeakageEstimate:
@@ -325,6 +368,7 @@ _KIND_EXCEPTIONS = {
     "cancelled": JobCancelledError,
     "failed": JobFailedError,
     "bad_request": ConfigurationError,
+    "unknown_base": UnknownBaseError,
 }
 
 #: Connection-level exceptions worth retrying (server unreachable or the
@@ -498,6 +542,21 @@ class RemoteClient:
             body["timeout"] = timeout
         document = self._call("POST", "/v1/sweep", body)
         return SweepResponse.from_dict(document["sweep"])
+
+    def whatif(self, request: WhatIfLike,
+               timeout: Optional[float] = None) -> LeakageEstimate:
+        """Synchronous what-if: ``POST /v1/estimate`` with ``base=``.
+
+        ``request`` names a server-held base by the content hash of its
+        originating estimate request plus a list of edits. An unknown
+        base raises :class:`~repro.exceptions.UnknownBaseError` (HTTP
+        404, ``kind="unknown_base"``) — run the full estimate first.
+        """
+        body = _as_whatif(request).to_dict()
+        if timeout is not None:
+            body["timeout"] = timeout
+        document = self._call("POST", "/v1/estimate", body)
+        return LeakageEstimate.from_dict(document["estimate"])
 
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/<id>`` — the raw status document."""

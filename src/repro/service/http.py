@@ -70,6 +70,7 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import SIZE_BUCKETS
 from repro.service.sweep import SweepRequest
+from repro.service.whatif import WhatIfRequest
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for any request document
 
@@ -294,12 +295,22 @@ class _Handler(BaseHTTPRequestHandler):
     def _healthz(self) -> None:
         client = self.server.client
         workers = client.scheduler.workers_alive
+        # The stats surfaces are best-effort: liveness must answer even
+        # for minimal clients that expose only a scheduler.
+        details = {}
+        cache_stats = getattr(client, "cache_stats", None)
+        if callable(cache_stats):
+            details["cache"] = cache_stats()
+        pipeline = getattr(client, "pipeline", None)
+        if pipeline is not None:
+            details["base_store"] = pipeline.base_store_stats()
         document = {
             "status": "ok" if workers > 0 else "unhealthy",
             "workers": workers,
             "queue_depth": client.scheduler.queue_depth,
             "version": __version__,
             "backend": self.server.backend_name,
+            "details": details,
         }
         self._json("healthz", 200 if workers > 0 else 503, document)
 
@@ -399,14 +410,32 @@ class _Handler(BaseHTTPRequestHandler):
     def _estimate(self, url) -> None:
         endpoint = "estimate"
         client = self.server.client
-        parsed = self._parse_submission(endpoint, url,
-                                        EstimateRequest.from_dict)
+
+        def parse(body):
+            # One submission endpoint, two shapes: a "base" key makes
+            # the body a what-if (delta) request against a held base.
+            if "base" in body:
+                return WhatIfRequest.from_dict(body)
+            return EstimateRequest.from_dict(body)
+
+        parsed = self._parse_submission(endpoint, url, parse)
         if parsed is None:
             return
         request, run_async, timeout = parsed
 
+        if (isinstance(request, WhatIfRequest)
+                and not client.has_base(request.base)):
+            self._error(endpoint, 404,
+                        f"unknown base {request.base!r}; run the full "
+                        "estimate first to record it server-side",
+                        "unknown_base")
+            return
+
         try:
-            job = client.submit(request, timeout=timeout)
+            if isinstance(request, WhatIfRequest):
+                job = client.submit_whatif(request, timeout=timeout)
+            else:
+                job = client.submit(request, timeout=timeout)
         except QueueFullError as exc:
             self._error(endpoint, 429, str(exc), "queue_full")
             return

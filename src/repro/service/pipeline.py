@@ -37,6 +37,7 @@ import json
 import logging
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 from repro.backend import resolve_backend_name
@@ -65,6 +66,7 @@ from repro.service.cache import (
     TIER_ESTIMATE,
     TIER_RG,
 )
+from repro.exceptions import DeltaError, UnknownBaseError
 from repro.service.faults import SITE_COMPUTE_HANG, FaultInjector
 from repro.service.jobs import (
     EstimateRequest,
@@ -73,6 +75,7 @@ from repro.service.jobs import (
     JobTimeoutError,
 )
 from repro.service.sweep import SweepRequest, SweepResponse
+from repro.service.whatif import WhatIfRequest
 
 #: The degraded-mode estimator: the O(1) eq. (20) closed form.
 FALLBACK_METHOD = "integral2d"
@@ -129,6 +132,18 @@ class EstimationPipeline:
         self._sweep_jobs = None
         self._sweep_points = None
         self._sweep_point_seconds = None
+        # Server-side base store for the what-if (delta) protocol: every
+        # full estimate records its request document under its content
+        # hash; the BaseEstimate snapshot itself is built lazily on the
+        # first what-if that names the hash (bases are heavyweight).
+        self._base_lock = threading.Lock()
+        self._base_requests: "OrderedDict[str, EstimateRequest]" = \
+            OrderedDict()
+        self._bases: "OrderedDict[str, Any]" = OrderedDict()
+        self.max_base_requests = 1024
+        self.max_bases = 16
+        self._delta_requests = None
+        self._delta_fallbacks = None
         if metrics is not None:
             # Register the stage-latency family up front so /metrics
             # shows it before the first request; the tracer bridge
@@ -161,6 +176,16 @@ class EstimationPipeline:
             self._sweep_point_seconds = metrics.histogram(
                 "repro_sweep_point_seconds",
                 "Per-point amortized latency inside a batched sweep.")
+            self._delta_requests = metrics.counter(
+                "repro_delta_requests_total",
+                "What-if (delta) requests by outcome: 'hit' answered "
+                "through the delta engine, 'fallback' by a full "
+                "recompute of the edited scenario.",
+                labelnames=("outcome",))
+            self._delta_fallbacks = metrics.counter(
+                "repro_delta_fallbacks_total",
+                "Delta-to-full-recompute fallbacks by reason.",
+                labelnames=("reason",))
 
     def _heartbeat(self, job: Optional[Job]) -> None:
         if job is not None:
@@ -254,9 +279,15 @@ class EstimationPipeline:
     #: instrumented (engine-level stages stay visible in the trace
     #: itself — ``/v1/jobs/<id>`` and ``details["trace"]``).
     SERVICE_STAGES = (
-        "service.request", "service.sweep", "queue_wait", "cache_lookup",
-        "characterize", "rg", "estimate", "degraded", "serialize",
-        "sweep.point",
+        "service.request", "service.sweep", "service.whatif", "queue_wait",
+        "cache_lookup", "characterize", "rg", "estimate", "degraded",
+        "serialize", "sweep.point",
+        # Delta-path stages (the what-if protocol): base snapshotting
+        # and the incremental update halves.
+        "delta.base_estimate", "delta.base_mixture", "delta.base_moments",
+        "delta.base_geometry", "delta.fold", "delta.geometry",
+        "delta.mixture", "delta.moments", "delta.reduce", "delta.package",
+        "delta.probe_setup",
     )
 
     def _finish_trace(self, tracer: Tracer, job: Optional[Job],
@@ -316,6 +347,7 @@ class EstimationPipeline:
              job: Optional[Job] = None) -> LeakageEstimate:
         start = time.perf_counter()
         key = request.key()
+        self._record_base(key, request)
         with span("cache_lookup", tier=TIER_ESTIMATE):
             cached = self.cache.get(TIER_ESTIMATE, key,
                                     revive=LeakageEstimate.from_dict)
@@ -443,3 +475,170 @@ class EstimationPipeline:
             axes=request.axes,
             estimates=estimates,
             stats=stats)
+
+    # -- what-if (delta) requests ------------------------------------------
+
+    def _record_base(self, key: str, request: EstimateRequest) -> None:
+        """Remember a served request so what-ifs can name it by hash."""
+        with self._base_lock:
+            self._base_requests[key] = request
+            self._base_requests.move_to_end(key)
+            while len(self._base_requests) > self.max_base_requests:
+                evicted, _ = self._base_requests.popitem(last=False)
+                self._bases.pop(evicted, None)
+
+    def has_base(self, key: str) -> bool:
+        """Whether a what-if naming ``key`` would find its base."""
+        with self._base_lock:
+            return key in self._base_requests
+
+    def base_store_stats(self) -> Dict[str, int]:
+        """Counts for health introspection: recorded request documents
+        and materialized :class:`BaseEstimate` snapshots."""
+        with self._base_lock:
+            return {"requests": len(self._base_requests),
+                    "bases": len(self._bases)}
+
+    def _base_for(self, key: str, job: Optional[Job] = None):
+        """The (lazily built) :class:`BaseEstimate` for a request hash.
+
+        Raises :class:`UnknownBaseError` when the hash was never served
+        by this process, and whatever :class:`DeltaError` the snapshot
+        build raises when the scenario cannot ride the delta engine
+        (the caller maps that to a full-recompute fallback).
+        """
+        from repro.delta import BaseEstimate
+
+        with self._base_lock:
+            request = self._base_requests.get(key)
+            base = self._bases.get(key)
+        if request is None:
+            raise UnknownBaseError(
+                f"unknown base {key!r}; run the full estimate first — "
+                "the server records every estimate it serves under its "
+                "content hash")
+        if base is not None:
+            return base
+        technology = request.technology.build()
+        characterization = self._characterization(request, technology)
+        self._heartbeat(job)
+        components = self._components(request, characterization)
+        self._heartbeat(job)
+        estimator = FullChipLeakageEstimator(
+            characterization,
+            self._usage(request, characterization),
+            request.n_cells,
+            request.width_mm * 1e-3,
+            request.height_mm * 1e-3,
+            components=components,
+            backend=request.backend)
+        base = BaseEstimate.from_estimator(estimator)
+        with self._base_lock:
+            self._bases[key] = base
+            self._bases.move_to_end(key)
+            while len(self._bases) > self.max_bases:
+                self._bases.popitem(last=False)
+        return base
+
+    def _edited_request(self, request: EstimateRequest,
+                        edits) -> EstimateRequest:
+        """The edited scenario as a standalone full request (the
+        fallback path), folding edits exactly as the delta engine does."""
+        from dataclasses import replace
+
+        from repro.delta.edits import FloorplanResizeEdit
+
+        technology = request.technology.build()
+        characterization = self._characterization(request, technology)
+        usage = self._usage(request, characterization)
+        fractions = dict(usage.items())
+        n_cells = request.n_cells
+        width = request.width_mm * 1e-3
+        height = request.height_mm * 1e-3
+        for edit in edits:
+            if isinstance(edit, FloorplanResizeEdit):
+                n_cells = (edit.n_cells if edit.n_cells is not None
+                           else n_cells)
+                width = edit.width if edit.width is not None else width
+                height = edit.height if edit.height is not None else height
+            else:
+                edit.apply(fractions, n_cells)
+        return replace(
+            request,
+            usage=tuple(sorted(fractions.items())),
+            n_cells=n_cells,
+            width_mm=width * 1e3,
+            height_mm=height * 1e3)
+
+    def whatif(self, request: WhatIfRequest,
+               job: Optional[Job] = None) -> LeakageEstimate:
+        """Answer a what-if request against a server-held base.
+
+        The happy path runs :func:`repro.delta.engine.estimate_delta`
+        against the (lazily built, then cached) base snapshot; a
+        :class:`DeltaError` anywhere along it degrades to a full
+        recompute of the edited scenario with
+        ``details["delta"]["fallback_reason"]`` set. Unknown base
+        hashes raise :class:`UnknownBaseError` (HTTP 404). Delta
+        results are never written to the estimate cache tier — they are
+        tolerance-close, and the cache only ever holds the exact answer
+        for a key.
+        """
+        if tracing_active():
+            return self._whatif(request, job)
+        tracer = Tracer("service.whatif")
+        with tracer:
+            with tracer.span("service.whatif", base=request.base[:12],
+                             n_edits=len(request.edits)):
+                estimate = self._whatif(request, job)
+        document = self._finish_trace(tracer, job, "whatif")
+        if request.trace:
+            estimate = estimate.with_details(trace=document)
+        return estimate
+
+    def _whatif(self, request: WhatIfRequest,
+                job: Optional[Job] = None) -> LeakageEstimate:
+        from repro.delta import estimate_delta
+
+        start = time.perf_counter()
+        edits = request.parsed_edits()
+        self._heartbeat(job)
+        estimate = None
+        fallback_reason = None
+        fallback_label = None
+        try:
+            base = self._base_for(request.base, job)
+            self._heartbeat(job)
+            estimate = estimate_delta(base, edits)
+        except UnknownBaseError:
+            raise
+        except DeltaError as exc:
+            fallback_reason = f"{type(exc).__name__}: {exc}"
+            fallback_label = ("incompatible"
+                              if "Incompatible" in type(exc).__name__
+                              else "delta_error")
+
+        if fallback_reason is not None:
+            with self._base_lock:
+                base_request = self._base_requests.get(request.base)
+            if base_request is None:
+                raise UnknownBaseError(
+                    f"unknown base {request.base!r}")
+            derived = self._edited_request(base_request, edits)
+            estimate = self._run(derived, job)
+            estimate = estimate.with_details(delta={
+                "edits": len(edits),
+                "fallback": True,
+                "fallback_reason": fallback_reason,
+            })
+            if self._delta_requests is not None:
+                self._delta_requests.inc(outcome="fallback")
+            if self._delta_fallbacks is not None:
+                self._delta_fallbacks.inc(reason=fallback_label)
+        else:
+            if self._delta_requests is not None:
+                self._delta_requests.inc(outcome="hit")
+        if self._request_seconds is not None:
+            self._request_seconds.observe(time.perf_counter() - start,
+                                          method=estimate.method)
+        return estimate

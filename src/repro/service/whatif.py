@@ -1,0 +1,142 @@
+"""What-if (delta) requests against a server-held base estimate.
+
+A :class:`WhatIfRequest` names a previously computed estimate by its
+**content hash** — the same ``request.key()`` the estimate cache tier
+and the scheduler's coalescing use — plus a list of typed edit
+documents (:mod:`repro.delta.edits`). The pipeline replays the base
+scenario once into a :class:`~repro.delta.base.BaseEstimate` snapshot,
+then answers every subsequent what-if against that base in
+``o(n_affected)`` through :func:`repro.delta.engine.estimate_delta`.
+
+Interactive what-if traffic (an ECO loop, a floorplan slider) therefore
+pays the full-estimate cost once, not per keystroke. When the base
+cannot serve an edit — imported without a live characterization, a
+scenario outside the linear-transform regime — the pipeline falls back
+to a full recompute of the *edited* scenario and marks the result with
+``details["delta"]["fallback_reason"]`` (see ``docs/SERVICE.md``,
+"Incremental estimation").
+
+On the wire the request travels through ``POST /v1/estimate`` with a
+``"base"`` key, keeping one submission endpoint for both shapes::
+
+    {"base": "<sha256 of the base request>",
+     "edits": [{"type": "cell_swap", "from_cell": "INV_X1",
+                "to_cell": "INV_X1_HVT", "fraction": 0.3}]}
+
+An unknown base hash is a typed 404 (``kind="unknown_base"``) — the
+client should run (or re-run) the full estimate first, which records
+the base server-side as a side effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.service.jobs import _content_hash
+
+
+def _canonical_edits(edits: Any) -> Tuple[Dict[str, Any], ...]:
+    """Validate edit documents by round-tripping them through the typed
+    edit model; the canonical form is each edit's own ``to_dict``.
+
+    Accepts typed edit objects, edit dicts, or a mix; a single edit may
+    be passed bare.
+    """
+    from repro.delta.edits import edit_from_dict
+
+    if isinstance(edits, Mapping) or hasattr(edits, "to_dict"):
+        edits = (edits,)
+    canonical = []
+    try:
+        for entry in tuple(edits):
+            if hasattr(entry, "to_dict") and not isinstance(entry, Mapping):
+                entry = entry.to_dict()
+            canonical.append(edit_from_dict(entry).to_dict())
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ConfigurationError(f"invalid edit document: {exc}") from exc
+    return tuple(canonical)
+
+
+@dataclass(frozen=True)
+class WhatIfRequest:
+    """One delta estimation request against a server-held base.
+
+    Parameters
+    ----------
+    base:
+        Content hash (``EstimateRequest.key()``) of the base estimate.
+        The server records every full estimate it serves under this
+        hash; a what-if can name any of them.
+    edits:
+        Edit documents applied in order (see :mod:`repro.delta.edits`).
+    priority:
+        Scheduling priority; like :class:`EstimateRequest` it is
+        excluded from the content hash, so identical concurrent
+        what-ifs coalesce.
+    trace:
+        Attach the per-stage trace to ``details["trace"]``.
+    """
+
+    base: str
+    edits: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    priority: int = 0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        base = str(self.base).strip().lower()
+        if not base or any(c not in "0123456789abcdef" for c in base):
+            raise ConfigurationError(
+                f"base must be a content hash (hex digest), got "
+                f"{self.base!r}")
+        object.__setattr__(self, "base", base)
+        if not self.edits:
+            raise ConfigurationError(
+                "a what-if request needs at least one edit")
+        object.__setattr__(self, "edits", _canonical_edits(self.edits))
+        object.__setattr__(self, "priority", int(self.priority))
+        object.__setattr__(self, "trace", bool(self.trace))
+
+    def parsed_edits(self):
+        """The typed edit objects (reparsed from the canonical docs)."""
+        from repro.delta.edits import edits_from_documents
+
+        return edits_from_documents(self.edits)
+
+    # -- content addressing / serialization -------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        return {"base": self.base, "edits": [dict(e) for e in self.edits]}
+
+    def key(self) -> str:
+        return _content_hash("whatif", self.canonical_dict())
+
+    def to_dict(self) -> Dict[str, Any]:
+        document = self.canonical_dict()
+        document["priority"] = self.priority
+        document["trace"] = self.trace
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "WhatIfRequest":
+        if not isinstance(document, Mapping):
+            raise ConfigurationError(
+                f"what-if request must be a JSON object, got "
+                f"{type(document).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(document) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown what-if request fields: {sorted(unknown)}")
+        for required in ("base", "edits"):
+            if required not in document:
+                raise ConfigurationError(
+                    f"what-if request is missing required field "
+                    f"{required!r}")
+        return cls(base=document["base"],
+                   edits=tuple(document["edits"]),
+                   priority=int(document.get("priority", 0)),
+                   trace=bool(document.get("trace", False)))

@@ -1,0 +1,210 @@
+"""Unit tests for the typed edit model (`repro.delta.edits`).
+
+The engine tests exercise edits end-to-end; this file pins the edit
+model itself — every share-specifier form of ``CellSwapEdit``, the
+validation contract each edit enforces at construction, and the
+``to_dict``/``edit_from_dict`` wire round trip the service and CLI
+depend on.
+"""
+
+import pytest
+
+from repro.delta.edits import (
+    CellSwapEdit,
+    FloorplanResizeEdit,
+    UsageHistogramEdit,
+    edit_from_dict,
+    edits_from_documents,
+)
+from repro.exceptions import ConfigurationError
+from repro.service.whatif import WhatIfRequest
+
+
+class TestCellSwapValidation:
+    def test_same_cell_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="change the cell type"):
+            CellSwapEdit("INV_X1", "INV_X1", fraction=0.1)
+
+    def test_multiple_specifiers_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="at most one"):
+            CellSwapEdit("INV_X1", "NOR2_X1", fraction=0.1, count=5)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_fraction_out_of_range(self, fraction):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            CellSwapEdit("INV_X1", "NOR2_X1", fraction=fraction)
+
+    def test_nonpositive_count(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            CellSwapEdit("INV_X1", "NOR2_X1", count=0)
+
+    @pytest.mark.parametrize("region", [
+        (0.5, 0.0, 0.5, 1.0),     # zero width
+        (0.2, 0.2, 0.1, 0.8),     # x0 > x1
+        (-0.1, 0.0, 0.5, 0.5),    # out of the unit square
+        (0.0, 0.0, 0.5, 1.5),
+    ])
+    def test_bad_region(self, region):
+        with pytest.raises(ConfigurationError, match="region"):
+            CellSwapEdit("INV_X1", "NOR2_X1", region=region)
+
+    def test_empty_cell_ids(self):
+        with pytest.raises(ConfigurationError, match="cell_ids"):
+            CellSwapEdit("INV_X1", "NOR2_X1", cell_ids=())
+
+
+class TestCellSwapSpecifiers:
+    """Every share-specifier form reduces to a moved usage fraction."""
+
+    def test_fraction_form(self):
+        edit = CellSwapEdit("INV_X1", "NOR2_X1", fraction=0.125)
+        assert edit.moved_fraction(0.5, 1000) == 0.125
+
+    def test_count_form(self):
+        edit = CellSwapEdit("INV_X1", "NOR2_X1", count=100)
+        assert edit.moved_fraction(0.5, 1000) == pytest.approx(0.1)
+
+    def test_cell_ids_form_counts_ids(self):
+        edit = CellSwapEdit("INV_X1", "NOR2_X1", cell_ids=(3, 17, 99))
+        assert edit.moved_fraction(0.5, 1000) == pytest.approx(3 / 1000)
+
+    def test_region_form_scales_by_area(self):
+        # A quarter-die region moves a quarter of the from_cell mass.
+        edit = CellSwapEdit("INV_X1", "NOR2_X1",
+                            region=(0.0, 0.0, 0.5, 0.5))
+        assert edit.moved_fraction(0.4, 1000) == pytest.approx(0.1)
+
+    def test_no_specifier_moves_everything(self):
+        edit = CellSwapEdit("INV_X1", "NOR2_X1")
+        assert edit.moved_fraction(0.37, 1000) == 0.37
+
+    def test_moved_share_is_clipped_to_presence(self):
+        edit = CellSwapEdit("INV_X1", "NOR2_X1", fraction=0.9)
+        assert edit.moved_fraction(0.25, 1000) == 0.25
+
+    def test_apply_drains_source_entirely(self):
+        fractions = {"INV_X1": 0.3, "NAND2_X1": 0.7}
+        CellSwapEdit("INV_X1", "NOR2_X1").apply(fractions, 1000)
+        assert "INV_X1" not in fractions
+        assert fractions["NOR2_X1"] == pytest.approx(0.3)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_apply_without_source_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="no usage"):
+            CellSwapEdit("XOR2_X1", "NOR2_X1", fraction=0.1).apply(
+                {"INV_X1": 1.0}, 1000)
+
+
+class TestUsageHistogramEdit:
+    def test_empty_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            UsageHistogramEdit({})
+
+    def test_negative_fraction_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            UsageHistogramEdit({"INV_X1": -0.5, "NAND2_X1": 1.5})
+
+    def test_normalizes_and_drops_zero_mass(self):
+        edit = UsageHistogramEdit({"INV_X1": 2.0, "NAND2_X1": 2.0,
+                                   "NOR2_X1": 0.0})
+        assert dict(edit.fractions) == {"INV_X1": 0.5, "NAND2_X1": 0.5}
+
+    def test_apply_replaces_outright(self):
+        fractions = {"XOR2_X1": 1.0}
+        UsageHistogramEdit({"INV_X1": 1.0}).apply(fractions, 1000)
+        assert fractions == {"INV_X1": 1.0}
+
+
+class TestFloorplanResizeEdit:
+    def test_no_dimension_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            FloorplanResizeEdit()
+
+    def test_nonpositive_values_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_cells"):
+            FloorplanResizeEdit(n_cells=0)
+        with pytest.raises(ConfigurationError, match="width"):
+            FloorplanResizeEdit(width=-1e-3)
+        with pytest.raises(ConfigurationError, match="height"):
+            FloorplanResizeEdit(n_cells=100, height=0.0)
+
+    def test_partial_to_dict_omits_kept_values(self):
+        assert FloorplanResizeEdit(width=2e-3).to_dict() == {
+            "type": "floorplan_resize", "width": 2e-3}
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("edit", [
+        CellSwapEdit("INV_X1", "NOR2_X1", fraction=0.25),
+        CellSwapEdit("INV_X1", "NOR2_X1", count=42),
+        CellSwapEdit("INV_X1", "NOR2_X1", region=(0.1, 0.2, 0.6, 0.9)),
+        CellSwapEdit("INV_X1", "NOR2_X1", cell_ids=(1, 2, 3)),
+        CellSwapEdit("INV_X1", "NOR2_X1"),
+        UsageHistogramEdit({"INV_X1": 0.5, "NAND2_X1": 0.5}),
+        FloorplanResizeEdit(n_cells=2048, width=1e-3, height=2e-3),
+    ])
+    def test_to_dict_from_dict_is_identity(self, edit):
+        assert edit_from_dict(edit.to_dict()) == edit
+
+    def test_non_mapping_document(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            edit_from_dict("cell_swap")
+
+    def test_unknown_type(self):
+        with pytest.raises(ConfigurationError, match="unknown edit type"):
+            edit_from_dict({"type": "teleport"})
+
+    def test_unknown_field_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="invalid 'cell_swap'"):
+            edit_from_dict({"type": "cell_swap", "from_cell": "A",
+                            "to_cell": "B", "speed": 11})
+
+    def test_empty_document_list(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            edits_from_documents([])
+
+
+class TestWhatIfRequestValidation:
+    EDIT = {"type": "cell_swap", "from_cell": "INV_X1",
+            "to_cell": "NOR2_X1", "fraction": 0.1}
+
+    def test_bare_single_edit_is_wrapped(self):
+        request = WhatIfRequest(base="a" * 64, edits=self.EDIT)
+        assert len(request.edits) == 1
+
+    def test_typed_edit_objects_are_canonicalized(self):
+        typed = CellSwapEdit("INV_X1", "NOR2_X1", fraction=0.1)
+        request = WhatIfRequest(base="a" * 64, edits=(typed,))
+        assert request.edits == (typed.to_dict(),)
+
+    def test_base_hash_is_case_folded(self):
+        request = WhatIfRequest(base="A" * 64, edits=(self.EDIT,))
+        assert request.base == "a" * 64
+
+    def test_non_hex_base_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="content hash"):
+            WhatIfRequest(base="not-a-hash", edits=(self.EDIT,))
+
+    def test_no_edits_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            WhatIfRequest(base="a" * 64, edits=())
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            WhatIfRequest.from_dict({"base": "a" * 64,
+                                     "edits": [self.EDIT],
+                                     "shard": 3})
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            WhatIfRequest.from_dict({"edits": [self.EDIT]})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            WhatIfRequest.from_dict([self.EDIT])
+
+    def test_key_excludes_priority_and_trace(self):
+        plain = WhatIfRequest(base="a" * 64, edits=(self.EDIT,))
+        tuned = WhatIfRequest(base="a" * 64, edits=(self.EDIT,),
+                              priority=7, trace=True)
+        assert plain.key() == tuned.key()

@@ -173,6 +173,103 @@ class TestCornersCommand:
         assert mean_of("FF") > mean_of("SS") > mean_of("TT")
 
 
+class TestWhatIfCommand:
+    """Argument handling only — the wire round trip lives in
+    tests/service/test_whatif.py."""
+
+    def test_no_edits_is_an_error(self, capsys):
+        code = main(["whatif", "--base", "a" * 64])
+        assert code == 2
+        assert "at least one edit" in capsys.readouterr().err
+
+    def test_malformed_edit_json_is_reported(self, capsys):
+        code = main(["whatif", "--base", "a" * 64,
+                     "--edit", "{not json"])
+        assert code == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_malformed_swap_is_reported(self, capsys):
+        code = main(["whatif", "--base", "a" * 64,
+                     "--swap", "INV_X1"])
+        assert code == 2
+        assert "FROM:TO" in capsys.readouterr().err
+
+    def test_bad_base_hash_is_reported(self, capsys):
+        code = main(["whatif", "--base", "not-a-hash",
+                     "--swap", "INV_X1:NAND2_X1:0.1"])
+        assert code == 2
+        assert "base" in capsys.readouterr().err
+
+    def test_table_output_with_stubbed_client(self, capsys, monkeypatch):
+        """Edit assembly + table rendering, no server needed."""
+        import repro.service.client as client_module
+
+        captured = {}
+
+        class StubEstimate:
+            n_cells = 4096
+            method = "linear"
+            mean = 1.5e-3
+            std = 1.2e-4
+            cv = 0.08
+            details = {"delta": {"mode": "exact", "edits": 3,
+                                 "moments_recomputed": 2,
+                                 "lags_reused": 100}}
+
+        class StubRemote:
+            def __init__(self, url):
+                captured["url"] = url
+
+            def whatif(self, request, timeout=None):
+                captured["request"] = request
+                return StubEstimate()
+
+        monkeypatch.setattr(client_module, "RemoteClient", StubRemote)
+        code = main([
+            "whatif", "--base", "a" * 64,
+            "--edit", '{"type": "usage_histogram",'
+                      ' "fractions": {"INV_X1": 1.0}}',
+            "--swap", "INV_X1:NAND2_X1:0.25",
+            "--cells", "4096", "--width-mm", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean leakage" in out
+        assert "delta mode" in out and "exact" in out
+        assert "moments recomputed" in out
+        request = captured["request"]
+        assert len(request.edits) == 3
+        assert request.edits[1]["fraction"] == 0.25
+        # --width-mm converts millimetres to metres on the wire.
+        assert request.edits[2]["width"] == pytest.approx(1e-3)
+
+    def test_fallback_row_with_stubbed_client(self, capsys, monkeypatch):
+        import repro.service.client as client_module
+
+        class StubEstimate:
+            n_cells = 600_000
+            method = "integral2d"
+            mean = 2.0e-3
+            std = 1.0e-4
+            cv = 0.05
+            details = {"delta": {"fallback": True,
+                                 "fallback_reason": "incompatible"}}
+
+        class StubRemote:
+            def __init__(self, url):
+                pass
+
+            def whatif(self, request, timeout=None):
+                return StubEstimate()
+
+        monkeypatch.setattr(client_module, "RemoteClient", StubRemote)
+        code = main(["whatif", "--base", "b" * 64,
+                     "--swap", "INV_X1:NAND2_X1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delta fallback" in out
+        assert "incompatible" in out
+
+
 class TestIscas85Command:
     def test_c432_flow(self, capsys):
         assert main(["iscas85", "c432"]) == 0

@@ -38,6 +38,12 @@ class TestExamples:
         assert "round-trip agreement" in out
         assert "Two-region floorplan" in out
 
+    @pytest.mark.slow
+    def test_whatif_storm(self):
+        out = run_example("whatif_storm.py")
+        assert "storm: 60 what-ifs" in out
+        assert 'repro_delta_requests_total{outcome="hit"} 60' in out
+
     def test_all_examples_exist_and_are_documented(self):
         names = sorted(f for f in os.listdir(EXAMPLES_DIR)
                        if f.endswith(".py"))
