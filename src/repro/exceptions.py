@@ -54,6 +54,25 @@ class ServiceError(ReproError):
     """
 
 
+class WorkerCrashedError(ServiceError):
+    """A process worker died (or stalled past its heartbeat budget)
+    while holding a task, and the retry budget for that task is spent.
+
+    The supervisor requeues a crashed worker's task up to its retry
+    limit first; this error means every attempt ended in a dead worker.
+    """
+
+
+class PoisonJobError(ServiceError):
+    """A task was quarantined after crashing multiple workers.
+
+    Keyed on the request content hash: once the same payload has taken
+    down ``poison_threshold`` workers it is assumed to be the *cause*
+    of the crashes, and further submissions fail fast with this error
+    instead of crash-looping the pool.
+    """
+
+
 class DeltaError(EstimationError):
     """Incremental (delta) estimation could not be carried out."""
 

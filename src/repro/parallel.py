@@ -22,14 +22,19 @@ fan its inner block loop out over :func:`parallel_map` processes.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import pickle
+import queue
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import PoisonJobError, WorkerCrashedError
 from repro.obs.trace import (Tracer, current_tracer, merge_remote_spans,
                              span, tracing_active)
 
@@ -194,6 +199,17 @@ class ThreadWorkerPool:
     def stopped(self) -> bool:
         return self._stop.is_set()
 
+    def liveness(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness entries, shaped like
+        :meth:`ProcessWorkerPool.liveness` (threads share the process
+        pid and have no heartbeat or per-slot restart count)."""
+        with self._lock:
+            threads = list(self._threads)
+        pid = os.getpid()
+        return [{"worker": thread.name, "pid": pid,
+                 "alive": thread.is_alive(), "restarts": None,
+                 "heartbeat_age_s": None} for thread in threads]
+
     def stop(self, join: bool = True, timeout: Optional[float] = 5.0) -> None:
         """Signal every worker to finish and (optionally) join them."""
         self._stop.set()
@@ -353,3 +369,598 @@ def parallel_map(
             except FileNotFoundError:
                 pass
     return results
+
+
+# ---------------------------------------------------------------------------
+# Supervised process workers (crash-only serving)
+# ---------------------------------------------------------------------------
+
+#: Pool-stop sentinel message and child->parent message kinds.
+_MSG_TASK = "task"
+_MSG_STOP = "stop"
+_MSG_READY = "ready"
+_MSG_OK = "ok"
+_MSG_ERR = "err"
+_MSG_INIT_ERR = "init_err"
+
+
+def _preferred_mp_context():
+    """Fork where available (cheap, inherits imports); spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a stand-in.
+
+    Typed library errors (``DeadlineExceeded``, ``UnknownBaseError``,
+    ...) cross the process boundary intact so the parent re-raises the
+    real thing; exotic unpicklable exceptions degrade to a
+    ``RuntimeError`` carrying the repr rather than poisoning the pipe.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickle failure means "wrap it"
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _send_safely(conn, message) -> bool:
+    try:
+        conn.send(message)
+        return True
+    except Exception:  # noqa: BLE001 - parent gone / pipe torn: nothing to do
+        return False
+
+
+class WorkerProcessContext:
+    """Child-side identity and heartbeat of one pool worker process.
+
+    Available inside worker processes through
+    :func:`process_worker_context`; the service's chaos hooks use
+    :meth:`stall` to simulate a hard (GIL-held) hang — heartbeats stop,
+    so the parent-side monitor must kill and replace the worker.
+    """
+
+    def __init__(self, slot: int, generation: int, heartbeat,
+                 interval: float) -> None:
+        self.slot = int(slot)
+        self.generation = int(generation)
+        #: Delivery attempt of the task currently running (1 on the
+        #: first dispatch, higher after crash requeues) — lets work
+        #: functions implement at-most-once side effects.
+        self.attempt = 1
+        self._heartbeat = heartbeat
+        self._interval = float(interval)
+        self._paused = threading.Event()
+
+    def start(self) -> None:
+        thread = threading.Thread(
+            target=self._beat_loop, name="repro-heartbeat", daemon=True)
+        thread.start()
+
+    def _beat_loop(self) -> None:
+        while True:
+            if not self._paused.is_set():
+                self._heartbeat.value = time.time()
+            time.sleep(self._interval)
+
+    def stall(self, seconds: float) -> None:
+        """Stop heartbeating and block, as a truly hung worker would."""
+        self._paused.set()
+        try:
+            time.sleep(seconds)
+        finally:
+            self._paused.clear()
+
+
+_PROCESS_WORKER_CONTEXT: Optional[WorkerProcessContext] = None
+
+
+def process_worker_context() -> Optional[WorkerProcessContext]:
+    """The current process's worker context; None outside pool workers."""
+    return _PROCESS_WORKER_CONTEXT
+
+
+def _process_worker_main(conn, heartbeat, init_fn, work_fn, slot: int,
+                         generation: int, heartbeat_interval: float) -> None:
+    """Child entry point: init once, then serve tasks until stop/EOF."""
+    global _PROCESS_WORKER_CONTEXT
+    context = WorkerProcessContext(slot, generation, heartbeat,
+                                   heartbeat_interval)
+    _PROCESS_WORKER_CONTEXT = context
+    heartbeat.value = time.time()
+    context.start()
+    try:
+        state = init_fn() if init_fn is not None else None
+    except BaseException as exc:  # noqa: BLE001 - shipped to the supervisor
+        _send_safely(conn, (_MSG_INIT_ERR, _portable_exception(exc)))
+        return
+    if not _send_safely(conn, (_MSG_READY, os.getpid())):
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == _MSG_STOP:
+            return
+        payload, traced = message[1], message[2]
+        context.attempt = message[3] if len(message) > 3 else 1
+        spans = None
+        try:
+            if traced:
+                tracer = Tracer("procworker")
+                with tracer:
+                    result = work_fn(state, payload)
+                spans = tracer.export()["spans"]
+            else:
+                result = work_fn(state, payload)
+        except BaseException as exc:  # noqa: BLE001 - typed errors ship home
+            _send_safely(conn, (_MSG_ERR, _portable_exception(exc), spans))
+            continue
+        try:
+            conn.send((_MSG_OK, result, spans))
+        except OSError:
+            return  # parent gone
+        except Exception as exc:  # noqa: BLE001 - unpicklable result
+            _send_safely(conn, (_MSG_ERR, _portable_exception(exc), spans))
+
+
+class PoolFuture:
+    """Handle for one task submitted to a :class:`ProcessWorkerPool`.
+
+    Resolved exactly once by the supervising shepherd thread (requeues
+    reuse the same future, so waiters survive worker crashes). ``spans``
+    carries the worker's finished span forest when the task was traced.
+    """
+
+    __slots__ = ("payload", "key", "timeout", "trace", "attempts",
+                 "result_value", "error", "spans", "_done")
+
+    def __init__(self, payload: Any, key: Optional[str],
+                 timeout: Optional[float], trace: bool) -> None:
+        self.payload = payload
+        self.key = key
+        self.timeout = timeout
+        self.trace = bool(trace)
+        self.attempts = 0
+        self.result_value: Any = None
+        self.error: Optional[BaseException] = None
+        self.spans: Optional[List[Dict[str, Any]]] = None
+        self._done = threading.Event()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def _resolve(self, result: Any, spans=None) -> None:
+        if self._done.is_set():
+            return
+        self.result_value = result
+        self.spans = spans
+        self._done.set()
+
+    def _fail(self, error: BaseException, spans=None) -> None:
+        if self._done.is_set():
+            return
+        self.error = error
+        self.spans = spans
+        self._done.set()
+
+    def cancel(self, error: Optional[BaseException] = None) -> bool:
+        """Fail the future if it has not resolved yet (drain path)."""
+        if self._done.is_set():
+            return False
+        self._fail(error or WorkerCrashedError("task cancelled"))
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError("pool task did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result_value
+
+
+class _WorkerSlot:
+    """Parent-side state for one supervised worker process."""
+
+    __slots__ = ("index", "process", "conn", "heartbeat", "generation",
+                 "consecutive_crashes", "pid")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.heartbeat = None
+        self.generation = 0
+        self.consecutive_crashes = 0
+        self.pid: Optional[int] = None
+
+
+class ProcessWorkerPool:
+    """Supervised OS-process workers with heartbeats and crash requeue.
+
+    The crash-only sibling of :class:`ThreadWorkerPool`: each worker is
+    a separate process running ``work_fn(state, payload)`` where
+    ``state = init_fn()`` is built once per process *after* the fork
+    (so no parent locks or file handles are relied on). A shepherd
+    thread per slot feeds tasks over a private pipe and supervises:
+
+    - a worker that exits (any reason) or whose heartbeat goes stale
+      for ``heartbeat_timeout`` seconds is killed and replaced, with
+      exponential backoff (``restart_backoff * 2**crashes``, capped at
+      ``max_backoff``) against tight crash loops;
+    - the in-flight task is requeued up to ``max_task_retries`` times,
+      then failed with :class:`~repro.exceptions.WorkerCrashedError`;
+    - a content key that crashes workers ``poison_threshold`` times is
+      quarantined — further submissions fail fast with
+      :class:`~repro.exceptions.PoisonJobError` instead of crash-looping
+      the fleet;
+    - a task that overruns its per-task ``timeout`` gets its worker
+      killed and fails with ``timeout_error`` (no requeue — deadlines
+      are final).
+
+    Traced tasks (``trace=True``) run under a private tracer in the
+    worker and ship their finished span forest home on the future,
+    exactly like :func:`parallel_map` workers do.
+    """
+
+    def __init__(self, work_fn: Callable[[Any, Any], Any],
+                 n_workers: int = 2, *,
+                 init_fn: Optional[Callable[[], Any]] = None,
+                 name: str = "repro-procworker",
+                 heartbeat_interval: float = 0.05,
+                 heartbeat_timeout: float = 2.0,
+                 restart_backoff: float = 0.05,
+                 max_backoff: float = 2.0,
+                 max_restarts: int = 100,
+                 max_task_retries: int = 2,
+                 poison_threshold: int = 3,
+                 init_timeout: float = 120.0,
+                 timeout_error: Optional[Callable[[str], BaseException]] = None,
+                 mp_context=None) -> None:
+        self._work_fn = work_fn
+        self._init_fn = init_fn
+        self._name = name
+        self._heartbeat_interval = float(heartbeat_interval)
+        self._heartbeat_timeout = float(heartbeat_timeout)
+        self._restart_backoff = float(restart_backoff)
+        self._max_backoff = float(max_backoff)
+        self._max_restarts = int(max_restarts)
+        self._max_task_retries = int(max_task_retries)
+        self._poison_threshold = int(poison_threshold)
+        self._init_timeout = float(init_timeout)
+        self._timeout_error = timeout_error or (
+            lambda detail: WorkerCrashedError(detail))
+        self._ctx = mp_context or _preferred_mp_context()
+        self._tasks: "queue.Queue[PoolFuture]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self.restarts = 0
+        self._failures: List[str] = []
+        self._crash_counts: Dict[str, int] = {}
+        self._quarantined: Dict[str, int] = {}
+        self._slots = [_WorkerSlot(index)
+                       for index in range(resolve_n_jobs(n_workers))]
+        self._threads: List[threading.Thread] = []
+        for slot in self._slots:
+            thread = threading.Thread(
+                target=self._shepherd_loop, args=(slot,),
+                name=f"{name}-shepherd-{slot.index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload: Any, *, key: Optional[str] = None,
+               timeout: Optional[float] = None,
+               trace: bool = False) -> PoolFuture:
+        """Queue a task; returns a :class:`PoolFuture` resolved by the pool."""
+        future = PoolFuture(payload, key, timeout, trace)
+        if self._stop.is_set():
+            future._fail(WorkerCrashedError("process pool is stopped"))
+            return future
+        if key is not None:
+            with self._lock:
+                crashes = self._quarantined.get(key)
+            if crashes is not None:
+                future._fail(PoisonJobError(
+                    f"request {key[:12]} quarantined after {crashes} "
+                    f"worker crashes"))
+                return future
+        self._tasks.put(future)
+        return future
+
+    def run(self, payload: Any, *, key: Optional[str] = None,
+            timeout: Optional[float] = None,
+            wait: Optional[float] = None) -> Any:
+        """Submit and wait; ships worker spans under the caller's tracer."""
+        traced = tracing_active()
+        future = self.submit(payload, key=key, timeout=timeout, trace=traced)
+        result = future.result(wait)
+        if traced and future.spans:
+            with span("process.task", pool=self._name) as task_span:
+                task_span.add_remote_children(
+                    merge_remote_spans([future.spans]))
+        return result
+
+    # -- supervision -------------------------------------------------------
+
+    def _shepherd_loop(self, slot: _WorkerSlot) -> None:
+        try:
+            while not self._stop.is_set():
+                if slot.process is None or not slot.process.is_alive():
+                    if slot.process is not None:
+                        self._note_death(slot, "worker exited while idle")
+                    if not self._respawn(slot):
+                        return  # restart budget spent: slot retires
+                    continue
+                try:
+                    task = self._tasks.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                if task.done():
+                    continue  # cancelled while queued
+                self._run_task(slot, task)
+        finally:
+            self._shutdown_slot(slot)
+
+    def _run_task(self, slot: _WorkerSlot, task: PoolFuture) -> None:
+        task.attempts += 1
+        if not _send_safely(slot.conn,
+                            (_MSG_TASK, task.payload, task.trace,
+                             task.attempts)):
+            self._handle_crash(slot, task, "pipe broken on dispatch")
+            return
+        started = time.monotonic()
+        deadline = (started + task.timeout
+                    if task.timeout is not None else None)
+        while True:
+            try:
+                if slot.conn.poll(self._heartbeat_interval):
+                    message = slot.conn.recv()
+                    if message[0] == _MSG_OK:
+                        slot.consecutive_crashes = 0
+                        task._resolve(message[1], message[2])
+                    elif message[0] == _MSG_ERR:
+                        slot.consecutive_crashes = 0
+                        task._fail(message[1], message[2])
+                    else:  # unexpected protocol message: treat as crash
+                        self._handle_crash(slot, task,
+                                           f"protocol error: {message[0]!r}")
+                    return
+            except (EOFError, OSError):
+                self._handle_crash(slot, task, self._death_reason(slot))
+                return
+            if not slot.process.is_alive():
+                code = slot.process.exitcode
+                self._handle_crash(slot, task,
+                                   f"worker exited with code {code}")
+                return
+            if (time.time() - slot.heartbeat.value
+                    > self._heartbeat_timeout):
+                self._kill_worker(slot)
+                self._handle_crash(slot, task, "heartbeat missed")
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                self._kill_worker(slot)
+                self._note_death(slot, "killed: task overran its deadline")
+                task._fail(self._timeout_error(
+                    "worker killed after task overran its deadline"))
+                return
+            if self._stop.is_set():
+                self._kill_worker(slot)
+                task._fail(WorkerCrashedError("pool stopped mid-task"))
+                return
+
+    def _handle_crash(self, slot: _WorkerSlot, task: PoolFuture,
+                      reason: str) -> None:
+        self._kill_worker(slot)
+        self._note_death(slot, reason)
+        if task.done():
+            return
+        if task.key is not None:
+            with self._lock:
+                count = self._crash_counts.get(task.key, 0) + 1
+                self._crash_counts[task.key] = count
+                if count >= self._poison_threshold:
+                    self._quarantined[task.key] = count
+                    poisoned = True
+                else:
+                    poisoned = False
+            if poisoned:
+                task._fail(PoisonJobError(
+                    f"request {task.key[:12]} quarantined after {count} "
+                    f"worker crashes ({reason})"))
+                return
+        if task.attempts > self._max_task_retries:
+            task._fail(WorkerCrashedError(
+                f"task failed after {task.attempts} attempts; "
+                f"last worker death: {reason}"))
+        else:
+            self._tasks.put(task)
+
+    def _death_reason(self, slot: _WorkerSlot) -> str:
+        """Best-effort post-mortem when the pipe tears mid-task."""
+        process = slot.process
+        if process is not None:
+            process.join(timeout=0.5)
+            if process.exitcode is not None:
+                return f"worker exited with code {process.exitcode}"
+        return "pipe torn mid-task"
+
+    def _note_death(self, slot: _WorkerSlot, reason: str) -> None:
+        slot.consecutive_crashes += 1
+        with self._lock:
+            self._failures.append(
+                f"{self._name}-{slot.index} gen{slot.generation}: {reason}")
+
+    def _kill_worker(self, slot: _WorkerSlot) -> None:
+        process = slot.process
+        if process is None:
+            return
+        try:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=2.0)
+        except Exception:  # noqa: BLE001 - already-reaped races
+            pass
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+        slot.process = None
+        slot.conn = None
+
+    def _respawn(self, slot: _WorkerSlot) -> bool:
+        with self._lock:
+            if self._stop.is_set():
+                return False
+            if slot.generation > 0:
+                if self.restarts >= self._max_restarts:
+                    return False
+                self.restarts += 1
+        if slot.consecutive_crashes > 0:
+            delay = min(
+                self._restart_backoff
+                * (2 ** (slot.consecutive_crashes - 1)),
+                self._max_backoff)
+            if self._stop.wait(delay):
+                return False
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        heartbeat = self._ctx.Value("d", time.time(), lock=False)
+        slot.generation += 1
+        process = self._ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, heartbeat, self._init_fn, self._work_fn,
+                  slot.index, slot.generation, self._heartbeat_interval),
+            name=f"{self._name}-{slot.index}-g{slot.generation}",
+            daemon=True)
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.heartbeat = heartbeat
+        slot.pid = process.pid
+        # Handshake: wait for "ready" so tasks never reach a worker that
+        # failed to build its state (e.g. a corrupt cache directory).
+        ready_by = time.monotonic() + self._init_timeout
+        while True:
+            try:
+                if parent_conn.poll(self._heartbeat_interval):
+                    message = parent_conn.recv()
+                    if message[0] == _MSG_READY:
+                        return True
+                    self._kill_worker(slot)
+                    self._note_death(
+                        slot, f"init failed: {message[1]!r}")
+                    return not self._stop.is_set()
+            except (EOFError, OSError):
+                self._kill_worker(slot)
+                self._note_death(slot, "worker died during init")
+                return not self._stop.is_set()
+            if not process.is_alive():
+                self._kill_worker(slot)
+                self._note_death(
+                    slot, f"worker exited during init "
+                          f"(code {process.exitcode})")
+                return not self._stop.is_set()
+            if time.monotonic() > ready_by:
+                self._kill_worker(slot)
+                self._note_death(slot, "worker init timed out")
+                return not self._stop.is_set()
+            if self._stop.is_set():
+                self._kill_worker(slot)
+                return False
+
+    def _shutdown_slot(self, slot: _WorkerSlot) -> None:
+        if slot.conn is not None:
+            _send_safely(slot.conn, (_MSG_STOP,))
+        process = slot.process
+        if process is not None:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        slot.process = None
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+            slot.conn = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._slots)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for slot in self._slots
+                   if slot.process is not None and slot.process.is_alive())
+
+    @property
+    def failures(self) -> List[str]:
+        """Worker-death reasons, oldest first (for diagnostics)."""
+        with self._lock:
+            return list(self._failures)
+
+    @property
+    def quarantined(self) -> Dict[str, int]:
+        """Poisoned content keys -> crash count at quarantine time."""
+        with self._lock:
+            return dict(self._quarantined)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def is_quarantined(self, key: str) -> bool:
+        with self._lock:
+            return key in self._quarantined
+
+    def liveness(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness snapshot for health checks and metrics.
+
+        Returns one entry per slot: worker name, pid, whether the
+        process is currently alive, how many times the slot restarted,
+        and the age of its last heartbeat in seconds.
+        """
+        now = time.time()
+        entries = []
+        for slot in self._slots:
+            process = slot.process
+            beat = slot.heartbeat.value if slot.heartbeat is not None else 0.0
+            entries.append({
+                "worker": f"{self._name}-{slot.index}",
+                "pid": slot.pid,
+                "alive": bool(process is not None and process.is_alive()),
+                "restarts": max(0, slot.generation - 1),
+                "heartbeat_age_s": (
+                    round(now - beat, 6) if beat else None),
+            })
+        return entries
+
+    def stop(self, join: bool = True, timeout: Optional[float] = 5.0) -> None:
+        """Stop shepherds, fail queued tasks, and reap every worker."""
+        self._stop.set()
+        while True:
+            try:
+                task = self._tasks.get_nowait()
+            except queue.Empty:
+                break
+            task.cancel(WorkerCrashedError("pool stopped before task ran"))
+        if join:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        for slot in self._slots:
+            process = slot.process
+            if process is not None and process.is_alive():
+                process.kill()
+                process.join(timeout=timeout)
+                slot.process = None

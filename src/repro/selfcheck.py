@@ -11,9 +11,23 @@ confirm an environment before trusting real estimates from it.
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, List, Tuple
 
 import numpy as np
+
+
+def _selfcheck_pool_task(state, payload):
+    """Worker task for the supervisor property (module-level so spawn
+    start methods can import it): doubles the value, but dies hard on
+    the first delivery of a payload marked ``die``."""
+    from repro.parallel import process_worker_context
+
+    if payload.get("die"):
+        context = process_worker_context()
+        if context is not None and context.attempt <= 1:
+            os._exit(17)
+    return payload["value"] * 2
 
 
 def _checks() -> List[Tuple[str, Callable[[], bool]]]:
@@ -151,6 +165,63 @@ def _checks() -> List[Tuple[str, Callable[[], bool]]]:
                 and stats["entries"] == 1 and stats["bytes"] > 0
                 and stats["hits"] == 1 and stats["misses"] == 1)
 
+    def check_sharded_cache() -> bool:
+        import tempfile
+        import threading
+
+        from repro.service.cache import TIER_ESTIMATE, ShardedResultCache
+
+        with tempfile.TemporaryDirectory() as root:
+            # Two cache instances over one directory stand in for two
+            # processes: flock serializes their per-shard writes.
+            writers = [ShardedResultCache(max_entries=128, persist_dir=root)
+                       for _ in range(2)]
+            errors: List[Exception] = []
+
+            def write(cache, offset) -> None:
+                try:
+                    for i in range(24):
+                        n = offset * 24 + i
+                        cache.put(TIER_ESTIMATE, f"k{n:03d}", {"value": n},
+                                  payload={"value": n})
+                except Exception as exc:  # noqa: BLE001 - checked below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=write,
+                                        args=(writers[j % 2], j))
+                       for j in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # A restarted reader trusts only what rebuild() verified.
+            reader = ShardedResultCache(max_entries=128, persist_dir=root)
+            report = reader.rebuild()
+            good = (not errors and report["valid"] == 96
+                    and report["quarantined"] == 0)
+            for n in range(96):
+                good = good and (reader.get(TIER_ESTIMATE, f"k{n:03d}")
+                                 == {"value": n})
+            return good
+
+    def check_process_supervisor() -> bool:
+        from repro.parallel import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(
+            _selfcheck_pool_task, n_workers=1, name="selfcheck-pool",
+            heartbeat_interval=0.02, heartbeat_timeout=1.0,
+            restart_backoff=0.01, max_backoff=0.1, init_timeout=60.0)
+        try:
+            before = pool.run({"die": False, "value": 3}, timeout=30.0)
+            # The first delivery kills the worker; supervision restarts
+            # it and requeues the task, whose second delivery computes.
+            killed = pool.run({"die": True, "value": 5}, timeout=60.0)
+            after = pool.run({"die": False, "value": 7}, timeout=30.0)
+            return (before == 6 and killed == 10 and after == 14
+                    and pool.restarts >= 1)
+        finally:
+            pool.stop()
+
     def check_backend() -> bool:
         from repro.backend import get_backend, warmup_backend
 
@@ -177,6 +248,10 @@ def _checks() -> List[Tuple[str, Callable[[], bool]]]:
          check_delta_engine),
         ("result cache accounts entries, bytes, and hit/miss traffic",
          check_result_cache),
+        ("sharded cache round-trips under concurrent writers",
+         check_sharded_cache),
+        ("process supervisor restarts a killed worker and requeues",
+         check_process_supervisor),
     ]
 
 

@@ -19,6 +19,7 @@ catalog.
 
 from repro.service.cache import (
     ResultCache,
+    ShardedResultCache,
     TIER_CHARACTERIZATION,
     TIER_ESTIMATE,
     TIER_RG,
@@ -40,6 +41,12 @@ from repro.service.faults import (
     injector_from_env,
     parse_spec,
 )
+from repro.service.fleet import (
+    FrontServer,
+    HashRing,
+    ReplicaFleet,
+    create_front,
+)
 from repro.service.http import LeakageHTTPServer, create_server, serve
 from repro.service.jobs import (
     DeadlineExceeded,
@@ -54,6 +61,7 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import MetricsRegistry
 from repro.service.pipeline import EstimationPipeline
+from repro.service.procworker import ProcessWorkerConfig
 from repro.service.scheduler import EstimationScheduler
 from repro.service.sweep import (
     MAX_SWEEP_POINTS,
@@ -73,8 +81,11 @@ __all__ = [
     "EstimationScheduler",
     "FaultInjector",
     "FaultRule",
+    "FrontServer",
+    "HashRing",
     "InjectedFault",
     "Job",
+    "ReplicaFleet",
     "JobCancelledError",
     "JobFailedError",
     "JobState",
@@ -83,10 +94,12 @@ __all__ = [
     "MAX_SWEEP_POINTS",
     "MetricsRegistry",
     "NO_RETRY",
+    "ProcessWorkerConfig",
     "QueueFullError",
     "RemoteClient",
     "ResultCache",
     "RetryPolicy",
+    "ShardedResultCache",
     "SWEEP_AXES",
     "ServiceClient",
     "SweepAxisSpec",
@@ -98,6 +111,7 @@ __all__ = [
     "TIER_RG",
     "WhatIfRequest",
     "cache_stamp",
+    "create_front",
     "create_server",
     "injector_from_env",
     "parse_spec",

@@ -36,11 +36,14 @@ therefore delay an answer but never change one.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import shutil
 import subprocess
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional
@@ -49,8 +52,14 @@ from repro import __version__
 from repro.service.faults import (
     SITE_CACHE_READ,
     SITE_CACHE_WRITE,
+    SITE_SHARD_LOCK_TIMEOUT,
     FaultInjector,
 )
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: shard locks degrade to no-ops
+    fcntl = None
 
 #: Bump when the on-disk entry layout changes (v2: payload checksum).
 CACHE_SCHEMA_VERSION = 2
@@ -369,3 +378,230 @@ class ResultCache:
                 data["bytes"] = sum(self._sizes[tier].values())
                 report[tier] = data
             return report
+
+
+class ShardedResultCache(ResultCache):
+    """Hash-partitioned :class:`ResultCache` safe for concurrent writers
+    across processes.
+
+    The disk layer is split into ``n_shards`` directories
+    (``shard-00/``, ``shard-01/``, ...; a key's shard is its SHA-256
+    prefix mod ``n_shards``), each guarded by a ``.lock`` file taken
+    with ``fcntl.flock`` — shared for reads, exclusive for writes — so
+    a fleet of worker processes and replicas can share one cache
+    directory without coordination. Entry format, checksums, and the
+    per-entry quarantine path are inherited unchanged from the base
+    class (v2 entries).
+
+    Two failure policies are layered on top:
+
+    - **Lock timeouts are misses, never stalls.** A shard lock that
+      cannot be taken within ``lock_timeout`` seconds degrades the
+      operation — reads report a miss, writes update memory only — and
+      is counted in ``repro_cache_lock_timeouts_total{tier=...}``. The
+      ``shard.lock_timeout`` fault site simulates this.
+    - **Shard-level corruption quarantine.** A shard that accumulates
+      ``shard_corruption_threshold`` corrupt entries is presumed
+      damaged (torn filesystem, bad disk) and moved wholesale to the
+      quarantine directory; a fresh empty shard takes its place.
+
+    :meth:`rebuild` is the restart path: it walks every shard, drops
+    stale-stamp entries, quarantines corrupt ones, and reports what it
+    found, so a crashed process's cache directory is verified before
+    being trusted.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 persist_dir: Optional[str] = None,
+                 metrics=None,
+                 stamp: Optional[str] = None,
+                 faults: Optional[FaultInjector] = None,
+                 n_shards: int = 8,
+                 lock_timeout: float = 2.0,
+                 shard_corruption_threshold: int = 4) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        super().__init__(max_entries=max_entries, persist_dir=persist_dir,
+                         metrics=metrics, stamp=stamp, faults=faults)
+        self.n_shards = int(n_shards)
+        self.lock_timeout = float(lock_timeout)
+        self._shard_corruption_threshold = int(shard_corruption_threshold)
+        self._shard_corruptions: Dict[int, int] = {}
+        self._lock_timeouts = None
+        if metrics is not None:
+            self._lock_timeouts = metrics.counter(
+                "repro_cache_lock_timeouts_total",
+                "Shard lock acquisitions that timed out (degraded to "
+                "miss/skip).",
+                labelnames=("tier",))
+
+    # -- sharding ----------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return int(digest[:8], 16) % self.n_shards
+
+    def _shard_name(self, shard: int) -> str:
+        return f"shard-{shard:02d}"
+
+    def _shard_dir(self, shard: int) -> str:
+        return os.path.join(self.persist_dir, self._shard_name(shard))
+
+    def _path(self, tier: str, key: str) -> Optional[str]:
+        if self.persist_dir is None:
+            return None
+        return os.path.join(self._shard_dir(self.shard_of(key)),
+                            tier, f"{key}.json")
+
+    # -- shard locks -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _shard_lock(self, shard: int, exclusive: bool):
+        """Acquire the shard's flock; yields False on (real or injected)
+        timeout instead of blocking callers indefinitely."""
+        if self.persist_dir is None or fcntl is None:
+            yield True
+            return
+        if (self._faults is not None
+                and self._faults.should_fire(SITE_SHARD_LOCK_TIMEOUT)):
+            yield False
+            return
+        directory = self._shard_dir(shard)
+        os.makedirs(directory, exist_ok=True)
+        lock_path = os.path.join(directory, ".lock")
+        operation = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        deadline = time.monotonic() + self.lock_timeout
+        with open(lock_path, "a") as handle:
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(),
+                                operation | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        yield False
+                        return
+                    time.sleep(0.005)
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _note_lock_timeout(self, tier: str) -> None:
+        if self._lock_timeouts is not None:
+            self._lock_timeouts.inc(tier=tier)
+
+    def _disk_read(self, tier: str, key: str) -> Any:
+        if self.persist_dir is None:
+            return MISS
+        with self._shard_lock(self.shard_of(key), exclusive=False) as held:
+            if not held:
+                self._note_lock_timeout(tier)
+                return MISS
+            return super()._disk_read(tier, key)
+
+    def _disk_write(self, tier: str, key: str, payload: Any) -> None:
+        if self.persist_dir is None:
+            return
+        with self._shard_lock(self.shard_of(key), exclusive=True) as held:
+            if not held:
+                self._note_lock_timeout(tier)
+                return  # memory tier already updated; disk write skipped
+            super()._disk_write(tier, key, payload)
+
+    # -- shard-level quarantine --------------------------------------------
+
+    def _quarantine(self, tier: str, key: str, path: str,
+                    cause: str) -> None:
+        super()._quarantine(tier, key, path, cause)
+        shard = self.shard_of(key)
+        with self._lock:
+            count = self._shard_corruptions.get(shard, 0) + 1
+            self._shard_corruptions[shard] = count
+            tripped = count >= self._shard_corruption_threshold
+            if tripped:
+                self._shard_corruptions[shard] = 0
+        if tripped:
+            self._quarantine_shard(shard)
+
+    def _quarantine_shard(self, shard: int) -> None:
+        """Move a whole damaged shard aside and start it fresh."""
+        source = self._shard_dir(shard)
+        destination = os.path.join(
+            self.persist_dir, QUARANTINE_DIR,
+            f"{self._shard_name(shard)}.{uuid.uuid4().hex[:8]}")
+        try:
+            os.makedirs(os.path.dirname(destination), exist_ok=True)
+            os.replace(source, destination)
+        except OSError:
+            try:
+                shutil.rmtree(source, ignore_errors=True)
+            except OSError:
+                pass
+        try:
+            os.makedirs(source, exist_ok=True)
+        except OSError:
+            pass
+
+    # -- restart path ------------------------------------------------------
+
+    def rebuild(self) -> Dict[str, int]:
+        """Validate every on-disk entry after a restart.
+
+        Walks all shards under an exclusive lock, quarantining entries
+        that fail to parse or checksum and dropping entries stamped by
+        another code revision. Valid entries stay on disk (they promote
+        into memory lazily on first hit). Returns a report:
+        ``{"scanned", "valid", "quarantined", "stale_dropped"}``.
+        """
+        report = {"scanned": 0, "valid": 0, "quarantined": 0,
+                  "stale_dropped": 0}
+        if self.persist_dir is None:
+            return report
+        for shard in range(self.n_shards):
+            shard_dir = self._shard_dir(shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            with self._shard_lock(shard, exclusive=True) as held:
+                if not held:
+                    continue  # busy shard: another process owns it now
+                for tier in TIERS:
+                    tier_dir = os.path.join(shard_dir, tier)
+                    if not os.path.isdir(tier_dir):
+                        continue
+                    for filename in sorted(os.listdir(tier_dir)):
+                        if not filename.endswith(".json"):
+                            continue
+                        key = filename[:-len(".json")]
+                        path = os.path.join(tier_dir, filename)
+                        report["scanned"] += 1
+                        report[self._validate_entry(tier, key, path)] += 1
+        return report
+
+    def _validate_entry(self, tier: str, key: str, path: str) -> str:
+        """Classify one disk entry; quarantines/unlinks as needed."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return "stale_dropped"  # vanished mid-scan: concurrent writer
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(tier, key, path, "unparseable")
+            return "quarantined"
+        if not isinstance(document, dict) or "payload" not in document:
+            self._quarantine(tier, key, path, "malformed")
+            return "quarantined"
+        if (document.get("stamp") != self.stamp
+                or document.get("tier") != tier
+                or document.get("key") != key):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return "stale_dropped"
+        if document.get("checksum") != payload_checksum(document["payload"]):
+            self._quarantine(tier, key, path, "checksum mismatch")
+            return "quarantined"
+        return "valid"

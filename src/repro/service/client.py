@@ -22,6 +22,7 @@ exception object.
 
 from __future__ import annotations
 
+import functools
 import http.client
 import json
 import random
@@ -38,8 +39,23 @@ from repro.exceptions import (
     ServiceError,
     UnknownBaseError,
 )
-from repro.service.cache import ResultCache
-from repro.service.faults import FaultInjector
+from repro.parallel import ProcessWorkerPool, resolve_n_jobs
+from repro.service.cache import (
+    MISS,
+    ResultCache,
+    ShardedResultCache,
+    TIER_ESTIMATE,
+)
+from repro.service.faults import (
+    SITE_WORKER_KILL,
+    SITE_WORKER_STALL,
+    FaultInjector,
+)
+from repro.service.procworker import (
+    ProcessWorkerConfig,
+    run_task,
+    worker_init,
+)
 from repro.service.jobs import (
     DeadlineExceeded,
     EstimateRequest,
@@ -104,6 +120,31 @@ class ServiceClient:
         (worker crashes), and the pipeline (compute hangs). ``None``
         (the default) leaves every injection point compiled out to a
         single ``is None`` test.
+    worker_mode:
+        ``"thread"`` (default) computes in scheduler worker threads;
+        ``"process"`` ships each job to a supervised
+        :class:`~repro.parallel.ProcessWorkerPool` of OS-process
+        workers (crash-only serving: a worker that dies or stops
+        heartbeating is killed and replaced, the job is requeued, and
+        poison requests are quarantined). Process mode uses a
+        :class:`~repro.service.cache.ShardedResultCache` so the parent
+        and every worker can share one cache directory; the parent
+        still answers warm estimate-tier hits in-process, so repeat
+        traffic never pays the pipe.
+    cache_shards:
+        Shard count for the sharded cache layout (both sides must
+        agree; ignored when the plain cache is in use).
+    sharded_cache:
+        Force the :class:`~repro.service.cache.ShardedResultCache` even
+        in thread mode. Replica fleets set this so multiple replica
+        processes can share one ``cache_dir`` safely — per-shard file
+        locks serialize cross-process writers. Process mode always
+        shards regardless of this flag.
+    process_pool:
+        Optional dict of :class:`~repro.parallel.ProcessWorkerPool`
+        overrides (``heartbeat_interval``, ``heartbeat_timeout``,
+        ``restart_backoff``, ``max_restarts``, ``max_task_retries``,
+        ``poison_threshold``, ...) for tests and chaos runs.
     """
 
     def __init__(self, workers: int = 2, queue_limit: int = 64,
@@ -111,7 +152,21 @@ class ServiceClient:
                  default_timeout: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  library=None,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 worker_mode: str = "thread",
+                 cache_shards: int = 8,
+                 sharded_cache: bool = False,
+                 process_pool: Optional[Dict[str, Any]] = None) -> None:
+        if worker_mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"worker_mode must be 'thread' or 'process', "
+                f"got {worker_mode!r}")
+        if worker_mode == "process" and library is not None:
+            raise ConfigurationError(
+                "worker_mode='process' cannot take a library override: "
+                "worker processes build the default library after the "
+                "fork and would silently diverge from it")
+        self.worker_mode = worker_mode
         self.metrics = MetricsRegistry() if metrics is None else metrics
         if faults is not None and faults.metrics is None:
             faults.bind_metrics(self.metrics)
@@ -120,16 +175,63 @@ class ServiceClient:
             "repro_requests_total",
             "Estimation requests accepted, by submission mode.",
             labelnames=("mode",))
-        self.cache = ResultCache(max_entries=cache_entries,
-                                 persist_dir=cache_dir,
-                                 metrics=self.metrics,
-                                 faults=faults)
+        self._worker_up = self.metrics.gauge(
+            "repro_worker_up",
+            "1 while the named worker (thread or process) is alive.",
+            labelnames=("worker",))
+        self._worker_restarts_total = self.metrics.counter(
+            "repro_worker_restarts_total",
+            "Replacement worker threads started by supervision.")
+        self._pool_restarts_seen = 0
+        #: Cache-directory verification report from process-mode startup
+        #: (``None`` in thread mode / without a persist dir).
+        self.cache_rebuild: Optional[Dict[str, int]] = None
+        self._process_pool: Optional[ProcessWorkerPool] = None
+
+        if worker_mode == "process" or sharded_cache:
+            self.cache = ShardedResultCache(
+                max_entries=cache_entries, persist_dir=cache_dir,
+                metrics=self.metrics, faults=faults, n_shards=cache_shards)
+            if cache_dir is not None:
+                # Crash-safe restart: verify what a (possibly crashed)
+                # predecessor left on disk before trusting it.
+                self.cache_rebuild = self.cache.rebuild()
+        else:
+            self.cache = ResultCache(max_entries=cache_entries,
+                                     persist_dir=cache_dir,
+                                     metrics=self.metrics,
+                                     faults=faults)
+
+        if worker_mode == "process":
+            pool_options = dict(process_pool or {})
+            config = ProcessWorkerConfig(
+                cache_dir=cache_dir,
+                cache_entries=cache_entries,
+                cache_stamp=self.cache.stamp,
+                n_shards=cache_shards,
+                lock_timeout=self.cache.lock_timeout,
+                fault_rules=faults.rules() if faults is not None else {},
+                fault_seed=faults.seed if faults is not None else 0,
+                fault_hang_seconds=(faults.hang_seconds
+                                    if faults is not None else 0.5))
+            self._chaos_stall_seconds = 3.0 * float(pool_options.get(
+                "heartbeat_timeout", 2.0))
+            self._process_pool = ProcessWorkerPool(
+                run_task,
+                n_workers=resolve_n_jobs(workers),
+                init_fn=functools.partial(worker_init, config),
+                name="repro-procworker",
+                timeout_error=DeadlineExceeded,
+                **pool_options)
+            compute = self._compute_process
+        else:
+            compute = self._compute
         self.pipeline = EstimationPipeline(cache=self.cache,
                                            metrics=self.metrics,
                                            library=library,
                                            faults=faults)
         self.scheduler = EstimationScheduler(
-            self._compute, workers=workers, queue_limit=queue_limit,
+            compute, workers=workers, queue_limit=queue_limit,
             default_timeout=default_timeout, metrics=self.metrics,
             faults=faults)
 
@@ -140,6 +242,83 @@ class ServiceClient:
         if isinstance(request, WhatIfRequest):
             return self.pipeline.whatif(request, job)
         return self.pipeline(request, job)
+
+    # -- process-mode dispatch --------------------------------------------
+
+    def _draw_chaos(self) -> Optional[str]:
+        """Parent-side worker chaos decision for the next dispatch.
+
+        Drawn here — one fleet-wide seeded stream with one ``max_fires``
+        budget — rather than inside workers, whose injectors (and their
+        budgets) are reborn on every respawn and would crash-loop.
+        """
+        if self.faults is None:
+            return None
+        if self.faults.should_fire(SITE_WORKER_KILL):
+            return "kill"
+        if self.faults.should_fire(SITE_WORKER_STALL):
+            return "stall"
+        return None
+
+    def _compute_process(self, request, job=None):
+        """Scheduler compute hook for process mode: descriptor over the
+        pipe out, live result object back.
+
+        The estimate-tier warm path stays in the parent — a memory or
+        disk hit never touches the pool — so warm latency matches
+        thread mode. Cold results are computed (and disk-cached) by a
+        worker process, then promoted into the parent's memory tier.
+        """
+        if isinstance(request, SweepRequest):
+            key = request.key()
+            descriptor = {"kind": "sweep", "request": request.to_dict()}
+        elif isinstance(request, WhatIfRequest):
+            base_request = self.pipeline.base_request(request.base)
+            if base_request is None:
+                raise UnknownBaseError(
+                    f"unknown base {request.base!r}; run the full "
+                    "estimate first — the server records every estimate "
+                    "it serves under its content hash")
+            key = request.key()
+            descriptor = {"kind": "whatif", "request": request.to_dict(),
+                          "base_request": base_request.to_dict()}
+        else:
+            key = request.key()
+            self.pipeline._record_base(key, request)
+            cached = self.cache.get(TIER_ESTIMATE, key,
+                                    revive=LeakageEstimate.from_dict)
+            if cached is not MISS:
+                return cached
+            descriptor = {"kind": "estimate", "request": request.to_dict()}
+        if job is not None:
+            descriptor["id"] = job.id
+        remaining = job.time_remaining() if job is not None else None
+        pool_timeout = None
+        if remaining is not None:
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"job {descriptor.get('id', key[:12])} exceeded its "
+                    "deadline before dispatch")
+            descriptor["remaining"] = remaining
+            # The worker aborts cooperatively at `remaining`; the hard
+            # kill fires slightly later so a typed DeadlineExceeded can
+            # cross the pipe — and well inside the scheduler
+            # supervisor's hang grace, so this thread never gets
+            # abandoned while the pool is still resolving the future.
+            pool_timeout = remaining + min(
+                0.5, 0.45 * self.scheduler.hang_grace)
+        chaos = self._draw_chaos()
+        if chaos is not None:
+            descriptor["chaos"] = chaos
+            descriptor["stall_seconds"] = self._chaos_stall_seconds
+        result = self._process_pool.run(descriptor, key=key,
+                                        timeout=pool_timeout)
+        if (isinstance(request, EstimateRequest)
+                and not result.details.get("degraded")):
+            # Memory tier only: the worker already wrote the disk entry
+            # under the shard lock.
+            self.cache.put(TIER_ESTIMATE, key, result)
+        return result
 
     # -- the four verbs ---------------------------------------------------
 
@@ -231,11 +410,35 @@ class ServiceClient:
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         return self.cache.stats()
 
+    def worker_liveness(self) -> list:
+        """Per-worker liveness entries (name, pid, alive, restarts,
+        heartbeat age), refreshing ``repro_worker_up`` and — in process
+        mode — ``repro_worker_restarts_total`` as a side effect.
+
+        In thread mode entries describe the scheduler's worker threads
+        (no heartbeats; restarts are counted by the scheduler itself).
+        """
+        if self._process_pool is not None:
+            entries = self._process_pool.liveness()
+            restarts = self._process_pool.restarts
+            delta = restarts - self._pool_restarts_seen
+            if delta > 0:
+                self._pool_restarts_seen = restarts
+                self._worker_restarts_total.inc(delta)
+        else:
+            entries = self.scheduler.worker_liveness()
+        for entry in entries:
+            self._worker_up.set(1.0 if entry["alive"] else 0.0,
+                                worker=entry["worker"])
+        return entries
+
     def metrics_text(self) -> str:
         return self.metrics.render()
 
     def close(self) -> None:
         self.scheduler.close()
+        if self._process_pool is not None:
+            self._process_pool.stop()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -372,12 +575,15 @@ _KIND_EXCEPTIONS = {
 }
 
 #: Connection-level exceptions worth retrying (server unreachable or the
-#: connection died mid-flight; includes injected disconnects).
+#: connection died mid-flight; includes injected disconnects). ``OSError``
+#: is the base of ``URLError``, ``ConnectionError``, and the raw socket
+#: errors a dying or draining server surfaces before urllib can wrap
+#: them — catching it here keeps every connection-level failure inside
+#: the circuit breaker's accounting. ``HTTPError`` (also an ``OSError``)
+#: is unaffected: its dedicated handler runs first.
 _RETRIABLE_CONNECTION_ERRORS = (
-    urllib.error.URLError,  # DNS, refused, reset wrapped by urllib
+    OSError,  # URLError, ConnectionError, raw socket errors, timeouts
     http.client.HTTPException,  # truncated/invalid response frames
-    ConnectionError,
-    TimeoutError,
 )
 
 

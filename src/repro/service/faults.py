@@ -23,6 +23,21 @@ sites:
     the remote client must retry (safe: requests are content-hashed
     and idempotent).
 
+Process-level deployments add four more sites:
+
+``worker.kill``
+    A process worker hard-exits (``os._exit``) mid-task — the
+    heartbeat supervisor must requeue the task and restart the worker.
+``worker.stall``
+    A process worker stops heartbeating and blocks (as a GIL-held hang
+    would) — the supervisor must kill and replace it.
+``replica.kill``
+    A whole serving replica hard-exits — the fleet supervisor must
+    restart it and the front router must fail requests over.
+``shard.lock_timeout``
+    A sharded-cache lock acquisition times out — reads degrade to a
+    miss and writes are skipped; results must still be computed.
+
 Injection is **off by default and free when off**: components hold
 ``faults=None`` and guard every site with a single ``is None`` check,
 so the fault-free hot path pays one pointer comparison per injection
@@ -56,6 +71,10 @@ SITE_COMPUTE_HANG = "compute.hang"
 SITE_CACHE_READ = "cache.read"
 SITE_CACHE_WRITE = "cache.write"
 SITE_HTTP_DISCONNECT = "http.disconnect"
+SITE_WORKER_KILL = "worker.kill"
+SITE_WORKER_STALL = "worker.stall"
+SITE_REPLICA_KILL = "replica.kill"
+SITE_SHARD_LOCK_TIMEOUT = "shard.lock_timeout"
 
 SITES = (
     SITE_WORKER_CRASH,
@@ -63,6 +82,10 @@ SITES = (
     SITE_CACHE_READ,
     SITE_CACHE_WRITE,
     SITE_HTTP_DISCONNECT,
+    SITE_WORKER_KILL,
+    SITE_WORKER_STALL,
+    SITE_REPLICA_KILL,
+    SITE_SHARD_LOCK_TIMEOUT,
 )
 
 #: Environment knobs read by :func:`injector_from_env`.
@@ -244,6 +267,15 @@ class FaultInjector:
         if not self.should_fire(site):
             return raw
         return raw[: len(raw) // 2] + b"\x00<torn>"
+
+    def rules(self) -> Dict[str, FaultRule]:
+        """The configured per-site rules.
+
+        :class:`FaultRule` is a frozen picklable dataclass while the
+        injector itself is not (per-site locks), so this is how a
+        parent process ships a site subset to its worker processes.
+        """
+        return {site: state.rule for site, state in self._sites.items()}
 
     # -- accounting -------------------------------------------------------
 

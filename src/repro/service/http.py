@@ -304,9 +304,18 @@ class _Handler(BaseHTTPRequestHandler):
         pipeline = getattr(client, "pipeline", None)
         if pipeline is not None:
             details["base_store"] = pipeline.base_store_stats()
+        worker_liveness = getattr(client, "worker_liveness", None)
+        if callable(worker_liveness):
+            # Per-worker pid / restarts / heartbeat age; also refreshes
+            # the repro_worker_up gauge as a side effect.
+            details["workers"] = worker_liveness()
+        rebuild = getattr(client, "cache_rebuild", None)
+        if rebuild is not None:
+            details["cache_rebuild"] = rebuild
         document = {
             "status": "ok" if workers > 0 else "unhealthy",
             "workers": workers,
+            "worker_mode": getattr(client, "worker_mode", "thread"),
             "queue_depth": client.scheduler.queue_depth,
             "version": __version__,
             "backend": self.server.backend_name,

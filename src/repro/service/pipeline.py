@@ -492,6 +492,16 @@ class EstimationPipeline:
         with self._base_lock:
             return key in self._base_requests
 
+    def base_request(self, key: str) -> Optional[EstimateRequest]:
+        """The recorded request for ``key`` (None when never served).
+
+        Process-mode serving ships this document to worker processes so
+        a worker forked after the base was recorded can still rebuild
+        the base snapshot locally.
+        """
+        with self._base_lock:
+            return self._base_requests.get(key)
+
     def base_store_stats(self) -> Dict[str, int]:
         """Counts for health introspection: recorded request documents
         and materialized :class:`BaseEstimate` snapshots."""

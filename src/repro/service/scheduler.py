@@ -258,6 +258,11 @@ class EstimationScheduler:
     def worker_restarts(self) -> int:
         return self._pool.restarts
 
+    def worker_liveness(self):
+        """Per-worker-thread liveness entries (see
+        :meth:`repro.parallel.ThreadWorkerPool.liveness`)."""
+        return self._pool.liveness()
+
     @property
     def inflight_count(self) -> int:
         with self._lock:

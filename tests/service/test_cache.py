@@ -11,6 +11,7 @@ import pytest
 from repro.service.cache import (
     MISS,
     ResultCache,
+    ShardedResultCache,
     TIER_CHARACTERIZATION,
     TIER_ESTIMATE,
     TIER_RG,
@@ -251,3 +252,152 @@ class TestIntegrity:
                 == payload_checksum({"b": 2, "a": 1}))
         assert (payload_checksum({"a": 1})
                 != payload_checksum({"a": 2}))
+
+
+def _sharded_writer_main(persist_dir, writer_index, n_keys):
+    """Child-process body for the cross-process writer test."""
+    cache = ShardedResultCache(persist_dir=persist_dir, n_shards=4,
+                               stamp="v2:test")
+    for item in range(n_keys):
+        key = f"proc-{writer_index}-{item}"
+        cache.put(TIER_ESTIMATE, key, {"v": item},
+                  payload={"v": item, "writer": writer_index})
+
+
+class TestShardedCache:
+    def test_round_trip_lands_in_shard_directories(self, tmp_path):
+        cache = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4)
+        keys = [f"key-{index}" for index in range(16)]
+        for index, key in enumerate(keys):
+            cache.put(TIER_ESTIMATE, key, {"v": index},
+                      payload={"v": index})
+        cache.clear_memory()
+        for index, key in enumerate(keys):
+            assert cache.get(TIER_ESTIMATE, key) == {"v": index}
+            shard = cache.shard_of(key)
+            assert (tmp_path / f"shard-{shard:02d}" / TIER_ESTIMATE
+                    / f"{key}.json").exists()
+        # 16 hash-distributed keys use more than one shard.
+        assert len({cache.shard_of(key) for key in keys}) > 1
+
+    def test_persistence_across_instances(self, tmp_path):
+        first = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4)
+        first.put(TIER_ESTIMATE, "k", {"mean": 2.5}, payload={"mean": 2.5})
+        second = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4)
+        assert second.get(TIER_ESTIMATE, "k") == {"mean": 2.5}
+
+    def test_concurrent_writers_across_processes(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        n_writers, per_writer = 4, 20
+        processes = [
+            context.Process(target=_sharded_writer_main,
+                            args=(str(tmp_path), index, per_writer))
+            for index in range(n_writers)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        reader = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4,
+                                    stamp="v2:test")
+        for writer_index in range(n_writers):
+            for item in range(per_writer):
+                key = f"proc-{writer_index}-{item}"
+                assert reader.get(TIER_ESTIMATE, key) == {
+                    "v": item, "writer": writer_index}
+
+    def test_lock_timeout_degrades_to_miss_never_stalls(self, tmp_path):
+        from repro.service.faults import (
+            FaultInjector, FaultRule, SITE_SHARD_LOCK_TIMEOUT)
+
+        registry = MetricsRegistry()
+        clean = ShardedResultCache(persist_dir=str(tmp_path), n_shards=2)
+        clean.put(TIER_ESTIMATE, "k", {"v": 1}, payload={"v": 1})
+        faults = FaultInjector(
+            {SITE_SHARD_LOCK_TIMEOUT: FaultRule(1.0, 2)})
+        cache = ShardedResultCache(persist_dir=str(tmp_path), n_shards=2,
+                                   metrics=registry, faults=faults)
+        # Fire 1: the read lock "times out" -> miss, not a hang.
+        assert cache.get(TIER_ESTIMATE, "k") is MISS
+        # Fire 2: the write lock "times out" -> memory updated, disk not.
+        cache.put(TIER_ESTIMATE, "k2", {"v": 2}, payload={"v": 2})
+        assert cache.get(TIER_ESTIMATE, "k2") == {"v": 2}  # memory hit
+        shard = cache.shard_of("k2")
+        assert not (tmp_path / f"shard-{shard:02d}" / TIER_ESTIMATE
+                    / "k2.json").exists()
+        counter = registry.get("repro_cache_lock_timeouts_total")
+        assert counter.value(tier=TIER_ESTIMATE) == 2
+        # Budget spent: the disk layer works again.
+        assert cache.get(TIER_ESTIMATE, "k") == {"v": 1}
+
+    def _same_shard_keys(self, cache, count):
+        keys, target = [], None
+        index = 0
+        while len(keys) < count:
+            key = f"shardmate-{index}"
+            index += 1
+            shard = cache.shard_of(key)
+            if target is None:
+                target = shard
+            if shard == target:
+                keys.append(key)
+        return target, keys
+
+    def test_repeated_corruption_quarantines_the_whole_shard(self, tmp_path):
+        cache = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4,
+                                   shard_corruption_threshold=3)
+        shard, keys = self._same_shard_keys(cache, 4)
+        for key in keys:
+            cache.put(TIER_ESTIMATE, key, {"v": 1}, payload={"v": 1})
+        shard_dir = tmp_path / f"shard-{shard:02d}"
+        for key in keys:
+            path = shard_dir / TIER_ESTIMATE / f"{key}.json"
+            document = json.loads(path.read_text())
+            document["payload"] = {"v": 999}  # break the checksum
+            path.write_text(json.dumps(document))
+        cache.clear_memory()
+        for key in keys[:3]:  # third corruption trips the shard breaker
+            assert cache.get(TIER_ESTIMATE, key) is MISS
+        quarantined_shards = [entry for entry
+                              in (tmp_path / "quarantine").iterdir()
+                              if entry.name.startswith(f"shard-{shard:02d}.")]
+        assert len(quarantined_shards) == 1
+        # The fourth corrupt entry went with its shard: a fresh read is
+        # a plain miss and the slot accepts clean traffic again.
+        assert cache.get(TIER_ESTIMATE, keys[3]) is MISS
+        cache.put(TIER_ESTIMATE, keys[3], {"v": 5}, payload={"v": 5})
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, keys[3]) == {"v": 5}
+
+    def test_rebuild_validates_quarantines_and_drops(self, tmp_path):
+        cache = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4)
+        for index in range(6):
+            cache.put(TIER_ESTIMATE, f"good-{index}", {"v": index},
+                      payload={"v": index})
+        # One corrupt entry (checksum break) and one stale-stamp entry.
+        bad_path = (tmp_path / f"shard-{cache.shard_of('good-0'):02d}"
+                    / TIER_ESTIMATE / "good-0.json")
+        document = json.loads(bad_path.read_text())
+        document["payload"] = {"v": -1}
+        bad_path.write_text(json.dumps(document))
+        stale_path = (tmp_path / f"shard-{cache.shard_of('good-1'):02d}"
+                      / TIER_ESTIMATE / "good-1.json")
+        document = json.loads(stale_path.read_text())
+        document["stamp"] = "v2:other-revision"
+        stale_path.write_text(json.dumps(document))
+
+        restarted = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4)
+        report = restarted.rebuild()
+        assert report["scanned"] == 6
+        assert report["valid"] == 4
+        assert report["quarantined"] == 1
+        assert report["stale_dropped"] == 1
+        for index in range(2, 6):
+            assert restarted.get(TIER_ESTIMATE, f"good-{index}") == {
+                "v": index}
+        assert restarted.get(TIER_ESTIMATE, "good-0") is MISS
+        assert restarted.get(TIER_ESTIMATE, "good-1") is MISS

@@ -170,6 +170,31 @@ class TestRetryPolicy:
         assert client.attempts == 3
         assert client.retries == 2
 
+    def test_raw_oserror_is_retried_like_a_connection_error(self):
+        # A dying/draining server can surface a bare OSError before
+        # urllib wraps it (e.g. EPIPE straight off the socket); it must
+        # take the same retry path as wrapped connection errors.
+        client = ScriptedClient([
+            OSError(32, "Broken pipe"),
+            {"ok": True},
+        ])
+        assert client._call("GET", "/v1/jobs") == {"ok": True}
+        assert client.attempts == 2
+        assert client.retries == 1
+
+    def test_raw_oserror_lands_in_breaker_accounting(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        client = ScriptedClient(
+            [OSError(104, "Connection reset by peer") for _ in range(4)],
+            breaker=breaker)
+        # Both raw-OSError attempts count as breaker failures, so the
+        # third attempt finds the breaker open -- no longer bypassing
+        # the accounting.
+        with pytest.raises(CircuitOpenError):
+            client._call("GET", "/v1/jobs")
+        assert breaker.state == "open"
+        assert client.attempts == 2
+
     def test_retriable_statuses_are_retried(self):
         client = ScriptedClient([http_error(503, kind="draining"),
                                  {"ok": True}])
