@@ -644,6 +644,7 @@ class ProcessWorkerPool:
         self._quarantined: Dict[str, int] = {}
         self._slots = [_WorkerSlot(index)
                        for index in range(resolve_n_jobs(n_workers))]
+        self._live_shepherds = len(self._slots)
         self._threads: List[threading.Thread] = []
         for slot in self._slots:
             thread = threading.Thread(
@@ -671,6 +672,11 @@ class ProcessWorkerPool:
                     f"worker crashes"))
                 return future
         self._tasks.put(future)
+        if self._stop.is_set():
+            # Raced with stop()/pool retirement past their queue drain:
+            # no shepherd will ever pick this up, so fail it now
+            # (idempotent if a live shepherd already grabbed it).
+            future.cancel(WorkerCrashedError("process pool is stopped"))
         return future
 
     def run(self, payload: Any, *, key: Optional[str] = None,
@@ -706,6 +712,33 @@ class ProcessWorkerPool:
                 self._run_task(slot, task)
         finally:
             self._shutdown_slot(slot)
+            self._retire_shepherd()
+
+    def _retire_shepherd(self) -> None:
+        """Bookkeeping when a shepherd thread exits.
+
+        When the LAST shepherd retires while the pool is still
+        nominally running (every slot spent its restart budget), the
+        pool flips to stopped and fails everything queued — otherwise
+        queued futures, and submissions racing the flip, would hang
+        forever with no worker left to pick them up.
+        """
+        with self._lock:
+            self._live_shepherds -= 1
+            last = self._live_shepherds <= 0
+        if last and not self._stop.is_set():
+            self._stop.set()
+            self._drain_queue(
+                "process pool retired: restart budget exhausted")
+
+    def _drain_queue(self, detail: str) -> None:
+        """Fail every queued task with a typed crash error."""
+        while True:
+            try:
+                task = self._tasks.get_nowait()
+            except queue.Empty:
+                return
+            task.cancel(WorkerCrashedError(detail))
 
     def _run_task(self, slot: _WorkerSlot, task: PoolFuture) -> None:
         task.attempts += 1
@@ -723,9 +756,11 @@ class ProcessWorkerPool:
                     message = slot.conn.recv()
                     if message[0] == _MSG_OK:
                         slot.consecutive_crashes = 0
+                        self._forgive(task.key)
                         task._resolve(message[1], message[2])
                     elif message[0] == _MSG_ERR:
                         slot.consecutive_crashes = 0
+                        self._forgive(task.key)
                         task._fail(message[1], message[2])
                     else:  # unexpected protocol message: treat as crash
                         self._handle_crash(slot, task,
@@ -781,6 +816,19 @@ class ProcessWorkerPool:
                 f"last worker death: {reason}"))
         else:
             self._tasks.put(task)
+
+    def _forgive(self, key: Optional[str]) -> None:
+        """Drop a key's crash count once a task with it completes.
+
+        A key the worker survives (even with a typed error result) is
+        not poison: without this, unrelated transient worker deaths
+        (OOM, chaos kills) accumulated over a long-lived pool would
+        eventually push a healthy key over ``poison_threshold``.
+        """
+        if key is None:
+            return
+        with self._lock:
+            self._crash_counts.pop(key, None)
 
     def _death_reason(self, slot: _WorkerSlot) -> str:
         """Best-effort post-mortem when the pipe tears mid-task."""
@@ -949,12 +997,7 @@ class ProcessWorkerPool:
     def stop(self, join: bool = True, timeout: Optional[float] = 5.0) -> None:
         """Stop shepherds, fail queued tasks, and reap every worker."""
         self._stop.set()
-        while True:
-            try:
-                task = self._tasks.get_nowait()
-            except queue.Empty:
-                break
-            task.cancel(WorkerCrashedError("pool stopped before task ran"))
+        self._drain_queue("pool stopped before task ran")
         if join:
             for thread in self._threads:
                 thread.join(timeout=timeout)

@@ -386,8 +386,10 @@ class ShardedResultCache(ResultCache):
 
     The disk layer is split into ``n_shards`` directories
     (``shard-00/``, ``shard-01/``, ...; a key's shard is its SHA-256
-    prefix mod ``n_shards``), each guarded by a ``.lock`` file taken
-    with ``fcntl.flock`` — shared for reads, exclusive for writes — so
+    prefix mod ``n_shards``), each guarded by a lock file
+    (``locks/shard-NN.lock``, kept outside the shard directory so
+    shard quarantine cannot replace a held lock's inode) taken with
+    ``fcntl.flock`` — shared for reads, exclusive for writes — so
     a fleet of worker processes and replicas can share one cache
     directory without coordination. Entry format, checksums, and the
     per-entry quarantine path are inherited unchanged from the base
@@ -453,6 +455,15 @@ class ShardedResultCache(ResultCache):
         return os.path.join(self._shard_dir(self.shard_of(key)),
                             tier, f"{key}.json")
 
+    def _lock_path(self, shard: int) -> str:
+        # Lock files live OUTSIDE the shard directory: shard quarantine
+        # os.replace()s the whole shard dir, and a lock moved with it
+        # would fork the lock identity — holders of the old inode and
+        # of the fresh file would both believe they hold "the" shard
+        # lock and write concurrently.
+        return os.path.join(self.persist_dir, "locks",
+                            f"{self._shard_name(shard)}.lock")
+
     # -- shard locks -------------------------------------------------------
 
     @contextlib.contextmanager
@@ -466,9 +477,9 @@ class ShardedResultCache(ResultCache):
                 and self._faults.should_fire(SITE_SHARD_LOCK_TIMEOUT)):
             yield False
             return
-        directory = self._shard_dir(shard)
-        os.makedirs(directory, exist_ok=True)
-        lock_path = os.path.join(directory, ".lock")
+        os.makedirs(self._shard_dir(shard), exist_ok=True)
+        lock_path = self._lock_path(shard)
+        os.makedirs(os.path.dirname(lock_path), exist_ok=True)
         operation = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
         deadline = time.monotonic() + self.lock_timeout
         with open(lock_path, "a") as handle:

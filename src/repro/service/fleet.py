@@ -285,16 +285,24 @@ class ReplicaFleet:
 
     def start(self) -> None:
         """Spawn every replica, wait for readiness, start supervision."""
-        with self._lock:
-            for slot in self._slots:
-                self._spawn(slot)
+        for slot in self._slots:
+            self._spawn(slot)
         self._supervisor = threading.Thread(
             target=self._supervise, name=f"{self.name}-supervisor",
             daemon=True)
         self._supervisor.start()
 
     def _spawn(self, slot: _ReplicaSlot) -> None:
-        """Start (or restart) one slot's process; fleet lock held."""
+        """Start (or restart) one slot's process and wait for readiness.
+
+        Called WITHOUT the fleet lock held: the fork and the
+        (up to ``start_timeout``) handshake wait run unlocked so
+        ``address()``/``liveness()`` — and with them all front routing —
+        never stall behind one slot's restart. Slot state is published
+        under the lock in two steps: the process right after the fork
+        (so :meth:`drain` can always reap it), the port/pid only once
+        the replica reported ready.
+        """
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_replica_main,
@@ -308,25 +316,39 @@ class ReplicaFleet:
             self.options.get("worker_mode", "thread") != "process")
         process.start()
         child_conn.close()
-        slot.process = process
-        slot.conn = parent_conn
-        slot.generation += 1
-        slot.port = None
-        slot.pid = None
-        if not parent_conn.poll(self.start_timeout):
-            process.terminate()
-            raise ReproError(
-                f"replica {slot.index} did not report ready within "
-                f"{self.start_timeout}s")
-        message = parent_conn.recv()
-        parent_conn.close()
-        slot.conn = None
+        with self._lock:
+            slot.process = process
+            slot.conn = parent_conn
+            slot.generation += 1
+            slot.port = None
+            slot.pid = None
+        try:
+            if not parent_conn.poll(self.start_timeout):
+                process.terminate()
+                raise ReproError(
+                    f"replica {slot.index} did not report ready within "
+                    f"{self.start_timeout}s")
+            try:
+                message = parent_conn.recv()
+            except (EOFError, OSError) as exc:
+                # The replica died before sending the handshake: poll()
+                # returns True on EOF, then recv() tears. Typed, so
+                # supervision backs off and retries instead of dying.
+                raise ReproError(
+                    f"replica {slot.index} died before its ready "
+                    f"handshake ({type(exc).__name__})") from exc
+        finally:
+            parent_conn.close()
+            with self._lock:
+                slot.conn = None
         if not (isinstance(message, tuple) and message[0] == "ready"):
+            process.terminate()
             raise ReproError(
                 f"replica {slot.index} sent unexpected handshake "
                 f"{message!r}")
-        slot.port = int(message[1])
-        slot.pid = int(message[2])
+        with self._lock:
+            slot.port = int(message[1])
+            slot.pid = int(message[2])
         if self._replica_up is not None:
             self._replica_up.set(1, replica=str(slot.index))
 
@@ -335,9 +357,16 @@ class ReplicaFleet:
         del self.failures[:-64]
 
     def _supervise(self) -> None:
-        """Restart dead replicas on their slots with backoff."""
+        """Restart dead replicas on their slots with backoff.
+
+        The lock is held only to inspect and update slot state — never
+        across :meth:`_spawn`'s fork + handshake — and any respawn
+        failure is absorbed into backoff, so one flapping slot neither
+        stalls routing to the survivors nor kills supervision.
+        """
         while not self._stopping.wait(self.poll_interval):
             now = time.monotonic()
+            to_restart: List[_ReplicaSlot] = []
             with self._lock:
                 for slot in self._slots:
                     process = slot.process
@@ -372,16 +401,22 @@ class ReplicaFleet:
                     slot.restarts += 1
                     if self._replica_restarts is not None:
                         self._replica_restarts.inc()
-                    try:
-                        self._spawn(slot)
-                    except ReproError as exc:
-                        self._note(
-                            f"{self.name}-{slot.index}: respawn failed: "
-                            f"{exc}")
+                    to_restart.append(slot)
+            for slot in to_restart:
+                if self._stopping.is_set():
+                    break
+                try:
+                    self._spawn(slot)
+                except Exception as exc:  # noqa: BLE001 - keep supervising
+                    self._note(
+                        f"{self.name}-{slot.index}: respawn failed: "
+                        f"{exc}")
+                    with self._lock:
                         slot.backoff = min(
                             2.0 * max(slot.backoff, self.restart_backoff),
                             self.max_backoff)
-                        slot.next_start = time.monotonic() + slot.backoff
+                        slot.next_start = (time.monotonic()
+                                           + slot.backoff)
 
     # -- observation -------------------------------------------------------
 

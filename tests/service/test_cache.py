@@ -373,6 +373,30 @@ class TestShardedCache:
         cache.clear_memory()
         assert cache.get(TIER_ESTIMATE, keys[3]) == {"v": 5}
 
+    def test_shard_lock_identity_survives_shard_quarantine(self, tmp_path):
+        cache = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4,
+                                   shard_corruption_threshold=1)
+        shard, (key,) = self._same_shard_keys(cache, 1)
+        cache.put(TIER_ESTIMATE, key, {"v": 1}, payload={"v": 1})
+        # Lock files live outside the shard directory...
+        lock_path = tmp_path / "locks" / f"shard-{shard:02d}.lock"
+        assert lock_path.exists()
+        assert not (tmp_path / f"shard-{shard:02d}" / ".lock").exists()
+        inode = lock_path.stat().st_ino
+        # ...so when corruption quarantines the whole shard directory,
+        # the lock keeps its inode: a writer holding the flock still
+        # excludes writers of the replacement shard.
+        path = (tmp_path / f"shard-{shard:02d}" / TIER_ESTIMATE
+                / f"{key}.json")
+        document = json.loads(path.read_text())
+        document["payload"] = {"v": 999}  # break the checksum
+        path.write_text(json.dumps(document))
+        cache.clear_memory()
+        assert cache.get(TIER_ESTIMATE, key) is MISS  # trips the breaker
+        assert any(entry.name.startswith(f"shard-{shard:02d}.")
+                   for entry in (tmp_path / "quarantine").iterdir())
+        assert lock_path.stat().st_ino == inode
+
     def test_rebuild_validates_quarantines_and_drops(self, tmp_path):
         cache = ShardedResultCache(persist_dir=str(tmp_path), n_shards=4)
         for index in range(6):

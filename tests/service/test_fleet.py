@@ -13,8 +13,8 @@ from collections import Counter
 
 import pytest
 
-from repro.exceptions import ConfigurationError
-from repro.service.fleet import HashRing, create_front
+from repro.exceptions import ConfigurationError, ReproError
+from repro.service.fleet import HashRing, ReplicaFleet, create_front
 from repro.service.jobs import EstimateRequest
 
 from .conftest import CELLS
@@ -218,6 +218,58 @@ class TestFleetRouting:
         status, document = post(base, "/v1/estimate", ESTIMATE_BODY)
         assert status == 200
         assert document["estimate"] == baseline
+
+
+class TestSupervisionRobustness:
+    # A replica whose child dies before sending the ready handshake
+    # tears the pipe: poll() returns on EOF, recv() raises EOFError.
+    # Supervision must see a typed ReproError and keep supervising.
+    # cache_shards=0 with a cache_dir makes ServiceClient raise in the
+    # child before the handshake is sent.
+
+    def test_death_before_handshake_is_a_typed_error(self, tmp_path):
+        fleet = ReplicaFleet(
+            1, dict(REPLICA_OPTIONS, cache_dir=str(tmp_path / "cache"),
+                    cache_shards=0),
+            **FLEET_OPTIONS)
+        try:
+            with pytest.raises(ReproError,
+                               match="before its ready handshake"):
+                fleet.start()
+        finally:
+            fleet.stop(grace=5.0)
+
+    def test_supervisor_survives_failed_respawns(self, tmp_path):
+        fleet = ReplicaFleet(1, dict(REPLICA_OPTIONS), **FLEET_OPTIONS)
+        fleet.start()
+        try:
+            assert fleet.address(0) is not None
+            # Sabotage the options so every respawned child dies before
+            # its handshake, then kill the replica.
+            fleet.options["cache_dir"] = str(tmp_path / "cache")
+            fleet.options["cache_shards"] = 0
+            fleet.kill(0)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if any("respawn failed" in note
+                       for note in fleet.failures):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("no respawn-failure note recorded")
+            assert fleet._supervisor.is_alive()
+            # Heal the options: supervision is still running, so the
+            # slot must come back on its own.
+            fleet.options["cache_shards"] = 8
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if fleet.address(0) is not None:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail(f"slot never recovered: {fleet.failures}")
+        finally:
+            fleet.stop(grace=5.0)
 
 
 class TestFleetDrain:

@@ -186,6 +186,39 @@ def test_stop_reaps_every_worker_no_orphans():
         pool.submit({"action": "echo", "value": 1}).result(5.0)
 
 
+def test_restart_budget_exhaustion_retires_the_pool_fast():
+    # When every slot spends its restart budget the pool must flip to
+    # stopped and fail queued + new work with typed errors — never
+    # leave futures hanging with no worker left to pick them up.
+    pool = _pool(max_restarts=0, max_task_retries=10, poison_threshold=100)
+    try:
+        future = pool.submit({"action": "crash"})
+        with pytest.raises(WorkerCrashedError, match="restart budget"):
+            future.result(30.0)
+        assert pool.stopped
+        with pytest.raises(WorkerCrashedError, match="stopped"):
+            pool.submit({"action": "echo", "value": 1}).result(5.0)
+    finally:
+        pool.stop()
+
+
+def test_successful_completion_forgives_accumulated_crashes(tmp_path):
+    # A key that completes is not poison: its crash count resets, so
+    # spaced-out transient deaths never accumulate to quarantine.
+    pool = _pool(poison_threshold=2, max_task_retries=10)
+    try:
+        for attempt in range(2):
+            marker = str(tmp_path / f"crash-once-{attempt}")
+            result = pool.run({"action": "crash_once", "marker": marker},
+                              key="flaky-key", wait=30.0)
+            assert result["recovered"] is True
+            # Without the reset, the second round's single crash would
+            # be strike two and quarantine the healthy key.
+            assert not pool.is_quarantined("flaky-key")
+    finally:
+        pool.stop()
+
+
 def test_queued_tasks_are_cancelled_on_stop():
     pool = _pool(n_workers=1)
     blocker = pool.submit({"action": "sleep", "seconds": 5.0})
