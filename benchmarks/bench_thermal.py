@@ -1,0 +1,165 @@
+"""Coupled power-thermal solve: fast leakage(T) path vs full re-characterization.
+
+The acceptance workload for the thermal subsystem: a 16,384-gate,
+1 x 1 mm die whose leakage power heats the die through a package +
+spreading-resistance model, solved to a self-consistent temperature
+map. The solver needs leakage moments *at the iterate's temperature
+map* every iteration, and there are two ways to get them
+(``docs/THERMAL.md``):
+
+* ``mode="full"`` quantizes the map and re-characterizes the library
+  once per distinct temperature bin per iteration — the reference
+  answer, but O(bins) characterizations each pass;
+* ``mode="fast"`` characterizes only at a sparse ladder of anchor
+  temperatures (built once, reused across iterations) and
+  interpolates piecewise-linearly in between, within the documented
+  ``FAST_FULL_RTOL`` of the full answer.
+
+Both arms run on a *fresh* characterization object so neither inherits
+the other's warm anchor/bin cache (the thermal layer memoizes per
+characterization identity), and the operating point is sized for a
+genuinely non-uniform map (fine quantization, strong spreading) so the
+full arm pays its per-bin cost honestly.
+
+Machine-readable timings land in ``BENCH_thermal.json`` at the repo
+root (one trajectory point per growth PR). Run ``python
+benchmarks/bench_thermal.py --quick`` (or set ``BENCH_QUICK=1`` under
+pytest) for a CI smoke run with a relaxed speedup floor; quick results
+go to ``BENCH_thermal_quick.json`` so the trajectory stays put.
+"""
+
+import math
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks._common import emit, emit_json
+from repro.analysis import format_table
+from repro.cells import build_library
+from repro.characterization import characterize_library
+from repro.core import CellUsage, FullChipLeakageEstimator
+from repro.process import synthetic_90nm
+from repro.thermal import FAST_FULL_RTOL, ThermalConfig
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+N_CELLS = 16_384
+WIDTH = HEIGHT = 1e-3
+CELLS = ["INV_X1", "NAND2_X1"]
+
+# Sized for a visibly non-isothermal die: ~3 K of self-heating with a
+# spatial spread of ~0.4 K from the spreading kernel (edge sites lose
+# kernel mass past the die boundary), so the 0.005 K quantization of the
+# full arm yields tens of distinct temperature bins per iteration
+# rather than one. The spreading resistance is per-site (the kernel
+# table is normalized to sum to it), hence the large number.
+BASE = dict(package_resistance=40.0, spreading_resistance=3e5,
+            spreading_length=0.3e-3, power_scale=400.0,
+            full_quantization=0.005)
+
+
+def _estimate(technology, usage, config):
+    """One coupled solve on a fresh characterization (cold caches)."""
+    library = build_library()
+    characterization = characterize_library(library, technology,
+                                            cells=usage.names)
+    estimator = FullChipLeakageEstimator(
+        characterization, usage, N_CELLS, WIDTH, HEIGHT,
+        simplified_correlation=True)
+    start = time.perf_counter()
+    estimate = estimator.estimate("linear", thermal=config)
+    return estimate, time.perf_counter() - start
+
+
+def run(quick):
+    min_speedup = 3.0 if quick else 5.0
+    usage = CellUsage.uniform(CELLS)
+    technology = synthetic_90nm(correlation_length=0.5e-3,
+                                d2d_fraction=0.5)
+
+    fast_cfg = ThermalConfig(mode="fast", **BASE)
+    full_cfg = ThermalConfig(mode="full", **BASE)
+
+    fast, t_fast = _estimate(technology, usage, fast_cfg)
+    full, t_full = _estimate(technology, usage, full_cfg)
+
+    fast_doc = fast.details["thermal"]
+    full_doc = full.details["thermal"]
+    for label, doc in (("fast", fast_doc), ("full", full_doc)):
+        assert doc["converged"], (
+            f"{label} thermal solve failed to converge: "
+            f"residuals={doc['residuals']}")
+        assert doc["residual"] <= doc["tolerance"]
+
+    mean_err = abs(fast.mean / full.mean - 1.0)
+    std_err = abs(fast.std / full.std - 1.0)
+    assert math.isclose(fast.mean, full.mean, rel_tol=FAST_FULL_RTOL), (
+        f"fast-path mean off by {mean_err:.2e} (> {FAST_FULL_RTOL:g})")
+    assert math.isclose(fast.std, full.std, rel_tol=FAST_FULL_RTOL), (
+        f"fast-path std off by {std_err:.2e} (> {FAST_FULL_RTOL:g})")
+
+    speedup = t_full / t_fast
+
+    rows = [
+        ["gates", f"{N_CELLS:,}"],
+        ["cell types", str(len(CELLS))],
+        ["peak self-heating [K]", f"{fast_doc['delta_t_max']:.3f}"],
+        ["feedback gain", f"{fast_doc['feedback_gain']:.4f}"],
+        ["iterations (fast/full)",
+         f"{fast_doc['iterations']} / {full_doc['iterations']}"],
+        ["anchors (fast)", str(fast_doc["anchors"])],
+        ["fast solve [s]", f"{t_fast:.3f}"],
+        ["full solve [s]", f"{t_full:.3f}"],
+        ["speedup", f"{speedup:.1f}x"],
+        ["|mean rel err|", f"{mean_err:.2e}"],
+        ["|std rel err|", f"{std_err:.2e}"],
+        ["accuracy bound", f"{FAST_FULL_RTOL:g}"],
+    ]
+    emit("thermal", format_table(
+        ["quantity", "value"], rows,
+        title="Coupled thermal solve: fast anchors vs full "
+              "re-characterization"))
+
+    assert speedup >= min_speedup, (
+        f"fast-path speedup {speedup:.1f}x below the "
+        f"{min_speedup:.0f}x floor")
+
+    emit_json("thermal_quick" if quick else "thermal", {
+        "n_cells": N_CELLS,
+        "cells": CELLS,
+        "config": {key: float(value) for key, value in BASE.items()},
+        "fast_solve_s": t_fast,
+        "full_solve_s": t_full,
+        "speedup": speedup,
+        "iterations_fast": fast_doc["iterations"],
+        "iterations_full": full_doc["iterations"],
+        "anchors_fast": fast_doc["anchors"],
+        "delta_t_max": fast_doc["delta_t_max"],
+        "feedback_gain": fast_doc["feedback_gain"],
+        "mean_rel_err": mean_err,
+        "std_rel_err": std_err,
+        "rtol": FAST_FULL_RTOL,
+        "min_speedup": min_speedup,
+    })
+    return speedup
+
+
+def test_fast_vs_full():
+    run(QUICK)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="relaxed 3x speedup floor (CI smoke)")
+    args = parser.parse_args(argv)
+    run(args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

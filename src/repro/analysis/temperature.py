@@ -57,7 +57,13 @@ def temperature_sweep(
     """
     if not temperatures:
         raise EstimationError("provide at least one temperature")
-    axis = temperature_axis([float(t) for t in temperatures], library,
+    temperatures = [float(t) for t in temperatures]
+    for temperature in temperatures:
+        if not temperature > 0.0:
+            raise EstimationError(
+                f"junction temperatures must be > 0 K, got "
+                f"{temperature!r} (absolute kelvin, not celsius)")
+    axis = temperature_axis(temperatures, library,
                             technology, cells=usage.names)
     sweep = estimate_sweep(None, usage, n_cells, width, height,
                            axes=[axis],

@@ -135,6 +135,45 @@ def _parse_usage(entries: Optional[Sequence[str]],
     return CellUsage(fractions)
 
 
+def _thermal_from_args(args):
+    """Build a ThermalConfig from ``repro estimate --thermal`` flags.
+
+    Returns None when --thermal was not requested; individual knobs
+    without --thermal are an error (they would silently do nothing).
+    """
+    knobs = {
+        "ambient_c": args.thermal_ambient_c,
+        "package_resistance": args.thermal_package_resistance,
+        "spreading_resistance": args.thermal_spreading_resistance,
+        "spreading_length_mm": args.thermal_spreading_length_mm,
+        "power_scale": args.thermal_power_scale,
+        "background_power": args.thermal_background_power,
+        "mode": args.thermal_mode,
+    }
+    if not args.thermal:
+        set_flags = [name for name, value in knobs.items()
+                     if value is not None]
+        if set_flags:
+            raise ReproError(
+                "thermal knobs require --thermal: "
+                + ", ".join("--" + name.replace("_", "-")
+                            for name in set_flags))
+        return None
+    from repro.thermal import ThermalConfig
+
+    fields = {}
+    if knobs["ambient_c"] is not None:
+        fields["ambient"] = knobs["ambient_c"] + 273.15
+    if knobs["spreading_length_mm"] is not None:
+        fields["spreading_length"] = knobs["spreading_length_mm"] * 1e-3
+    for name in ("package_resistance", "spreading_resistance",
+                 "power_scale", "background_power", "mode"):
+        if knobs[name] is not None:
+            fields[name] = knobs[name]
+    fields["feedback"] = not args.thermal_open_loop
+    return ThermalConfig(**fields)
+
+
 def _cmd_characterize(args) -> int:
     technology = _technology_from_args(args)
     library = build_library()
@@ -157,12 +196,18 @@ def _cmd_estimate(args) -> int:
     else:
         characterization = characterize_library(library, technology)
     usage = _parse_usage(args.usage, library)
+    thermal = _thermal_from_args(args)
     estimator = FullChipLeakageEstimator(
         characterization, usage, args.cells,
         args.width_mm * 1e-3, args.height_mm * 1e-3,
-        signal_probability=args.signal_probability)
+        signal_probability=args.signal_probability,
+        # The coupled variance path folds the temperature map into the
+        # simplified Random-Gate moments, so a thermal run pins the
+        # estimator to that mode up front.
+        simplified_correlation=True if thermal is not None else None)
     estimate = estimator.estimate(args.method,
-                                  trace=_trace_requested(args))
+                                  trace=_trace_requested(args),
+                                  thermal=thermal)
     distribution = LeakageDistribution.from_estimate(estimate,
                                                      include_vt=True)
     rows = [
@@ -178,6 +223,28 @@ def _cmd_estimate(args) -> int:
     ]
     print(format_table(["quantity", "value"], rows,
                        title="Full-chip leakage estimate"))
+    doc = estimate.details.get("thermal")
+    if doc is not None:
+        thermal_rows = [
+            ["mode", "coupled" if doc["feedback"] else "open loop"],
+            ["ambient [°C]", f"{doc['ambient'] - 273.15:.2f}"],
+            ["iterations", str(doc["iterations"])],
+            ["converged", str(doc["converged"]).lower()],
+        ]
+        if doc.get("t_max") is not None:
+            thermal_rows += [
+                ["peak ΔT [K]", f"{doc['delta_t_max']:.3f}"],
+                ["mean T [°C]", f"{doc['t_mean'] - 273.15:.2f}"],
+                ["total power [W]", f"{doc['power_total']:.4g}"],
+            ]
+        if doc["feedback"]:
+            thermal_rows += [
+                ["feedback gain", f"{doc['feedback_gain']:.4f}"],
+                ["std amplification", f"{doc['std_amplification']:.4f}"],
+            ]
+        print()
+        print(format_table(["quantity", "value"], thermal_rows,
+                           title="Thermal solve"))
     if _trace_requested(args):
         _emit_trace(estimate.details.get("trace"), args)
     return 0
@@ -657,6 +724,47 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--char", default=None,
                           help="stored characterization JSON "
                                "(default: characterize on the fly)")
+    thermal = estimate.add_argument_group(
+        "thermal", "self-consistent power-thermal solve (docs/THERMAL.md)")
+    thermal.add_argument("--thermal", action="store_true",
+                         help="couple leakage power to die temperature "
+                              "through a fixed-point solve (implies the "
+                              "simplified correlation model)")
+    thermal.add_argument("--ambient-c", dest="thermal_ambient_c",
+                         type=float, default=None, metavar="DEG_C",
+                         help="ambient temperature in Celsius (default: "
+                              "the technology's characterization point)")
+    thermal.add_argument("--package-resistance",
+                         dest="thermal_package_resistance", type=float,
+                         default=None, metavar="K_PER_W",
+                         help="junction-to-ambient package resistance")
+    thermal.add_argument("--spreading-resistance",
+                         dest="thermal_spreading_resistance", type=float,
+                         default=None, metavar="K_PER_W",
+                         help="lateral spreading resistance (0 disables "
+                              "the spatial kernel)")
+    thermal.add_argument("--spreading-length-mm",
+                         dest="thermal_spreading_length_mm", type=float,
+                         default=None, metavar="MM",
+                         help="spreading kernel decay length")
+    thermal.add_argument("--power-scale", dest="thermal_power_scale",
+                         type=float, default=None,
+                         help="scale from leakage power to total "
+                              "dissipated power (models dynamic power "
+                              "tracking the leakage map)")
+    thermal.add_argument("--background-power",
+                         dest="thermal_background_power", type=float,
+                         default=None, metavar="WATTS",
+                         help="uniform temperature-independent power")
+    thermal.add_argument("--thermal-mode", dest="thermal_mode",
+                         default=None, choices=["fast", "full"],
+                         help="leakage(T) evaluation: 'fast' "
+                              "piecewise-linear anchors, 'full' "
+                              "re-characterizes each quantized bin")
+    thermal.add_argument("--open-loop", dest="thermal_open_loop",
+                         action="store_true",
+                         help="evaluate at the uniform ambient without "
+                              "feedback (reports diagnostics only)")
     _add_backend_arguments(estimate)
     _add_trace_arguments(estimate)
     estimate.set_defaults(handler=_cmd_estimate)

@@ -299,6 +299,9 @@ class FullChipLeakageEstimator:
         self.characterization = characterization
         self.usage = usage
         self.backend = backend
+        # Kept for stages that re-expand the mixture at solver-chosen
+        # operating points (the thermal anchor characterizations).
+        self.state_weights = state_weights
         technology = characterization.technology
         self.correlation = (technology.total_correlation
                             if correlation is None else correlation)
@@ -317,7 +320,7 @@ class FullChipLeakageEstimator:
 
     def estimate(self, method: str = "auto", *, n_jobs: int = 1,
                  tolerance: float = 0.0, trace: bool = False,
-                 backend=None) -> LeakageEstimate:
+                 backend=None, thermal=None) -> LeakageEstimate:
         """Estimate full-chip leakage mean and standard deviation.
 
         ``method`` is one of ``"auto"``, ``"linear"``, ``"integral2d"``,
@@ -349,11 +352,33 @@ class FullChipLeakageEstimator:
         ``details["trace"]`` carries the span tree and per-stage wall
         times (``docs/OBSERVABILITY.md``). Numeric results are
         bit-identical with tracing on or off — spans only read clocks.
+
+        ``thermal`` — a :class:`repro.thermal.ThermalConfig` (or its
+        dict form) — runs the self-consistent power–thermal solve
+        instead of the isothermal estimate: leakage-driven power heats
+        the die, temperature re-characterizes the leakage, iterated to
+        a fixed point whose diagnostics land in ``details["thermal"]``
+        (``docs/THERMAL.md``).
         """
         from repro.backend import get_backend
 
         kernels = get_backend(backend if backend is not None
                               else self.backend)
+        if thermal is not None:
+            from repro.thermal import ThermalConfig, solve_coupled
+
+            thermal = ThermalConfig.from_dict(thermal)
+            if not trace:
+                return solve_coupled(self, method, thermal, kernels,
+                                     n_jobs=n_jobs, tolerance=tolerance)
+            tracer = Tracer("core/api.estimate")
+            with tracer:
+                with tracer.span("core/api.estimate", method=method,
+                                 backend=kernels.name, thermal=True):
+                    result = solve_coupled(self, method, thermal,
+                                           kernels, n_jobs=n_jobs,
+                                           tolerance=tolerance)
+            return result.with_details(trace=tracer.export())
         if not trace:
             return self._estimate(method, n_jobs=n_jobs,
                                   tolerance=tolerance, kernels=kernels)
@@ -494,6 +519,7 @@ def estimate_sweep(
     tolerance: float = 0.0,
     trace: bool = False,
     backend: Optional[str] = None,
+    thermal=None,
 ):
     """Evaluate a grid of estimation scenarios with shared precomputation.
 
@@ -536,6 +562,13 @@ def estimate_sweep(
     uses; with the numpy default and with any other backend the sweep
     stays bit-identical to the corresponding single-point loop on that
     same backend.
+
+    ``thermal`` — a :class:`repro.thermal.ThermalConfig` — makes every
+    point a self-consistent power–thermal solve at that base config;
+    the ``ambient_temperature_axis`` / ``power_scale_axis`` factories
+    sweep its ambient and power scale per point (and cross freely).
+    Coupled points run the full ``estimate(..., thermal=...)`` path
+    verbatim, so they keep the bit-identical guarantee trivially.
     """
     from repro.core.sweep import run_sweep
 
@@ -545,7 +578,7 @@ def estimate_sweep(
         correlation=correlation,
         simplified_correlation=simplified_correlation,
         state_weights=state_weights, n_jobs=n_jobs, tolerance=tolerance,
-        trace=trace, backend=backend)
+        trace=trace, backend=backend, thermal=thermal)
 
 
 # -- incremental (delta) estimation ----------------------------------------

@@ -79,9 +79,13 @@ from repro.process.correlation import (
     TotalCorrelation,
 )
 
-#: Config keys an axis may override per point.
+#: Config keys an axis may override per point. The ``thermal_*`` keys
+#: are sub-key overrides merged into the base ``thermal`` config by
+#: :func:`_resolve_config`, so an ambient axis can cross a power-scale
+#: axis without both claiming the whole ``thermal`` key.
 CONFIG_KEYS = ("characterization", "usage", "n_cells", "width", "height",
-               "signal_probability", "correlation")
+               "signal_probability", "correlation", "thermal",
+               "thermal_ambient", "thermal_power_scale")
 
 
 @dataclass(frozen=True)
@@ -221,6 +225,50 @@ def temperature_axis(temperatures: Sequence[float], library, technology,
                                                 cells=cells)
         overrides.append({"characterization": characterization})
     return SweepAxis(name=name, values=temps, overrides=tuple(overrides))
+
+
+def ambient_temperature_axis(temperatures: Sequence[float],
+                             name: str = "ambient") -> SweepAxis:
+    """Axis over coupled-solver ambient temperatures [K].
+
+    Each point runs the self-consistent power–thermal solve at that
+    ambient (merged into the sweep's base ``thermal`` config, or the
+    default :class:`~repro.thermal.ThermalConfig` when none is given).
+    Unlike :func:`temperature_axis` — which re-characterizes at a fixed
+    junction temperature — the ambient axis lets each point find its
+    own junction temperature map.
+    """
+    temps = []
+    for temperature in temperatures:
+        temperature = float(temperature)
+        if not temperature > 0.0:
+            raise EstimationError(
+                f"ambient temperatures must be > 0 K, got "
+                f"{temperature!r} (absolute kelvin, not celsius)")
+        temps.append(temperature)
+    return SweepAxis(name=name, values=tuple(temps),
+                     overrides=tuple({"thermal_ambient": t}
+                                     for t in temps))
+
+
+def power_scale_axis(scales: Sequence[float],
+                     name: str = "power_scale") -> SweepAxis:
+    """Axis over the thermal power-map scale (the loading ablation).
+
+    Sweeping it traces the leakage-vs-dissipation trajectory — how the
+    estimate degrades as the same die is driven harder — up to the
+    thermal-runaway boundary where the solver raises.
+    """
+    values = []
+    for scale in scales:
+        scale = float(scale)
+        if not scale >= 0.0:
+            raise EstimationError(
+                f"power scales must be >= 0, got {scale!r}")
+        values.append(scale)
+    return SweepAxis(name=name, values=tuple(values),
+                     overrides=tuple({"thermal_power_scale": s}
+                                     for s in values))
 
 
 @dataclass(frozen=True)
@@ -416,9 +464,20 @@ def _resolve_config(config: Mapping[str, Any]) -> Tuple[Any, ...]:
     correlation = config["correlation"]
     if correlation is None:
         correlation = characterization.technology.total_correlation
+    thermal = config.get("thermal")
+    ambient = config.get("thermal_ambient")
+    power_scale = config.get("thermal_power_scale")
+    if ambient is not None or power_scale is not None:
+        from repro.thermal import ThermalConfig
+
+        thermal = ThermalConfig() if thermal is None else thermal
+        if ambient is not None:
+            thermal = thermal.with_ambient(ambient)
+        if power_scale is not None:
+            thermal = thermal.with_power_scale(power_scale)
     return (characterization, usage, int(config["n_cells"]),
             float(config["width"]), float(config["height"]),
-            float(config["signal_probability"]), correlation)
+            float(config["signal_probability"]), correlation, thermal)
 
 
 def _build_components(spec: "_SweepSpec", characterization, usage, p,
@@ -519,7 +578,7 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
     with span("sweep.resolve", n_points=len(indices)):
         for index in indices:
             (characterization, usage, n_cells, width, height, p,
-             correlation) = _resolve_config(spec.configs[index])
+             correlation, thermal) = _resolve_config(spec.configs[index])
             chip_key = (n_cells, width, height)
             chip = chip_cache.get(chip_key)
             if chip is None:
@@ -528,8 +587,9 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
             method = (resolve_auto_method(chip.n_sites)
                       if spec.method == "auto" else spec.method)
             resolved.append((characterization, usage, n_cells, width,
-                             height, p, correlation, chip, method))
-            if method == "linear":
+                             height, p, correlation, chip, method,
+                             thermal))
+            if method == "linear" and thermal is None:
                 geometry_key = (chip.rows, chip.cols, chip.pitch_x,
                                 chip.pitch_y)
                 rho_needs.setdefault(geometry_key, {})[
@@ -549,7 +609,7 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
     estimates: List[LeakageEstimate] = []
     with span("sweep.points", n_points=len(resolved)):
         for (characterization, usage, n_cells, width, height, p,
-             correlation, chip, method) in resolved:
+             correlation, chip, method, thermal) in resolved:
             components_key = (id(characterization), _usage_key(usage), p,
                               spec.simplified_correlation,
                               id(spec.state_weights)
@@ -568,6 +628,18 @@ def _evaluate_points(spec: _SweepSpec, indices: Sequence[int]
                 simplified_correlation=spec.simplified_correlation,
                 state_weights=spec.state_weights, components=components,
                 backend=spec.backend)
+            if thermal is not None:
+                # Coupled points run the full estimate() path verbatim
+                # (the fixed point is point-specific by construction);
+                # anchor characterizations still amortize across points
+                # through the thermal layer's per-characterization
+                # cache.
+                estimates.append(estimator.estimate(
+                    spec.method, tolerance=spec.tolerance,
+                    backend=kernels, thermal=thermal))
+                stats["thermal_points"] = \
+                    stats.get("thermal_points", 0) + 1
+                continue
             if method == "linear":
                 geometry_key = (chip.rows, chip.cols, chip.pitch_x,
                                 chip.pitch_y)
@@ -615,6 +687,7 @@ def run_sweep(
     tolerance: float = 0.0,
     trace: bool = False,
     backend: Optional[str] = None,
+    thermal=None,
 ) -> SweepResult:
     """Evaluate the full cartesian grid of the given axes.
 
@@ -645,10 +718,14 @@ def run_sweep(
                     "correlation_axis over pre-combined models)")
             claimed[key] = axis.name
 
+    if thermal is not None:
+        from repro.thermal import ThermalConfig
+
+        thermal = ThermalConfig.from_dict(thermal)
     base = {"characterization": characterization, "usage": usage,
             "n_cells": n_cells, "width": width, "height": height,
             "signal_probability": signal_probability,
-            "correlation": correlation}
+            "correlation": correlation, "thermal": thermal}
     configs = []
     for combo in itertools.product(*(axis.overrides for axis in axes)):
         config = dict(base)

@@ -169,6 +169,17 @@ class EstimateRequest:
     cells:
         Optional subset of library cells to characterize; ``None`` means
         the full library. Stored sorted.
+    thermal:
+        Optional self-consistent power–thermal solve configuration
+        (:class:`repro.thermal.ThermalConfig` or its dict form; see
+        ``docs/THERMAL.md``). Part of the content hash **only when
+        set**: isothermal requests keep their historical hashes (and
+        cached entries) byte-for-byte, while any thermal configuration
+        — including the all-defaults one — hashes distinctly from no
+        thermal at all. Coupled (``feedback=true``) solves require
+        ``mode="analytical"``, ``simplified_correlation=true``, and
+        ``method`` in ``auto``/``linear``; violations are rejected at
+        request construction (HTTP 400), never inside the solver.
     priority:
         Scheduling priority (higher runs first). **Not** part of the
         content hash — priority affects *when* a job runs, never what it
@@ -212,6 +223,7 @@ class EstimateRequest:
     technology: TechnologyConfig = field(default_factory=TechnologyConfig)
     cells: Optional[Tuple[str, ...]] = None
     simplified_correlation: Optional[bool] = None
+    thermal: Optional[Any] = None
     priority: int = 0
     allow_degraded: bool = True
     trace: bool = False
@@ -274,6 +286,31 @@ class EstimateRequest:
         if self.simplified_correlation is not None:
             object.__setattr__(self, "simplified_correlation",
                                bool(self.simplified_correlation))
+        if self.thermal is not None:
+            from repro.exceptions import EstimationError
+            from repro.thermal.config import ThermalConfig
+
+            try:
+                thermal = ThermalConfig.from_dict(self.thermal)
+            except EstimationError as exc:
+                # Config-shape problems are the caller's fault: surface
+                # them as 400s, not as 502 estimation failures.
+                raise ConfigurationError(str(exc)) from exc
+            if self.mode != "analytical":
+                raise ConfigurationError(
+                    "thermal estimation re-characterizes the library at "
+                    "solver-chosen temperatures, which requires "
+                    "mode='analytical'")
+            if thermal.feedback and self.simplified_correlation is not True:
+                raise ConfigurationError(
+                    "thermal feedback requires "
+                    "simplified_correlation=true (the coupled variance "
+                    "maps the RG covariance onto per-site sigmas)")
+            if thermal.feedback and self.method not in ("auto", "linear"):
+                raise ConfigurationError(
+                    "thermal feedback supports method 'auto' or "
+                    f"'linear', got {self.method!r}")
+            object.__setattr__(self, "thermal", thermal)
         object.__setattr__(self, "priority", int(self.priority))
         object.__setattr__(self, "allow_degraded", bool(self.allow_degraded))
         object.__setattr__(self, "trace", bool(self.trace))
@@ -293,7 +330,7 @@ class EstimateRequest:
         """The content of the request — everything that determines the
         result (``priority``, ``allow_degraded``, ``trace``, and
         ``backend`` are excluded; see the field docs)."""
-        return {
+        document = {
             "n_cells": self.n_cells,
             "width_mm": self.width_mm,
             "height_mm": self.height_mm,
@@ -308,6 +345,11 @@ class EstimateRequest:
             "cells": None if self.cells is None else list(self.cells),
             "simplified_correlation": self.simplified_correlation,
         }
+        if self.thermal is not None:
+            # Included only when set: isothermal requests keep their
+            # historical content hashes (and cache entries) unchanged.
+            document["thermal"] = self.thermal.to_dict()
+        return document
 
     def canonical_json(self) -> str:
         return _canonical_json(self.canonical_dict())

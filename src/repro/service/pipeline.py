@@ -144,6 +144,8 @@ class EstimationPipeline:
         self.max_bases = 16
         self._delta_requests = None
         self._delta_fallbacks = None
+        self._thermal_requests = None
+        self._thermal_iterations = None
         if metrics is not None:
             # Register the stage-latency family up front so /metrics
             # shows it before the first request; the tracer bridge
@@ -186,6 +188,17 @@ class EstimationPipeline:
                 "repro_delta_fallbacks_total",
                 "Delta-to-full-recompute fallbacks by reason.",
                 labelnames=("reason",))
+            self._thermal_requests = metrics.counter(
+                "repro_thermal_requests_total",
+                "Computed thermal estimates by outcome: 'coupled' ran "
+                "the fixed-point solver, 'open_loop' evaluated at the "
+                "uniform ambient (feedback disabled).",
+                labelnames=("outcome",))
+            self._thermal_iterations = metrics.histogram(
+                "repro_thermal_iterations",
+                "Fixed-point iterations per coupled thermal solve.",
+                buckets=(1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0,
+                         55.0))
 
     def _heartbeat(self, job: Optional[Job]) -> None:
         if job is not None:
@@ -288,6 +301,12 @@ class EstimationPipeline:
         "delta.base_geometry", "delta.fold", "delta.geometry",
         "delta.mixture", "delta.moments", "delta.reduce", "delta.package",
         "delta.probe_setup",
+        # Thermal-path stages (the coupled power-thermal solver): the
+        # solve itself, anchor characterization builds, the per-
+        # iteration fixed-point steps, and the final moment evaluation.
+        "thermal.solve", "thermal.anchors", "thermal.characterize",
+        "thermal.iterate", "thermal.moments", "thermal.operator",
+        "thermal.oracle",
     )
 
     def _finish_trace(self, tracer: Tracer, job: Optional[Job],
@@ -392,7 +411,8 @@ class EstimationPipeline:
                           n_cells=request.n_cells):
                     estimate = estimator.estimate(
                         request.method, n_jobs=request.n_jobs,
-                        tolerance=request.tolerance)
+                        tolerance=request.tolerance,
+                        thermal=request.thermal)
                 if request.method == "exact":
                     self._note_exact_duration(
                         time.perf_counter() - stage_start)
@@ -424,6 +444,16 @@ class EstimationPipeline:
             self.cache.put(TIER_ESTIMATE, key, estimate, payload=payload)
             if self._requests is not None:
                 self._requests.inc(outcome="computed")
+            thermal_doc = estimate.details.get("thermal")
+            if thermal_doc is not None:
+                if self._thermal_requests is not None:
+                    self._thermal_requests.inc(
+                        outcome="coupled" if thermal_doc.get("feedback")
+                        else "open_loop")
+                if (self._thermal_iterations is not None
+                        and thermal_doc.get("feedback")):
+                    self._thermal_iterations.observe(
+                        float(thermal_doc.get("iterations", 0)))
         if self._request_seconds is not None:
             self._request_seconds.observe(time.perf_counter() - start,
                                           method=estimate.method)

@@ -1,0 +1,29 @@
+"""Self-consistent power–thermal estimation.
+
+The coupled subsystem: :class:`ThermalConfig` declares the thermal
+network and solver knobs, :class:`~repro.thermal.model.ThermalOperator`
+is the FFT resistive-grid response, the anchor-interpolating
+:class:`~repro.thermal.leakage.LeakageTemperatureModel` supplies
+temperature-dependent Random-Gate moments, :func:`solve_coupled` damps
+the loop to a fixed point, and :func:`coupled_monte_carlo` is the
+per-sample self-consistent oracle the whole thing is validated
+against. Entry point: ``estimate(..., thermal=ThermalConfig(...))`` —
+see ``docs/THERMAL.md``.
+"""
+
+from repro.thermal.config import THERMAL_MODES, ThermalConfig
+from repro.thermal.leakage import FAST_FULL_RTOL, LeakageTemperatureModel
+from repro.thermal.model import ThermalOperator, site_power_map
+from repro.thermal.oracle import coupled_monte_carlo
+from repro.thermal.solver import solve_coupled
+
+__all__ = [
+    "FAST_FULL_RTOL",
+    "THERMAL_MODES",
+    "LeakageTemperatureModel",
+    "ThermalConfig",
+    "ThermalOperator",
+    "coupled_monte_carlo",
+    "site_power_map",
+    "solve_coupled",
+]

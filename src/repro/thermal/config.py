@@ -1,0 +1,214 @@
+"""Configuration of the coupled power–thermal solver.
+
+:class:`ThermalConfig` is the single declarative knob bundle for
+``estimate(..., thermal=...)``: the thermal network (package resistance,
+lateral spreading kernel), the electrical-to-thermal power mapping, and
+the fixed-point solver controls (mode, damping, tolerance, iteration
+cap). It is frozen, picklable, and JSON-round-trippable, so it travels
+through the sweep engine, the service wire format, and the content hash
+unchanged.
+
+Validation raises :class:`repro.exceptions.EstimationError` — unphysical
+temperatures (``T <= 0 K``), negative resistances, or out-of-range
+solver knobs must never reach the solver as a silent partial setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import EstimationError
+
+#: Solver modes: ``"fast"`` interpolates the Random-Gate moments
+#: piecewise-linearly between anchor characterizations (see
+#: ``docs/THERMAL.md`` for the accuracy bound); ``"full"``
+#: re-characterizes the library at every distinct (quantized)
+#: site temperature each iteration.
+THERMAL_MODES = ("fast", "full")
+
+
+def _positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise EstimationError(f"thermal {name} must be > 0, got {value!r}")
+    return value
+
+
+def _non_negative(name: str, value: float) -> float:
+    value = float(value)
+    if not value >= 0.0:
+        raise EstimationError(f"thermal {name} must be >= 0, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Declarative configuration of one coupled power–thermal solve.
+
+    Parameters
+    ----------
+    ambient:
+        Ambient (heatsink) temperature [K]; ``None`` uses the
+        technology's stated junction temperature. Must be ``> 0 K`` —
+        unphysical temperatures raise a typed
+        :class:`~repro.exceptions.EstimationError`.
+    package_resistance:
+        Uniform junction-to-ambient thermal resistance [K/W]: every watt
+        of total chip power lifts the whole die by this much.
+    spreading_resistance:
+        Magnitude of the lateral spreading response [K/W]: the
+        normalized exponential kernel redistributes each site's power
+        into a local temperature bump (see
+        :class:`repro.thermal.model.ThermalOperator`).
+    spreading_length:
+        Decay length of the lateral kernel [m].
+    power_scale:
+        Electrical-to-thermal proportionality for the leakage-derived
+        power map. ``power * vdd * leakage`` is the dissipated static
+        power; ``power_scale`` additionally folds in duty/activity
+        scaling and any dynamic power proportional to the local leakage
+        density.
+    background_power:
+        Temperature-independent power [W] spread uniformly over the die
+        (e.g. clock/dynamic power not tracked by the leakage model).
+    vdd:
+        Supply voltage [V] for the power map; ``None`` uses the
+        technology's ``vdd``.
+    feedback:
+        ``True`` iterates leakage and temperature to a fixed point;
+        ``False`` evaluates open-loop at the uniform ambient (exactly
+        the historical ``temperature_sweep`` point).
+    mode:
+        ``"fast"`` (piecewise-linear leakage(T) between anchors) or
+        ``"full"`` (re-characterize at every distinct quantized site
+        temperature per iteration).
+    anchor_spacing:
+        Temperature spacing [K] of the fast path's anchor
+        characterizations.
+    max_iterations:
+        Fixed-point iteration cap; hitting it raises a typed
+        :class:`~repro.exceptions.EstimationError` (never a silent
+        partial result).
+    damping:
+        Under-relaxation weight in ``(0, 1]``: ``T <- T + damping *
+        (T_proposed - T)``.
+    tolerance:
+        Convergence threshold [K] on the max-norm temperature residual.
+    full_quantization:
+        Temperature quantization step [K] for the ``"full"`` mode's
+        per-iteration re-characterizations.
+    """
+
+    ambient: Optional[float] = None
+    package_resistance: float = 2.0
+    spreading_resistance: float = 0.5
+    spreading_length: float = 0.5e-3
+    power_scale: float = 1.0
+    background_power: float = 0.0
+    vdd: Optional[float] = None
+    feedback: bool = True
+    mode: str = "fast"
+    anchor_spacing: float = 2.0
+    max_iterations: int = 50
+    damping: float = 1.0
+    tolerance: float = 1e-3
+    full_quantization: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ambient is not None:
+            ambient = float(self.ambient)
+            if not ambient > 0.0:
+                raise EstimationError(
+                    f"thermal ambient temperature must be > 0 K, got "
+                    f"{self.ambient!r} (absolute kelvin, not celsius)")
+            object.__setattr__(self, "ambient", ambient)
+        object.__setattr__(self, "package_resistance", _non_negative(
+            "package_resistance", self.package_resistance))
+        object.__setattr__(self, "spreading_resistance", _non_negative(
+            "spreading_resistance", self.spreading_resistance))
+        object.__setattr__(self, "spreading_length", _positive(
+            "spreading_length", self.spreading_length))
+        object.__setattr__(self, "power_scale", _non_negative(
+            "power_scale", self.power_scale))
+        object.__setattr__(self, "background_power", _non_negative(
+            "background_power", self.background_power))
+        if self.vdd is not None:
+            object.__setattr__(self, "vdd", _positive("vdd", self.vdd))
+        object.__setattr__(self, "feedback", bool(self.feedback))
+        if self.mode not in THERMAL_MODES:
+            raise EstimationError(
+                f"unknown thermal mode {self.mode!r}; "
+                f"choose one of {THERMAL_MODES}")
+        object.__setattr__(self, "anchor_spacing", _positive(
+            "anchor_spacing", self.anchor_spacing))
+        max_iterations = int(self.max_iterations)
+        if max_iterations < 1:
+            raise EstimationError(
+                f"thermal max_iterations must be >= 1, got "
+                f"{self.max_iterations!r}")
+        object.__setattr__(self, "max_iterations", max_iterations)
+        damping = float(self.damping)
+        if not 0.0 < damping <= 1.0:
+            raise EstimationError(
+                f"thermal damping must be in (0, 1], got {self.damping!r}")
+        object.__setattr__(self, "damping", damping)
+        object.__setattr__(self, "tolerance", _positive(
+            "tolerance", self.tolerance))
+        object.__setattr__(self, "full_quantization", _positive(
+            "full_quantization", self.full_quantization))
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON wire format (also the content-hash form)."""
+        return {
+            "ambient": self.ambient,
+            "package_resistance": self.package_resistance,
+            "spreading_resistance": self.spreading_resistance,
+            "spreading_length": self.spreading_length,
+            "power_scale": self.power_scale,
+            "background_power": self.background_power,
+            "vdd": self.vdd,
+            "feedback": self.feedback,
+            "mode": self.mode,
+            "anchor_spacing": self.anchor_spacing,
+            "max_iterations": self.max_iterations,
+            "damping": self.damping,
+            "tolerance": self.tolerance,
+            "full_quantization": self.full_quantization,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ThermalConfig":
+        if isinstance(document, ThermalConfig):
+            return document
+        if not isinstance(document, Mapping):
+            raise EstimationError(
+                "thermal config must be a JSON object, got "
+                f"{type(document).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(document) - known
+        if unknown:
+            raise EstimationError(
+                f"unknown thermal config fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}")
+        return cls(**dict(document))
+
+    def with_ambient(self, ambient: float) -> "ThermalConfig":
+        return replace(self, ambient=float(ambient))
+
+    def with_power_scale(self, power_scale: float) -> "ThermalConfig":
+        return replace(self, power_scale=float(power_scale))
+
+    def resolve_ambient(self, technology) -> float:
+        """The effective ambient [K] for a solve under ``technology``."""
+        if self.ambient is not None:
+            return self.ambient
+        return float(technology.temperature)
+
+    def resolve_vdd(self, technology) -> float:
+        """The effective supply voltage [V] for the power map."""
+        if self.vdd is not None:
+            return self.vdd
+        return float(technology.vdd)

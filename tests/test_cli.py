@@ -58,6 +58,35 @@ class TestEstimateCommand:
         assert code == 2
         assert "NAME=FRACTION" in capsys.readouterr().err
 
+    def test_thermal_coupled_solve(self, capsys):
+        code = main(["estimate", "--cells", "2048", "--width-mm", "1",
+                     "--height-mm", "1",
+                     "--usage", "INV_X1=0.6", "--usage", "NAND2_X1=0.4",
+                     "--method", "linear", "--thermal",
+                     "--package-resistance", "40",
+                     "--power-scale", "400", "--ambient-c", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thermal solve" in out
+        assert "coupled" in out
+        assert "converged     true" in out
+        assert "feedback gain" in out
+
+    def test_thermal_open_loop(self, capsys):
+        code = main(["estimate", "--cells", "1024", "--width-mm", "0.5",
+                     "--height-mm", "0.5", "--usage", "INV_X1=1.0",
+                     "--method", "linear", "--thermal", "--open-loop"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open loop" in out
+
+    def test_thermal_knobs_require_thermal_flag(self, capsys):
+        code = main(["estimate", "--cells", "100", "--width-mm", "0.1",
+                     "--height-mm", "0.1", "--usage", "INV_X1=1.0",
+                     "--power-scale", "10"])
+        assert code == 2
+        assert "--thermal" in capsys.readouterr().err
+
     def test_temperature_raises_leakage(self, capsys):
         args = ["estimate", "--cells", "1000", "--width-mm", "0.1",
                 "--height-mm", "0.1", "--usage", "INV_X1=1.0",

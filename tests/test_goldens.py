@@ -138,6 +138,68 @@ class TestSweepGolden:
         check_golden("sweep_linear", document, update_goldens)
 
 
+class TestThermalGoldens:
+    """Coupled power-thermal scenarios (docs/THERMAL.md).
+
+    The full estimate document is pinned — moments, the Vt multiplier,
+    and every convergence diagnostic (iterations, residual trajectory,
+    feedback gain) — so any drift in the fixed point itself shows up,
+    not just in the packaged moments.
+    """
+
+    def test_coupled_estimate(self, small_characterization,
+                              update_goldens):
+        from repro.thermal import ThermalConfig
+
+        usage = CellUsage.uniform(small_characterization.cell_names)
+        estimator = FullChipLeakageEstimator(
+            small_characterization, usage, 4096, 1e-3, 1e-3,
+            simplified_correlation=True)
+        estimate = estimator.estimate(
+            "linear",
+            thermal=ThermalConfig(package_resistance=40.0,
+                                  spreading_resistance=1e5,
+                                  spreading_length=0.3e-3,
+                                  power_scale=200.0))
+        assert estimate.details["thermal"]["converged"]
+        check_golden("thermal_coupled", estimate.to_dict(),
+                     update_goldens)
+
+    def test_thermal_sweep(self, small_characterization, update_goldens):
+        from repro.core.sweep import (
+            ambient_temperature_axis,
+            power_scale_axis,
+        )
+        from repro.thermal import ThermalConfig
+
+        usage = CellUsage.uniform(small_characterization.cell_names)
+        sweep = estimate_sweep(
+            small_characterization, usage, 2048, 1e-3, 1e-3,
+            axes=[
+                ambient_temperature_axis([313.15, 338.15]),
+                power_scale_axis([50.0, 200.0]),
+            ],
+            method="linear", simplified_correlation=True,
+            thermal=ThermalConfig(package_resistance=40.0))
+        document = {
+            "axes": list(sweep.axes),
+            "shape": list(sweep.shape),
+            "values": [list(map(str, values)) for values in sweep.values],
+            "points": [
+                {
+                    "mean": e.mean,
+                    "std": e.std,
+                    "ambient": e.details["thermal"]["ambient"],
+                    "iterations": e.details["thermal"]["iterations"],
+                    "feedback_gain":
+                        e.details["thermal"]["feedback_gain"],
+                }
+                for e in sweep
+            ],
+        }
+        check_golden("sweep_thermal", document, update_goldens)
+
+
 class TestModelGoldens:
     def test_characterized_moments(self, small_characterization,
                                    update_goldens):

@@ -1,0 +1,39 @@
+"""Fixtures for the thermal suite.
+
+Coupled solves re-characterize the usage-relevant library subset at
+solver-chosen temperatures, so the fixtures keep that subset small
+(two cells) and share one analytical characterization per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import characterize_library
+from repro.core import CellUsage, FullChipLeakageEstimator
+
+#: The usage subset every thermal test runs on — small enough that a
+#: per-anchor re-characterization costs ~10 ms.
+THERMAL_CELLS = ("INV_X1", "NAND2_X1")
+
+
+@pytest.fixture(scope="session")
+def thermal_characterization(library, technology):
+    return characterize_library(library, technology, cells=THERMAL_CELLS)
+
+
+@pytest.fixture(scope="session")
+def thermal_usage():
+    return CellUsage({"INV_X1": 0.6, "NAND2_X1": 0.4})
+
+
+@pytest.fixture
+def make_estimator(thermal_characterization, thermal_usage):
+    """Estimator factory over the shared two-cell characterization."""
+
+    def build(n_cells=2048, width=1e-3, height=1e-3, **kwargs):
+        return FullChipLeakageEstimator(
+            thermal_characterization, thermal_usage, n_cells,
+            width, height, **kwargs)
+
+    return build

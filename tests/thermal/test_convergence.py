@@ -1,0 +1,146 @@
+"""Convergence properties of the thermal fixed point.
+
+Randomized-but-seeded operating points across the documented
+contraction region (``feedback gain < 1``) must converge with a
+monotonically shrinking residual; outside it, or under an iteration
+cap, the solver must raise a *typed* :class:`EstimationError` — never
+return a silent partial result. The fast piecewise-linear leakage(T)
+path must stay within its documented ``FAST_FULL_RTOL`` of the full
+per-bin re-characterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.thermal import FAST_FULL_RTOL, ThermalConfig
+
+#: One seed for the whole module: every draw below is reproducible.
+SEED = 20070604
+
+
+def draw_configs(n_draws):
+    """Seeded operating points inside the contraction region.
+
+    Resistances, power scaling, ambient, and damping all vary; the
+    ranges are sized (gain scales like ~0.04/K of self-heating for
+    this library) so the feedback gain stays well below 1.
+    """
+    rng = np.random.default_rng(SEED)
+    configs = []
+    for _ in range(n_draws):
+        configs.append(ThermalConfig(
+            ambient=float(rng.uniform(300.0, 340.0)),
+            package_resistance=float(rng.uniform(20.0, 120.0)),
+            spreading_resistance=float(rng.uniform(0.0, 1e5)),
+            spreading_length=float(rng.uniform(0.2e-3, 0.8e-3)),
+            power_scale=float(rng.uniform(100.0, 600.0)),
+            background_power=float(rng.uniform(0.0, 0.02)),
+            damping=float(rng.uniform(0.6, 1.0)),
+        ))
+    return configs
+
+
+class TestContraction:
+    @pytest.mark.parametrize("config", draw_configs(5))
+    def test_randomized_operating_points_converge(self, make_estimator,
+                                                  config):
+        estimator = make_estimator(simplified_correlation=True)
+        estimate = estimator.estimate("linear", thermal=config)
+        doc = estimate.details["thermal"]
+        assert doc["converged"] is True
+        assert doc["iterations"] <= config.max_iterations
+        assert doc["residual"] < config.tolerance
+        assert 0.0 <= doc["feedback_gain"] < 1.0
+        if doc["contraction"] is not None:
+            assert doc["contraction"] < 1.0
+        # Damped contraction: every residual shrinks on the previous.
+        residuals = doc["residuals"]
+        assert all(later < earlier for earlier, later
+                   in zip(residuals, residuals[1:]))
+
+    def test_diagnostics_document(self, make_estimator):
+        estimator = make_estimator(simplified_correlation=True)
+        config = ThermalConfig(package_resistance=40.0,
+                               spreading_resistance=1e4,
+                               power_scale=400.0)
+        doc = estimator.estimate(
+            "linear", thermal=config).details["thermal"]
+        assert doc["enabled"] is True
+        assert doc["mode"] == "fast"
+        assert doc["damping"] == 1.0
+        assert len(doc["residuals"]) == doc["iterations"]
+        assert doc["t_min"] <= doc["t_mean"] <= doc["t_max"]
+        assert doc["delta_t_max"] > 0.0
+        assert doc["power_total"] > 0.0
+        assert doc["anchors"] >= 2
+        np.testing.assert_allclose(
+            doc["std_amplification"],
+            1.0 / (1.0 - doc["feedback_gain"]))
+
+
+class TestTypedFailures:
+    def test_iteration_cap_raises_never_partial(self, make_estimator):
+        estimator = make_estimator(simplified_correlation=True)
+        config = ThermalConfig(package_resistance=40.0,
+                               power_scale=400.0, max_iterations=1)
+        with pytest.raises(EstimationError,
+                           match="did not converge within 1"):
+            estimator.estimate("linear", thermal=config)
+
+    def test_thermal_runaway_is_typed(self, make_estimator):
+        # A huge tolerance lets the loop "converge" in one step even at
+        # an absurd power scale; the post-convergence gain check must
+        # still reject the operating point as runaway (gain >= 1).
+        estimator = make_estimator(simplified_correlation=True)
+        config = ThermalConfig(package_resistance=40.0,
+                               power_scale=40_000.0, tolerance=100.0)
+        with pytest.raises(EstimationError, match="thermal runaway"):
+            estimator.estimate("linear", thermal=config)
+
+    def test_iterate_outside_technology_range_is_typed(
+            self, make_estimator):
+        # Unbounded heating drives the iterates past the technology's
+        # valid temperature span (a threshold crosses zero); that must
+        # surface as a typed error, not a numerics crash.
+        estimator = make_estimator(simplified_correlation=True)
+        config = ThermalConfig(package_resistance=400.0,
+                               power_scale=100_000.0,
+                               max_iterations=200)
+        with pytest.raises(EstimationError,
+                           match="valid range|thermal"):
+            estimator.estimate("linear", thermal=config)
+
+    def test_feedback_requires_simplified_correlation(
+            self, make_estimator):
+        estimator = make_estimator(simplified_correlation=False)
+        with pytest.raises(EstimationError,
+                           match="simplified_correlation=True"):
+            estimator.estimate("linear", thermal=ThermalConfig())
+
+    def test_feedback_rejects_methodless_variants(self, make_estimator):
+        estimator = make_estimator(simplified_correlation=True)
+        with pytest.raises(EstimationError, match="supports method"):
+            estimator.estimate("integral2d", thermal=ThermalConfig())
+
+
+class TestFastPathAccuracy:
+    def test_fast_within_documented_bound_of_full(self, make_estimator):
+        estimator = make_estimator(simplified_correlation=True)
+        base = dict(package_resistance=40.0, spreading_resistance=3e5,
+                    spreading_length=0.3e-3, power_scale=400.0,
+                    full_quantization=0.01)
+        fast = estimator.estimate(
+            "linear", thermal=ThermalConfig(mode="fast", **base))
+        full = estimator.estimate(
+            "linear", thermal=ThermalConfig(mode="full", **base))
+        assert fast.details["thermal"]["mode"] == "fast"
+        assert full.details["thermal"]["mode"] == "full"
+        np.testing.assert_allclose(fast.mean, full.mean,
+                                   rtol=FAST_FULL_RTOL)
+        np.testing.assert_allclose(fast.std, full.std,
+                                   rtol=FAST_FULL_RTOL)
+        np.testing.assert_allclose(fast.mean_with_vt, full.mean_with_vt,
+                                   rtol=FAST_FULL_RTOL)

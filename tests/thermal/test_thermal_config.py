@@ -1,0 +1,113 @@
+"""Validation and wire-format contracts of :class:`ThermalConfig`.
+
+Every unphysical or out-of-range knob must raise a *typed*
+:class:`EstimationError` at construction — the solver never sees a
+silent partial setup — and the dict form must round-trip exactly (it is
+the service content-hash form). The same ``T <= 0 K`` guard also
+applies to the historical ``temperature_sweep`` entry point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.temperature import temperature_sweep
+from repro.core import CellUsage
+from repro.exceptions import EstimationError
+from repro.thermal import THERMAL_MODES, ThermalConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize("ambient", [0.0, -1.0, -273.15, 25.0 - 273.15])
+    def test_non_positive_ambient_rejected(self, ambient):
+        with pytest.raises(EstimationError, match="absolute kelvin"):
+            ThermalConfig(ambient=ambient)
+
+    @pytest.mark.parametrize("field, value", [
+        ("package_resistance", -1.0),
+        ("spreading_resistance", -0.5),
+        ("spreading_length", 0.0),
+        ("power_scale", -2.0),
+        ("background_power", -1e-3),
+        ("vdd", 0.0),
+        ("anchor_spacing", 0.0),
+        ("tolerance", 0.0),
+        ("full_quantization", -0.05),
+    ])
+    def test_out_of_range_knob_rejected(self, field, value):
+        with pytest.raises(EstimationError, match=field):
+            ThermalConfig(**{field: value})
+
+    @pytest.mark.parametrize("damping", [0.0, -0.5, 1.5])
+    def test_damping_outside_unit_interval_rejected(self, damping):
+        with pytest.raises(EstimationError, match="damping"):
+            ThermalConfig(damping=damping)
+
+    def test_iteration_cap_below_one_rejected(self):
+        with pytest.raises(EstimationError, match="max_iterations"):
+            ThermalConfig(max_iterations=0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EstimationError, match="unknown thermal mode"):
+            ThermalConfig(mode="warp")
+
+    def test_modes_registry(self):
+        assert THERMAL_MODES == ("fast", "full")
+        for mode in THERMAL_MODES:
+            assert ThermalConfig(mode=mode).mode == mode
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        config = ThermalConfig(ambient=330.0, package_resistance=12.5,
+                               power_scale=3.0, mode="full", damping=0.7)
+        assert ThermalConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_passes_through_instances(self):
+        config = ThermalConfig()
+        assert ThermalConfig.from_dict(config) is config
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(EstimationError, match="unknown thermal config"):
+            ThermalConfig.from_dict({"packge_resistance": 2.0})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(EstimationError, match="JSON object"):
+            ThermalConfig.from_dict([("ambient", 300.0)])
+
+    def test_with_ambient_and_power_scale(self):
+        config = ThermalConfig()
+        assert config.with_ambient(340.0).ambient == 340.0
+        assert config.with_power_scale(7.0).power_scale == 7.0
+        # ...and the overrides still validate.
+        with pytest.raises(EstimationError, match="absolute kelvin"):
+            config.with_ambient(-40.0)
+        with pytest.raises(EstimationError, match="power_scale"):
+            config.with_power_scale(-1.0)
+
+    def test_resolution_defaults_to_technology(self, technology):
+        config = ThermalConfig()
+        assert config.resolve_ambient(technology) == float(
+            technology.temperature)
+        assert config.resolve_vdd(technology) == float(technology.vdd)
+        pinned = ThermalConfig(ambient=350.0, vdd=0.9)
+        assert pinned.resolve_ambient(technology) == 350.0
+        assert pinned.resolve_vdd(technology) == 0.9
+
+
+class TestTemperatureSweepGuard:
+    """The historical sweep entry point shares the ``> 0 K`` contract."""
+
+    @pytest.mark.parametrize("bad", [0.0, -10.0, 25.0 - 273.15])
+    def test_non_positive_temperature_rejected(
+            self, library, technology, bad):
+        usage = CellUsage.uniform(["INV_X1"])
+        with pytest.raises(EstimationError, match="absolute kelvin"):
+            temperature_sweep(library, technology, usage, 1024,
+                              1e-3, 1e-3, temperatures=[300.0, bad])
+
+    def test_empty_sweep_rejected(self, library, technology):
+        usage = CellUsage.uniform(["INV_X1"])
+        with pytest.raises(EstimationError, match="at least one"):
+            temperature_sweep(library, technology, usage, 1024,
+                              1e-3, 1e-3, temperatures=[])

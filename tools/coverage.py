@@ -13,6 +13,15 @@ gate fails when total coverage drops below it, and intentional
 improvements are banked with ``--update-floor``. This keeps the gate
 honest without requiring pytest-cov in the image.
 
+Besides ``total_percent``, the floor file may carry a ``packages``
+mapping of package prefixes (relative to ``src``, e.g.
+``"repro/thermal"``) to their own floors. Package floors stop a
+well-covered repo from absorbing an under-tested new subsystem: the
+total barely moves, but the package gate fails. ``--update-floor``
+re-banks every listed package from the current run; add a package by
+writing its key into the file (any value) and running
+``--update-floor`` once.
+
 Usage::
 
     PYTHONPATH=src python tools/coverage.py            # gate vs floor
@@ -142,6 +151,22 @@ def measure(pytest_args):
     return exit_code, report
 
 
+def package_stats(report, prefix: str):
+    """Aggregate (executable, executed, percent) under one package.
+
+    ``prefix`` is relative to ``src`` with forward slashes, e.g.
+    ``"repro/thermal"``; a module matches if it *is* the prefix (a
+    single-file package) or lives under ``prefix/``.
+    """
+    executable = executed = 0
+    for name, entry in report["modules"].items():
+        if name == prefix or name.startswith(prefix + "/"):
+            executable += entry["executable"]
+            executed += entry["executed"]
+    percent = 100.0 * executed / executable if executable else 0.0
+    return executable, executed, percent
+
+
 def render(report, worst: int = 15) -> str:
     rows = sorted(report["modules"].items(),
                   key=lambda item: item[1]["percent"])
@@ -184,28 +209,58 @@ def main(argv=None) -> int:
         print(f"report written to {args.json}")
 
     total = report["total"]["percent"]
+    previous = {}
+    if os.path.exists(FLOOR_PATH):
+        with open(FLOOR_PATH, encoding="utf-8") as handle:
+            previous = json.load(handle)
+
     if args.update_floor:
         # Bank to one decimal, rounded *down*: re-running the same
-        # suite can never trip the gate it just set.
+        # suite can never trip the gate it just set. Package floors
+        # keep their keys and re-bank from this run.
         floor = {"total_percent": int(total * 10) / 10.0}
+        packages = {}
+        for prefix in sorted(previous.get("packages", {})):
+            _, _, percent = package_stats(report, prefix)
+            packages[prefix] = int(percent * 10) / 10.0
+        if packages:
+            floor["packages"] = packages
         with open(FLOOR_PATH, "w", encoding="utf-8") as handle:
             json.dump(floor, handle, indent=2)
             handle.write("\n")
         print(f"floor updated to {floor['total_percent']:.1f}%")
+        for prefix, value in packages.items():
+            print(f"  package {prefix}: {value:.1f}%")
         return 0
 
-    if not os.path.exists(FLOOR_PATH):
+    if not previous:
         print(f"no floor at {FLOOR_PATH}; run with --update-floor first",
               file=sys.stderr)
         return 1
-    with open(FLOOR_PATH, encoding="utf-8") as handle:
-        floor = json.load(handle)["total_percent"]
+    failed = False
+    floor = previous["total_percent"]
     if total < floor:
         print(f"coverage gate FAILED: {total:.2f}% < floor {floor:.1f}%",
               file=sys.stderr)
-        return 1
-    print(f"coverage gate ok: {total:.2f}% >= floor {floor:.1f}%")
-    return 0
+        failed = True
+    else:
+        print(f"coverage gate ok: {total:.2f}% >= floor {floor:.1f}%")
+    for prefix, package_floor in sorted(
+            previous.get("packages", {}).items()):
+        executable, _, percent = package_stats(report, prefix)
+        if not executable:
+            print(f"coverage gate FAILED: package {prefix} has no "
+                  f"modules (floor file stale?)", file=sys.stderr)
+            failed = True
+        elif percent < package_floor:
+            print(f"coverage gate FAILED: package {prefix} "
+                  f"{percent:.2f}% < floor {package_floor:.1f}%",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"coverage gate ok: package {prefix} "
+                  f"{percent:.2f}% >= floor {package_floor:.1f}%")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
